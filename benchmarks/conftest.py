@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper at a reduced,
+CPU-feasible scale and prints the same rows / series the paper reports, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction driver.
+
+The workload scale is selected by the ``REPRO_BENCH_SCALE`` environment
+variable (default ``bench``; set to ``bench_cifar`` for a workload closer to
+the paper's, or ``smoke`` for a quick check).  Timing numbers come from
+pytest-benchmark; the scientific outputs are attached to the benchmark's
+``extra_info`` and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return f"repro benchmark scale: {scale}"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The workload scale preset used by every benchmark."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return get_scale(name)
+
+
+@pytest.fixture
+def report_rows(capsys):
+    """Print experiment rows so they survive pytest's output capture."""
+
+    def _print(title, rows):
+        with capsys.disabled():
+            print(f"\n==== {title} ====")
+            for row in rows:
+                print(row)
+
+    return _print

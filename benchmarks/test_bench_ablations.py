@@ -1,0 +1,56 @@
+"""Benchmark: ablation studies on APT's design choices (DESIGN.md section 4)."""
+
+import pytest
+
+from repro.experiments import run_ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, bench_scale, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_ablations(
+            bench_scale,
+            initial_bits_grid=(4, 6, 8),
+            metric_intervals=(2, 8),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_rows("Ablations", result.format_rows())
+
+    by_study = result.by_study()
+    assert set(by_study) == {"initial_bits", "t_max", "metric_interval", "bits_step"}
+
+    # Section IV-A claim: the initial bitwidth does not matter much, because
+    # the controller adapts every start toward a similar allocation.  At the
+    # reduced epoch budget the lowest start is still climbing, so the check
+    # is (a) a loose accuracy band and (b) that the allocated average bits of
+    # the different starts converge to within a few bits of each other.
+    initial_bits_accuracies = [point.accuracy for point in by_study["initial_bits"]]
+    assert max(initial_bits_accuracies) - min(initial_bits_accuracies) <= 0.6
+    initial_bits_allocation = [point.average_bits for point in by_study["initial_bits"]]
+    assert max(initial_bits_allocation) - min(initial_bits_allocation) <= 5.0
+
+    # A finite T_max reclaims bits: average allocated bits must not increase.
+    t_max_points = {point.setting: point for point in by_study["t_max"]}
+    assert t_max_points["T_max=finite"].average_bits <= t_max_points["T_max=inf"].average_bits + 1e-9
+
+    # Sampling Gavg less often must not change accuracy much (Algorithm 2's
+    # "a few times per epoch suffice").
+    interval_accuracies = [point.accuracy for point in by_study["metric_interval"]]
+    assert max(interval_accuracies) - min(interval_accuracies) <= 0.25
+
+    # A larger adjustment step allocates at least as many bits.
+    step_points = {point.setting: point for point in by_study["bits_step"]}
+    assert step_points["step=2"].average_bits >= step_points["step=1 (paper)"].average_bits - 1e-9
+
+    benchmark.extra_info["points"] = [
+        {
+            "study": point.study,
+            "setting": point.setting,
+            "accuracy": point.accuracy,
+            "energy": point.normalised_energy,
+            "avg_bits": point.average_bits,
+        }
+        for point in result.points
+    ]

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 1 (Gavg vs epoch for two layers, T_min = 1.0)."""
+
+import pytest
+
+from repro.experiments import run_fig1
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_gavg_dynamics(benchmark, bench_scale, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_fig1(bench_scale, t_min=1.0), rounds=1, iterations=1
+    )
+    report_rows("Figure 1: Gavg vs epoch (T_min = 1.0)", result.format_rows())
+
+    series = result.series()
+    # Both curves exist for every epoch and are non-negative once estimated.
+    assert len(series["layer_a"]) == bench_scale.epochs
+    assert len(series["layer_b"]) == bench_scale.epochs
+    final_a = series["layer_a"][-1]
+    final_b = series["layer_b"][-1]
+    assert final_a is not None and final_a >= 0.0
+    assert final_b is not None and final_b >= 0.0
+    # Layer B starts easier to update than layer A (the figure's two regimes).
+    first_a = next(v for v in series["layer_a"] if v is not None)
+    first_b = next(v for v in series["layer_b"] if v is not None)
+    assert first_b >= first_a
+
+    benchmark.extra_info["final_gavg_layer_a"] = final_a
+    benchmark.extra_info["final_gavg_layer_b"] = final_b
+    benchmark.extra_info["final_bits"] = {
+        name: values[-1] for name, values in result.bits_by_layer.items()
+    }

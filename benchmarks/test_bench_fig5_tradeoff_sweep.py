@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 5 (energy & model size vs accuracy across T_min)."""
+
+import pytest
+
+from repro.experiments import run_fig5
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_tradeoff_sweep(benchmark, bench_scale, report_rows):
+    thresholds = (0.1, 0.5, 1.0, 6.0, 20.0, 100.0)
+    result = benchmark.pedantic(
+        lambda: run_fig5(bench_scale, thresholds=thresholds),
+        rounds=1,
+        iterations=1,
+    )
+    report_rows("Figure 5: resource consumption vs accuracy across T_min", result.format_rows())
+
+    points = result.points
+    lowest, highest = points[0], points[-1]
+    # Paper shape: raising T_min buys accuracy with energy and memory.  The
+    # trend is checked end-to-end (lowest vs highest threshold) because small
+    # workloads are noisy point-to-point.
+    assert highest.normalised_energy > lowest.normalised_energy
+    assert highest.normalised_memory > lowest.normalised_memory
+    assert highest.average_bits > lowest.average_bits
+    assert highest.accuracy >= lowest.accuracy - 0.05
+    # Energy and memory follow the same trend (the paper's observation that
+    # the memory curve tracks the energy curve).
+    energies = [point.normalised_energy for point in points]
+    memories = [point.normalised_memory for point in points]
+    assert all(
+        (e2 - e1) * (m2 - m1) >= -1e-6
+        for (e1, e2, m1, m2) in zip(energies, energies[1:], memories, memories[1:])
+    )
+    # Every configuration stays cheaper than fp32.
+    assert all(point.normalised_energy < 1.0 for point in points)
+
+    benchmark.extra_info["points"] = [
+        {
+            "t_min": point.t_min,
+            "accuracy": point.accuracy,
+            "energy": point.normalised_energy,
+            "memory": point.normalised_memory,
+            "avg_bits": point.average_bits,
+        }
+        for point in points
+    ]

@@ -1,0 +1,51 @@
+"""Benchmark: adaptive (APT) vs open-loop precision schedules.
+
+Not a paper figure; this is the design-choice bench DESIGN.md calls out for
+the paper's central claim that *feedback-driven* (adaptive) precision beats
+static mixed precision and hand-tuned ramps at matched cost.
+"""
+
+import pytest
+
+from repro.experiments import run_schedule_comparison
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_schedule_comparison(benchmark, bench_scale, report_rows):
+    result = benchmark.pedantic(
+        lambda: run_schedule_comparison(bench_scale, low_bits=6, ramp_end_bits=14),
+        rounds=1,
+        iterations=1,
+    )
+    report_rows("Adaptive vs open-loop precision schedules", result.format_rows())
+
+    fp32 = result.row_for("fp32")
+    apt = result.row_for("apt")
+    uniform = result.row_for("uniform_6bit")
+    static = result.row_for("static_first_last")
+    ramp = result.row_for("linear_ramp")
+
+    # Every quantised policy saves energy and memory over fp32.
+    for row in (apt, uniform, static, ramp):
+        assert row.normalised_energy < fp32.normalised_energy
+        assert row.normalised_memory < fp32.normalised_memory
+
+    # APT matches or beats every open-loop quantised policy on accuracy.
+    assert apt.accuracy >= uniform.accuracy - 0.02
+    assert apt.accuracy >= static.accuracy - 0.02
+    assert apt.accuracy >= ramp.accuracy - 0.05
+    # And it stays close to fp32 while the uniform low-bit policy does not
+    # (the workload is sized so 6 bits alone cannot reach fp32 accuracy).
+    assert apt.accuracy >= fp32.accuracy - 0.05
+
+    benchmark.extra_info["rows"] = [
+        {
+            "policy": row.policy,
+            "adaptive": row.adaptive,
+            "accuracy": row.accuracy,
+            "energy": row.normalised_energy,
+            "memory": row.normalised_memory,
+            "avg_bits": row.average_bits,
+        }
+        for row in result.rows
+    ]

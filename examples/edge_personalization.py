@@ -1,0 +1,93 @@
+"""Edge-device personalisation scenario.
+
+The paper's motivating use case: a model deployed on an edge device has to
+learn in-situ (personalisation / adaptation to a changing environment) and
+every training session drains the battery.  This example simulates a
+smartwatch-class device that periodically fine-tunes its activity classifier
+on freshly collected data, and compares how many personalisation sessions the
+battery budget supports when training at fp32, at a fixed low bitwidth, and
+with APT.
+
+    python examples/edge_personalization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import FixedPrecisionStrategy
+from repro.core import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.data import DataLoader, make_blobs
+from repro.hardware import (
+    BatterySimulator,
+    DEVICE_PROFILES,
+    EnergyMeter,
+    TrainingMemoryModel,
+    profile_model,
+)
+from repro.models import build_model
+from repro.optim import SGD, MultiStepLR
+from repro.train import FP32Strategy, Trainer
+
+
+SESSION_EPOCHS = 5
+FEATURES = 24
+CLASSES = 6
+
+
+def run_session(strategy, seed: int):
+    """One on-device personalisation session; returns (accuracy, energy_pj, memory_bits)."""
+    train_set, test_set = make_blobs(
+        num_classes=CLASSES, samples_per_class=60, features=FEATURES, separation=1.6, seed=seed
+    )
+    model = build_model("mlp", num_classes=CLASSES, in_channels=FEATURES, rng=np.random.default_rng(seed))
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+    profile = profile_model(model, (FEATURES,))
+    trainer = Trainer(
+        model=model,
+        optimizer=optimizer,
+        train_loader=DataLoader(train_set, batch_size=32, rng=np.random.default_rng(seed)),
+        test_loader=DataLoader(test_set, batch_size=64, shuffle=False),
+        strategy=strategy,
+        scheduler=MultiStepLR(optimizer, milestones=[4]),
+        energy_meter=EnergyMeter(profile),
+        memory_model=TrainingMemoryModel(),
+    )
+    history = trainer.fit(SESSION_EPOCHS)
+    return history.final_test_accuracy, history.total_energy_pj, history.peak_memory_bits
+
+
+def main() -> None:
+    device = DEVICE_PROFILES["smartwatch"]
+    print(f"device: {device.name}, battery {device.battery_joules:.0f} J, "
+          f"training budget {device.training_energy_budget_joules:.0f} J\n")
+
+    methods = {
+        "fp32": lambda: FP32Strategy(),
+        "fixed 2-bit": lambda: FixedPrecisionStrategy(2),
+        "apt": lambda: APTStrategy(APTConfig(initial_bits=6, t_min=6.0, metric_interval=2)),
+    }
+
+    print(f"{'method':<14s} {'accuracy':>9s} {'energy/session':>15s} {'memory':>12s} {'sessions in budget':>20s}")
+    for name, factory in methods.items():
+        accuracy, energy_pj, memory_bits = run_session(factory(), seed=0)
+        # The analytic model accounts MACs only; scale to a realistic per-
+        # session figure by assuming the session re-runs on a day of data
+        # (x2000) so the battery arithmetic is meaningful.
+        session_joules = energy_pj * 1e-12 * 2000
+        simulator = BatterySimulator(device)
+        sessions = simulator.sessions_supported(max(session_joules, 1e-9))
+        print(
+            f"{name:<14s} {accuracy:9.3f} {session_joules:13.3f} J "
+            f"{memory_bits / 8 / 1024:9.1f} KiB {sessions:>20d}"
+        )
+
+    print("\nReading the table: APT keeps fp32-level accuracy while fitting several "
+          "times more personalisation sessions into the same battery budget; the "
+          "fixed 2-bit model is cheaper per session but loses accuracy because "
+          "quantisation underflow freezes its weights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Regenerate every figure and table of the paper at a reduced scale.
+
+Runs the experiment harness behind Figures 1-5 and Table I on the CPU-sized
+"bench" workload and prints the rows / series each one reports.  The same
+runners power the benchmark suite (``pytest benchmarks/ --benchmark-only``);
+this script is the human-readable front end.
+
+    python examples/paper_figures.py            # bench scale (about a minute)
+    python examples/paper_figures.py smoke      # seconds, coarse
+    python examples/paper_figures.py bench_cifar  # several minutes, closer to the paper
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    get_scale,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+)
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "bench"
+    scale = get_scale(scale_name)
+    print(f"workload scale: {scale.name} ({scale.model} on {scale.dataset}, "
+          f"{scale.epochs} epochs, {scale.train_samples} train samples)\n")
+
+    sections = [
+        ("Figure 1 - Gavg dynamics", lambda: run_fig1(scale).format_rows()),
+        ("Figure 2 - training curves", lambda: run_fig2(scale).format_rows()),
+        ("Figure 3 - bitwidth trajectories", lambda: run_fig3(scale).format_rows()),
+        ("Figure 4 - energy to target accuracy", lambda: run_fig4(scale).format_rows()),
+        ("Figure 5 - T_min trade-off", lambda: run_fig5(scale).format_rows()),
+        ("Table I - method comparison", lambda: run_table1(scale).format_rows()),
+    ]
+    for title, runner in sections:
+        print(f"==== {title} ====")
+        for row in runner():
+            print(row)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Tuning the application-specific threshold T_min (the Figure 5 trade-off).
+
+APT exposes one hyper-parameter pair ``(T_min, T_max)``.  Raising ``T_min``
+makes the controller allocate bits more eagerly: accuracy rises, and so do
+training energy and training-time model memory.  This example sweeps
+``T_min`` across three orders of magnitude on a small CNN workload, prints
+the trade-off table, and writes it to ``tradeoff.csv`` so it can be plotted.
+
+    python examples/tradeoff_tuning.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import get_scale, run_fig5
+from repro.experiments.reporting import format_table, to_csv
+
+
+def main() -> None:
+    scale = get_scale("bench")
+    thresholds = (0.1, 0.5, 1.0, 6.0, 20.0, 100.0)
+    print(f"sweeping T_min over {thresholds} on the '{scale.name}' workload "
+          f"({scale.model} / {scale.dataset}, {scale.epochs} epochs)\n")
+
+    result = run_fig5(scale, thresholds=thresholds)
+
+    headers = ["T_min", "accuracy", "energy (vs fp32)", "memory (vs fp32)", "avg bits"]
+    rows = [
+        [
+            f"{point.t_min:.1f}",
+            f"{point.accuracy:.3f}",
+            f"{point.normalised_energy:.3f}",
+            f"{point.normalised_memory:.3f}",
+            f"{point.average_bits:.2f}",
+        ]
+        for point in result.points
+    ]
+    print(format_table(headers, rows))
+
+    output = Path(__file__).resolve().parent / "tradeoff.csv"
+    output.write_text(to_csv(headers, rows))
+    print(f"\nwrote {output}")
+    print("\nPick the smallest T_min whose accuracy meets your application's "
+          "requirement: everything to the right of it only costs energy and memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Baseline precision strategies.
+
+Two families:
+
+* **Fixed-bitwidth trainers** (:mod:`repro.baselines.fixed_precision`) --
+  the 8/12/14/16/32-bit models the paper compares against in Figures 2 and 4,
+  either updating the quantised weights directly (no master copy, like APT)
+  or keeping an fp32 master copy.
+* **Published quantisation methods** (:mod:`repro.baselines.methods`) --
+  simplified re-implementations of the Table I rows: BNN, TWN, TTQ,
+  DoReFa-Net, TernGrad, WAGE and E2-Train, each with the BPROP representation
+  and optimiser the paper attributes to it.
+"""
+
+from repro.baselines.common import QuantisedLayerSet, MasterCopyState
+from repro.baselines.fixed_precision import FixedPrecisionStrategy
+from repro.baselines.schedules import LinearRampStrategy, StaticMixedPrecisionStrategy
+from repro.baselines.methods import (
+    BNNStrategy,
+    TWNStrategy,
+    TTQStrategy,
+    DoReFaStrategy,
+    TernGradStrategy,
+    WAGEStrategy,
+    E2TrainStrategy,
+    TABLE1_METHODS,
+    build_table1_strategy,
+)
+
+__all__ = [
+    "QuantisedLayerSet",
+    "MasterCopyState",
+    "FixedPrecisionStrategy",
+    "LinearRampStrategy",
+    "StaticMixedPrecisionStrategy",
+    "BNNStrategy",
+    "TWNStrategy",
+    "TTQStrategy",
+    "DoReFaStrategy",
+    "TernGradStrategy",
+    "WAGEStrategy",
+    "E2TrainStrategy",
+    "TABLE1_METHODS",
+    "build_table1_strategy",
+]

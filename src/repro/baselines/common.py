@@ -1,0 +1,100 @@
+"""Shared machinery for baseline strategies.
+
+* :class:`QuantisedLayerSet` -- discovers the quantisable parameters of a
+  model (the same set the APT controller manages) so fixed-precision and
+  method baselines quantise exactly the same tensors APT does.
+* :class:`MasterCopyState` -- the fp32 master-copy bookkeeping used by the
+  Table I methods that, per the paper, store and update weights in float:
+  the forward pass sees quantised weights, gradients are applied to the
+  master (straight-through estimator), and the quantised view is refreshed
+  before the next forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.optim.sgd import UpdateHook
+
+
+class QuantisedLayerSet:
+    """The ordered list of quantisable parameters of a model."""
+
+    def __init__(self, model: Module, include_small: bool = False) -> None:
+        self.entries: List[tuple] = []
+        for name, param in model.named_parameters():
+            if not param.quantisable and not include_small:
+                continue
+            self.entries.append((name, param))
+        if not self.entries:
+            raise ValueError("model has no quantisable parameters")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def names(self) -> List[str]:
+        return [name for name, _ in self.entries]
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.entries]
+
+    def contains(self, param: Parameter) -> bool:
+        return any(param is candidate for _, candidate in self.entries)
+
+
+class MasterCopyState:
+    """fp32 master copies plus a quantised-view refresher.
+
+    Parameters
+    ----------
+    layer_set:
+        The parameters being quantised.
+    quantiser:
+        Callable mapping a float array to its quantised (dequantised-view)
+        counterpart; applied when refreshing the forward-pass view.
+    """
+
+    def __init__(
+        self,
+        layer_set: QuantisedLayerSet,
+        quantiser: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        self.layer_set = layer_set
+        self.quantiser = quantiser
+        self.masters: Dict[int, np.ndarray] = {
+            id(param): param.data.copy() for _, param in layer_set
+        }
+
+    def refresh_views(self) -> None:
+        """Write the quantised view of every master into the live parameters."""
+        for _, param in self.layer_set:
+            param.data = self.quantiser(self.masters[id(param)])
+
+    def master_for(self, param: Parameter) -> Optional[np.ndarray]:
+        return self.masters.get(id(param))
+
+    def make_update_hook(self) -> UpdateHook:
+        """Hook applying updates to the fp32 masters (straight-through)."""
+        state = self
+
+        class _MasterCopyHook(UpdateHook):
+            def apply(self, param: Parameter, delta: np.ndarray) -> None:
+                master = state.masters.get(id(param))
+                if master is None:
+                    param.data = param.data + delta
+                    return
+                state.masters[id(param)] = master + delta
+
+        return _MasterCopyHook()
+
+    def total_master_bits(self) -> int:
+        """Storage cost of the master copies (32 bits per value)."""
+        return sum(32 * master.size for master in self.masters.values())

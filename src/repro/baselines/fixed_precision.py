@@ -1,0 +1,113 @@
+"""Fixed-bitwidth training baselines.
+
+These are the "vanilla SGD with different precision" models of Figures 2 and
+4: the whole network is quantised to one bitwidth for the entire run.  Two
+variants exist, selected by ``master_copy``:
+
+* ``master_copy=False`` (the paper's comparison setting): weights are stored
+  quantised and updated with the quantised rule of Eq. 3, exactly like APT
+  but without adaptation.  This is where quantisation underflow bites and
+  where the 8-bit model's training curve flattens.
+* ``master_copy=True``: an fp32 master copy receives the updates and the
+  quantised view is refreshed each step (straight-through estimator).  This
+  is how most prior work trains, at the cost of fp32 model memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.common import MasterCopyState, QuantisedLayerSet
+from repro.hardware.accounting import LayerBits
+from repro.nn.module import Module, Parameter
+from repro.optim.sgd import UpdateHook
+from repro.quant.affine import FLOAT_BITS_THRESHOLD, fake_quantize, resolution
+from repro.quant.underflow import quantised_update
+from repro.train.strategy import PrecisionStrategy
+
+
+class _FixedQuantisedUpdateHook(UpdateHook):
+    """Quantised update (Eq. 3) at one global bitwidth."""
+
+    def __init__(self, strategy: "FixedPrecisionStrategy") -> None:
+        self.strategy = strategy
+
+    def apply(self, param: Parameter, delta: np.ndarray) -> None:
+        if self.strategy.layer_set is None or not self.strategy.layer_set.contains(param):
+            param.data = param.data + delta
+            return
+        bits = self.strategy.bits
+        if bits >= FLOAT_BITS_THRESHOLD:
+            param.data = param.data + delta
+            return
+        eps = resolution(param.data, bits)
+        if eps <= 0 or not np.isfinite(eps):
+            param.data = param.data + delta
+            return
+        new_values, underflowed = quantised_update(param.data, delta, eps)
+        self.strategy.underflow_events += underflowed
+        param.data = new_values
+
+
+class FixedPrecisionStrategy(PrecisionStrategy):
+    """Whole-network fixed-bitwidth quantised training."""
+
+    def __init__(self, bits: int, master_copy: bool = False) -> None:
+        if bits < 2 or bits > 32:
+            raise ValueError(f"bits must be in [2, 32], got {bits}")
+        self.bits = int(bits)
+        self.master_copy = bool(master_copy)
+        self.name = f"fixed_{self.bits}bit" + ("_master" if master_copy else "")
+        self.keeps_master_copy = self.master_copy
+        self.layer_set: Optional[QuantisedLayerSet] = None
+        self._master_state: Optional[MasterCopyState] = None
+        self.underflow_events = 0
+
+    def prepare(self, model: Module) -> None:
+        super().prepare(model)
+        self.layer_set = QuantisedLayerSet(model)
+        if self.bits < FLOAT_BITS_THRESHOLD:
+            for _, param in self.layer_set:
+                param.data = fake_quantize(param.data, self.bits)[0]
+        if self.master_copy:
+            self._master_state = MasterCopyState(
+                self.layer_set,
+                quantiser=lambda values: fake_quantize(values, self.bits)[0]
+                if self.bits < FLOAT_BITS_THRESHOLD
+                else values.copy(),
+            )
+
+    def make_update_hook(self) -> UpdateHook:
+        if self.master_copy:
+            assert self._master_state is not None
+            return self._master_state.make_update_hook()
+        return _FixedQuantisedUpdateHook(self)
+
+    def before_forward(self) -> None:
+        if self._master_state is not None:
+            self._master_state.refresh_views()
+
+    def end_epoch(self, epoch: int) -> None:
+        # Re-fit the quantisation grid to the weights' current range so the
+        # stored model stays exactly k-bit representable (mirrors APT).
+        if self.master_copy or self.bits >= FLOAT_BITS_THRESHOLD or self.layer_set is None:
+            return
+        for _, param in self.layer_set:
+            param.data = fake_quantize(param.data, self.bits)[0]
+
+    def layer_bits(self) -> Dict[str, LayerBits]:
+        if self.layer_set is None:
+            return {}
+        backward = 32 if self.master_copy else self.bits
+        return {name: LayerBits(self.bits, backward) for name in self.layer_set.names}
+
+    def weight_bits(self) -> Dict[str, int]:
+        if self.layer_set is None:
+            return {}
+        return {name: self.bits for name in self.layer_set.names}
+
+    def describe(self) -> str:
+        suffix = " + fp32 master copy" if self.master_copy else " (quantised BPROP)"
+        return f"fixed {self.bits}-bit{suffix}"

@@ -1,0 +1,202 @@
+"""Open-loop precision schedules (static and ramped mixed precision).
+
+The paper's novelty is *feedback*: bitwidths respond to the measured Gavg.
+The natural ablation is to take the feedback away and keep everything else --
+the quantised storage, the quantised update of Eq. 3, the per-layer
+bitwidths -- which is what these strategies provide:
+
+* :class:`StaticMixedPrecisionStrategy` -- a fixed per-layer bitwidth
+  assignment for the whole run (HAQ-style offline mixed precision, without
+  the search).  The assignment can be an explicit mapping or a rule such as
+  "first and last layers get more bits", a common hand-crafted heuristic.
+* :class:`LinearRampStrategy` -- a global open-loop schedule that raises the
+  bitwidth from ``start_bits`` to ``end_bits`` over ``ramp_epochs`` epochs
+  regardless of how the layers are actually doing.  This looks superficially
+  like what APT ends up doing on a uniform workload; the comparison
+  experiment (:mod:`repro.experiments.schedule_comparison`) quantifies what
+  the feedback adds when layers differ.
+
+Both strategies share APT's memory behaviour (no fp32 master copy) so the
+comparison isolates the adaptation policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.baselines.common import QuantisedLayerSet
+from repro.hardware.accounting import LayerBits
+from repro.nn.module import Module, Parameter
+from repro.optim.sgd import UpdateHook
+from repro.quant.affine import FLOAT_BITS_THRESHOLD, fake_quantize, resolution
+from repro.quant.underflow import quantised_update
+from repro.train.strategy import PrecisionStrategy
+
+BitsAssignment = Union[Mapping[str, int], Callable[[int, int, str], int]]
+
+
+class _PerLayerQuantisedUpdateHook(UpdateHook):
+    """Eq. 3 update at each parameter's currently assigned bitwidth."""
+
+    def __init__(self, strategy: "_OpenLoopStrategy") -> None:
+        self.strategy = strategy
+
+    def apply(self, param: Parameter, delta: np.ndarray) -> None:
+        bits = self.strategy.bits_for_param(param)
+        if bits is None or bits >= FLOAT_BITS_THRESHOLD:
+            param.data = param.data + delta
+            return
+        eps = resolution(param.data, bits)
+        if eps <= 0 or not np.isfinite(eps):
+            param.data = param.data + delta
+            return
+        new_values, underflowed = quantised_update(param.data, delta, eps)
+        self.strategy.underflow_events += underflowed
+        param.data = new_values
+
+
+class _OpenLoopStrategy(PrecisionStrategy):
+    """Shared machinery: per-layer bitwidths without feedback."""
+
+    keeps_master_copy = False
+
+    def __init__(self) -> None:
+        self.layer_set: Optional[QuantisedLayerSet] = None
+        self._bits_by_param: Dict[int, int] = {}
+        self.underflow_events = 0
+
+    # -- subclass interface ------------------------------------------------ #
+    def initial_bits_for(self, index: int, total: int, name: str) -> int:
+        raise NotImplementedError
+
+    def bits_for_epoch(self, current_bits: int, epoch: int) -> int:
+        """Open-loop evolution of a layer's bitwidth at an epoch boundary."""
+        return current_bits
+
+    # -- strategy protocol -------------------------------------------------- #
+    def prepare(self, model: Module) -> None:
+        super().prepare(model)
+        self.layer_set = QuantisedLayerSet(model)
+        total = len(self.layer_set)
+        for index, (name, param) in enumerate(self.layer_set):
+            bits = int(self.initial_bits_for(index, total, name))
+            self._validate_bits(bits)
+            self._bits_by_param[id(param)] = bits
+            self._snap(param, bits)
+
+    @staticmethod
+    def _validate_bits(bits: int) -> None:
+        if bits < 2 or bits > 32:
+            raise ValueError(f"bitwidths must be in [2, 32], got {bits}")
+
+    @staticmethod
+    def _snap(param: Parameter, bits: int) -> None:
+        if bits < FLOAT_BITS_THRESHOLD:
+            param.data = fake_quantize(param.data, bits)[0]
+
+    def bits_for_param(self, param: Parameter) -> Optional[int]:
+        return self._bits_by_param.get(id(param))
+
+    def make_update_hook(self) -> UpdateHook:
+        return _PerLayerQuantisedUpdateHook(self)
+
+    def end_epoch(self, epoch: int) -> None:
+        assert self.layer_set is not None
+        for _, param in self.layer_set:
+            current = self._bits_by_param[id(param)]
+            new_bits = int(self.bits_for_epoch(current, epoch))
+            self._validate_bits(new_bits)
+            if new_bits != current:
+                self._bits_by_param[id(param)] = new_bits
+            # Keep the stored weights exactly representable at their bitwidth.
+            self._snap(param, new_bits)
+
+    def layer_bits(self) -> Dict[str, LayerBits]:
+        assert self.layer_set is not None
+        return {
+            name: LayerBits(self._bits_by_param[id(param)], self._bits_by_param[id(param)])
+            for name, param in self.layer_set
+        }
+
+    def weight_bits(self) -> Dict[str, int]:
+        assert self.layer_set is not None
+        return {name: self._bits_by_param[id(param)] for name, param in self.layer_set}
+
+
+class StaticMixedPrecisionStrategy(_OpenLoopStrategy):
+    """Fixed per-layer bitwidths for the whole run (no adaptation).
+
+    Parameters
+    ----------
+    assignment:
+        Either a mapping from parameter name to bitwidth (missing names get
+        ``default_bits``) or a callable ``(index, total, name) -> bits``.
+    default_bits:
+        Bitwidth of layers not covered by a mapping assignment.
+    """
+
+    name = "static_mixed"
+
+    def __init__(self, assignment: BitsAssignment, default_bits: int = 8) -> None:
+        super().__init__()
+        self._validate_bits(default_bits)
+        self.assignment = assignment
+        self.default_bits = default_bits
+
+    def initial_bits_for(self, index: int, total: int, name: str) -> int:
+        if callable(self.assignment):
+            return self.assignment(index, total, name)
+        return int(self.assignment.get(name, self.default_bits))
+
+    @classmethod
+    def first_last_heavy(
+        cls, edge_bits: int = 12, interior_bits: int = 6
+    ) -> "StaticMixedPrecisionStrategy":
+        """The common hand-crafted rule: more bits for the first and last layers."""
+
+        def rule(index: int, total: int, name: str) -> int:
+            return edge_bits if index in (0, total - 1) else interior_bits
+
+        strategy = cls(rule, default_bits=interior_bits)
+        strategy.name = f"static_first_last_{edge_bits}_{interior_bits}"
+        return strategy
+
+    def describe(self) -> str:
+        return "static mixed precision (no adaptation)"
+
+
+class LinearRampStrategy(_OpenLoopStrategy):
+    """Global open-loop bitwidth ramp: start low, add bits on a fixed schedule.
+
+    Every layer follows the same ramp from ``start_bits`` to ``end_bits``
+    spread uniformly over ``ramp_epochs`` epochs, regardless of its Gavg.
+    """
+
+    name = "linear_ramp"
+
+    def __init__(self, start_bits: int = 6, end_bits: int = 16, ramp_epochs: int = 10) -> None:
+        super().__init__()
+        self._validate_bits(start_bits)
+        self._validate_bits(end_bits)
+        if end_bits < start_bits:
+            raise ValueError("end_bits must be >= start_bits")
+        if ramp_epochs < 1:
+            raise ValueError("ramp_epochs must be at least 1")
+        self.start_bits = start_bits
+        self.end_bits = end_bits
+        self.ramp_epochs = ramp_epochs
+
+    def initial_bits_for(self, index: int, total: int, name: str) -> int:
+        return self.start_bits
+
+    def bits_for_epoch(self, current_bits: int, epoch: int) -> int:
+        progress = min(1.0, (epoch + 1) / self.ramp_epochs)
+        return int(round(self.start_bits + progress * (self.end_bits - self.start_bits)))
+
+    def describe(self) -> str:
+        return (
+            f"open-loop ramp {self.start_bits}->{self.end_bits} bits "
+            f"over {self.ramp_epochs} epochs"
+        )

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+Two entry points (also exposed as console scripts in ``pyproject.toml``):
+
+``repro-train``
+    Train one model with one precision strategy on one of the built-in
+    workload scales, optionally saving the history (JSON) and a checkpoint.
+
+    .. code-block:: bash
+
+        repro-train --scale bench --strategy apt --epochs 14 --t-min 6.0
+        repro-train --scale bench --strategy fixed --bits 8
+        repro-train --scale smoke --strategy fp32 --history-out run.json
+
+``repro-experiment``
+    Regenerate one of the paper's figures / tables (or the ablations, or the
+    automatic T_min search) and print its rows, optionally as JSON.
+
+    .. code-block:: bash
+
+        repro-experiment fig2 --scale bench
+        repro-experiment table1 --scale bench --json-out table1.json
+        repro-experiment tune-tmin --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import FixedPrecisionStrategy, TABLE1_METHODS, build_table1_strategy
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments import (
+    build_workload,
+    get_scale,
+    run_ablations,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_strategy,
+    run_table1,
+)
+from repro.experiments.scales import SCALES
+from repro.train.serialization import dump_json, save_checkpoint, save_history
+from repro.train.strategy import FP32Strategy
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="bench",
+        help="workload scale preset (default: bench)",
+    )
+
+
+def _build_strategy(args: argparse.Namespace):
+    if args.strategy == "fp32":
+        return FP32Strategy()
+    if args.strategy == "fixed":
+        return FixedPrecisionStrategy(args.bits, master_copy=args.master_copy)
+    if args.strategy == "apt":
+        config = APTConfig(
+            initial_bits=args.initial_bits,
+            t_min=args.t_min,
+            t_max=args.t_max if args.t_max is not None else float("inf"),
+            metric_interval=args.metric_interval,
+        )
+        return APTStrategy(config)
+    if args.strategy in TABLE1_METHODS:
+        return build_table1_strategy(args.strategy)
+    raise ValueError(f"unknown strategy {args.strategy!r}")
+
+
+# --------------------------------------------------------------------------- #
+# repro-train
+# --------------------------------------------------------------------------- #
+def build_train_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-train",
+        description="Train a model with a chosen precision strategy.",
+    )
+    _add_scale_argument(parser)
+    parser.add_argument(
+        "--strategy",
+        default="apt",
+        choices=["apt", "fp32", "fixed"] + sorted(TABLE1_METHODS),
+        help="precision strategy (default: apt)",
+    )
+    parser.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=8, help="bitwidth for --strategy fixed")
+    parser.add_argument(
+        "--master-copy", action="store_true", help="keep an fp32 master copy (fixed strategy)"
+    )
+    parser.add_argument("--initial-bits", type=int, default=6, help="APT initial bitwidth")
+    parser.add_argument("--t-min", type=float, default=6.0, help="APT T_min threshold")
+    parser.add_argument("--t-max", type=float, default=None, help="APT T_max threshold (default inf)")
+    parser.add_argument("--metric-interval", type=int, default=5, help="APT Gavg sampling interval")
+    parser.add_argument(
+        "--optimizer", choices=["sgd", "adam"], default="sgd", help="optimiser (default sgd)"
+    )
+    parser.add_argument("--history-out", default=None, help="write the training history JSON here")
+    parser.add_argument("--checkpoint-out", default=None, help="write a model checkpoint (.npz) here")
+    parser.add_argument("--quiet", action="store_true", help="suppress the per-epoch log")
+    return parser
+
+
+def run_train(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_train_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    workload = build_workload(scale)
+    strategy = _build_strategy(args)
+
+    result = run_strategy(
+        workload,
+        strategy,
+        epochs=args.epochs,
+        seed=args.seed,
+        optimizer_name=args.optimizer,
+    )
+    history = result.history
+
+    if not args.quiet:
+        for record in history:
+            print(
+                f"epoch {record.epoch:3d}  loss {record.train_loss:.4f}  "
+                f"test acc {record.test_accuracy:.3f}  avg bits {record.average_bits:.1f}"
+            )
+    print(
+        f"\nstrategy={strategy.describe()}  final acc={history.final_test_accuracy:.3f}  "
+        f"best acc={history.best_test_accuracy:.3f}  "
+        f"energy={result.normalised_energy:.3f}x fp32  memory={result.normalised_memory:.3f}x fp32"
+    )
+
+    if args.history_out:
+        path = save_history(history, args.history_out)
+        print(f"history written to {path}")
+    if args.checkpoint_out:
+        bitwidths = strategy.weight_bits()
+        path = save_checkpoint(
+            result.trainer.model,
+            args.checkpoint_out,
+            bitwidths=bitwidths,
+            metadata={"strategy": strategy.name, "final_accuracy": history.final_test_accuracy},
+        )
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-experiment
+# --------------------------------------------------------------------------- #
+def build_experiment_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate one of the paper's figures/tables or run the ablations.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig1", "fig2", "fig3", "fig4", "fig5", "table1",
+            "ablations", "schedules", "tune-tmin", "report",
+        ],
+        help="which experiment to run",
+    )
+    _add_scale_argument(parser)
+    parser.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json-out", default=None, help="also write the result as JSON here")
+    parser.add_argument(
+        "--markdown-out", default=None, help="for 'report': write the markdown document here"
+    )
+    return parser
+
+
+def _run_experiment(name: str, scale, epochs, seed):
+    if name == "fig1":
+        result = run_fig1(scale, epochs=epochs, seed=seed)
+    elif name == "fig2":
+        result = run_fig2(scale, epochs=epochs, seed=seed)
+    elif name == "fig3":
+        result = run_fig3(scale, epochs=epochs, seed=seed)
+    elif name == "fig4":
+        result = run_fig4(scale, epochs=epochs, seed=seed)
+    elif name == "fig5":
+        result = run_fig5(scale, epochs=epochs, seed=seed)
+    elif name == "table1":
+        result = run_table1(scale, epochs=epochs, seed=seed)
+    elif name == "ablations":
+        result = run_ablations(scale, epochs=epochs, seed=seed)
+    elif name == "schedules":
+        from repro.experiments import run_schedule_comparison
+
+        result = run_schedule_comparison(scale, epochs=epochs, seed=seed)
+    elif name == "report":
+        from repro.experiments.report import generate_report
+
+        result = generate_report(scale, seed=seed)
+    elif name == "tune-tmin":
+        from repro.core.autotune import tune_t_min
+
+        workload = build_workload(scale)
+        probe_epochs = epochs if epochs is not None else max(2, scale.epochs // 4)
+        result = tune_t_min(workload, probe_epochs=probe_epochs, seed=seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    return result
+
+
+def _result_payload(name: str, result) -> dict:
+    if name == "fig1":
+        return {"gavg": result.gavg_by_layer, "bits": result.bits_by_layer}
+    if name == "fig2":
+        return {"curves": result.curves, "best": result.best_accuracy}
+    if name == "fig3":
+        return {"bits": result.bits_by_layer}
+    if name == "fig4":
+        return {"targets": result.targets, "energy_to_target": result.energy_to_target}
+    if name == "fig5":
+        return {"points": [vars(point) for point in result.points]}
+    if name == "table1":
+        return {"rows": [vars(row) for row in result.rows]}
+    if name == "ablations":
+        return {"points": [vars(point) for point in result.points]}
+    if name == "schedules":
+        return {"rows": [vars(row) for row in result.rows]}
+    if name == "report":
+        return {"scale": result.scale_name, "sections": [section.title for section in result.sections]}
+    if name == "tune-tmin":
+        return {"best_t_min": result.best_t_min, "trials": [vars(trial) for trial in result.trials]}
+    raise ValueError(name)
+
+
+def run_experiment(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_experiment_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    result = _run_experiment(args.experiment, scale, args.epochs, args.seed)
+
+    if args.experiment == "report":
+        markdown = result.to_markdown()
+        print(markdown)
+        if args.markdown_out:
+            from pathlib import Path
+
+            Path(args.markdown_out).write_text(markdown)
+            print(f"\nreport written to {args.markdown_out}")
+    else:
+        for row in result.format_rows():
+            print(row)
+    if args.json_out:
+        path = dump_json(_result_payload(args.experiment, result), args.json_out)
+        print(f"\nresult written to {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch ``python -m repro.cli {train,experiment} ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "train":
+        return run_train(rest)
+    if command == "experiment":
+        return run_experiment(rest)
+    print(f"unknown command {command!r}; expected 'train' or 'experiment'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

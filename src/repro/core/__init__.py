@@ -1,0 +1,34 @@
+"""Adaptive Precision Training (APT) -- the paper's primary contribution.
+
+The pieces map one-to-one onto the paper:
+
+* :mod:`repro.core.config` -- :class:`APTConfig`, including the application
+  specific hyper-parameter ``(T_min, T_max)``.
+* :mod:`repro.core.gavg` -- the Gavg underflow metric of Eq. 4 and its
+  moving average (Algorithm 2, line 8).
+* :mod:`repro.core.policy` -- the precision adjustment policy of Algorithm 1.
+* :mod:`repro.core.controller` -- :class:`APTController`, the per-layer
+  precision state machine that owns bitwidths, computes eps, samples Gavg
+  during training and applies the policy between epochs.
+* :mod:`repro.core.apt_trainer` -- :class:`APTTrainer`, the end-to-end
+  training loop of Algorithm 2 built on :mod:`repro.train`.
+"""
+
+from repro.core.config import APTConfig
+from repro.core.gavg import gavg, GavgEstimator
+from repro.core.policy import PrecisionPolicy, PolicyDecision
+from repro.core.controller import APTController, LayerPrecisionState
+from repro.core.strategy import APTStrategy
+from repro.core.apt_trainer import APTTrainer
+
+__all__ = [
+    "APTConfig",
+    "gavg",
+    "GavgEstimator",
+    "PrecisionPolicy",
+    "PolicyDecision",
+    "APTController",
+    "LayerPrecisionState",
+    "APTStrategy",
+    "APTTrainer",
+]

@@ -1,0 +1,179 @@
+"""Automatic selection of the T_min threshold (the paper's stated future work).
+
+The paper closes with: "Tuning parameter T_min requires application specific
+knowledge.  In future, we are going to find automatic ways for choosing a
+proper T_min."  This module implements a practical version of that idea:
+
+* :func:`tune_t_min` runs short *probe* trainings of APT across a threshold
+  grid (optionally with successive halving so cheap thresholds are discarded
+  early), scores each candidate by a resource-aware objective, and returns
+  the smallest threshold whose probe accuracy is within a tolerance of the
+  best probe accuracy -- i.e. the cheapest configuration that is not
+  meaningfully worse.
+* :class:`TminSearchResult` records every trial so the search itself can be
+  inspected or plotted.
+
+The probes reuse the exact same workload / strategy machinery as the real
+experiments, so the returned threshold can be plugged straight into
+:class:`~repro.core.config.APTConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import run_strategy
+from repro.experiments.workload import Workload
+
+
+@dataclass
+class TminTrial:
+    """One probe training at one candidate threshold."""
+
+    t_min: float
+    epochs: int
+    accuracy: float
+    normalised_energy: float
+    normalised_memory: float
+    average_bits: float
+
+    def resource_score(self, energy_weight: float = 0.5) -> float:
+        """Lower is cheaper: a convex mix of normalised energy and memory."""
+        return energy_weight * self.normalised_energy + (1 - energy_weight) * self.normalised_memory
+
+
+@dataclass
+class TminSearchResult:
+    """Outcome of the automatic threshold search."""
+
+    best_t_min: float
+    trials: List[TminTrial] = field(default_factory=list)
+
+    def trial_for(self, t_min: float) -> TminTrial:
+        for trial in self.trials:
+            if trial.t_min == t_min:
+                return trial
+        raise KeyError(f"no trial recorded for T_min={t_min}")
+
+    def best_config(self, base: Optional[APTConfig] = None) -> APTConfig:
+        """An APTConfig using the selected threshold."""
+        base = base or APTConfig.paper_default()
+        return base.with_thresholds(self.best_t_min)
+
+    def format_rows(self) -> List[str]:
+        rows = [f"T_min search: selected {self.best_t_min}"]
+        rows.append(f"  {'T_min':>8s}  {'epochs':>6s}  {'accuracy':>9s}  {'energy':>8s}  {'memory':>8s}")
+        for trial in self.trials:
+            rows.append(
+                f"  {trial.t_min:8.2f}  {trial.epochs:6d}  {trial.accuracy:9.3f}  "
+                f"{trial.normalised_energy:8.3f}  {trial.normalised_memory:8.3f}"
+            )
+        return rows
+
+
+def _probe(
+    workload: Workload,
+    t_min: float,
+    epochs: int,
+    seed: int,
+    base_config: APTConfig,
+) -> TminTrial:
+    config = base_config.with_thresholds(t_min)
+    run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
+    return TminTrial(
+        t_min=t_min,
+        epochs=epochs,
+        accuracy=run.best_accuracy,
+        normalised_energy=run.normalised_energy,
+        normalised_memory=run.normalised_memory,
+        average_bits=run.history.records[-1].average_bits,
+    )
+
+
+def tune_t_min(
+    workload: Workload,
+    candidates: Sequence[float] = (0.1, 0.5, 1.0, 6.0, 20.0, 100.0),
+    probe_epochs: int = 3,
+    accuracy_tolerance: float = 0.02,
+    successive_halving: bool = True,
+    keep_fraction: float = 0.5,
+    seed: int = 0,
+    base_config: Optional[APTConfig] = None,
+) -> TminSearchResult:
+    """Pick T_min automatically by probing candidates with short trainings.
+
+    Parameters
+    ----------
+    workload:
+        The workload to tune for (same object the real training will use).
+    candidates:
+        Threshold grid to search over (the paper sweeps 0.1 - 100).
+    probe_epochs:
+        Epochs per probe in the final round.  With successive halving the
+        first round uses roughly half this budget.  Probes must be long
+        enough for candidates to differentiate: because APT raises precision
+        one bit per epoch, a probe shorter than the bit ramp makes every
+        threshold look equally (in)accurate and the search degenerates to
+        "pick the cheapest".  A good rule of thumb is one quarter to one half
+        of the full training budget.
+    accuracy_tolerance:
+        The selected threshold is the *cheapest* candidate whose probe
+        accuracy is within this tolerance of the best probe accuracy.
+    successive_halving:
+        If true, run a cheap first round on every candidate, keep the best
+        ``keep_fraction`` (by accuracy), and only give survivors the full
+        probe budget.
+    keep_fraction:
+        Fraction of candidates surviving the first round.
+    seed:
+        Seed forwarded to the probes (same model initialisation for all).
+    base_config:
+        APTConfig whose non-threshold fields the probes should use.
+
+    Returns
+    -------
+    TminSearchResult with the selected threshold and all trials.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate threshold")
+    if probe_epochs < 1:
+        raise ValueError("probe_epochs must be at least 1")
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    if accuracy_tolerance < 0:
+        raise ValueError("accuracy_tolerance must be non-negative")
+
+    base_config = base_config or APTConfig.paper_default()
+    candidates = sorted(set(float(c) for c in candidates))
+    trials: List[TminTrial] = []
+
+    survivors = list(candidates)
+    if successive_halving and len(candidates) > 2 and probe_epochs >= 2:
+        first_round_epochs = max(1, probe_epochs // 2)
+        first_round = [
+            _probe(workload, t_min, first_round_epochs, seed, base_config) for t_min in survivors
+        ]
+        trials.extend(first_round)
+        keep = max(2, int(round(len(first_round) * keep_fraction)))
+        # Sort by probe accuracy; break ties toward the larger threshold, which
+        # never has less accuracy headroom (Figure 5 is monotone in T_min), so
+        # an uninformative first round cannot discard the accurate end of the
+        # grid.
+        first_round_sorted = sorted(
+            first_round, key=lambda trial: (trial.accuracy, trial.t_min), reverse=True
+        )
+        survivors = sorted(trial.t_min for trial in first_round_sorted[:keep])
+
+    final_round = [_probe(workload, t_min, probe_epochs, seed, base_config) for t_min in survivors]
+    trials.extend(final_round)
+
+    best_accuracy = max(trial.accuracy for trial in final_round)
+    acceptable = [
+        trial for trial in final_round if trial.accuracy >= best_accuracy - accuracy_tolerance
+    ]
+    # Cheapest acceptable candidate wins; ties broken toward the smaller threshold.
+    winner = min(acceptable, key=lambda trial: (trial.resource_score(), trial.t_min))
+    return TminSearchResult(best_t_min=winner.t_min, trials=trials)

@@ -1,0 +1,110 @@
+"""Configuration for Adaptive Precision Training."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.quant.affine import MAX_BITS, MIN_BITS
+
+
+@dataclass
+class APTConfig:
+    """Hyper-parameters of APT (Section III-C and IV of the paper).
+
+    Attributes
+    ----------
+    initial_bits:
+        Bitwidth every layer starts at.  The paper uses 6 for all experiments
+        and argues (Section IV-A) that the end result is insensitive to this
+        choice; the ablation bench verifies that claim.
+    t_min, t_max:
+        The application-specific threshold pair on Gavg.  A layer whose Gavg
+        falls below ``t_min`` gets one more bit; a layer whose Gavg exceeds
+        ``t_max`` loses one.  The paper's default is ``(6.0, inf)``.
+    min_bits, max_bits:
+        Hard clamps of Algorithm 1 (the paper uses 2 and 32).
+    metric_interval:
+        Evaluate Gavg every this many iterations (Algorithm 2, line 6).  The
+        paper notes a few samples per epoch suffice.
+    ema_beta:
+        Smoothing factor of the moving average applied to Gavg samples.
+    adjust_every_epochs:
+        Apply the adjustment policy every N epochs (1 in the paper).
+    bits_step:
+        How many bits to add / remove per adjustment (1 in the paper).
+    quantise_bias:
+        Whether bias and BatchNorm affine parameters are also quantised and
+        tracked.  The paper tracks "other parameters that need to be learned"
+        as well; the default keeps them in float because their memory
+        footprint is negligible, and the ablation bench measures the effect.
+    refit_grid_each_epoch:
+        Re-fit the affine grid (scale / zero point) to the current weight
+        range at every epoch boundary so the stored model remains exactly
+        ``k``-bit representable even after many in-grid updates.
+    """
+
+    initial_bits: int = 6
+    t_min: float = 6.0
+    t_max: float = math.inf
+    min_bits: int = MIN_BITS
+    max_bits: int = MAX_BITS
+    metric_interval: int = 10
+    ema_beta: float = 0.9
+    adjust_every_epochs: int = 1
+    bits_step: int = 1
+    quantise_bias: bool = False
+    refit_grid_each_epoch: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.min_bits <= self.initial_bits <= self.max_bits):
+            raise ValueError(
+                f"initial_bits={self.initial_bits} must lie in "
+                f"[{self.min_bits}, {self.max_bits}]"
+            )
+        if self.min_bits < MIN_BITS or self.max_bits > MAX_BITS:
+            raise ValueError(
+                f"bit clamps must stay within [{MIN_BITS}, {MAX_BITS}], "
+                f"got [{self.min_bits}, {self.max_bits}]"
+            )
+        if self.min_bits > self.max_bits:
+            raise ValueError("min_bits must not exceed max_bits")
+        if self.t_min < 0:
+            raise ValueError(f"t_min must be non-negative, got {self.t_min}")
+        if self.t_max < self.t_min:
+            raise ValueError(f"t_max ({self.t_max}) must be >= t_min ({self.t_min})")
+        if self.metric_interval < 1:
+            raise ValueError("metric_interval must be at least 1")
+        if not 0.0 <= self.ema_beta < 1.0:
+            raise ValueError(f"ema_beta must be in [0, 1), got {self.ema_beta}")
+        if self.adjust_every_epochs < 1:
+            raise ValueError("adjust_every_epochs must be at least 1")
+        if self.bits_step < 1:
+            raise ValueError("bits_step must be at least 1")
+
+    @classmethod
+    def paper_default(cls) -> "APTConfig":
+        """The configuration used for all headline experiments in the paper."""
+        return cls(initial_bits=6, t_min=6.0, t_max=math.inf)
+
+    @classmethod
+    def demo_fig1(cls) -> "APTConfig":
+        """The configuration of Figure 1 (T_min = 1.0, T_max = inf)."""
+        return cls(initial_bits=6, t_min=1.0, t_max=math.inf)
+
+    def with_thresholds(self, t_min: float, t_max: Optional[float] = None) -> "APTConfig":
+        """Return a copy with a different threshold pair (Figure 5 sweeps this)."""
+        return APTConfig(
+            initial_bits=self.initial_bits,
+            t_min=t_min,
+            t_max=self.t_max if t_max is None else t_max,
+            min_bits=self.min_bits,
+            max_bits=self.max_bits,
+            metric_interval=self.metric_interval,
+            ema_beta=self.ema_beta,
+            adjust_every_epochs=self.adjust_every_epochs,
+            bits_step=self.bits_step,
+            quantise_bias=self.quantise_bias,
+            refit_grid_each_epoch=self.refit_grid_each_epoch,
+        )

@@ -1,0 +1,236 @@
+"""Per-layer precision state machine.
+
+:class:`APTController` is the single owner of layer bitwidths.  It
+
+1. discovers the quantisable parameters of a model and groups them into
+   logical layers,
+2. snaps their values onto the initial low-precision grid (Algorithm 2,
+   line 1),
+3. exposes an :class:`~repro.optim.sgd.UpdateHook` that applies the quantised
+   update of Eq. 3 so underflow behaviour is faithful,
+4. samples the Gavg metric during training (Algorithm 2, lines 6-8),
+5. applies the adjustment policy between epochs (Algorithm 2, line 11) and
+   records the full bitwidth / Gavg history needed to reproduce Figures 1
+   and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import APTConfig
+from repro.core.gavg import GavgEstimator, gavg
+from repro.core.policy import PolicyDecision, PrecisionPolicy
+from repro.nn.module import Module, Parameter
+from repro.optim.sgd import UpdateHook
+from repro.quant.affine import FLOAT_BITS_THRESHOLD, fake_quantize, resolution
+from repro.quant.underflow import quantised_update
+
+
+@dataclass
+class LayerPrecisionState:
+    """Mutable precision state of one logical layer."""
+
+    index: int
+    name: str
+    parameter: Parameter
+    bits: int
+    estimator: GavgEstimator
+    bits_history: List[int] = field(default_factory=list)
+    gavg_history: List[Optional[float]] = field(default_factory=list)
+    underflow_events: int = 0
+
+    @property
+    def eps(self) -> float:
+        """Current quantisation resolution (Eq. 2) of the layer's weights."""
+        if self.bits >= FLOAT_BITS_THRESHOLD:
+            # Treat >= 32-bit as float: the resolution is the float ulp scale,
+            # effectively removing underflow.
+            return float(np.finfo(np.float64).tiny)
+        return resolution(self.parameter.data, self.bits)
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.parameter.size)
+
+
+class _QuantisedUpdateHook(UpdateHook):
+    """Update hook that routes quantisable parameters through Eq. 3."""
+
+    def __init__(self, controller: "APTController") -> None:
+        self.controller = controller
+
+    def apply(self, param: Parameter, delta: np.ndarray) -> None:
+        state = self.controller.state_for(param)
+        if state is None or state.bits >= FLOAT_BITS_THRESHOLD:
+            param.data = param.data + delta
+            return
+        eps = state.eps
+        if eps <= 0 or not np.isfinite(eps):
+            param.data = param.data + delta
+            return
+        new_values, underflowed = quantised_update(param.data, delta, eps)
+        state.underflow_events += underflowed
+        param.data = new_values
+
+
+class APTController:
+    """Owns and adapts the per-layer precision of a model."""
+
+    def __init__(self, model: Module, config: Optional[APTConfig] = None) -> None:
+        self.model = model
+        self.config = config or APTConfig.paper_default()
+        self.policy = PrecisionPolicy(self.config)
+        self.layers: List[LayerPrecisionState] = []
+        self._state_by_param: Dict[int, LayerPrecisionState] = {}
+        self.epoch = 0
+        self._decisions_log: List[List[PolicyDecision]] = []
+        self._register_layers()
+        self._quantise_initial()
+
+    # ------------------------------------------------------------------ #
+    # Registration and initial quantisation
+    # ------------------------------------------------------------------ #
+    def _register_layers(self) -> None:
+        index = 0
+        for name, param in self.model.named_parameters():
+            if not param.quantisable and not self.config.quantise_bias:
+                continue
+            if not param.quantisable and self.config.quantise_bias and param.size < 2:
+                # A single scalar cannot define a meaningful range.
+                continue
+            state = LayerPrecisionState(
+                index=index,
+                name=name,
+                parameter=param,
+                bits=self.config.initial_bits,
+                estimator=GavgEstimator(beta=self.config.ema_beta),
+            )
+            param.layer_id = index
+            self.layers.append(state)
+            self._state_by_param[id(param)] = state
+            index += 1
+        if not self.layers:
+            raise ValueError("model has no quantisable parameters for APT to manage")
+
+    def _quantise_initial(self) -> None:
+        for state in self.layers:
+            self._snap_to_grid(state)
+
+    def _snap_to_grid(self, state: LayerPrecisionState) -> None:
+        if state.bits >= FLOAT_BITS_THRESHOLD:
+            return
+        snapped, _ = fake_quantize(state.parameter.data, state.bits)
+        state.parameter.data = snapped
+
+    # ------------------------------------------------------------------ #
+    # Lookup helpers
+    # ------------------------------------------------------------------ #
+    def state_for(self, param: Parameter) -> Optional[LayerPrecisionState]:
+        return self._state_by_param.get(id(param))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def bitwidths(self) -> List[int]:
+        return [state.bits for state in self.layers]
+
+    @property
+    def gavg_values(self) -> List[Optional[float]]:
+        return [state.estimator.value for state in self.layers]
+
+    @property
+    def layer_names(self) -> List[str]:
+        return [state.name for state in self.layers]
+
+    def bitwidth_by_name(self) -> Dict[str, int]:
+        return {state.name: state.bits for state in self.layers}
+
+    # ------------------------------------------------------------------ #
+    # Training-loop integration
+    # ------------------------------------------------------------------ #
+    def make_update_hook(self) -> UpdateHook:
+        """Update hook to hand to the optimiser (applies Eq. 3)."""
+        return _QuantisedUpdateHook(self)
+
+    def observe_gradients(self) -> List[Optional[float]]:
+        """Sample Gavg for every layer from the gradients currently stored.
+
+        Called every ``metric_interval`` iterations right after the backward
+        pass (Algorithm 2, lines 6-8).  Layers without a gradient this step
+        contribute no sample.
+        """
+        values: List[Optional[float]] = []
+        for state in self.layers:
+            grad = state.parameter.grad
+            if grad is None:
+                values.append(state.estimator.value)
+                continue
+            sample = gavg(grad, state.eps)
+            values.append(state.estimator.update(sample))
+        return values
+
+    def end_epoch(self) -> List[PolicyDecision]:
+        """Apply Algorithm 1 at an epoch boundary and update the history."""
+        self.epoch += 1
+        for state in self.layers:
+            state.bits_history.append(state.bits)
+            state.gavg_history.append(state.estimator.value)
+
+        decisions: List[PolicyDecision] = []
+        if self.epoch % self.config.adjust_every_epochs == 0:
+            decisions = self.policy.adjust(self.bitwidths, self.gavg_values)
+            for decision in decisions:
+                state = self.layers[decision.layer_index]
+                if decision.changed:
+                    state.bits = decision.new_bits
+                    self._snap_to_grid(state)
+                elif self.config.refit_grid_each_epoch:
+                    self._snap_to_grid(state)
+            self._decisions_log.append(decisions)
+        for state in self.layers:
+            state.estimator.reset_samples()
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def bits_history(self) -> Dict[str, List[int]]:
+        """Per-layer bitwidth trajectory (reproduces Figure 3)."""
+        return {state.name: list(state.bits_history) for state in self.layers}
+
+    def gavg_history(self) -> Dict[str, List[Optional[float]]]:
+        """Per-layer smoothed-Gavg trajectory (reproduces Figure 1)."""
+        return {state.name: list(state.gavg_history) for state in self.layers}
+
+    def decisions_log(self) -> List[List[PolicyDecision]]:
+        return [list(epoch_decisions) for epoch_decisions in self._decisions_log]
+
+    def total_underflow_events(self) -> int:
+        return sum(state.underflow_events for state in self.layers)
+
+    def average_bits(self, weighted: bool = True) -> float:
+        """Mean bitwidth across layers, optionally weighted by parameter count."""
+        if weighted:
+            total_params = sum(state.num_parameters for state in self.layers)
+            return sum(state.bits * state.num_parameters for state in self.layers) / total_params
+        return sum(state.bits for state in self.layers) / len(self.layers)
+
+    def summary(self) -> List[Dict[str, object]]:
+        """One row per layer: name, bits, Gavg, parameter count, underflow count."""
+        return [
+            {
+                "index": state.index,
+                "name": state.name,
+                "bits": state.bits,
+                "gavg": state.estimator.value,
+                "parameters": state.num_parameters,
+                "underflow_events": state.underflow_events,
+            }
+            for state in self.layers
+        ]

@@ -1,0 +1,195 @@
+"""Training diagnostics around quantisation underflow.
+
+Section III-A of the paper describes the failure mode APT exists to prevent:
+as the loss falls, gradients shrink below the per-layer resolution ``eps``,
+updates round to zero, more and more parameters freeze, and "quantisation
+underflow ... drives the training into a dead state".  This module provides
+the instrumentation to observe that process directly:
+
+* :class:`LayerDiagnostics` / :class:`UnderflowMonitor` -- per-layer running
+  statistics: gradient norms, the fraction of proposed updates lost to
+  underflow, the fraction of parameters that have not moved for N epochs
+  ("frozen"), and the smoothed Gavg.
+* :func:`detect_dead_state` -- the paper's "dead state" as a predicate:
+  training is considered dead when at least a given fraction of layers are
+  essentially frozen.
+* :class:`DiagnosticsCallback` -- plugs the monitor into the shared
+  :class:`~repro.train.trainer.Trainer` so any strategy (fixed precision or
+  APT) can be instrumented without code changes.
+
+The monitor is read-only: it never influences training, so it can be attached
+to baseline runs to show *why* they stall and to APT runs to show that they
+do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gavg import gavg
+from repro.nn.module import Module, Parameter
+from repro.quant.affine import resolution
+from repro.quant.underflow import underflow_fraction
+from repro.train.callbacks import Callback
+from repro.train.history import EpochRecord
+
+
+@dataclass
+class LayerDiagnostics:
+    """Running statistics of one quantisable layer."""
+
+    name: str
+    parameter: Parameter
+    #: Bitwidth used when computing eps; refreshed from the provider if any.
+    bits: int = 32
+    gradient_norms: List[float] = field(default_factory=list)
+    underflow_fractions: List[float] = field(default_factory=list)
+    gavg_samples: List[float] = field(default_factory=list)
+    frozen_fractions: List[float] = field(default_factory=list)
+    _previous_values: Optional[np.ndarray] = None
+
+    def observe_gradient(self, learning_rate: float) -> None:
+        """Record gradient-based statistics for the current step."""
+        grad = self.parameter.grad
+        if grad is None:
+            return
+        self.gradient_norms.append(float(np.linalg.norm(grad)))
+        eps = resolution(self.parameter.data, self.bits) if self.bits < 32 else None
+        if eps is not None and eps > 0:
+            proposed = -learning_rate * grad
+            self.underflow_fractions.append(underflow_fraction(proposed, eps))
+            self.gavg_samples.append(gavg(grad, eps))
+
+    def observe_epoch(self) -> None:
+        """Record how many parameters did not move since the last epoch."""
+        current = self.parameter.data
+        if self._previous_values is not None and self._previous_values.shape == current.shape:
+            frozen = float(np.mean(np.isclose(current, self._previous_values, rtol=0.0, atol=0.0)))
+            self.frozen_fractions.append(frozen)
+        self._previous_values = current.copy()
+
+    @property
+    def latest_underflow_fraction(self) -> Optional[float]:
+        return self.underflow_fractions[-1] if self.underflow_fractions else None
+
+    @property
+    def latest_frozen_fraction(self) -> Optional[float]:
+        return self.frozen_fractions[-1] if self.frozen_fractions else None
+
+    @property
+    def latest_gradient_norm(self) -> Optional[float]:
+        return self.gradient_norms[-1] if self.gradient_norms else None
+
+    def is_frozen(self, threshold: float = 0.99) -> bool:
+        """Whether almost no parameter of this layer moved last epoch."""
+        latest = self.latest_frozen_fraction
+        return latest is not None and latest >= threshold
+
+
+class UnderflowMonitor:
+    """Per-layer underflow / freeze statistics for a whole model."""
+
+    def __init__(self, model: Module, bits_provider=None) -> None:
+        """
+        Parameters
+        ----------
+        model:
+            The model being trained.
+        bits_provider:
+            Optional zero-argument callable returning a mapping from parameter
+            name to current bitwidth (e.g. ``strategy.weight_bits``).  Without
+            it every layer is treated as fp32 and only gradient norms and
+            freeze fractions are tracked.
+        """
+        self.bits_provider = bits_provider
+        self.layers: List[LayerDiagnostics] = [
+            LayerDiagnostics(name=name, parameter=param)
+            for name, param in model.named_parameters()
+            if param.quantisable
+        ]
+        if not self.layers:
+            raise ValueError("model has no quantisable parameters to monitor")
+
+    def _refresh_bits(self) -> None:
+        if self.bits_provider is None:
+            return
+        bits_by_name: Mapping[str, int] = self.bits_provider() or {}
+        for layer in self.layers:
+            layer.bits = int(bits_by_name.get(layer.name, 32))
+
+    def observe_step(self, learning_rate: float) -> None:
+        """Call after a backward pass (before the optimiser step)."""
+        self._refresh_bits()
+        for layer in self.layers:
+            layer.observe_gradient(learning_rate)
+
+    def observe_epoch(self) -> None:
+        """Call at each epoch boundary."""
+        for layer in self.layers:
+            layer.observe_epoch()
+
+    def by_name(self) -> Dict[str, LayerDiagnostics]:
+        return {layer.name: layer for layer in self.layers}
+
+    def frozen_layers(self, threshold: float = 0.99) -> List[str]:
+        return [layer.name for layer in self.layers if layer.is_frozen(threshold)]
+
+    def summary(self) -> List[Dict[str, object]]:
+        """One row per layer with the latest statistics."""
+        return [
+            {
+                "name": layer.name,
+                "bits": layer.bits,
+                "gradient_norm": layer.latest_gradient_norm,
+                "underflow_fraction": layer.latest_underflow_fraction,
+                "frozen_fraction": layer.latest_frozen_fraction,
+            }
+            for layer in self.layers
+        ]
+
+
+def detect_dead_state(
+    monitor: UnderflowMonitor,
+    frozen_layer_fraction: float = 0.5,
+    freeze_threshold: float = 0.99,
+) -> bool:
+    """The paper's "dead state": a large fraction of layers no longer update.
+
+    Parameters
+    ----------
+    monitor:
+        The monitor that has been observing training.
+    frozen_layer_fraction:
+        Training is declared dead when at least this fraction of quantisable
+        layers are frozen.
+    freeze_threshold:
+        A layer counts as frozen when at least this fraction of its
+        parameters did not change during the last epoch.
+    """
+    if not 0.0 < frozen_layer_fraction <= 1.0:
+        raise ValueError("frozen_layer_fraction must be in (0, 1]")
+    frozen = monitor.frozen_layers(freeze_threshold)
+    return len(frozen) >= frozen_layer_fraction * len(monitor.layers)
+
+
+class DiagnosticsCallback(Callback):
+    """Attach an :class:`UnderflowMonitor` to the shared training loop.
+
+    The trainer only exposes epoch-level callbacks, so step-level gradient
+    statistics are sampled through the strategy's ``after_backward`` if
+    wanted; this callback records the epoch-level freeze statistics and
+    stores a per-epoch summary into each record's ``extra`` field.
+    """
+
+    def __init__(self, monitor: UnderflowMonitor) -> None:
+        self.monitor = monitor
+        self.dead_state_epochs: List[int] = []
+
+    def on_epoch_end(self, trainer, record: EpochRecord) -> None:
+        self.monitor.observe_epoch()
+        record.extra["diagnostics"] = self.monitor.summary()
+        if detect_dead_state(self.monitor):
+            self.dead_state_epochs.append(record.epoch)

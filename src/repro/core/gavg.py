@@ -1,0 +1,74 @@
+"""The Gavg underflow metric (Eq. 4) and its moving-average estimator.
+
+``Gavg_i = (1 / N_i) * sum_j |g_ij / eps_i|`` measures how large a layer's
+gradients are relative to the smallest weight change its current bitwidth can
+represent.  Values well above 1 mean most updates survive quantisation;
+values approaching 0 mean the layer is frozen by underflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.quant.underflow import gradient_resolution_ratio
+
+
+def gavg(gradient: np.ndarray, eps: float) -> float:
+    """Compute Gavg (Eq. 4) for one layer from a gradient sample.
+
+    Parameters
+    ----------
+    gradient:
+        The gradient tensor of the layer's quantisable parameters.
+    eps:
+        The layer's current quantisation resolution (Eq. 2).
+    """
+    gradient = np.asarray(gradient, dtype=np.float64)
+    if gradient.size == 0:
+        raise ValueError("cannot compute Gavg of an empty gradient")
+    return float(np.mean(gradient_resolution_ratio(gradient, eps)))
+
+
+class GavgEstimator:
+    """Exponential-moving-average estimate of Gavg for one layer.
+
+    Algorithm 2 samples Gavg a few times per epoch and smooths the samples
+    with a moving average before the adjustment policy reads it.
+    """
+
+    def __init__(self, beta: float = 0.9) -> None:
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = beta
+        self._value: Optional[float] = None
+        self._samples: List[float] = []
+
+    def update(self, sample: float) -> float:
+        """Fold a new Gavg sample into the moving average and return it."""
+        if sample < 0:
+            raise ValueError(f"Gavg samples are non-negative by definition, got {sample}")
+        self._samples.append(float(sample))
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.beta * self._value + (1 - self.beta) * float(sample)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current smoothed Gavg, or ``None`` before the first sample."""
+        return self._value
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    @property
+    def raw_samples(self) -> List[float]:
+        return list(self._samples)
+
+    def reset_samples(self) -> None:
+        """Forget raw samples (the EMA itself carries over across epochs)."""
+        self._samples.clear()

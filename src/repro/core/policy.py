@@ -1,0 +1,82 @@
+"""The precision adjustment policy of Algorithm 1.
+
+Given the smoothed Gavg of every layer and the threshold pair
+``(T_min, T_max)``, the policy raises the bitwidth of layers that are
+suffering quantisation underflow (``Gavg < T_min``) and lowers the bitwidth
+of layers with precision to spare (``Gavg > T_max``), clamped to
+``[min_bits, max_bits]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import APTConfig
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One layer's adjustment decision."""
+
+    layer_index: int
+    old_bits: int
+    new_bits: int
+    gavg: Optional[float]
+
+    @property
+    def changed(self) -> bool:
+        return self.new_bits != self.old_bits
+
+    @property
+    def direction(self) -> int:
+        """+1 if precision increased, -1 if decreased, 0 if unchanged."""
+        if self.new_bits > self.old_bits:
+            return 1
+        if self.new_bits < self.old_bits:
+            return -1
+        return 0
+
+
+class PrecisionPolicy:
+    """Algorithm 1: threshold-based layer-wise bitwidth adjustment."""
+
+    def __init__(self, config: APTConfig) -> None:
+        self.config = config
+
+    def adjust(
+        self,
+        bitwidths: Sequence[int],
+        gavg_values: Sequence[Optional[float]],
+    ) -> List[PolicyDecision]:
+        """Compute per-layer decisions from current bitwidths and Gavg values.
+
+        A layer whose Gavg is ``None`` (no gradient samples yet, e.g. a frozen
+        layer) is left untouched.
+        """
+        if len(bitwidths) != len(gavg_values):
+            raise ValueError(
+                f"bitwidths ({len(bitwidths)}) and gavg values ({len(gavg_values)}) "
+                "must have the same length"
+            )
+        config = self.config
+        decisions: List[PolicyDecision] = []
+        for index, (bits, value) in enumerate(zip(bitwidths, gavg_values)):
+            new_bits = bits
+            if value is not None:
+                if value < config.t_min and bits < config.max_bits:
+                    new_bits = min(bits + config.bits_step, config.max_bits)
+                elif value > config.t_max and bits > config.min_bits:
+                    new_bits = max(bits - config.bits_step, config.min_bits)
+            decisions.append(
+                PolicyDecision(layer_index=index, old_bits=bits, new_bits=new_bits, gavg=value)
+            )
+        return decisions
+
+    def apply(
+        self,
+        bitwidths: Sequence[int],
+        gavg_values: Sequence[Optional[float]],
+    ) -> List[int]:
+        """Convenience wrapper returning only the new bitwidth list."""
+        return [decision.new_bits for decision in self.adjust(bitwidths, gavg_values)]

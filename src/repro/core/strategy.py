@@ -1,0 +1,65 @@
+"""APT as a precision strategy for the shared training loop."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import APTConfig
+from repro.core.controller import APTController
+from repro.hardware.accounting import LayerBits
+from repro.nn.module import Module
+from repro.optim.sgd import UpdateHook
+from repro.train.strategy import PrecisionStrategy
+
+
+class APTStrategy(PrecisionStrategy):
+    """Adaptive Precision Training (Algorithm 2) as a :class:`PrecisionStrategy`.
+
+    The model is stored quantised and updated with the quantised rule of
+    Eq. 3 -- there is no fp32 master copy, so both the forward and the
+    backward pass run at each layer's current bitwidth (the paper's memory
+    argument).
+    """
+
+    name = "apt"
+    keeps_master_copy = False
+
+    def __init__(self, config: Optional[APTConfig] = None) -> None:
+        self.config = config or APTConfig.paper_default()
+        self.controller: Optional[APTController] = None
+
+    def prepare(self, model: Module) -> None:
+        super().prepare(model)
+        self.controller = APTController(model, self.config)
+
+    def _require_controller(self) -> APTController:
+        if self.controller is None:
+            raise RuntimeError("APTStrategy.prepare() must be called before training")
+        return self.controller
+
+    def make_update_hook(self) -> UpdateHook:
+        return self._require_controller().make_update_hook()
+
+    def after_backward(self, iteration: int) -> None:
+        if iteration % self.config.metric_interval == 0:
+            self._require_controller().observe_gradients()
+
+    def end_epoch(self, epoch: int) -> None:
+        self._require_controller().end_epoch()
+
+    def layer_bits(self) -> Dict[str, LayerBits]:
+        controller = self._require_controller()
+        return {
+            state.name: LayerBits(forward_bits=state.bits, backward_bits=state.bits)
+            for state in controller.layers
+        }
+
+    def weight_bits(self) -> Dict[str, int]:
+        controller = self._require_controller()
+        return {state.name: state.bits for state in controller.layers}
+
+    def describe(self) -> str:
+        return (
+            f"APT (init {self.config.initial_bits}-bit, "
+            f"T_min={self.config.t_min}, T_max={self.config.t_max})"
+        )

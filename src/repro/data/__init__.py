@@ -1,0 +1,52 @@
+"""Datasets, augmentation and loading.
+
+The paper evaluates on CIFAR-10 and CIFAR-100.  Those archives cannot be
+downloaded in this environment, so :mod:`repro.data.synthetic` provides
+class-structured synthetic image datasets with the same tensor layout
+(32x32x3, NCHW float) and label structure, plus smaller tasks (blobs,
+spirals, synthetic digits) that train to high accuracy within seconds and are
+used by the fast test-suite and benchmark configurations.  The augmentation
+pipeline (pad 4, random 32x32 crop, horizontal flip) follows Section IV of
+the paper exactly.
+"""
+
+from repro.data.dataset import ArrayDataset, Dataset
+from repro.data.loader import DataLoader
+from repro.data.augment import (
+    Compose,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    build_paper_augmentation,
+)
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_synthetic_cifar10,
+    make_synthetic_cifar100,
+    make_synthetic_image_dataset,
+    make_blobs,
+    make_spirals,
+    make_synthetic_digits,
+)
+from repro.data.drift import DriftSpec, drift_dataset, make_drift_sequence
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "build_paper_augmentation",
+    "SyntheticImageConfig",
+    "make_synthetic_cifar10",
+    "make_synthetic_cifar100",
+    "make_synthetic_image_dataset",
+    "make_blobs",
+    "make_spirals",
+    "make_synthetic_digits",
+    "DriftSpec",
+    "drift_dataset",
+    "make_drift_sequence",
+]

@@ -1,0 +1,68 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays with an optional per-sample transform.
+
+    Parameters
+    ----------
+    inputs:
+        Array of shape ``(N, ...)``; image datasets use NCHW.
+    labels:
+        Integer labels of shape ``(N,)``.
+    transform:
+        Optional callable applied to each input sample at access time (the
+        augmentation pipeline).  It receives and returns a numpy array.
+    """
+
+    def __init__(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(inputs) != len(labels):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and labels ({len(labels)}) must have equal length"
+            )
+        if len(inputs) == 0:
+            raise ValueError("dataset must not be empty")
+        self.inputs = inputs
+        self.labels = labels
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        sample = self.inputs[index]
+        if self.transform is not None:
+            sample = self.transform(sample)
+        return sample, int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    def subset(self, indices) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices`` (shares the transform)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ArrayDataset(self.inputs[indices], self.labels[indices], transform=self.transform)

@@ -1,0 +1,62 @@
+"""Mini-batch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+class DataLoader:
+    """Iterate a dataset in shuffled mini-batches of numpy arrays.
+
+    Yields ``(inputs, labels)`` pairs where ``inputs`` has the batch dimension
+    first.  The paper trains with a batch size of 128; tests and fast bench
+    configurations use smaller batches.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 128,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    @property
+    def num_samples(self) -> int:
+        if self.drop_last:
+            return len(self) * self.batch_size
+        return len(self.dataset)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            samples = []
+            labels = []
+            for index in batch_indices:
+                sample, label = self.dataset[int(index)]
+                samples.append(sample)
+                labels.append(label)
+            yield np.stack(samples), np.asarray(labels, dtype=np.int64)

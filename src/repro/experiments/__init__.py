@@ -1,0 +1,56 @@
+"""Experiment runners: one module per figure / table of the paper.
+
+Every runner follows the same pattern:
+
+* it accepts an :class:`~repro.experiments.scales.ExperimentScale` that
+  selects the workload size ("smoke" for the test-suite, "bench" for the
+  benchmark harness, "paper" for the full-size configuration the paper used),
+* it runs the required training jobs through the shared
+  :class:`~repro.train.trainer.Trainer`,
+* it returns a plain dataclass with the same rows / series the paper reports,
+  plus a ``to_markdown()`` / ``format_rows()`` helper used by the benchmark
+  harness and EXPERIMENTS.md.
+
+See DESIGN.md section 4 for the experiment index.
+"""
+
+from repro.experiments.scales import ExperimentScale, SCALES, get_scale
+from repro.experiments.workload import Workload, build_workload
+from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.fig1_gavg_dynamics import Fig1Result, run_fig1
+from repro.experiments.fig2_training_curves import Fig2Result, run_fig2
+from repro.experiments.fig3_bitwidth_trajectory import Fig3Result, run_fig3
+from repro.experiments.fig4_energy_to_accuracy import Fig4Result, run_fig4
+from repro.experiments.fig5_tradeoff_sweep import Fig5Result, run_fig5
+from repro.experiments.table1_comparison import Table1Result, run_table1
+from repro.experiments.ablations import AblationResult, run_ablations
+from repro.experiments.schedule_comparison import (
+    ScheduleComparisonResult,
+    run_schedule_comparison,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "Workload",
+    "build_workload",
+    "StrategyRunResult",
+    "run_strategy",
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Table1Result",
+    "run_table1",
+    "AblationResult",
+    "run_ablations",
+    "ScheduleComparisonResult",
+    "run_schedule_comparison",
+]

@@ -1,0 +1,121 @@
+"""Ablation studies on APT's design choices.
+
+Not figures from the paper, but checks of claims the paper makes in prose
+and of choices DESIGN.md calls out:
+
+* **Initial bitwidth insensitivity** (Section IV-A: "an initial bitwidth
+  other than 6 leads to similar results"): run APT from several starting
+  bitwidths and compare final accuracy and average allocated bits.
+* **T_max finite vs infinite**: the paper sets T_max to infinity for the
+  headline results but argues a finite T_max reclaims bits from easy layers.
+* **Metric interval**: Gavg only needs to be sampled a few times per epoch;
+  verify accuracy is stable across sampling intervals while overhead falls.
+* **Global vs layer-wise adaptation**: force all layers to share one
+  bitwidth (the maximum over the per-layer policy result) to quantify the
+  benefit of treating layers differently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.workload import build_workload
+
+
+@dataclass
+class AblationPoint:
+    """One ablation configuration and its outcome."""
+
+    study: str
+    setting: str
+    accuracy: float
+    normalised_energy: float
+    normalised_memory: float
+    average_bits: float
+
+
+@dataclass
+class AblationResult:
+    points: List[AblationPoint] = field(default_factory=list)
+
+    def by_study(self) -> Dict[str, List[AblationPoint]]:
+        grouped: Dict[str, List[AblationPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.study, []).append(point)
+        return grouped
+
+    def format_rows(self) -> List[str]:
+        rows = ["Ablations"]
+        for study, points in self.by_study().items():
+            rows.append(f"  [{study}]")
+            for point in points:
+                rows.append(
+                    f"    {point.setting:<18s} acc={point.accuracy:.3f} "
+                    f"energy={point.normalised_energy:.3f} mem={point.normalised_memory:.3f} "
+                    f"bits={point.average_bits:.2f}"
+                )
+        return rows
+
+
+def _record(result: AblationResult, study: str, setting: str, run: StrategyRunResult) -> None:
+    result.points.append(
+        AblationPoint(
+            study=study,
+            setting=setting,
+            accuracy=run.history.final_test_accuracy,
+            normalised_energy=run.normalised_energy,
+            normalised_memory=run.normalised_memory,
+            average_bits=run.history.records[-1].average_bits,
+        )
+    )
+
+
+def run_ablations(
+    scale: Optional[ExperimentScale] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    initial_bits_grid: Sequence[int] = (4, 6, 8),
+    metric_intervals: Sequence[int] = (2, 8),
+    t_min: float = 6.0,
+) -> AblationResult:
+    """Run the four ablation studies at the given scale."""
+    scale = scale or get_scale("bench")
+    workload = build_workload(scale)
+    result = AblationResult()
+
+    # 1. Initial bitwidth insensitivity.
+    for bits in initial_bits_grid:
+        config = APTConfig(initial_bits=bits, t_min=t_min, metric_interval=scale.metric_interval)
+        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
+        _record(result, "initial_bits", f"init={bits}", run)
+
+    # 2. Finite vs infinite T_max.
+    for t_max, label in ((math.inf, "T_max=inf"), (max(t_min * 10, 50.0), "T_max=finite")):
+        config = APTConfig(
+            initial_bits=6, t_min=t_min, t_max=t_max, metric_interval=scale.metric_interval
+        )
+        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
+        _record(result, "t_max", label, run)
+
+    # 3. Gavg sampling interval.
+    for interval in metric_intervals:
+        config = APTConfig(initial_bits=6, t_min=t_min, metric_interval=interval)
+        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
+        _record(result, "metric_interval", f"interval={interval}", run)
+
+    # 4. Layer-wise vs model-wide adjustment step size (bits_step models an
+    #    aggressive global-style policy that moves every layer faster).
+    for step, label in ((1, "step=1 (paper)"), (2, "step=2")):
+        config = APTConfig(
+            initial_bits=6, t_min=t_min, bits_step=step, metric_interval=scale.metric_interval
+        )
+        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
+        _record(result, "bits_step", label, run)
+
+    return result

@@ -1,0 +1,94 @@
+"""Figure 1: Gavg versus epoch for two layers under APT.
+
+The paper's Figure 1 (Section III-C) shows two qualitatively different layer
+behaviours with ``T_min = 1.0``:
+
+* *Layer A* starts with Gavg below the threshold (it suffers underflow
+  immediately); APT allocates bits until its Gavg rises above ``T_min``.
+* *Layer B* starts easy to update (high Gavg); its Gavg decays as training
+  converges, and every time it touches ``T_min`` APT adds a bit to keep it
+  learning.
+
+The runner trains with APT at ``T_min = 1.0``, records every layer's
+smoothed-Gavg trajectory, and picks the two layers that best illustrate the
+two regimes (lowest and highest initial Gavg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.workload import build_workload
+
+
+@dataclass
+class Fig1Result:
+    """Per-layer Gavg and bitwidth trajectories under APT."""
+
+    t_min: float
+    gavg_by_layer: Dict[str, List[Optional[float]]]
+    bits_by_layer: Dict[str, List[int]]
+    layer_a: str
+    layer_b: str
+    run: StrategyRunResult
+
+    def series(self) -> Dict[str, List[Optional[float]]]:
+        """The two curves the figure plots."""
+        return {
+            "layer_a": self.gavg_by_layer[self.layer_a],
+            "layer_b": self.gavg_by_layer[self.layer_b],
+        }
+
+    def format_rows(self) -> List[str]:
+        rows = [f"Figure 1 (T_min={self.t_min}): Gavg vs epoch"]
+        for label, name in (("A", self.layer_a), ("B", self.layer_b)):
+            values = ", ".join(
+                "-" if value is None else f"{value:.2f}" for value in self.gavg_by_layer[name]
+            )
+            rows.append(f"  layer {label} ({name}): {values}")
+        return rows
+
+
+def run_fig1(
+    scale: ExperimentScale = None,
+    t_min: float = 1.0,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> Fig1Result:
+    """Reproduce Figure 1 at the given workload scale."""
+    scale = scale or get_scale("bench")
+    workload = build_workload(scale)
+    config = APTConfig(
+        initial_bits=6,
+        t_min=t_min,
+        metric_interval=scale.metric_interval,
+    )
+    strategy = APTStrategy(config)
+    run = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+
+    controller = strategy.controller
+    gavg_by_layer = controller.gavg_history()
+    bits_by_layer = controller.bits_history()
+
+    def first_value(values: List[Optional[float]]) -> float:
+        for value in values:
+            if value is not None:
+                return value
+        return float("inf")
+
+    names = list(gavg_by_layer)
+    layer_a = min(names, key=lambda name: first_value(gavg_by_layer[name]))
+    layer_b = max(names, key=lambda name: first_value(gavg_by_layer[name]))
+    return Fig1Result(
+        t_min=t_min,
+        gavg_by_layer=gavg_by_layer,
+        bits_by_layer=bits_by_layer,
+        layer_a=layer_a,
+        layer_b=layer_b,
+        run=run,
+    )

@@ -1,0 +1,74 @@
+"""Figure 3: layer-wise bitwidth versus epoch under APT.
+
+The paper plots the bitwidth trajectories of four representative weight
+layers of ResNet-20: all start at the initial 6 bits, diverge as APT treats
+layers differently, and the first / last layers climb highest once the
+learning-rate decay makes the loss (and the gradients) drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.workload import build_workload
+
+
+@dataclass
+class Fig3Result:
+    """Per-layer bitwidth trajectories plus the selected representative layers."""
+
+    bits_by_layer: Dict[str, List[int]]
+    selected_layers: List[str]
+    initial_bits: int
+    run: StrategyRunResult
+
+    def trajectories(self) -> Dict[str, List[int]]:
+        """The curves the figure plots (selected layers only)."""
+        return {name: self.bits_by_layer[name] for name in self.selected_layers}
+
+    def final_bits(self) -> Dict[str, int]:
+        return {name: values[-1] for name, values in self.bits_by_layer.items() if values}
+
+    def format_rows(self) -> List[str]:
+        rows = ["Figure 3: layer-wise bitwidth vs epoch"]
+        for name in self.selected_layers:
+            formatted = ", ".join(str(bits) for bits in self.bits_by_layer[name])
+            rows.append(f"  {name}: {formatted}")
+        return rows
+
+
+def run_fig3(
+    scale: Optional[ExperimentScale] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    num_layers_to_plot: int = 4,
+    t_min: float = 6.0,
+    initial_bits: int = 6,
+) -> Fig3Result:
+    """Reproduce Figure 3 (bitwidth trajectories of representative layers)."""
+    scale = scale or get_scale("bench")
+    workload = build_workload(scale)
+    config = APTConfig(initial_bits=initial_bits, t_min=t_min, metric_interval=scale.metric_interval)
+    strategy = APTStrategy(config)
+    run = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+
+    bits_by_layer = strategy.controller.bits_history()
+    names = list(bits_by_layer)
+    # Representative selection: first layer, last layer, and evenly spaced
+    # interior layers (the paper picks four layers including first and last).
+    if len(names) <= num_layers_to_plot:
+        selected = names
+    else:
+        step = (len(names) - 1) / (num_layers_to_plot - 1)
+        selected = [names[int(round(i * step))] for i in range(num_layers_to_plot)]
+    return Fig3Result(
+        bits_by_layer=bits_by_layer,
+        selected_layers=selected,
+        initial_bits=initial_bits,
+        run=run,
+    )

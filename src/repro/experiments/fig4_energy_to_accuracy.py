@@ -1,0 +1,106 @@
+"""Figure 4: training energy to reach a target accuracy, per method.
+
+The paper's grouped-bar figure: for each Top-1 target (91.0, 91.25, ...,
+92.0 on CIFAR-10 / ResNet-20), the energy each fixed-bitwidth model (12, 14,
+16, 32) and APT spends to first reach that accuracy, normalised to the
+32-bit model's full-run cost.  Observations the reproduction should preserve:
+
+* APT reaches every target with the least energy;
+* the lowest fixed bitwidth is the cheapest of the fixed models but cannot
+  reach the highest targets at all (it is "absent from the group");
+* fixed-bitwidth models pay disproportionately for the last fraction of a
+  percent of accuracy, APT much less so.
+
+At reduced scale the accuracy targets are chosen relative to what the fp32
+run achieves rather than hard-coded to 91-92%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.fixed_precision import FixedPrecisionStrategy
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import StrategyRunResult, fp32_reference_energy, run_strategy
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.workload import build_workload
+from repro.train.strategy import FP32Strategy
+
+
+@dataclass
+class Fig4Result:
+    """Normalised energy-to-target for every method and accuracy target."""
+
+    #: Accuracy targets (fractions in [0, 1]).
+    targets: List[float]
+    #: method name -> target -> normalised energy (None if target not reached).
+    energy_to_target: Dict[str, Dict[float, Optional[float]]]
+    #: Full training curves, for reference.
+    runs: Dict[str, StrategyRunResult]
+    fp32_total_energy_pj: float
+
+    def methods(self) -> List[str]:
+        return list(self.energy_to_target)
+
+    def format_rows(self) -> List[str]:
+        rows = ["Figure 4: normalised training energy to reach target accuracy"]
+        header = "  target   " + "  ".join(f"{name:>12s}" for name in self.methods())
+        rows.append(header)
+        for target in self.targets:
+            cells = []
+            for name in self.methods():
+                value = self.energy_to_target[name][target]
+                cells.append(f"{value:12.3f}" if value is not None else f"{'absent':>12s}")
+            rows.append(f"  {target:7.3f}  " + "  ".join(cells))
+        return rows
+
+
+def run_fig4(
+    scale: Optional[ExperimentScale] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    fixed_bitwidths: Sequence[int] = (8, 12, 16),
+    num_targets: int = 4,
+    t_min: float = 6.0,
+) -> Fig4Result:
+    """Reproduce Figure 4 (energy to reach target accuracies)."""
+    scale = scale or get_scale("bench")
+    workload = build_workload(scale)
+    epochs = epochs if epochs is not None else scale.epochs
+
+    strategies = {"fp32": FP32Strategy()}
+    for bits in fixed_bitwidths:
+        strategies[f"{bits}-bit"] = FixedPrecisionStrategy(bits)
+    strategies["apt"] = APTStrategy(
+        APTConfig(initial_bits=6, t_min=t_min, metric_interval=scale.metric_interval)
+    )
+
+    runs: Dict[str, StrategyRunResult] = {}
+    for name, strategy in strategies.items():
+        runs[name] = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+
+    # Accuracy targets: evenly spaced between ~70% and ~100% of the best
+    # accuracy the fp32 run achieved (the paper uses 91%..92% absolute).  The
+    # top target is nudged just below the fp32 best so it is guaranteed to be
+    # attainable by at least the fp32 run itself.
+    fp32_best = runs["fp32"].best_accuracy
+    fractions = [0.7 + 0.3 * i / (num_targets - 1) for i in range(num_targets)]
+    targets = [fp32_best * fraction - 1e-9 for fraction in fractions]
+
+    fp32_total = fp32_reference_energy(workload, epochs)
+    energy_to_target: Dict[str, Dict[float, Optional[float]]] = {}
+    for name, run in runs.items():
+        per_target: Dict[float, Optional[float]] = {}
+        for target in targets:
+            energy = run.history.energy_to_reach(target)
+            per_target[target] = None if energy is None else energy / fp32_total
+        energy_to_target[name] = per_target
+
+    return Fig4Result(
+        targets=targets,
+        energy_to_target=energy_to_target,
+        runs=runs,
+        fp32_total_energy_pj=fp32_total,
+    )

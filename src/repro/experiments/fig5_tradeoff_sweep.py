@@ -1,0 +1,92 @@
+"""Figure 5: training energy and model size versus accuracy across T_min.
+
+The paper sweeps the Gavg threshold ``T_min`` from 0.1 to 100 and scatters,
+for each setting, the normalised training energy (orange) and normalised
+training-time model size against the accuracy reached after 200 epochs.  The
+expected shape:
+
+* both resources increase monotonically (in trend) with ``T_min``,
+* accuracy increases quickly for thresholds below ~1 and plateaus above it,
+* memory follows the same trend as energy (both are driven by the allocated
+  bitwidths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.workload import build_workload
+
+
+@dataclass
+class TradeoffPoint:
+    """One point of the Figure 5 scatter."""
+
+    t_min: float
+    accuracy: float
+    normalised_energy: float
+    normalised_memory: float
+    average_bits: float
+
+
+@dataclass
+class Fig5Result:
+    """The full sweep."""
+
+    points: List[TradeoffPoint]
+    runs: Dict[float, StrategyRunResult]
+
+    def thresholds(self) -> List[float]:
+        return [point.t_min for point in self.points]
+
+    def format_rows(self) -> List[str]:
+        rows = ["Figure 5: resource consumption vs accuracy across T_min"]
+        rows.append(
+            f"  {'T_min':>8s}  {'accuracy':>9s}  {'energy':>8s}  {'memory':>8s}  {'avg bits':>8s}"
+        )
+        for point in self.points:
+            rows.append(
+                f"  {point.t_min:8.2f}  {point.accuracy:9.3f}  "
+                f"{point.normalised_energy:8.3f}  {point.normalised_memory:8.3f}  "
+                f"{point.average_bits:8.2f}"
+            )
+        return rows
+
+
+def run_fig5(
+    scale: Optional[ExperimentScale] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    thresholds: Sequence[float] = (0.1, 0.5, 1.0, 6.0, 20.0, 100.0),
+    initial_bits: int = 6,
+) -> Fig5Result:
+    """Reproduce Figure 5 (the T_min trade-off sweep)."""
+    scale = scale or get_scale("bench")
+    workload = build_workload(scale)
+
+    points: List[TradeoffPoint] = []
+    runs: Dict[float, StrategyRunResult] = {}
+    for t_min in thresholds:
+        config = APTConfig(
+            initial_bits=initial_bits,
+            t_min=float(t_min),
+            metric_interval=scale.metric_interval,
+        )
+        strategy = APTStrategy(config)
+        run = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+        runs[float(t_min)] = run
+        points.append(
+            TradeoffPoint(
+                t_min=float(t_min),
+                accuracy=run.history.final_test_accuracy,
+                normalised_energy=run.normalised_energy,
+                normalised_memory=run.normalised_memory,
+                average_bits=run.history.records[-1].average_bits,
+            )
+        )
+    return Fig5Result(points=points, runs=runs)

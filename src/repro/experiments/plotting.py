@@ -1,0 +1,148 @@
+"""Terminal (ASCII) plotting for experiment results.
+
+The environment this reproduction targets has no plotting stack, so the
+figure runners can render their curves directly in the terminal: line charts
+for accuracy / Gavg / bitwidth trajectories and horizontal bar charts for the
+energy comparisons.  The functions return strings (they never print), so
+they compose with the reporting helpers and are easy to test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _finite(values: Iterable[Optional[float]]) -> List[float]:
+    return [float(v) for v in values if v is not None and math.isfinite(float(v))]
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Optional[float]]],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more named series as an ASCII line chart.
+
+    Each series is a sequence indexed by epoch; ``None`` entries (e.g. Gavg
+    before the first sample) are skipped.  Series are distinguished by glyph
+    and listed in the legend.
+    """
+    if not series:
+        raise ValueError("need at least one series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 characters")
+
+    all_values = _finite(value for values in series.values() for value in values)
+    if not all_values:
+        raise ValueError("series contain no finite values")
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    max_length = max(len(values) for values in series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for position, value in enumerate(values):
+            if value is None or not math.isfinite(float(value)):
+                continue
+            x = int(round(position / max(max_length - 1, 1) * (width - 1)))
+            y = int(round((float(value) - low) / (high - low) * (height - 1)))
+            grid[height - 1 - y][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{high:.3g}"
+    bottom_label = f"{low:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width + f"  epoch 0 .. {max_length - 1}"
+    )
+    legend = "  ".join(
+        f"{_GLYPHS[index % len(_GLYPHS)]}={name}" for index, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, Optional[float]],
+    width: int = 50,
+    title: str = "",
+    absent_label: str = "absent",
+) -> str:
+    """Render a horizontal bar chart (used for the Figure 4 energy groups).
+
+    ``None`` values are rendered as ``absent`` (a method that never reached
+    the accuracy target), mirroring the missing bars in the paper's figure.
+    """
+    if not values:
+        raise ValueError("need at least one bar to plot")
+    finite = _finite(values.values())
+    maximum = max(finite) if finite else 1.0
+    if maximum <= 0:
+        maximum = 1.0
+    name_width = max(len(name) for name in values)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        if value is None or not math.isfinite(float(value)):
+            lines.append(f"{name:>{name_width}} | {absent_label}")
+            continue
+        bar_length = int(round(float(value) / maximum * width))
+        bar = "#" * max(bar_length, 1 if value > 0 else 0)
+        lines.append(f"{name:>{name_width}} | {bar} {float(value):.3f}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[tuple],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+) -> str:
+    """Render (x, y) points as an ASCII scatter (used for the Figure 5 sweep)."""
+    if not points:
+        raise ValueError("need at least one point")
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+        row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+        grid[height - 1 - row][column] = "o"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_low:.3g} .. {x_high:.3g}   y: {y_low:.3g} .. {y_high:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""One-shot reproduction report.
+
+:func:`generate_report` runs every experiment runner (Figures 1-5, Table I,
+the ablations and the schedule comparison) at one workload scale and renders
+a single markdown document with the same structure as EXPERIMENTS.md: one
+section per paper artefact with the measured rows and, where it helps, an
+ASCII rendering of the curve.  The CLI exposes it for users who want a fresh
+report for their own scale / seed without running the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.fig1_gavg_dynamics import run_fig1
+from repro.experiments.fig2_training_curves import run_fig2
+from repro.experiments.fig3_bitwidth_trajectory import run_fig3
+from repro.experiments.fig4_energy_to_accuracy import run_fig4
+from repro.experiments.fig5_tradeoff_sweep import run_fig5
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.schedule_comparison import run_schedule_comparison
+from repro.experiments.table1_comparison import run_table1
+
+
+@dataclass
+class ReportSection:
+    """One experiment's contribution to the report."""
+
+    title: str
+    body_lines: List[str] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        return "\n".join([f"## {self.title}", ""] + self.body_lines + [""])
+
+
+@dataclass
+class ReproductionReport:
+    """All sections plus scale metadata."""
+
+    scale_name: str
+    sections: List[ReportSection] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        header = [
+            "# APT reproduction report",
+            "",
+            f"Workload scale: `{self.scale_name}`.  Energy and memory are normalised "
+            "to the fp32 run of the same workload; see DESIGN.md for the cost model.",
+            "",
+        ]
+        return "\n".join(header + [section.to_markdown() for section in self.sections])
+
+    def section(self, title_prefix: str) -> ReportSection:
+        for section in self.sections:
+            if section.title.startswith(title_prefix):
+                return section
+        raise KeyError(f"no section starting with {title_prefix!r}")
+
+
+def _code_block(lines: List[str]) -> List[str]:
+    return ["```"] + lines + ["```"]
+
+
+def generate_report(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    include_ablations: bool = True,
+    include_schedule_comparison: bool = True,
+    include_charts: bool = True,
+) -> ReproductionReport:
+    """Run every experiment at ``scale`` and assemble the markdown report."""
+    scale = scale or get_scale("bench")
+    report = ReproductionReport(scale_name=scale.name)
+
+    fig1 = run_fig1(scale, seed=seed)
+    section = ReportSection("Figure 1 - Gavg dynamics (T_min = 1.0)")
+    section.body_lines += _code_block(fig1.format_rows())
+    if include_charts:
+        section.body_lines += _code_block(
+            ascii_line_chart(fig1.series(), title="smoothed Gavg vs epoch").splitlines()
+        )
+    report.sections.append(section)
+
+    fig2 = run_fig2(scale, seed=seed)
+    section = ReportSection("Figure 2 - training curves")
+    section.body_lines += _code_block(fig2.format_rows())
+    if include_charts:
+        section.body_lines += _code_block(
+            ascii_line_chart(fig2.curves, title="test accuracy vs epoch").splitlines()
+        )
+    report.sections.append(section)
+
+    fig3 = run_fig3(scale, seed=seed)
+    section = ReportSection("Figure 3 - layer-wise bitwidth trajectories")
+    section.body_lines += _code_block(fig3.format_rows())
+    report.sections.append(section)
+
+    fig4 = run_fig4(scale, seed=seed)
+    section = ReportSection("Figure 4 - energy to reach target accuracy")
+    section.body_lines += _code_block(fig4.format_rows())
+    if include_charts and fig4.targets:
+        top_reachable = max(
+            (target for target in fig4.targets
+             if any(v is not None for v in (fig4.energy_to_target[m][target] for m in fig4.methods()))),
+            default=None,
+        )
+        if top_reachable is not None:
+            bars = {method: fig4.energy_to_target[method][top_reachable] for method in fig4.methods()}
+            section.body_lines += _code_block(
+                ascii_bar_chart(bars, title=f"energy to reach {top_reachable:.3f}").splitlines()
+            )
+    report.sections.append(section)
+
+    fig5 = run_fig5(scale, seed=seed)
+    section = ReportSection("Figure 5 - T_min trade-off sweep")
+    section.body_lines += _code_block(fig5.format_rows())
+    report.sections.append(section)
+
+    table1 = run_table1(scale, seed=seed)
+    section = ReportSection("Table I - method comparison")
+    section.body_lines += table1.to_markdown().splitlines()
+    report.sections.append(section)
+
+    if include_ablations:
+        ablations = run_ablations(scale, seed=seed)
+        section = ReportSection("Ablations")
+        section.body_lines += _code_block(ablations.format_rows())
+        report.sections.append(section)
+
+    if include_schedule_comparison:
+        schedules = run_schedule_comparison(scale, seed=seed)
+        section = ReportSection("Adaptive vs open-loop schedules")
+        section.body_lines += _code_block(schedules.format_rows())
+        report.sections.append(section)
+
+    return report

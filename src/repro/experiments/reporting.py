@@ -1,0 +1,62 @@
+"""Formatting helpers for experiment results.
+
+The benchmark harness prints the same rows / series the paper's figures and
+table report; these helpers keep that formatting in one place and provide a
+small CSV writer used by the examples.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(map(str, headers)) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(map(str, row)) + " |")
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def curves_to_rows(curves: Mapping[str, Sequence[float]]) -> List[List[object]]:
+    """Transpose named curves into per-epoch rows (epoch, curve1, curve2, ...)."""
+    if not curves:
+        return []
+    length = max(len(values) for values in curves.values())
+    rows: List[List[object]] = []
+    for epoch in range(length):
+        row: List[object] = [epoch]
+        for name in curves:
+            values = curves[name]
+            row.append(values[epoch] if epoch < len(values) else "")
+        rows.append(row)
+    return rows

@@ -1,0 +1,114 @@
+"""Shared strategy runner used by every experiment module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.workload import Workload
+from repro.hardware.accounting import EnergyMeter
+from repro.hardware.energy import EnergyModel
+from repro.hardware.memory import TrainingMemoryModel
+from repro.hardware.profile import profile_model
+from repro.optim.lr_scheduler import MultiStepLR
+from repro.optim.adam import Adam
+from repro.optim.sgd import SGD
+from repro.train.callbacks import Callback
+from repro.train.history import TrainingHistory
+from repro.train.strategy import PrecisionStrategy
+from repro.train.trainer import Trainer
+
+
+@dataclass
+class StrategyRunResult:
+    """Everything one training run produces."""
+
+    strategy_name: str
+    history: TrainingHistory
+    #: Total analytic training energy, picojoules.
+    total_energy_pj: float
+    #: Same, normalised to the fp32 reference energy for this workload.
+    normalised_energy: float
+    #: Peak training-time model memory, bits.
+    peak_memory_bits: int
+    #: Same, normalised to the all-fp32 model.
+    normalised_memory: float
+    #: Best test accuracy seen during the run.
+    best_accuracy: float
+    #: The trainer (kept so callers can inspect strategy state, e.g. the APT
+    #: controller history for Figures 1 and 3).
+    trainer: Trainer
+
+
+def fp32_reference_energy(workload: Workload, epochs: int, energy_model: Optional[EnergyModel] = None) -> float:
+    """Energy (pJ) of training the workload for ``epochs`` epochs at fp32.
+
+    Used as the normaliser for Figures 4 and 5; computed analytically without
+    running the training loop (the energy model does not depend on the data).
+    """
+    model = workload.model_factory(seed=workload.scale.seed)
+    profile = profile_model(model, workload.input_shape)
+    meter = EnergyMeter(profile, energy_model or EnergyModel())
+    per_epoch = meter.fp32_reference_epoch_pj(len(workload.train_set))
+    return per_epoch * epochs
+
+
+def run_strategy(
+    workload: Workload,
+    strategy: PrecisionStrategy,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    optimizer_name: str = "sgd",
+    learning_rate: Optional[float] = None,
+    callbacks: Sequence[Callback] = (),
+    energy_model: Optional[EnergyModel] = None,
+) -> StrategyRunResult:
+    """Train one strategy on a workload and collect the paper's measurements."""
+    scale = workload.scale
+    epochs = epochs if epochs is not None else scale.epochs
+    learning_rate = learning_rate if learning_rate is not None else scale.learning_rate
+
+    model = workload.model_factory(seed=seed)
+    if optimizer_name == "sgd":
+        optimizer = SGD(model.parameters(), lr=learning_rate, momentum=0.9, weight_decay=1e-4)
+    elif optimizer_name == "adam":
+        optimizer = Adam(model.parameters(), lr=min(learning_rate, 1e-2), weight_decay=1e-4)
+    else:
+        raise ValueError(f"unknown optimiser {optimizer_name!r}")
+    scheduler = MultiStepLR(optimizer, milestones=list(scale.lr_milestones))
+
+    profile = profile_model(model, workload.input_shape)
+    energy_meter = EnergyMeter(profile, energy_model or EnergyModel())
+    memory_model = TrainingMemoryModel()
+
+    train_loader, test_loader = workload.loaders(seed=seed)
+    trainer = Trainer(
+        model=model,
+        optimizer=optimizer,
+        train_loader=train_loader,
+        test_loader=test_loader,
+        strategy=strategy,
+        scheduler=scheduler,
+        energy_meter=energy_meter,
+        memory_model=memory_model,
+        callbacks=callbacks,
+    )
+    history = trainer.fit(epochs)
+
+    fp32_energy = fp32_reference_energy(workload, epochs, energy_model)
+    fp32_memory = memory_model.total_bits(
+        model, {name: 32 for name, _ in model.named_parameters()}
+    )
+    peak_memory = history.peak_memory_bits or fp32_memory
+    return StrategyRunResult(
+        strategy_name=strategy.name,
+        history=history,
+        total_energy_pj=history.total_energy_pj,
+        normalised_energy=history.total_energy_pj / fp32_energy if fp32_energy else 0.0,
+        peak_memory_bits=peak_memory,
+        normalised_memory=peak_memory / fp32_memory if fp32_memory else 0.0,
+        best_accuracy=history.best_test_accuracy,
+        trainer=trainer,
+    )

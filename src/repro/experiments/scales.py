@@ -1,0 +1,126 @@
+"""Workload scale presets.
+
+The paper's experiments train ResNet-20/110 and MobileNetV2 on CIFAR-10/100
+for 200 epochs on a GPU.  A pure-numpy CPU substrate cannot run that inside a
+test or benchmark budget, so every experiment accepts a scale preset:
+
+* ``smoke``  -- seconds; MLP on Gaussian blobs; used by the unit tests.
+* ``bench``  -- tens of seconds; small CNN on synthetic digits; the default
+  for the benchmark harness, large enough for the qualitative shapes
+  (orderings, crossovers, adaptation dynamics) to be visible.
+* ``bench_cifar`` -- minutes; reduced-width CNN on the synthetic CIFAR-10
+  stand-in at 32x32; closer to the paper's workload, used when more fidelity
+  is wanted.
+* ``paper`` -- the full-size configuration (ResNet-20, 200 epochs, 50k
+  images).  Provided for completeness and documented in EXPERIMENTS.md; not
+  run by default because it is not feasible on this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Everything needed to size one experiment run."""
+
+    name: str
+    model: str
+    dataset: str
+    epochs: int
+    batch_size: int
+    train_samples: int
+    test_samples: int
+    learning_rate: float
+    lr_milestones: Tuple[int, ...]
+    width_multiplier: float = 1.0
+    num_classes: int = 10
+    image_size: int = 32
+    in_channels: int = 3
+    metric_interval: int = 5
+    use_augmentation: bool = False
+    seed: int = 0
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        if self.dataset in ("blobs", "spirals"):
+            return (self.in_channels,)
+        return (self.in_channels, self.image_size, self.image_size)
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        model="mlp",
+        dataset="blobs",
+        epochs=4,
+        batch_size=32,
+        train_samples=256,
+        test_samples=64,
+        learning_rate=0.05,
+        lr_milestones=(3,),
+        num_classes=4,
+        in_channels=16,
+        metric_interval=2,
+    ),
+    "bench": ExperimentScale(
+        name="bench",
+        model="tiny_convnet",
+        dataset="digits",
+        epochs=14,
+        batch_size=64,
+        train_samples=512,
+        test_samples=128,
+        learning_rate=0.08,
+        lr_milestones=(9, 12),
+        num_classes=10,
+        image_size=12,
+        in_channels=1,
+        metric_interval=2,
+    ),
+    "bench_cifar": ExperimentScale(
+        name="bench_cifar",
+        model="small_convnet",
+        dataset="cifar10",
+        epochs=10,
+        batch_size=64,
+        train_samples=1500,
+        test_samples=300,
+        learning_rate=0.08,
+        lr_milestones=(6, 8),
+        num_classes=10,
+        image_size=32,
+        in_channels=3,
+        width_multiplier=0.5,
+        metric_interval=4,
+        use_augmentation=True,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        model="resnet20",
+        dataset="cifar10",
+        epochs=200,
+        batch_size=128,
+        train_samples=50000,
+        test_samples=10000,
+        learning_rate=0.1,
+        lr_milestones=(100, 150),
+        num_classes=10,
+        image_size=32,
+        in_channels=3,
+        metric_interval=50,
+        use_augmentation=True,
+    ),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; available: {', '.join(sorted(SCALES))}"
+        ) from None

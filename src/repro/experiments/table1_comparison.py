@@ -1,0 +1,131 @@
+"""Table I: comparison of network quantisation methods.
+
+For each method the paper tabulates the model precision used in BPROP (fp32
+master copy for most, 8-bit for WAGE, adaptive for APT), the optimiser, and
+the accuracy reached on CIFAR-10 / CIFAR-100.  The reproduction runs each
+method's strategy on the synthetic stand-in datasets with its attributed
+optimiser and additionally reports the normalised training memory, which is
+the structural point the table makes (master-copy methods save nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.methods import TABLE1_METHODS, build_table1_strategy
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.experiments.workload import build_workload
+
+
+@dataclass
+class Table1Row:
+    """One row of Table I."""
+
+    method: str
+    bprop_precision: str
+    optimizer: str
+    accuracy: float
+    normalised_memory: float
+    normalised_energy: float
+
+    def as_tuple(self):
+        return (
+            self.method,
+            self.bprop_precision,
+            self.optimizer,
+            self.accuracy,
+            self.normalised_memory,
+            self.normalised_energy,
+        )
+
+
+@dataclass
+class Table1Result:
+    """All rows plus the underlying runs."""
+
+    dataset: str
+    rows: List[Table1Row]
+    runs: Dict[str, StrategyRunResult]
+
+    def row_for(self, method: str) -> Table1Row:
+        for row in self.rows:
+            if row.method == method:
+                return row
+        raise KeyError(f"no row for method {method!r}")
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"| Method | BPROP precision | Optimizer | {self.dataset} acc | Train mem (vs fp32) | Train energy (vs fp32) |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"| {row.method} | {row.bprop_precision} | {row.optimizer} | "
+                f"{row.accuracy:.3f} | {row.normalised_memory:.2f} | {row.normalised_energy:.2f} |"
+            )
+        return "\n".join(lines)
+
+    def format_rows(self) -> List[str]:
+        return self.to_markdown().splitlines()
+
+
+def run_table1(
+    scale: Optional[ExperimentScale] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    methods: Optional[Sequence[str]] = None,
+    include_apt: bool = True,
+    t_min: float = 6.0,
+) -> Table1Result:
+    """Reproduce Table I on one dataset (selected by the scale preset)."""
+    scale = scale or get_scale("bench")
+    workload = build_workload(scale)
+    method_names = list(methods) if methods is not None else list(TABLE1_METHODS)
+
+    rows: List[Table1Row] = []
+    runs: Dict[str, StrategyRunResult] = {}
+
+    for name in method_names:
+        strategy = build_table1_strategy(name)
+        _, bprop_label, optimizer_label = TABLE1_METHODS[name]
+        run = run_strategy(
+            workload,
+            strategy,
+            epochs=epochs,
+            seed=seed,
+            optimizer_name=optimizer_label.lower(),
+        )
+        runs[name] = run
+        rows.append(
+            Table1Row(
+                method=name,
+                bprop_precision=bprop_label,
+                optimizer=optimizer_label,
+                accuracy=run.best_accuracy,
+                normalised_memory=run.normalised_memory,
+                normalised_energy=run.normalised_energy,
+            )
+        )
+
+    if include_apt:
+        strategy = APTStrategy(
+            APTConfig(initial_bits=6, t_min=t_min, metric_interval=scale.metric_interval)
+        )
+        run = run_strategy(workload, strategy, epochs=epochs, seed=seed, optimizer_name="sgd")
+        runs["apt"] = run
+        rows.append(
+            Table1Row(
+                method="apt",
+                bprop_precision="Adaptive",
+                optimizer="SGD",
+                accuracy=run.best_accuracy,
+                normalised_memory=run.normalised_memory,
+                normalised_energy=run.normalised_energy,
+            )
+        )
+
+    return Table1Result(dataset=scale.dataset, rows=rows, runs=runs)

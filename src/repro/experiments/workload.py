@@ -1,0 +1,111 @@
+"""Workload construction: scale preset -> model factory + data loaders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    build_paper_augmentation,
+    make_blobs,
+    make_spirals,
+    make_synthetic_cifar10,
+    make_synthetic_cifar100,
+    make_synthetic_digits,
+)
+from repro.experiments.scales import ExperimentScale
+from repro.models import build_model
+from repro.nn.module import Module
+
+
+@dataclass
+class Workload:
+    """A sized experiment workload.
+
+    ``model_factory`` builds a freshly initialised model (deterministic per
+    seed) so every strategy in a comparison starts from identical weights.
+    """
+
+    scale: ExperimentScale
+    model_factory: Callable[[int], Module]
+    train_set: ArrayDataset
+    test_set: ArrayDataset
+
+    def loaders(self, seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+        """Fresh train / test loaders with a deterministic shuffling stream."""
+        train_loader = DataLoader(
+            self.train_set,
+            batch_size=self.scale.batch_size,
+            shuffle=True,
+            rng=np.random.default_rng(seed + 1000),
+        )
+        test_loader = DataLoader(
+            self.test_set,
+            batch_size=max(self.scale.batch_size, 128),
+            shuffle=False,
+        )
+        return train_loader, test_loader
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.scale.input_shape
+
+
+def _build_datasets(scale: ExperimentScale) -> Tuple[ArrayDataset, ArrayDataset]:
+    if scale.dataset == "blobs":
+        return make_blobs(
+            num_classes=scale.num_classes,
+            samples_per_class=max(2, (scale.train_samples + scale.test_samples) // scale.num_classes),
+            features=scale.in_channels,
+            seed=scale.seed,
+        )
+    if scale.dataset == "spirals":
+        return make_spirals(num_classes=scale.num_classes, seed=scale.seed)
+    if scale.dataset == "digits":
+        return make_synthetic_digits(
+            train_samples=scale.train_samples,
+            test_samples=scale.test_samples,
+            image_size=scale.image_size,
+            num_classes=scale.num_classes,
+            seed=scale.seed,
+        )
+    if scale.dataset == "cifar10":
+        return make_synthetic_cifar10(
+            train_samples=scale.train_samples,
+            test_samples=scale.test_samples,
+            image_size=scale.image_size,
+            seed=scale.seed,
+        )
+    if scale.dataset == "cifar100":
+        return make_synthetic_cifar100(
+            train_samples=scale.train_samples,
+            test_samples=scale.test_samples,
+            image_size=scale.image_size,
+            seed=scale.seed,
+        )
+    raise ValueError(f"unknown dataset {scale.dataset!r}")
+
+
+def build_workload(scale: ExperimentScale) -> Workload:
+    """Materialise the datasets and model factory for a scale preset."""
+    train_set, test_set = _build_datasets(scale)
+    if scale.use_augmentation and scale.dataset in ("cifar10", "cifar100", "digits"):
+        train_set.transform = build_paper_augmentation(
+            padding=4 if scale.image_size >= 32 else 2,
+            rng=np.random.default_rng(scale.seed + 7),
+        )
+
+    def model_factory(seed: int = 0) -> Module:
+        return build_model(
+            scale.model,
+            num_classes=scale.num_classes,
+            width_multiplier=scale.width_multiplier,
+            in_channels=scale.in_channels,
+            rng=np.random.default_rng(seed),
+        )
+
+    return Workload(scale=scale, model_factory=model_factory, train_set=train_set, test_set=test_set)

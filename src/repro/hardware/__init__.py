@@ -1,0 +1,45 @@
+"""Analytic hardware cost models for edge-device training.
+
+The paper reports training energy and training-time model size *normalised to
+the fp32 baseline*, measured on a GPU.  This subpackage substitutes an
+analytic cost model (documented in DESIGN.md):
+
+* :mod:`repro.hardware.energy` -- energy per multiply-accumulate and per
+  memory access as a function of operand bitwidth, using the standard
+  bit-scaling behaviour of digital arithmetic (multiplier energy roughly
+  quadratic in width, adders and data movement roughly linear).
+* :mod:`repro.hardware.profile` -- static per-layer MAC / parameter counts of
+  a model for a given input shape.
+* :mod:`repro.hardware.memory` -- training-time model memory (weights at
+  their stored precision, optional fp32 master copies, optimiser state).
+* :mod:`repro.hardware.accounting` -- an :class:`EnergyMeter` that integrates
+  the cost model over training iterations for any precision strategy.
+* :mod:`repro.hardware.device` -- edge-device profiles and a battery
+  simulator used by the examples.
+"""
+
+from repro.hardware.energy import EnergyModel, OpEnergy
+from repro.hardware.profile import LayerProfile, ModelProfile, profile_model
+from repro.hardware.memory import TrainingMemoryModel, MemoryBreakdown
+from repro.hardware.accounting import EnergyMeter, EnergyReport, LayerBits
+from repro.hardware.device import EdgeDeviceProfile, BatterySimulator, DEVICE_PROFILES
+from repro.hardware.latency import ComputeProfile, LatencyModel, COMPUTE_PROFILES
+
+__all__ = [
+    "ComputeProfile",
+    "LatencyModel",
+    "COMPUTE_PROFILES",
+    "EnergyModel",
+    "OpEnergy",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "TrainingMemoryModel",
+    "MemoryBreakdown",
+    "EnergyMeter",
+    "EnergyReport",
+    "LayerBits",
+    "EdgeDeviceProfile",
+    "BatterySimulator",
+    "DEVICE_PROFILES",
+]

@@ -1,0 +1,153 @@
+"""Energy accounting for a whole training run.
+
+The :class:`EnergyMeter` integrates the analytic cost model over training:
+for every epoch it receives the per-layer forward and backward bitwidths from
+the active precision strategy, multiplies by the layer MAC counts from the
+model profile and by the number of samples processed, and accumulates energy
+for the forward pass, the backward pass (charged at twice the forward MACs,
+the standard estimate: gradients w.r.t. inputs and w.r.t. weights) and weight
+memory traffic.
+
+Everything is reported both in joules and normalised to an fp32 reference
+run, because the paper's Figures 4 and 5 are normalised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.profile import ModelProfile
+
+#: Backward-pass MAC multiplier: computing dL/dx and dL/dW each costs about
+#: the same as the forward pass.
+BACKWARD_MAC_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class LayerBits:
+    """Forward and backward operand bitwidths of one layer for one epoch."""
+
+    forward_bits: int
+    backward_bits: int
+
+    def __post_init__(self) -> None:
+        if self.forward_bits <= 0 or self.backward_bits <= 0:
+            raise ValueError("bitwidths must be positive")
+
+
+@dataclass
+class EpochEnergyRecord:
+    """Energy spent in one epoch, in picojoules, split by phase."""
+
+    epoch: int
+    samples: int
+    forward_pj: float
+    backward_pj: float
+    memory_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.forward_pj + self.backward_pj + self.memory_pj
+
+
+@dataclass
+class EnergyReport:
+    """Cumulative view over a training run."""
+
+    records: List[EpochEnergyRecord] = field(default_factory=list)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(record.total_pj for record in self.records)
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj * 1e-12
+
+    def cumulative_pj(self) -> List[float]:
+        totals: List[float] = []
+        running = 0.0
+        for record in self.records:
+            running += record.total_pj
+            totals.append(running)
+        return totals
+
+    def up_to_epoch(self, epoch: int) -> float:
+        """Total energy spent in epochs [0, epoch] inclusive (picojoules)."""
+        return sum(record.total_pj for record in self.records if record.epoch <= epoch)
+
+
+class EnergyMeter:
+    """Integrates the energy model over a training run.
+
+    Parameters
+    ----------
+    profile:
+        Static per-layer MAC counts for the model being trained.
+    energy_model:
+        Bitwidth-to-energy model; defaults to the standard scaling model.
+    default_bits:
+        Bitwidth assumed for layers the strategy does not report (e.g. a
+        strategy that only quantises conv layers leaves the classifier at 32).
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        energy_model: Optional[EnergyModel] = None,
+        default_bits: int = 32,
+    ) -> None:
+        self.profile = profile
+        self.energy_model = energy_model or EnergyModel()
+        self.default_bits = default_bits
+        self.report = EnergyReport()
+
+    def record_epoch(
+        self,
+        epoch: int,
+        samples: int,
+        layer_bits: Mapping[str, LayerBits],
+    ) -> EpochEnergyRecord:
+        """Account one epoch of training over ``samples`` examples."""
+        if samples < 0:
+            raise ValueError(f"samples must be non-negative, got {samples}")
+        forward_pj = 0.0
+        backward_pj = 0.0
+        memory_pj = 0.0
+        for layer in self.profile.layers:
+            bits = layer_bits.get(
+                layer.name, LayerBits(self.default_bits, self.default_bits)
+            )
+            mac_fwd = self.energy_model.mac_energy_pj(bits.forward_bits)
+            mac_bwd = self.energy_model.mac_energy_pj(bits.backward_bits)
+            forward_pj += layer.macs * samples * mac_fwd
+            backward_pj += layer.macs * samples * BACKWARD_MAC_FACTOR * mac_bwd
+            # Weight traffic: weights are read for the forward pass and read +
+            # written for the update, at their stored precision.
+            access = self.energy_model.memory_access_energy_pj(bits.forward_bits)
+            memory_pj += layer.parameters * samples * access
+            update_access = self.energy_model.memory_access_energy_pj(bits.backward_bits)
+            memory_pj += 2.0 * layer.parameters * update_access
+        record = EpochEnergyRecord(
+            epoch=epoch,
+            samples=samples,
+            forward_pj=forward_pj,
+            backward_pj=backward_pj,
+            memory_pj=memory_pj,
+        )
+        self.report.records.append(record)
+        return record
+
+    def fp32_reference_epoch_pj(self, samples: int) -> float:
+        """Energy one epoch would cost at fp32 everywhere (the normaliser)."""
+        bits = {layer.name: LayerBits(32, 32) for layer in self.profile.layers}
+        meter = EnergyMeter(self.profile, self.energy_model, self.default_bits)
+        return meter.record_epoch(0, samples, bits).total_pj
+
+    def total_normalised_to_fp32(self, fp32_total_pj: float) -> float:
+        """Total energy of this run as a fraction of a reference fp32 run."""
+        if fp32_total_pj <= 0:
+            raise ValueError("fp32 reference energy must be positive")
+        return self.report.total_pj / fp32_total_pj

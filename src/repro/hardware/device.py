@@ -1,0 +1,77 @@
+"""Edge-device profiles and a simple battery simulator.
+
+These are not needed to reproduce the paper's figures (which are normalised),
+but they ground the examples: given a phone-class battery and memory budget,
+how many on-device training sessions does APT buy compared to fp32 training?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EdgeDeviceProfile:
+    """A coarse model of an edge device's energy and memory budget."""
+
+    name: str
+    battery_joules: float
+    memory_bytes: int
+    #: Fraction of the battery the owner is willing to spend on training.
+    training_energy_budget_fraction: float = 0.1
+
+    @property
+    def training_energy_budget_joules(self) -> float:
+        return self.battery_joules * self.training_energy_budget_fraction
+
+    def fits_in_memory(self, required_bytes: float) -> bool:
+        return required_bytes <= self.memory_bytes
+
+
+#: A few representative devices.  Battery capacities are typical nameplate
+#: values (capacity[mAh] * 3.7 V * 3.6 J/mWh).
+DEVICE_PROFILES: Dict[str, EdgeDeviceProfile] = {
+    "smartphone": EdgeDeviceProfile(
+        name="smartphone", battery_joules=4000 * 3.7 * 3.6, memory_bytes=4 * 1024**3
+    ),
+    "smartwatch": EdgeDeviceProfile(
+        name="smartwatch", battery_joules=300 * 3.7 * 3.6, memory_bytes=512 * 1024**2
+    ),
+    "microcontroller": EdgeDeviceProfile(
+        name="microcontroller", battery_joules=1200 * 3.0 * 3.6, memory_bytes=2 * 1024**2,
+        training_energy_budget_fraction=0.5,
+    ),
+}
+
+
+class BatterySimulator:
+    """Tracks battery drain as training energy is spent."""
+
+    def __init__(self, device: EdgeDeviceProfile) -> None:
+        self.device = device
+        self.remaining_joules = device.battery_joules
+        self.spent_joules = 0.0
+
+    def spend(self, joules: float) -> None:
+        """Drain ``joules`` from the battery (clamped at empty)."""
+        if joules < 0:
+            raise ValueError(f"cannot spend negative energy: {joules}")
+        actual = min(joules, self.remaining_joules)
+        self.remaining_joules -= actual
+        self.spent_joules += actual
+
+    @property
+    def fraction_remaining(self) -> float:
+        return self.remaining_joules / self.device.battery_joules
+
+    @property
+    def empty(self) -> bool:
+        return self.remaining_joules <= 0.0
+
+    def sessions_supported(self, joules_per_session: float) -> int:
+        """How many training sessions of the given cost fit in the budget."""
+        if joules_per_session <= 0:
+            raise ValueError("session cost must be positive")
+        budget = self.device.training_energy_budget_joules
+        return int(budget // joules_per_session)

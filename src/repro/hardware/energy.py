@@ -1,0 +1,102 @@
+"""Bitwidth-dependent energy model for arithmetic and memory access.
+
+The absolute constants are taken from the widely cited 45 nm measurements of
+Horowitz (ISSCC 2014): a 32-bit float multiply costs about 3.7 pJ, a 32-bit
+float add about 0.9 pJ, a 32-bit int multiply about 3.1 pJ, an int add about
+0.1 pJ, and an SRAM access on the order of 5 pJ per 32-bit word (DRAM is two
+orders of magnitude more).  What matters for reproducing the paper's figures
+is not the absolute values -- every result is normalised to the fp32 model --
+but the *scaling with bitwidth*:
+
+* multiplier energy scales roughly quadratically with operand width;
+* adder / accumulator energy and data movement scale roughly linearly.
+
+Those two scaling laws are what this module encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Reference energies (picojoules) at 32 bits, 45 nm.  Absolute values only
+#: matter for the battery-life examples; all paper figures are ratios.
+MUL32_PJ = 3.1
+ADD32_PJ = 0.9
+SRAM_ACCESS32_PJ = 5.0
+DRAM_ACCESS32_PJ = 640.0
+FP32_MUL_PJ = 3.7
+FP32_ADD_PJ = 0.9
+
+
+@dataclass(frozen=True)
+class OpEnergy:
+    """Energy (pJ) of the primitive operations at one bitwidth."""
+
+    bits: int
+    multiply_pj: float
+    add_pj: float
+    sram_access_pj: float
+
+    @property
+    def mac_pj(self) -> float:
+        """One multiply-accumulate."""
+        return self.multiply_pj + self.add_pj
+
+
+class EnergyModel:
+    """Scales reference 32-bit energies down to arbitrary bitwidths.
+
+    Parameters
+    ----------
+    multiplier_exponent:
+        Exponent of the multiplier scaling law (2.0 = quadratic, the
+        textbook value for array multipliers).
+    adder_exponent:
+        Exponent for adders / accumulators and data movement (1.0 = linear).
+    use_dram:
+        If true, memory-access energy uses the DRAM constant instead of SRAM;
+        edge accelerators with small on-chip buffers are closer to SRAM,
+        which is the default.
+    """
+
+    def __init__(
+        self,
+        multiplier_exponent: float = 2.0,
+        adder_exponent: float = 1.0,
+        use_dram: bool = False,
+    ) -> None:
+        if multiplier_exponent <= 0 or adder_exponent <= 0:
+            raise ValueError("scaling exponents must be positive")
+        self.multiplier_exponent = multiplier_exponent
+        self.adder_exponent = adder_exponent
+        self.use_dram = use_dram
+
+    def _scale(self, bits: int, exponent: float) -> float:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        return (min(bits, 32) / 32.0) ** exponent
+
+    def op_energy(self, bits: int) -> OpEnergy:
+        """Energy of the primitive ops with ``bits``-wide operands."""
+        if bits >= 32:
+            multiply = FP32_MUL_PJ
+            add = FP32_ADD_PJ
+        else:
+            multiply = MUL32_PJ * self._scale(bits, self.multiplier_exponent)
+            add = ADD32_PJ * self._scale(bits, self.adder_exponent)
+        access_base = DRAM_ACCESS32_PJ if self.use_dram else SRAM_ACCESS32_PJ
+        access = access_base * self._scale(bits, 1.0)
+        return OpEnergy(bits=bits, multiply_pj=multiply, add_pj=add, sram_access_pj=access)
+
+    def mac_energy_pj(self, bits: int) -> float:
+        """Energy of one multiply-accumulate with ``bits``-wide operands."""
+        return self.op_energy(bits).mac_pj
+
+    def memory_access_energy_pj(self, bits: int) -> float:
+        """Energy of moving one ``bits``-wide word to/from the working memory."""
+        return self.op_energy(bits).sram_access_pj
+
+    def relative_mac_energy(self, bits: int) -> float:
+        """MAC energy normalised to the fp32 MAC (what the figures plot)."""
+        return self.mac_energy_pj(bits) / self.mac_energy_pj(32)

@@ -1,0 +1,123 @@
+"""Training-latency model for edge devices.
+
+Complements the energy model: given a device's compute throughput and memory
+bandwidth (both bitwidth-dependent), estimate how long one training epoch and
+a whole training run take.  The paper only reports energy and memory, but
+wall-clock per training session is the third constraint a practitioner faces
+on-device, and the examples use this model to translate "X% energy saving"
+into "Y more minutes of battery-feasible training per day".
+
+The model is a simple roofline: per layer, the time is the maximum of the
+compute time (MACs / effective MAC rate at the operand bitwidth) and the
+memory time (bytes moved / bandwidth).  Low precision speeds up both terms --
+narrower multipliers clock the same array over more lanes, and fewer bytes
+move -- which is the standard first-order argument for quantised training on
+edge NPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.hardware.accounting import BACKWARD_MAC_FACTOR, LayerBits
+from repro.hardware.profile import ModelProfile
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Throughput description of one device's compute and memory system."""
+
+    name: str
+    #: Multiply-accumulates per second at 32-bit operands.
+    macs_per_second_fp32: float
+    #: Bytes per second of usable memory bandwidth.
+    memory_bandwidth_bytes: float
+    #: How MAC throughput scales as operands narrow: rate(bits) =
+    #: rate_fp32 * (32 / bits) ** throughput_exponent.  1.0 means linear
+    #: (twice the lanes at half the width); 0.0 means no benefit.
+    throughput_exponent: float = 1.0
+
+    def macs_per_second(self, bits: int) -> float:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        speedup = (32.0 / min(bits, 32)) ** self.throughput_exponent
+        return self.macs_per_second_fp32 * speedup
+
+
+#: Representative edge compute profiles (orders of magnitude, not vendor data).
+COMPUTE_PROFILES: Mapping[str, ComputeProfile] = {
+    "smartphone_npu": ComputeProfile(
+        name="smartphone_npu",
+        macs_per_second_fp32=2e11,
+        memory_bandwidth_bytes=3e10,
+    ),
+    "smartphone_cpu": ComputeProfile(
+        name="smartphone_cpu",
+        macs_per_second_fp32=5e9,
+        memory_bandwidth_bytes=1e10,
+    ),
+    "microcontroller": ComputeProfile(
+        name="microcontroller",
+        macs_per_second_fp32=5e7,
+        memory_bandwidth_bytes=1e8,
+    ),
+}
+
+
+class LatencyModel:
+    """Roofline latency estimates for training a profiled model."""
+
+    def __init__(self, profile: ModelProfile, compute: ComputeProfile) -> None:
+        self.profile = profile
+        self.compute = compute
+
+    def _layer_seconds(self, macs: float, parameters: int, bits: LayerBits) -> float:
+        forward_compute = macs / self.compute.macs_per_second(bits.forward_bits)
+        backward_compute = (
+            macs * BACKWARD_MAC_FACTOR / self.compute.macs_per_second(bits.backward_bits)
+        )
+        # Weight traffic: read for forward, read+write for the update.
+        weight_bytes = parameters * (bits.forward_bits + 2 * bits.backward_bits) / 8.0
+        memory_time = weight_bytes / self.compute.memory_bandwidth_bytes
+        return max(forward_compute + backward_compute, memory_time)
+
+    def iteration_seconds(self, batch_size: int, layer_bits: Mapping[str, LayerBits]) -> float:
+        """Estimated wall-clock of one training iteration (one mini-batch)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+        total = 0.0
+        for layer in self.profile.layers:
+            bits = layer_bits.get(layer.name, LayerBits(32, 32))
+            total += self._layer_seconds(layer.macs * batch_size, layer.parameters, bits)
+        return total
+
+    def epoch_seconds(
+        self, samples: int, batch_size: int, layer_bits: Mapping[str, LayerBits]
+    ) -> float:
+        """Estimated wall-clock of one epoch over ``samples`` examples."""
+        if samples < 0:
+            raise ValueError(f"samples must be non-negative, got {samples}")
+        iterations = max(1, (samples + batch_size - 1) // batch_size)
+        return iterations * self.iteration_seconds(batch_size, layer_bits)
+
+    def training_seconds(
+        self,
+        epochs: int,
+        samples: int,
+        batch_size: int,
+        layer_bits: Mapping[str, LayerBits],
+    ) -> float:
+        """Estimated wall-clock of a whole training run at fixed bitwidths."""
+        if epochs < 1:
+            raise ValueError(f"epochs must be at least 1, got {epochs}")
+        return epochs * self.epoch_seconds(samples, batch_size, layer_bits)
+
+    def speedup_over_fp32(self, layer_bits: Mapping[str, LayerBits], batch_size: int = 1) -> float:
+        """How much faster one iteration is than the all-fp32 iteration."""
+        fp32 = {layer.name: LayerBits(32, 32) for layer in self.profile.layers}
+        quantised_time = self.iteration_seconds(batch_size, layer_bits)
+        fp32_time = self.iteration_seconds(batch_size, fp32)
+        if quantised_time <= 0:
+            raise ValueError("iteration time must be positive")
+        return fp32_time / quantised_time

@@ -1,0 +1,124 @@
+"""Training-time model memory accounting.
+
+The paper's Figure 5 reports "model size for training": the storage needed
+for the model representation used during back-propagation, normalised to a
+32-bit model.  APT and the fixed-k trainers that update quantised weights
+directly need only ``k`` bits per weight; methods that keep an fp32 master
+copy (most of Table I) need the 32-bit master *in addition to* whatever
+quantised copy they use for the forward pass, so they save nothing.
+
+Optimiser state (SGD momentum buffers) and activations are the same for every
+method at a given architecture and batch size, so they cancel in the
+normalised comparison; they can still be included explicitly via the
+breakdown for absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bits of storage attributed to each component of training state."""
+
+    quantised_weights_bits: int
+    master_copy_bits: int
+    float_parameters_bits: int
+    optimiser_state_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.quantised_weights_bits
+            + self.master_copy_bits
+            + self.float_parameters_bits
+            + self.optimiser_state_bits
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+
+class TrainingMemoryModel:
+    """Computes model-for-training memory for a given precision assignment.
+
+    Parameters
+    ----------
+    include_optimiser_state:
+        Whether to count SGD momentum buffers (one fp32 value per parameter).
+        Excluded by default because the paper's normalised comparison only
+        covers the model representation.
+    """
+
+    def __init__(self, include_optimiser_state: bool = False) -> None:
+        self.include_optimiser_state = include_optimiser_state
+
+    def breakdown(
+        self,
+        model: Module,
+        weight_bits: Mapping[str, int],
+        keeps_master_copy: bool = False,
+    ) -> MemoryBreakdown:
+        """Memory breakdown for ``model`` with the given per-parameter bits.
+
+        Parameters
+        ----------
+        weight_bits:
+            Mapping from parameter name to stored bitwidth.  Parameters that
+            do not appear (biases, BN affine parameters) are counted at 32
+            bits under ``float_parameters_bits``.
+        keeps_master_copy:
+            If true, a full fp32 copy of every quantised parameter is added,
+            reproducing the memory behaviour of master-copy baselines.
+        """
+        quantised_bits = 0
+        master_bits = 0
+        float_bits = 0
+        optimiser_bits = 0
+        for name, param in model.named_parameters():
+            count = int(param.size)
+            if self.include_optimiser_state:
+                optimiser_bits += 32 * count
+            if name in weight_bits:
+                bits = int(weight_bits[name])
+                quantised_bits += bits * count
+                if keeps_master_copy:
+                    master_bits += 32 * count
+            else:
+                float_bits += 32 * count
+        return MemoryBreakdown(
+            quantised_weights_bits=quantised_bits,
+            master_copy_bits=master_bits,
+            float_parameters_bits=float_bits,
+            optimiser_state_bits=optimiser_bits,
+        )
+
+    def total_bits(
+        self,
+        model: Module,
+        weight_bits: Mapping[str, int],
+        keeps_master_copy: bool = False,
+    ) -> int:
+        return self.breakdown(model, weight_bits, keeps_master_copy).total_bits
+
+    def normalised_to_fp32(
+        self,
+        model: Module,
+        weight_bits: Mapping[str, int],
+        keeps_master_copy: bool = False,
+    ) -> float:
+        """Training model size as a fraction of the all-fp32 model (Figure 5)."""
+        fp32_bits = self.breakdown(model, {name: 32 for name, _ in model.named_parameters()}).total_bits
+        actual = self.total_bits(model, weight_bits, keeps_master_copy)
+        if fp32_bits == 0:
+            raise ValueError("model has no parameters")
+        return actual / fp32_bits

@@ -1,0 +1,131 @@
+"""Static per-layer compute profiles.
+
+:func:`profile_model` runs one probe forward pass through a model and records,
+for every :class:`~repro.nn.layers.Conv2d` and :class:`~repro.nn.layers.Linear`
+module, the number of multiply-accumulates per input sample and the number of
+(quantisable) parameters.  The resulting :class:`ModelProfile` is what the
+energy meter integrates against.
+
+Profiles are keyed by the *weight parameter name* of each layer so they line
+up with the per-layer bitwidths reported by precision strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Compute and storage footprint of one layer (per input sample)."""
+
+    name: str
+    kind: str
+    macs: int
+    parameters: int
+    output_elements: int
+
+    def __post_init__(self) -> None:
+        if self.macs < 0 or self.parameters < 0:
+            raise ValueError("macs and parameters must be non-negative")
+
+
+@dataclass
+class ModelProfile:
+    """Per-layer profiles plus totals, for one model / input-shape pair."""
+
+    input_shape: Tuple[int, ...]
+    layers: List[LayerProfile]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_parameters(self) -> int:
+        return sum(layer.parameters for layer in self.layers)
+
+    def by_name(self) -> Dict[str, LayerProfile]:
+        return {layer.name: layer for layer in self.layers}
+
+    def macs_for(self, name: str) -> int:
+        profile = self.by_name().get(name)
+        if profile is None:
+            raise KeyError(f"no profile recorded for layer {name!r}")
+        return profile.macs
+
+
+def profile_model(
+    model: Module,
+    input_shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+) -> ModelProfile:
+    """Profile ``model`` for inputs of ``input_shape`` (without batch dim).
+
+    The probe pass temporarily wraps each Conv2d / Linear ``forward`` to
+    record input spatial sizes; the model is restored afterwards even if the
+    pass raises.
+    """
+    rng = rng or np.random.default_rng(0)
+    records: Dict[int, Tuple[str, str, int, int, int]] = {}
+    originals = []
+
+    def make_wrapper(module, name: str):
+        original_forward = module.forward
+
+        def wrapped(x: Tensor) -> Tensor:
+            out = original_forward(x)
+            if isinstance(module, Conv2d):
+                out_elements = int(np.prod(out.shape[1:]))
+                macs = (
+                    out.shape[2]
+                    * out.shape[3]
+                    * module.kernel_size
+                    * module.kernel_size
+                    * module.in_channels
+                    * module.out_channels
+                )
+                kind = "conv2d"
+            else:
+                out_elements = int(np.prod(out.shape[1:]))
+                macs = module.in_features * module.out_features
+                kind = "linear"
+            params = int(module.weight.size)
+            if module.bias is not None:
+                params += int(module.bias.size)
+            records[id(module)] = (name, kind, macs, params, out_elements)
+            return out
+
+        return original_forward, wrapped
+
+    for name, module in model.named_modules():
+        if isinstance(module, (Conv2d, Linear)):
+            original, wrapped = make_wrapper(module, f"{name}.weight" if name else "weight")
+            originals.append((module, original))
+            module.forward = wrapped
+
+    was_training = model.training
+    try:
+        model.eval()
+        probe = Tensor(rng.normal(size=(1,) + tuple(input_shape)))
+        with no_grad():
+            model(probe)
+    finally:
+        for module, original in originals:
+            module.forward = original
+        model.train(was_training)
+
+    layers = [
+        LayerProfile(name=name, kind=kind, macs=macs, parameters=params, output_elements=out_elements)
+        for name, kind, macs, params, out_elements in records.values()
+    ]
+    if not layers:
+        raise ValueError("model contains no Conv2d or Linear layers to profile")
+    return ModelProfile(input_shape=tuple(input_shape), layers=layers)

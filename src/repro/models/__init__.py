@@ -1,0 +1,34 @@
+"""Model zoo.
+
+Contains the three backbones the paper evaluates (ResNet-20, ResNet-110,
+MobileNetV2, all in their CIFAR form), the architectures referenced by the
+Table I baselines (CifarNet for TernGrad, a VGG-like network for WAGE), and
+small models (MLP, SmallConvNet) used by the fast tests, examples and
+reduced-scale benchmark configurations.
+
+All constructors accept ``width_multiplier`` so the same architecture can be
+instantiated at a fraction of its nominal width for CPU-feasible runs, and an
+explicit ``rng`` for reproducible initialisation.
+"""
+
+from repro.models.simple import MLP, SmallConvNet, TinyConvNet
+from repro.models.resnet import CifarResNet, resnet20, resnet110, resnet_n
+from repro.models.mobilenetv2 import MobileNetV2Cifar, mobilenetv2_cifar
+from repro.models.cifarnet import CifarNet, VGGLike
+from repro.models.registry import build_model, available_models
+
+__all__ = [
+    "MLP",
+    "SmallConvNet",
+    "TinyConvNet",
+    "CifarResNet",
+    "resnet20",
+    "resnet110",
+    "resnet_n",
+    "MobileNetV2Cifar",
+    "mobilenetv2_cifar",
+    "CifarNet",
+    "VGGLike",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,88 @@
+"""Architectures referenced by the Table I baselines.
+
+* :class:`CifarNet` -- the small two-conv / two-fc network TernGrad reports
+  CIFAR-10 results on.
+* :class:`VGGLike` -- the plain VGG-style stack WAGE uses ("VGG-like" in
+  Table I), scaled by a width multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class CifarNet(nn.Module):
+    """Two convolutional blocks followed by two fully connected layers."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        image_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        c1 = max(4, int(round(32 * width_multiplier)))
+        c2 = max(4, int(round(64 * width_multiplier)))
+        hidden = max(16, int(round(384 * width_multiplier)))
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, c1, 5, padding=2, rng=rng),
+            nn.BatchNorm2d(c1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c1, c2, 5, padding=2, rng=rng),
+            nn.BatchNorm2d(c2),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+        )
+        spatial = image_size // 4
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Sequential(
+            nn.Linear(c2 * spatial * spatial, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.flatten(self.features(x)))
+
+
+class VGGLike(nn.Module):
+    """Plain 3x3-conv stack in the style of the WAGE experiments."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        widths = [max(4, int(round(c * width_multiplier))) for c in (64, 128, 256)]
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, widths[0], 3, padding=1, rng=rng),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+            nn.Conv2d(widths[0], widths[0], 3, padding=1, rng=rng),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(widths[0], widths[1], 3, padding=1, rng=rng),
+            nn.BatchNorm2d(widths[1]),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(widths[1], widths[2], 3, padding=1, rng=rng),
+            nn.BatchNorm2d(widths[2]),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+        )
+        self.classifier = nn.Linear(widths[2], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

@@ -1,0 +1,84 @@
+"""Model registry: build any supported architecture by name.
+
+The experiment harness and the examples construct models through
+:func:`build_model` so a single ``--model`` string selects the architecture,
+and the reduced-scale benchmark configurations only need to pass a width
+multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.models.cifarnet import CifarNet, VGGLike
+from repro.models.mobilenetv2 import mobilenetv2_cifar
+from repro.models.resnet import resnet20, resnet110
+from repro.models.simple import MLP, SmallConvNet, TinyConvNet
+from repro.nn.module import Module
+
+
+def _build_mlp(num_classes: int, width_multiplier: float, in_channels: int, rng) -> Module:
+    hidden = max(8, int(round(64 * width_multiplier)))
+    return MLP(in_features=in_channels, num_classes=num_classes, hidden=(hidden, hidden), rng=rng)
+
+
+_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "resnet20": lambda num_classes, width_multiplier, in_channels, rng: resnet20(
+        num_classes=num_classes, width_multiplier=width_multiplier, rng=rng
+    ),
+    "resnet110": lambda num_classes, width_multiplier, in_channels, rng: resnet110(
+        num_classes=num_classes, width_multiplier=width_multiplier, rng=rng
+    ),
+    "mobilenetv2": lambda num_classes, width_multiplier, in_channels, rng: mobilenetv2_cifar(
+        num_classes=num_classes, width_multiplier=width_multiplier, rng=rng
+    ),
+    "cifarnet": lambda num_classes, width_multiplier, in_channels, rng: CifarNet(
+        num_classes=num_classes, width_multiplier=width_multiplier, in_channels=in_channels, rng=rng
+    ),
+    "vgg_like": lambda num_classes, width_multiplier, in_channels, rng: VGGLike(
+        num_classes=num_classes, width_multiplier=width_multiplier, in_channels=in_channels, rng=rng
+    ),
+    "small_convnet": lambda num_classes, width_multiplier, in_channels, rng: SmallConvNet(
+        in_channels=in_channels, num_classes=num_classes, width=max(4, int(round(16 * width_multiplier))), rng=rng
+    ),
+    "tiny_convnet": lambda num_classes, width_multiplier, in_channels, rng: TinyConvNet(
+        in_channels=in_channels, num_classes=num_classes, width=max(4, int(round(8 * width_multiplier))), rng=rng
+    ),
+    "mlp": _build_mlp,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_BUILDERS)
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    in_channels: int = 3,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
+    """Construct a model by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_models`.
+    num_classes:
+        Output dimensionality.
+    width_multiplier:
+        Channel / hidden-width scaling factor (1.0 = paper-size).
+    in_channels:
+        Input channels for convolutional models; input features for ``mlp``.
+    rng:
+        Generator for reproducible initialisation.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; available: {', '.join(available_models())}") from None
+    return builder(num_classes, width_multiplier, in_channels, rng)

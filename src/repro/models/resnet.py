@@ -1,0 +1,132 @@
+"""CIFAR-style residual networks (He et al., ref. [6] of the paper).
+
+``resnet20`` and ``resnet110`` follow the standard CIFAR ResNet layout:
+a 3x3 stem with 16 channels, three stages of ``n`` basic blocks with 16/32/64
+channels (stride 2 between stages, option-A / projection-shortcut where the
+shape changes), global average pooling, and a linear classifier.
+ResNet-20 has n=3, ResNet-110 has n=18.
+
+``width_multiplier`` scales all channel counts so the architecture can be
+instantiated at a CPU-feasible size for the reduced benchmark configurations
+while keeping the same depth and connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with BN/ReLU and an identity or projection skip."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1, padding=1, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.relu(out)
+
+
+class CifarResNet(nn.Module):
+    """ResNet-(6n+2) for 32x32 inputs."""
+
+    def __init__(
+        self,
+        num_blocks_per_stage: int,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_blocks_per_stage < 1:
+            raise ValueError("need at least one block per stage")
+        if width_multiplier <= 0:
+            raise ValueError("width_multiplier must be positive")
+        widths = [max(4, int(round(c * width_multiplier))) for c in (16, 32, 64)]
+        self.depth = 6 * num_blocks_per_stage + 2
+
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1, rng=rng),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+        )
+        self.stage1 = self._make_stage(widths[0], widths[0], num_blocks_per_stage, 1, rng)
+        self.stage2 = self._make_stage(widths[0], widths[1], num_blocks_per_stage, 2, rng)
+        self.stage3 = self._make_stage(widths[1], widths[2], num_blocks_per_stage, 2, rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(widths[2], num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(
+        in_channels: int,
+        out_channels: int,
+        blocks: int,
+        stride: int,
+        rng: Optional[np.random.Generator],
+    ) -> nn.Sequential:
+        layers: List[nn.Module] = [BasicBlock(in_channels, out_channels, stride, rng=rng)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlock(out_channels, out_channels, 1, rng=rng))
+        return nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def resnet_n(
+    n: int,
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> CifarResNet:
+    """Build a ResNet-(6n+2)."""
+    return CifarResNet(n, num_classes=num_classes, width_multiplier=width_multiplier, rng=rng)
+
+
+def resnet20(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> CifarResNet:
+    """ResNet-20 (n=3), the paper's primary backbone."""
+    return resnet_n(3, num_classes, width_multiplier, rng)
+
+
+def resnet110(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> CifarResNet:
+    """ResNet-110 (n=18), used for the CIFAR-100 comparison."""
+    return resnet_n(18, num_classes, width_multiplier, rng)

@@ -1,0 +1,100 @@
+"""Small models for tests, examples and fast benchmark configurations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class MLP(nn.Module):
+    """Fully connected classifier with configurable hidden sizes."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (64, 64),
+        batch_norm: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        layers = []
+        previous = in_features
+        for width in hidden:
+            layers.append(nn.Linear(previous, width, rng=rng))
+            if batch_norm:
+                layers.append(nn.BatchNorm1d(width))
+            layers.append(nn.ReLU())
+            previous = width
+        layers.append(nn.Linear(previous, num_classes, rng=rng))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class TinyConvNet(nn.Module):
+    """Two conv blocks + linear head; the smallest model that exercises conv/BN."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        width: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, width, kernel_size=3, padding=1, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(width, width * 2, kernel_size=3, padding=1, rng=rng),
+            nn.BatchNorm2d(width * 2),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+        )
+        self.classifier = nn.Linear(width * 2, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+class SmallConvNet(nn.Module):
+    """Three conv blocks + linear head; the default reduced-scale CNN.
+
+    Deep enough (4 weight layers) for layer-wise precision adaptation to show
+    differentiated behaviour, shallow enough to train on CPU within the fast
+    benchmark configurations.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, width, kernel_size=3, padding=1, rng=rng),
+            nn.BatchNorm2d(width),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(width, width * 2, kernel_size=3, padding=1, rng=rng),
+            nn.BatchNorm2d(width * 2),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(width * 2, width * 4, kernel_size=3, padding=1, rng=rng),
+            nn.BatchNorm2d(width * 4),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+        )
+        self.classifier = nn.Linear(width * 4, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

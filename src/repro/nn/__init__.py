@@ -1,0 +1,39 @@
+"""Neural-network layers built on the autograd tensor engine.
+
+The public surface intentionally mirrors ``torch.nn`` for the small subset of
+layers the paper's models (ResNet-20/110, MobileNetV2, CifarNet) need, so
+model definitions in :mod:`repro.models` read like conventional PyTorch code.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.layers import Linear, Conv2d, Identity, Flatten, Dropout
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.activations import ReLU, ReLU6, Sigmoid, Tanh, LeakyReLU
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.loss import CrossEntropyLoss, MSELoss, Loss
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "Identity",
+    "Flatten",
+    "Dropout",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Sigmoid",
+    "Tanh",
+    "LeakyReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Loss",
+]

@@ -1,0 +1,67 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, str(index), module)
+            self._ordered.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        index = len(self._ordered)
+        setattr(self, str(index), module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """Hold an indexable list of child modules (no implicit forward)."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._ordered)
+        setattr(self, str(index), module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("ModuleList has no forward; index into it explicitly")

@@ -1,0 +1,124 @@
+"""Core trainable layers: Linear, Conv2d, and small utility layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F, init
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output dimensionality.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Random generator used for weight initialisation (He normal, per the
+        paper's training recipe).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_normal((out_features, in_features), rng=rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias", quantisable=False) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size), rng=rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias", quantisable=False) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_spatial(self, height: int, width: int) -> tuple:
+        """Output spatial size for the given input size (used by cost models)."""
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return out_h, out_w
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding})"
+        )
+
+
+class Identity(Module):
+    """Pass-through module, useful as a placeholder for skipped blocks."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape((x.shape[0], -1))
+
+
+class Dropout(Module):
+    """Inverted dropout.
+
+    The paper's recipe uses no dropout, but the layer is provided for the
+    baseline methods and examples that want it.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)

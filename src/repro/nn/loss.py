@@ -1,0 +1,43 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class Loss(Module):
+    """Base class for losses (callable modules returning scalar tensors)."""
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class labels.
+
+    Accepts logits of shape ``(N, C)`` and labels as an ``(N,)`` integer numpy
+    array (or anything convertible).  Reduction is always the mean, matching
+    the paper's training setup.
+    """
+
+    def forward(self, logits: Tensor, labels) -> Tensor:
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        one_hot = Tensor(F.one_hot(labels, logits.shape[1]))
+        negative_log_likelihood = -(log_probs * one_hot).sum(axis=1)
+        return negative_log_likelihood.mean()
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float64))
+        diff = prediction - target_t
+        return (diff * diff).mean()

@@ -1,0 +1,182 @@
+"""Module and Parameter base classes.
+
+A :class:`Module` owns :class:`Parameter` objects and child modules, exposes
+them through ``parameters()`` / ``named_parameters()`` and provides the
+train/eval switch used by batch normalisation and dropout.
+
+Parameters carry extra metadata needed by the quantisation layer and by the
+APT controller:
+
+* ``quantisable`` -- whether APT / fixed-precision trainers are allowed to
+  quantise this parameter (biases and BN affine parameters are learnable but
+  tiny; the paper quantises weights, and the controller can be configured to
+  include or exclude the rest).
+* ``layer_id`` -- assigned by the precision controller so per-layer metrics
+  (Gavg) and bitwidths can be tracked.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor.
+
+    In addition to the autograd machinery inherited from :class:`Tensor`, a
+    parameter knows whether it may be quantised and which logical layer it
+    belongs to (filled in by the precision controller).
+    """
+
+    __slots__ = ("quantisable", "layer_id")
+
+    def __init__(self, data, name: Optional[str] = None, quantisable: bool = True) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        self.quantisable = quantisable
+        self.layer_id: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.data.shape}, name={self.name!r}, quantisable={self.quantisable})"
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a registered buffer in place of re-registration."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------ #
+    # Modes and gradient handling
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter and buffer arrays (copies)."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[f"buffer:{name}"] = np.array(buffer, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays previously produced by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("buffer:"):
+                continue
+            if name not in params:
+                raise KeyError(f"unexpected parameter {name!r} in state dict")
+            if params[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{params[name].data.shape} vs {value.shape}"
+                )
+            params[name].data = value.copy()
+        buffer_owners = self._collect_buffer_owners()
+        for name, value in state.items():
+            if not name.startswith("buffer:"):
+                continue
+            key = name[len("buffer:"):]
+            if key in buffer_owners:
+                owner, local_name = buffer_owners[key]
+                owner.update_buffer(local_name, np.array(value, copy=True))
+
+    def _collect_buffer_owners(self) -> Dict[str, Tuple["Module", str]]:
+        owners: Dict[str, Tuple[Module, str]] = {}
+
+        def visit(module: "Module", prefix: str) -> None:
+            for local_name in module._buffers:
+                owners[f"{prefix}{local_name}"] = (module, local_name)
+            for child_name, child in module._modules.items():
+                visit(child, f"{prefix}{child_name}.")
+
+        visit(self, "")
+        return owners
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(p.size for p in self.parameters() if p.requires_grad or not trainable_only)
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

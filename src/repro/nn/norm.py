@@ -1,0 +1,64 @@
+"""Batch normalisation layers.
+
+The paper trains with BN [10] and no dropout.  Running statistics are kept as
+plain numpy buffers; the affine scale/shift are :class:`Parameter` objects
+flagged ``quantisable=False`` by default because they are tiny relative to
+conv/linear weights (the controller may still include them if configured).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features), name="bn_weight", quantisable=False)
+        self.bias = Parameter(np.zeros(num_features), name="bn_bias", quantisable=False)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _normalise(self, x: Tensor, axes, view_shape) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            batch_mean = mean.data.reshape(self.num_features)
+            batch_var = var.data.reshape(self.num_features)
+            new_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            new_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            self.update_buffer("running_mean", new_mean)
+            self.update_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(view_shape))
+            var = Tensor(self.running_var.reshape(view_shape))
+        normalised = (x - mean) / (var + self.eps).sqrt()
+        scale = self.weight.reshape(view_shape)
+        shift = self.bias.reshape(view_shape)
+        return normalised * scale + shift
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalisation over NCHW feature maps."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        return self._normalise(x, axes=(0, 2, 3), view_shape=(1, self.num_features, 1, 1))
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalisation over (N, C) feature vectors."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, C) input, got shape {x.shape}")
+        return self._normalise(x, axes=(0,), view_shape=(1, self.num_features))

@@ -1,0 +1,31 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains with plain SGD (momentum 0.9, weight decay 1e-4) and a
+step schedule (divide by 10 at epochs 100 and 150), plus a two-epoch warmup
+for CIFAR-100.  Adam is provided because several Table I baselines use it.
+
+The :class:`~repro.optim.sgd.SGD` optimiser accepts an ``update_hook`` so the
+quantisation layer can intercept the weight update and apply the quantised
+update rule of Eq. 3 (this is how underflow enters the training loop).
+"""
+
+from repro.optim.sgd import SGD, UpdateHook
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import (
+    LRScheduler,
+    ConstantLR,
+    MultiStepLR,
+    WarmupMultiStepLR,
+    CosineAnnealingLR,
+)
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "UpdateHook",
+    "LRScheduler",
+    "ConstantLR",
+    "MultiStepLR",
+    "WarmupMultiStepLR",
+    "CosineAnnealingLR",
+]

@@ -1,0 +1,69 @@
+"""Adam optimiser.
+
+Provided because several Table I baselines (BNN, TTQ, DoReFa-Net, TernGrad)
+train with Adam.  The APT experiments themselves use plain SGD to highlight
+the energy/memory savings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.sgd import UpdateHook
+
+
+class Adam:
+    """Adam with bias correction and optional decoupled update hook."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        update_hook: Optional[UpdateHook] = None,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimiser received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = float(weight_decay)
+        self.update_hook = update_hook or UpdateHook()
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param), np.zeros_like(param.data))
+            v = self._v.get(id(param), np.zeros_like(param.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1 - self.beta1 ** self._step_count)
+            v_hat = v / (1 - self.beta2 ** self._step_count)
+            delta = -self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self.update_hook.apply(param, delta)
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count

@@ -1,0 +1,89 @@
+"""Learning-rate schedules.
+
+Implements the exact recipes from Section IV of the paper:
+
+* **CIFAR-10 recipe** -- start at 0.1, divide by 10 at epochs 100 and 150,
+  stop at 200 epochs (:class:`MultiStepLR`).
+* **CIFAR-100 recipe** -- warm up at lr 0.01 for the first two epochs, then
+  follow the CIFAR-10 schedule (:class:`WarmupMultiStepLR`).
+
+Schedulers are stepped once per epoch with ``scheduler.step(epoch)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+class LRScheduler:
+    """Base class: owns the optimiser and a base learning rate."""
+
+    def __init__(self, optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self, epoch: int) -> float:
+        """Set the optimiser's lr for ``epoch`` and return it."""
+        lr = self.get_lr(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """Keep the base learning rate unchanged."""
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class MultiStepLR(LRScheduler):
+    """Divide the learning rate by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for milestone in self.milestones if epoch >= milestone)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class WarmupMultiStepLR(MultiStepLR):
+    """The paper's CIFAR-100 recipe: low-lr warmup, then step decay."""
+
+    def __init__(
+        self,
+        optimizer,
+        milestones: Sequence[int],
+        gamma: float = 0.1,
+        warmup_epochs: int = 2,
+        warmup_lr: float = 0.01,
+    ) -> None:
+        super().__init__(optimizer, milestones, gamma)
+        self.warmup_epochs = warmup_epochs
+        self.warmup_lr = warmup_lr
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.warmup_lr
+        return super().get_lr(epoch)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base lr down to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

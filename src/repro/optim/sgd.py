@@ -1,0 +1,105 @@
+"""SGD with momentum, weight decay, and a pluggable update hook.
+
+The hook is the integration point for quantised training: instead of applying
+``param += delta`` directly, the optimiser offers the proposed delta to the
+hook, which may snap it onto the parameter's quantisation grid (Eq. 3 of the
+paper) or redirect it to an fp32 master copy (the behaviour of the baselines
+that keep a master copy, Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class UpdateHook:
+    """Interface for intercepting parameter updates.
+
+    ``apply`` receives the parameter and the proposed dense update ``delta``
+    (already including learning rate, momentum and weight decay) and is
+    responsible for writing the new value into ``param.data``.  The default
+    implementation performs the plain full-precision update.
+    """
+
+    def apply(self, param: Parameter, delta: np.ndarray) -> None:
+        param.data = param.data + delta
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Parameters
+    ----------
+    params:
+        Iterable of :class:`Parameter` objects.
+    lr:
+        Learning rate (mutable via :attr:`lr`, used by the schedulers).
+    momentum:
+        Classical momentum coefficient (the paper uses 0.9).
+    weight_decay:
+        L2 penalty added to the gradient (the paper uses 1e-4).
+    update_hook:
+        Optional :class:`UpdateHook` that applies the final update; used by
+        the quantisation layer.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        update_hook: Optional[UpdateHook] = None,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimiser received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.update_hook = update_hook or UpdateHook()
+        self._velocity: Dict[int, np.ndarray] = {}
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one optimisation step using the gradients currently stored."""
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                grad = velocity
+            delta = -self.lr * grad
+            self.update_hook.apply(param, delta)
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+        }

@@ -1,0 +1,67 @@
+"""Quantisation substrate.
+
+Implements the affine (scale / zero-point) quantisation scheme of Jacob et
+al. that the paper adopts (Section III), the quantisation-resolution and
+underflow arithmetic of Eqs. 2-3, observers for tracking tensor ranges, a
+compact integer-code tensor representation used for memory accounting, and
+the quantiser family used by the Table I baseline methods (binary, ternary,
+DoReFa, WAGE).
+"""
+
+from repro.quant.affine import (
+    AffineQParams,
+    compute_qparams,
+    quantize,
+    dequantize,
+    fake_quantize,
+    resolution,
+)
+from repro.quant.qtensor import QuantizedTensor
+from repro.quant.observer import MinMaxObserver, MovingAverageMinMaxObserver
+from repro.quant.underflow import (
+    quantised_update,
+    underflow_fraction,
+    gradient_resolution_ratio,
+)
+from repro.quant.schemes import (
+    binarize,
+    ternarize,
+    dorefa_quantize_weights,
+    dorefa_quantize_gradients,
+    wage_quantize,
+    stochastic_round,
+)
+from repro.quant.activation import ActivationQuantizer, QuantizedActivation
+from repro.quant.deploy import (
+    QuantizedModelExport,
+    export_quantized_model,
+    export_size_report,
+    load_into_model,
+)
+
+__all__ = [
+    "AffineQParams",
+    "compute_qparams",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "resolution",
+    "QuantizedTensor",
+    "MinMaxObserver",
+    "MovingAverageMinMaxObserver",
+    "quantised_update",
+    "underflow_fraction",
+    "gradient_resolution_ratio",
+    "binarize",
+    "ternarize",
+    "dorefa_quantize_weights",
+    "dorefa_quantize_gradients",
+    "wage_quantize",
+    "stochastic_round",
+    "ActivationQuantizer",
+    "QuantizedActivation",
+    "QuantizedModelExport",
+    "export_quantized_model",
+    "export_size_report",
+    "load_into_model",
+]

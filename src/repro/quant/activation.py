@@ -1,0 +1,109 @@
+"""Activation quantisation.
+
+The paper quantises *weights* in both passes; activation quantisation is the
+natural companion (and is what several of the Table I baselines do in their
+original form), so the library provides it as an optional extension:
+
+* :class:`ActivationQuantizer` -- a per-tensor fake-quantiser with a
+  moving-average range observer and an optional learned-free clipping value
+  (the ReLU6-style clip the paper mentions among "parameters that need to be
+  learned").
+* :class:`QuantizedActivation` -- an :class:`~repro.nn.module.Module` wrapper
+  that can be dropped after any activation in a model definition.
+
+Gradients pass straight through the quantiser (straight-through estimator):
+the quantisation error is treated as noise in the forward pass only, which is
+the standard approach and keeps the autograd engine unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.affine import FLOAT_BITS_THRESHOLD, compute_qparams, dequantize, quantize
+from repro.quant.observer import MovingAverageMinMaxObserver
+from repro.tensor import Tensor
+
+
+class ActivationQuantizer:
+    """Fake-quantise activation tensors with an observed dynamic range.
+
+    Parameters
+    ----------
+    bits:
+        Bitwidth of the activation representation (>= 32 disables
+        quantisation).
+    observer_beta:
+        Smoothing factor of the moving-average range observer.
+    clip_value:
+        Optional hard clip applied before quantisation (e.g. 6.0 to emulate
+        ReLU6-style clipping).  ``None`` uses the observed range directly.
+    """
+
+    def __init__(
+        self,
+        bits: int = 8,
+        observer_beta: float = 0.9,
+        clip_value: Optional[float] = None,
+    ) -> None:
+        if bits < 2:
+            raise ValueError(f"bits must be at least 2, got {bits}")
+        if clip_value is not None and clip_value <= 0:
+            raise ValueError(f"clip_value must be positive, got {clip_value}")
+        self.bits = bits
+        self.clip_value = clip_value
+        self.observer = MovingAverageMinMaxObserver(beta=observer_beta)
+        self.enabled = True
+
+    def set_bits(self, bits: int) -> None:
+        """Change the bitwidth (e.g. driven by an APT-style controller)."""
+        if bits < 2:
+            raise ValueError(f"bits must be at least 2, got {bits}")
+        self.bits = bits
+
+    def quantise_array(self, values: np.ndarray, update_observer: bool = True) -> np.ndarray:
+        """Quantise a plain numpy activation array."""
+        if not self.enabled or self.bits >= FLOAT_BITS_THRESHOLD:
+            return values
+        if self.clip_value is not None:
+            values = np.clip(values, -self.clip_value, self.clip_value)
+        if update_observer:
+            self.observer.update(values)
+        if not self.observer.initialized:
+            return values
+        qparams = self.observer.compute_qparams(self.bits)
+        return dequantize(quantize(values, qparams), qparams)
+
+    def __call__(self, activation: Tensor, training: bool = True) -> Tensor:
+        """Fake-quantise an activation tensor with a straight-through gradient."""
+        if not self.enabled or self.bits >= FLOAT_BITS_THRESHOLD:
+            return activation
+        quantised = self.quantise_array(activation.data, update_observer=training)
+        # Straight-through estimator: forward uses the quantised values,
+        # backward treats the quantiser as identity.  Implemented as
+        # x + (q(x) - x).detach() so the graph only sees the identity path.
+        residual = Tensor(quantised - activation.data)
+        return activation + residual
+
+
+class QuantizedActivation(Module):
+    """Module wrapper so activation quantisation can live inside Sequential."""
+
+    def __init__(
+        self,
+        bits: int = 8,
+        observer_beta: float = 0.9,
+        clip_value: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.quantizer = ActivationQuantizer(bits=bits, observer_beta=observer_beta, clip_value=clip_value)
+
+    @property
+    def bits(self) -> int:
+        return self.quantizer.bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.quantizer(x, training=self.training)

@@ -1,0 +1,133 @@
+"""Affine (scale / zero-point) quantisation.
+
+The paper uses the widely adopted scheme of Jacob et al. [11]: a real value
+``r`` maps to an integer code ``q`` through ``r = S * (q - Z)`` where the
+scale ``S`` and zero point ``Z`` are shared by all values of a tensor.  For
+``k``-bit quantisation ``q`` takes one of ``2**k`` discrete states.
+
+The per-tensor minimum representable step -- the *resolution* of Eq. 2 --
+
+    eps = (max(W) - min(W)) / (2**k - 1)
+
+is the quantity that drives quantisation underflow and therefore the Gavg
+metric at the heart of APT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Bitwidths accepted throughout the library.  The paper's policy clamps
+#: adjustments to the range [2, 32]; 32 is treated as "effectively float".
+MIN_BITS = 2
+MAX_BITS = 32
+
+#: Bitwidth at or above which we treat the tensor as full precision and skip
+#: the integer grid entirely (a 32-bit affine grid is numerically
+#: indistinguishable from fp32 for our purposes and would only add noise).
+FLOAT_BITS_THRESHOLD = 32
+
+
+@dataclass(frozen=True)
+class AffineQParams:
+    """Quantisation parameters of one tensor: ``r = scale * (q - zero_point)``."""
+
+    scale: float
+    zero_point: int
+    bits: int
+
+    @property
+    def num_levels(self) -> int:
+        return 2 ** self.bits
+
+    @property
+    def qmin(self) -> int:
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** self.bits - 1
+
+
+def _validate_bits(bits: int) -> None:
+    if not isinstance(bits, (int, np.integer)):
+        raise TypeError(f"bits must be an integer, got {type(bits).__name__}")
+    if bits < MIN_BITS or bits > MAX_BITS:
+        raise ValueError(f"bits must be in [{MIN_BITS}, {MAX_BITS}], got {bits}")
+
+
+def resolution(values: np.ndarray, bits: int) -> float:
+    """Quantisation resolution eps of Eq. 2 for a tensor at ``bits`` bits.
+
+    Returns the smallest representable change of a value in the tensor.  A
+    degenerate (constant) tensor has zero range; we return a tiny positive
+    number in that case so downstream ratios remain finite.
+    """
+    _validate_bits(bits)
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("cannot compute the resolution of an empty tensor")
+    value_range = float(values.max() - values.min())
+    if value_range <= 0.0:
+        return np.finfo(np.float64).tiny
+    return value_range / (2 ** bits - 1)
+
+
+def compute_qparams(values: np.ndarray, bits: int) -> AffineQParams:
+    """Choose scale and zero point so the tensor's [min, max] range is covered.
+
+    The zero point is chosen so that real zero is exactly representable,
+    which keeps zero-padding and ReLU outputs exact (the standard Jacob et
+    al. requirement).  Consequence: the covered range is ``[min(0, min(W)),
+    max(0, max(W))]``, so for a tensor that does not straddle zero the grid
+    step (``scale``) is coarser than the Eq. 2 resolution computed from the
+    data range alone.  Weight tensors straddle zero in practice, where the
+    two coincide.
+    """
+    _validate_bits(bits)
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("cannot compute qparams for an empty tensor")
+    low = float(min(values.min(), 0.0))
+    high = float(max(values.max(), 0.0))
+    qmax = 2 ** bits - 1
+    value_range = high - low
+    scale = value_range / qmax
+    if value_range <= 0.0 or scale <= 0.0 or not np.isfinite(scale):
+        # Degenerate tensors (constant, or so tiny that the step underflows to
+        # zero) get a token positive scale so downstream divisions stay finite.
+        return AffineQParams(scale=np.finfo(np.float64).tiny, zero_point=0, bits=bits)
+    zero_point = int(round(-low / scale))
+    zero_point = int(np.clip(zero_point, 0, qmax))
+    return AffineQParams(scale=scale, zero_point=zero_point, bits=bits)
+
+
+def quantize(values: np.ndarray, qparams: AffineQParams) -> np.ndarray:
+    """Map real values to integer codes in ``[0, 2**bits - 1]``."""
+    codes = np.round(values / qparams.scale) + qparams.zero_point
+    return np.clip(codes, qparams.qmin, qparams.qmax).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, qparams: AffineQParams) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return qparams.scale * (codes.astype(np.float64) - qparams.zero_point)
+
+
+def fake_quantize(values: np.ndarray, bits: int) -> Tuple[np.ndarray, AffineQParams]:
+    """Quantise-then-dequantise: snap values onto the k-bit affine grid.
+
+    This is how weights are represented during quantised training: the
+    framework keeps float buffers for arithmetic convenience, but every value
+    lies exactly on the integer grid, so the storage cost (counted by the
+    memory model) is ``bits`` per value.
+    """
+    _validate_bits(bits)
+    values = np.asarray(values, dtype=np.float64)
+    if bits >= FLOAT_BITS_THRESHOLD:
+        qparams = AffineQParams(scale=1.0, zero_point=0, bits=bits)
+        return values.copy(), qparams
+    qparams = compute_qparams(values, bits)
+    return dequantize(quantize(values, qparams), qparams), qparams

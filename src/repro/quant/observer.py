@@ -1,0 +1,80 @@
+"""Range observers.
+
+Observers track the dynamic range of a tensor stream (weights across steps,
+or activations across batches) so the quantiser can pick stable scale /
+zero-point values.  The moving-average observer mirrors the behaviour of
+standard quantisation-aware-training frameworks and is also the mechanism
+behind the moving average applied to Gavg in Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.affine import AffineQParams, compute_qparams
+
+
+class MinMaxObserver:
+    """Track the running min / max of everything it has seen."""
+
+    def __init__(self) -> None:
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.num_updates = 0
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        low = float(values.min())
+        high = float(values.max())
+        if self.min_value is None:
+            self.min_value, self.max_value = low, high
+        else:
+            self.min_value = min(self.min_value, low)
+            self.max_value = max(self.max_value, high)
+        self.num_updates += 1
+
+    @property
+    def initialized(self) -> bool:
+        return self.min_value is not None
+
+    def compute_qparams(self, bits: int) -> AffineQParams:
+        if not self.initialized:
+            raise RuntimeError("observer has not seen any data yet")
+        synthetic = np.array([self.min_value, self.max_value])
+        return compute_qparams(synthetic, bits)
+
+    def reset(self) -> None:
+        self.min_value = None
+        self.max_value = None
+        self.num_updates = 0
+
+
+class MovingAverageMinMaxObserver(MinMaxObserver):
+    """Exponential-moving-average min / max observer.
+
+    ``beta`` close to 1 gives a long memory; the default matches the common
+    QAT setting and the smoothing the paper applies to Gavg samples.
+    """
+
+    def __init__(self, beta: float = 0.9) -> None:
+        super().__init__()
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = beta
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        low = float(values.min())
+        high = float(values.max())
+        if self.min_value is None:
+            self.min_value, self.max_value = low, high
+        else:
+            self.min_value = self.beta * self.min_value + (1 - self.beta) * low
+            self.max_value = self.beta * self.max_value + (1 - self.beta) * high
+        self.num_updates += 1

@@ -1,0 +1,73 @@
+"""Compact quantised tensor representation.
+
+:class:`QuantizedTensor` stores the integer codes together with the affine
+parameters.  It exists for two reasons:
+
+1. it is the storage format an edge device would actually use, so the memory
+   model in :mod:`repro.hardware.memory` can count real bits;
+2. round-tripping through it in tests proves the float buffers used during
+   training always lie exactly on the integer grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.affine import AffineQParams, compute_qparams, dequantize, quantize
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer codes plus affine parameters describing one tensor."""
+
+    codes: np.ndarray
+    qparams: AffineQParams
+
+    @classmethod
+    def from_float(cls, values: np.ndarray, bits: int) -> "QuantizedTensor":
+        """Quantise a float tensor to ``bits`` bits."""
+        values = np.asarray(values, dtype=np.float64)
+        qparams = compute_qparams(values, bits)
+        return cls(codes=quantize(values, qparams), qparams=qparams)
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the (grid-aligned) float values."""
+        return dequantize(self.codes, self.qparams)
+
+    @property
+    def bits(self) -> int:
+        return self.qparams.bits
+
+    @property
+    def shape(self):
+        return self.codes.shape
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.codes.size)
+
+    def memory_bits(self, include_qparams: bool = True) -> int:
+        """Storage cost in bits: ``bits`` per element plus the qparams.
+
+        The scale is a 32-bit float and the zero point an integer of the same
+        width as the codes; both are per-tensor so their contribution is
+        negligible for real layers but included for exactness.
+        """
+        total = self.num_elements * self.bits
+        if include_qparams:
+            total += 32 + self.bits
+        return total
+
+    def memory_bytes(self, include_qparams: bool = True) -> float:
+        return self.memory_bits(include_qparams) / 8.0
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - convenience
+        if not isinstance(other, QuantizedTensor):
+            return NotImplemented
+        return (
+            self.qparams == other.qparams
+            and self.codes.shape == other.codes.shape
+            and bool(np.all(self.codes == other.codes))
+        )

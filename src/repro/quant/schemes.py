@@ -1,0 +1,110 @@
+"""Quantiser family used by the Table I baseline methods.
+
+Each function implements the weight (or gradient) quantiser of one published
+scheme, simplified to its core arithmetic:
+
+* :func:`binarize` -- BNN-style sign binarisation with a per-tensor scale.
+* :func:`ternarize` -- TWN / TernGrad-style ternarisation with the standard
+  0.7 * mean(|w|) threshold.
+* :func:`dorefa_quantize_weights` / :func:`dorefa_quantize_gradients` --
+  DoReFa-Net's tanh-normalised weight quantiser and stochastic gradient
+  quantiser.
+* :func:`wage_quantize` -- WAGE's shift-based uniform quantiser.
+* :func:`stochastic_round` -- unbiased stochastic rounding, the ingredient
+  behind several low-precision update rules.
+
+These are deliberately compact: Table I compares end-to-end behaviour (which
+representation BPROP uses, which optimiser, what accuracy results), not the
+micro-details of each quantiser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def binarize(values: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Sign binarisation with the L1 scaling of BNN / XNOR-style methods.
+
+    Returns the binarised tensor (values in {-alpha, +alpha}) and the scale
+    ``alpha = mean(|w|)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    alpha = float(np.mean(np.abs(values))) if values.size else 0.0
+    signs = np.where(values >= 0, 1.0, -1.0)
+    return signs * alpha, alpha
+
+
+def ternarize(values: np.ndarray, threshold_factor: float = 0.7) -> Tuple[np.ndarray, float, float]:
+    """Ternary weight quantisation (TWN): values in {-alpha, 0, +alpha}.
+
+    The threshold is ``threshold_factor * mean(|w|)`` and ``alpha`` is the
+    mean magnitude of the surviving weights, the standard TWN closed form.
+    Returns (ternarised values, alpha, threshold).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return values.copy(), 0.0, 0.0
+    threshold = threshold_factor * float(np.mean(np.abs(values)))
+    mask = np.abs(values) > threshold
+    if mask.any():
+        alpha = float(np.mean(np.abs(values[mask])))
+    else:
+        alpha = 0.0
+    return np.sign(values) * mask * alpha, alpha, threshold
+
+
+def dorefa_quantize_weights(values: np.ndarray, bits: int) -> np.ndarray:
+    """DoReFa-Net weight quantiser.
+
+    Weights are squashed with tanh, affinely mapped to [0, 1], uniformly
+    quantised to ``bits`` bits, then mapped back to [-1, 1].
+    """
+    if bits >= 32:
+        return np.asarray(values, dtype=np.float64).copy()
+    values = np.asarray(values, dtype=np.float64)
+    squashed = np.tanh(values)
+    max_abs = np.max(np.abs(squashed)) if squashed.size else 1.0
+    if max_abs == 0:
+        return np.zeros_like(values)
+    unit = squashed / (2 * max_abs) + 0.5
+    levels = 2 ** bits - 1
+    quantised = np.round(unit * levels) / levels
+    return 2 * quantised - 1
+
+
+def stochastic_round(values: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Unbiased stochastic rounding to the nearest integers."""
+    rng = rng or np.random.default_rng()
+    values = np.asarray(values, dtype=np.float64)
+    floor = np.floor(values)
+    fraction = values - floor
+    return floor + (rng.random(values.shape) < fraction)
+
+
+def dorefa_quantize_gradients(
+    gradients: np.ndarray, bits: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """DoReFa-Net gradient quantiser with stochastic rounding."""
+    if bits >= 32:
+        return np.asarray(gradients, dtype=np.float64).copy()
+    gradients = np.asarray(gradients, dtype=np.float64)
+    max_abs = float(np.max(np.abs(gradients))) if gradients.size else 0.0
+    if max_abs == 0:
+        return np.zeros_like(gradients)
+    unit = gradients / (2 * max_abs) + 0.5
+    levels = 2 ** bits - 1
+    rounded = stochastic_round(unit * levels, rng=rng) / levels
+    return 2 * max_abs * (rounded - 0.5)
+
+
+def wage_quantize(values: np.ndarray, bits: int = 8) -> np.ndarray:
+    """WAGE-style uniform quantiser onto a symmetric fixed-point grid."""
+    if bits >= 32:
+        return np.asarray(values, dtype=np.float64).copy()
+    values = np.asarray(values, dtype=np.float64)
+    step = 2.0 ** (1 - bits)
+    clipped = np.clip(values, -1 + step, 1 - step)
+    return np.round(clipped / step) * step

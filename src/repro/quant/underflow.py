@@ -1,0 +1,88 @@
+"""Quantisation-underflow arithmetic (Eqs. 2-4 of the paper).
+
+The central mechanism APT responds to: at ``k`` bits, a weight tensor can only
+change in integer multiples of its resolution ``eps`` (Eq. 2).  An SGD update
+``lr * g`` smaller than ``eps`` therefore rounds to zero -- the weight is
+frozen and learning stalls.  This module implements
+
+* :func:`quantised_update` -- the literal update rule of Eq. 3;
+* :func:`underflow_fraction` -- diagnostic: fraction of weights whose update
+  underflowed in a step;
+* :func:`gradient_resolution_ratio` -- the per-element ``|g / eps|`` values
+  whose mean is the Gavg metric of Eq. 4 (the mean itself lives in
+  :mod:`repro.core.gavg` next to its moving average).
+
+The paper writes the quantised step as ``floor(lr*g / eps) * eps``.  Applied
+literally to signed updates, ``floor`` would treat positive and negative
+updates asymmetrically (a tiny negative update would still move the weight a
+full step).  We use truncation toward zero, which is symmetric and preserves
+the intended behaviour -- any update smaller than ``eps`` in magnitude is
+lost.  This choice is documented here and covered by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def quantised_update(
+    weights: np.ndarray,
+    update: np.ndarray,
+    eps: float,
+) -> Tuple[np.ndarray, int]:
+    """Apply the quantised weight update of Eq. 3.
+
+    Parameters
+    ----------
+    weights:
+        Current (grid-aligned) weight values.
+    update:
+        Proposed dense update, i.e. ``-lr * gradient`` including momentum and
+        weight decay.  Sign convention: the update is *added* to the weights.
+    eps:
+        The layer's quantisation resolution (Eq. 2).
+
+    Returns
+    -------
+    (new_weights, num_underflowed):
+        The updated weights (still on the eps grid relative to the old
+        values) and the number of elements whose update was entirely lost to
+        underflow despite being non-zero.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    weights = np.asarray(weights, dtype=np.float64)
+    update = np.asarray(update, dtype=np.float64)
+    if weights.shape != update.shape:
+        raise ValueError(f"shape mismatch: weights {weights.shape} vs update {update.shape}")
+    ratio = update / eps
+    # Nudge toward the nearest integer before truncating so that updates that
+    # are exact multiples of eps are not lost to one-ulp division error
+    # (e.g. 0.3 / 0.1 = 2.999...96 must count as 3 steps, not 2).
+    nudge = np.sign(ratio) * (np.abs(ratio) * 1e-12 + 1e-12)
+    steps = np.trunc(ratio + nudge)
+    applied = steps * eps
+    underflowed = int(np.count_nonzero((steps == 0) & (update != 0)))
+    return weights + applied, underflowed
+
+
+def underflow_fraction(update: np.ndarray, eps: float) -> float:
+    """Fraction of non-zero proposed updates that are lost to underflow."""
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    update = np.asarray(update)
+    nonzero = update != 0
+    total = int(np.count_nonzero(nonzero))
+    if total == 0:
+        return 0.0
+    lost = int(np.count_nonzero(nonzero & (np.abs(update) < eps)))
+    return lost / total
+
+
+def gradient_resolution_ratio(gradient: np.ndarray, eps: float) -> np.ndarray:
+    """Per-element ``|g / eps|`` -- the quantity averaged by Gavg (Eq. 4)."""
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    return np.abs(np.asarray(gradient, dtype=np.float64)) / eps

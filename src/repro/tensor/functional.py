@@ -1,0 +1,233 @@
+"""Functional neural-network operations built on the autograd :class:`Tensor`.
+
+The convolution and pooling operations use an im2col lowering so the inner
+loops run as dense numpy matrix multiplications.  All functions take and
+return :class:`~repro.tensor.tensor.Tensor` objects and are differentiable.
+
+Layout convention: image tensors are NCHW (batch, channels, height, width),
+matching the paper's PyTorch reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _as_pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def _im2col_indices(
+    input_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute the gather indices used to lower a convolution to a matmul."""
+    batch, channels, height, width = input_shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output size would be non-positive for input {input_shape}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride_h * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride_w * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(
+    array: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], int, int]:
+    pad_h, pad_w = padding
+    padded = np.pad(array, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    k, i, j, out_h, out_w = _im2col_indices(array.shape, kernel_size, stride, padding)
+    cols = padded[:, k, i, j]  # (batch, C*kh*kw, out_h*out_w)
+    return cols, (k, i, j), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    indices: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    batch, channels, height, width = input_shape
+    pad_h, pad_w = padding
+    k, i, j = indices
+    padded = np.zeros((batch, channels, height + 2 * pad_h, width + 2 * pad_w), dtype=cols.dtype)
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if pad_h == 0 and pad_w == 0:
+        return padded
+    return padded[
+        :,
+        :,
+        pad_h : pad_h + height,
+        pad_w : pad_w + width,
+    ]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over an NCHW input.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, kH, kW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Integer or ``(h, w)`` pairs.
+    """
+    stride_pair = _as_pair(stride)
+    padding_pair = _as_pair(padding)
+    out_channels, in_channels, kernel_h, kernel_w = weight.data.shape
+    if x.data.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.data.shape[1]} channels but weight expects {in_channels}"
+        )
+
+    cols, indices, out_h, out_w = _im2col(x.data, (kernel_h, kernel_w), stride_pair, padding_pair)
+    weight_matrix = weight.data.reshape(out_channels, -1)
+    # (batch, C_out, out_h*out_w)
+    out = np.einsum("of,bfp->bop", weight_matrix, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1)
+    out = out.reshape(x.data.shape[0], out_channels, out_h, out_w)
+
+    input_shape = x.data.shape
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(grad.shape[0], out_channels, -1)
+        if weight.requires_grad:
+            grad_weight = np.einsum("bop,bfp->of", grad_flat, cols, optimize=True)
+            weight._accumulate_grad(grad_weight.reshape(weight.data.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate_grad(grad_flat.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_cols = np.einsum("of,bop->bfp", weight_matrix, grad_flat, optimize=True)
+            x._accumulate_grad(_col2im(grad_cols, input_shape, indices, padding_pair))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over NCHW input."""
+    kernel = _as_pair(kernel_size)
+    stride_pair = _as_pair(stride) if stride is not None else kernel
+    batch, channels, height, width = x.data.shape
+    kernel_h, kernel_w = kernel
+    stride_h, stride_w = stride_pair
+    out_h = (height - kernel_h) // stride_h + 1
+    out_w = (width - kernel_w) // stride_w + 1
+
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols, indices, _, _ = _im2col(reshaped, kernel, stride_pair, (0, 0))
+    # cols: (batch*channels, kh*kw, out_h*out_w)
+    argmax = cols.argmax(axis=1)
+    out = cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_flat = grad.reshape(batch * channels, -1)
+        grad_cols = np.zeros_like(cols)
+        rows = np.arange(cols.shape[0])[:, None]
+        positions = np.arange(cols.shape[2])[None, :]
+        grad_cols[rows, argmax, positions] = grad_flat
+        grad_input = _col2im(grad_cols, reshaped.shape, indices, (0, 0))
+        x._accumulate_grad(grad_input.reshape(batch, channels, height, width))
+
+    return Tensor._make(out, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling over NCHW input."""
+    kernel = _as_pair(kernel_size)
+    stride_pair = _as_pair(stride) if stride is not None else kernel
+    batch, channels, height, width = x.data.shape
+    kernel_h, kernel_w = kernel
+    stride_h, stride_w = stride_pair
+    out_h = (height - kernel_h) // stride_h + 1
+    out_w = (width - kernel_w) // stride_w + 1
+
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols, indices, _, _ = _im2col(reshaped, kernel, stride_pair, (0, 0))
+    out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+    window = kernel_h * kernel_w
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_flat = grad.reshape(batch * channels, 1, -1)
+        grad_cols = np.broadcast_to(grad_flat / window, cols.shape).copy()
+        grad_input = _col2im(grad_cols, reshaped.shape, indices, (0, 0))
+        x._accumulate_grad(grad_input.reshape(batch, channels, height, width))
+
+    return Tensor._make(out, (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: NCHW -> NC."""
+    return x.mean(axis=(2, 3))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as a one-hot float matrix (plain numpy)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out

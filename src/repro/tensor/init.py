@@ -1,0 +1,74 @@
+"""Weight initialisers.
+
+The paper adopts the He / Kaiming initialisation of [5] for convolutional and
+fully-connected layers.  All initialisers take an explicit
+``numpy.random.Generator`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense (2-D) and conv (4-D) weight shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = math.sqrt(2.0),
+) -> np.ndarray:
+    """He normal initialisation (the paper's choice, ref. [5])."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = math.sqrt(2.0),
+) -> np.ndarray:
+    """He uniform initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot / Xavier normal initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,46 @@
+"""Generic training harness.
+
+The :class:`~repro.train.trainer.Trainer` runs the standard epoch loop
+(forward, loss, backward, optimiser step, per-epoch evaluation) and delegates
+every precision-related decision to a
+:class:`~repro.train.strategy.PrecisionStrategy`.  APT
+(:class:`repro.core.APTStrategy`) and every Table I baseline
+(:mod:`repro.baselines`) are implemented as strategies, so the exact same
+loop, energy meter and memory model are used for all of them -- which is what
+makes the normalised comparisons in the figures meaningful.
+"""
+
+from repro.train.strategy import PrecisionStrategy, FP32Strategy
+from repro.train.metrics import accuracy, RunningAverage, top_k_accuracy
+from repro.train.history import EpochRecord, TrainingHistory
+from repro.train.callbacks import Callback, EarlyStopOnAccuracy, EpochLogger
+from repro.train.trainer import Trainer, TrainerConfig
+from repro.train.serialization import (
+    dump_json,
+    load_json,
+    save_history,
+    load_history,
+    save_checkpoint,
+    load_checkpoint,
+)
+
+__all__ = [
+    "PrecisionStrategy",
+    "FP32Strategy",
+    "accuracy",
+    "top_k_accuracy",
+    "RunningAverage",
+    "EpochRecord",
+    "TrainingHistory",
+    "Callback",
+    "EarlyStopOnAccuracy",
+    "EpochLogger",
+    "Trainer",
+    "TrainerConfig",
+    "dump_json",
+    "load_json",
+    "save_history",
+    "load_history",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,61 @@
+"""Training callbacks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.train.history import EpochRecord
+
+
+class Callback:
+    """Base callback; all hooks are optional."""
+
+    def on_train_begin(self, trainer) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, trainer, record: EpochRecord) -> None:
+        """Called after every epoch with the freshly appended record."""
+
+    def should_stop(self, trainer, record: EpochRecord) -> bool:
+        """Return True to stop training early after this epoch."""
+        return False
+
+
+class EarlyStopOnAccuracy(Callback):
+    """Stop as soon as the test accuracy reaches a target.
+
+    Figure 4 measures energy-to-target-accuracy; this callback lets those runs
+    terminate as soon as the target is met instead of running all epochs.
+    """
+
+    def __init__(self, target_accuracy: float) -> None:
+        if not 0.0 < target_accuracy <= 1.0:
+            raise ValueError(f"target accuracy must be in (0, 1], got {target_accuracy}")
+        self.target_accuracy = target_accuracy
+        self.reached_at: Optional[int] = None
+
+    def should_stop(self, trainer, record: EpochRecord) -> bool:
+        if record.test_accuracy >= self.target_accuracy and self.reached_at is None:
+            self.reached_at = record.epoch
+            return True
+        return False
+
+
+class EpochLogger(Callback):
+    """Print a one-line summary per epoch (used by the examples)."""
+
+    def __init__(self, every: int = 1, stream=None) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.every = every
+        self.stream = stream
+
+    def on_epoch_end(self, trainer, record: EpochRecord) -> None:
+        if record.epoch % self.every != 0:
+            return
+        message = (
+            f"epoch {record.epoch:3d} | loss {record.train_loss:.4f} | "
+            f"train acc {record.train_accuracy:.3f} | test acc {record.test_accuracy:.3f} | "
+            f"lr {record.learning_rate:.4f} | avg bits {record.average_bits:.1f}"
+        )
+        print(message, file=self.stream)

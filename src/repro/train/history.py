@@ -1,0 +1,119 @@
+"""Training-run history.
+
+:class:`TrainingHistory` stores one :class:`EpochRecord` per epoch and
+provides the derived quantities the paper's figures are built from:
+accuracy-versus-epoch curves (Figure 2), energy spent up to the epoch where a
+target accuracy is first reached (Figure 4), and end-of-run resource totals
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Everything measured at the end of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    learning_rate: float
+    #: Energy spent in this epoch (picojoules, analytic model); 0 if unmetered.
+    energy_pj: float = 0.0
+    #: Cumulative energy up to and including this epoch (picojoules).
+    cumulative_energy_pj: float = 0.0
+    #: Training-time model memory at this epoch (bits); 0 if unmetered.
+    memory_bits: int = 0
+    #: Parameter-count-weighted mean bitwidth of quantised layers (32 if none).
+    average_bits: float = 32.0
+    #: Free-form extras (per-layer bitwidths, Gavg snapshots, ...).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of epoch records plus run-level metadata."""
+
+    strategy_name: str
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Curves
+    # ------------------------------------------------------------------ #
+    @property
+    def epochs(self) -> List[int]:
+        return [record.epoch for record in self.records]
+
+    @property
+    def test_accuracy_curve(self) -> List[float]:
+        return [record.test_accuracy for record in self.records]
+
+    @property
+    def train_loss_curve(self) -> List[float]:
+        return [record.train_loss for record in self.records]
+
+    @property
+    def cumulative_energy_curve(self) -> List[float]:
+        return [record.cumulative_energy_pj for record in self.records]
+
+    # ------------------------------------------------------------------ #
+    # Scalars
+    # ------------------------------------------------------------------ #
+    @property
+    def best_test_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return max(record.test_accuracy for record in self.records)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].test_accuracy
+
+    @property
+    def total_energy_pj(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].cumulative_energy_pj
+
+    @property
+    def peak_memory_bits(self) -> int:
+        return max((record.memory_bits for record in self.records), default=0)
+
+    def epochs_to_reach(self, target_accuracy: float) -> Optional[int]:
+        """First epoch whose test accuracy meets the target, or None."""
+        for record in self.records:
+            if record.test_accuracy >= target_accuracy:
+                return record.epoch
+        return None
+
+    def energy_to_reach(self, target_accuracy: float) -> Optional[float]:
+        """Cumulative energy (pJ) at the first epoch meeting the target, or None.
+
+        This is the quantity Figure 4 compares across precision strategies.
+        """
+        for record in self.records:
+            if record.test_accuracy >= target_accuracy:
+                return record.cumulative_energy_pj
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-python representation for serialisation / reporting."""
+        return {
+            "strategy": self.strategy_name,
+            "records": [asdict(record) for record in self.records],
+        }

@@ -1,0 +1,55 @@
+"""Classification metrics and running averages."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy from raw logits (or probabilities)."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("logits and labels disagree on the number of samples")
+    predictions = logits.argmax(axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy from raw logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    k = min(k, logits.shape[1])
+    top_k = np.argsort(logits, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(np.mean(hits))
+
+
+class RunningAverage:
+    """Weighted running average (e.g. loss averaged over samples)."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self.total += float(value) * weight
+        self.weight += weight
+
+    @property
+    def value(self) -> Optional[float]:
+        if self.weight == 0:
+            return None
+        return self.total / self.weight
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0

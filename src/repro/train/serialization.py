@@ -1,0 +1,144 @@
+"""Saving and loading training artifacts.
+
+Two kinds of artifacts:
+
+* **Model checkpoints** -- the parameter/buffer arrays of a
+  :class:`~repro.nn.module.Module` plus, for quantised training, the
+  per-layer bitwidths, stored as an ``.npz`` archive.  Reloading a
+  checkpoint restores the quantised model exactly (weights are stored as the
+  grid-aligned floats the training loop uses; the bitwidths let a deployment
+  pipeline re-encode them as integer codes).
+* **Training histories and experiment results** -- JSON documents produced
+  from :class:`~repro.train.history.TrainingHistory` (or anything built from
+  plain dataclasses / dicts / lists), with numpy scalars converted to native
+  Python types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.train.history import EpochRecord, TrainingHistory
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# JSON helpers
+# --------------------------------------------------------------------------- #
+def _to_jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays, dataclasses and infinities to JSON-safe values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _to_jsonable(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        if math.isnan(value):
+            return "NaN"
+        return value
+    return value
+
+
+def dump_json(payload: Any, path: PathLike) -> Path:
+    """Write any experiment result / history payload as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_to_jsonable(payload), indent=2, sort_keys=False))
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Read a JSON document written by :func:`dump_json`."""
+    return json.loads(Path(path).read_text())
+
+
+# --------------------------------------------------------------------------- #
+# Training history
+# --------------------------------------------------------------------------- #
+def save_history(history: TrainingHistory, path: PathLike) -> Path:
+    """Serialise a training history to JSON."""
+    return dump_json(history.to_dict(), path)
+
+
+def load_history(path: PathLike) -> TrainingHistory:
+    """Reconstruct a :class:`TrainingHistory` saved by :func:`save_history`."""
+    payload = load_json(path)
+    history = TrainingHistory(strategy_name=payload["strategy"])
+    field_names = {field.name for field in dataclasses.fields(EpochRecord)}
+    for record in payload["records"]:
+        known = {key: value for key, value in record.items() if key in field_names}
+        history.append(EpochRecord(**known))
+    return history
+
+
+# --------------------------------------------------------------------------- #
+# Model checkpoints
+# --------------------------------------------------------------------------- #
+def save_checkpoint(
+    model: Module,
+    path: PathLike,
+    bitwidths: Optional[Mapping[str, int]] = None,
+    metadata: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Save model parameters, buffers, per-layer bitwidths and metadata.
+
+    Parameters
+    ----------
+    model:
+        The module whose ``state_dict`` is saved.
+    bitwidths:
+        Optional mapping of parameter name to stored bitwidth (e.g. from
+        ``APTController.bitwidth_by_name()``); needed to re-encode the model
+        compactly on the device.
+    metadata:
+        Optional JSON-serialisable extras (accuracy, config, epoch, ...).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"state/{name}"] = value
+    header = {
+        "bitwidths": dict(bitwidths) if bitwidths else {},
+        "metadata": _to_jsonable(dict(metadata)) if metadata else {},
+    }
+    arrays["__header__"] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    # np.savez appends .npz if missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(
+    model: Module,
+    path: PathLike,
+) -> Dict[str, Any]:
+    """Load a checkpoint into ``model`` and return ``{"bitwidths", "metadata"}``."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["__header__"].tobytes()).decode("utf-8"))
+        state = {
+            key[len("state/"):]: archive[key]
+            for key in archive.files
+            if key.startswith("state/")
+        }
+    model.load_state_dict(state)
+    return {"bitwidths": header.get("bitwidths", {}), "metadata": header.get("metadata", {})}

@@ -1,0 +1,84 @@
+"""Precision-strategy interface.
+
+A strategy encapsulates *how the model representation is quantised during
+training*: which bitwidth each layer's weights are stored and updated at,
+whether a full-precision master copy exists, and what (if anything) changes
+between epochs.  The trainer calls the hooks in this order every epoch::
+
+    for each batch:
+        strategy.before_forward()
+        forward / loss / backward
+        strategy.after_backward(iteration)
+        optimizer.step()            # uses strategy.make_update_hook()
+    strategy.end_epoch(epoch)
+
+and queries :meth:`layer_bits` / :meth:`weight_bits` once per epoch for the
+energy and memory accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.accounting import LayerBits
+from repro.nn.module import Module
+from repro.optim.sgd import UpdateHook
+
+
+class PrecisionStrategy:
+    """Base class: full-precision behaviour, no-op hooks."""
+
+    #: Short machine-readable name used in reports.
+    name = "base"
+    #: Whether an fp32 master copy of quantised weights is kept (Table I).
+    keeps_master_copy = False
+
+    def prepare(self, model: Module) -> None:
+        """Called once before training starts; may quantise initial weights."""
+        self.model = model
+
+    def make_update_hook(self) -> UpdateHook:
+        """Return the hook the optimiser should apply updates through."""
+        return UpdateHook()
+
+    def before_forward(self) -> None:
+        """Called before every forward pass (e.g. re-quantise from a master copy)."""
+
+    def after_backward(self, iteration: int) -> None:
+        """Called after every backward pass (e.g. sample Gavg, quantise gradients)."""
+
+    def end_epoch(self, epoch: int) -> None:
+        """Called at every epoch boundary (e.g. adjust bitwidths)."""
+
+    def layer_bits(self) -> Dict[str, LayerBits]:
+        """Forward/backward bitwidths per quantised parameter name.
+
+        Parameters not listed are charged at the energy meter's default
+        (32 bits).
+        """
+        return {}
+
+    def weight_bits(self) -> Dict[str, int]:
+        """Stored bitwidth per quantised parameter name (for the memory model)."""
+        return {}
+
+    def effective_sample_fraction(self) -> float:
+        """Fraction of samples whose compute is actually spent per epoch.
+
+        1.0 for every method except those that skip work outright (E2-Train's
+        stochastic mini-batch dropping); the energy meter scales the epoch's
+        sample count by this factor.
+        """
+        return 1.0
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FP32Strategy(PrecisionStrategy):
+    """Plain full-precision training -- the normalisation baseline."""
+
+    name = "fp32"
+
+    def describe(self) -> str:
+        return "fp32 (no quantisation)"

@@ -1,0 +1,139 @@
+"""Fixed-bitwidth baseline strategies (with and without an fp32 master copy)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedPrecisionStrategy, QuantisedLayerSet
+from repro.hardware.accounting import LayerBits
+from repro.models import MLP
+from repro.quant import fake_quantize
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(in_features=8, num_classes=3, hidden=(12,), rng=rng)
+
+
+class TestQuantisedLayerSet:
+    def test_collects_weights_only(self, model):
+        layer_set = QuantisedLayerSet(model)
+        assert all(name.endswith("weight") for name in layer_set.names)
+        assert len(layer_set) == 2
+
+    def test_include_small_adds_biases(self, model):
+        layer_set = QuantisedLayerSet(model, include_small=True)
+        assert any(name.endswith("bias") for name in layer_set.names)
+
+    def test_contains(self, model):
+        layer_set = QuantisedLayerSet(model)
+        assert layer_set.contains(model.body[0].weight)
+        assert not layer_set.contains(model.body[0].bias)
+
+    def test_empty_model_rejected(self):
+        from repro import nn
+
+        class NoWeights(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = nn.BatchNorm1d(4)
+
+            def forward(self, x):
+                return self.bn(x)
+
+        with pytest.raises(ValueError):
+            QuantisedLayerSet(NoWeights())
+
+
+class TestWithoutMasterCopy:
+    def test_prepare_snaps_weights(self, model):
+        strategy = FixedPrecisionStrategy(4)
+        strategy.prepare(model)
+        for _, param in strategy.layer_set:
+            snapped, _ = fake_quantize(param.data, 4)
+            np.testing.assert_allclose(param.data, snapped, atol=1e-9)
+
+    def test_update_hook_applies_eq3(self, model):
+        strategy = FixedPrecisionStrategy(4)
+        strategy.prepare(model)
+        hook = strategy.make_update_hook()
+        _, param = strategy.layer_set.entries[0]
+        before = param.data.copy()
+        hook.apply(param, np.full_like(before, 1e-9))  # far below eps at 4 bits
+        np.testing.assert_array_equal(param.data, before)
+        assert strategy.underflow_events == before.size
+
+    def test_layer_bits_symmetric(self, model):
+        strategy = FixedPrecisionStrategy(12)
+        strategy.prepare(model)
+        assert all(
+            bits == LayerBits(12, 12) for bits in strategy.layer_bits().values()
+        )
+        assert not strategy.keeps_master_copy
+
+    def test_end_epoch_refits_grid(self, model):
+        strategy = FixedPrecisionStrategy(5)
+        strategy.prepare(model)
+        _, param = strategy.layer_set.entries[0]
+        param.data = param.data + 0.37  # push off the grid
+        strategy.end_epoch(0)
+        snapped, _ = fake_quantize(param.data, 5)
+        np.testing.assert_allclose(param.data, snapped, atol=1e-9)
+
+    def test_32bit_is_effectively_float(self, model):
+        strategy = FixedPrecisionStrategy(32)
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        strategy.prepare(model)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        hook = strategy.make_update_hook()
+        _, param = strategy.layer_set.entries[0]
+        previous = param.data.copy()
+        hook.apply(param, np.full_like(previous, 1e-9))
+        np.testing.assert_allclose(param.data, previous + 1e-9)
+
+    def test_name_and_describe(self):
+        assert FixedPrecisionStrategy(8).name == "fixed_8bit"
+        assert "8-bit" in FixedPrecisionStrategy(8).describe()
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FixedPrecisionStrategy(1)
+        with pytest.raises(ValueError):
+            FixedPrecisionStrategy(64)
+
+
+class TestWithMasterCopy:
+    def test_master_receives_small_updates(self, model):
+        strategy = FixedPrecisionStrategy(4, master_copy=True)
+        strategy.prepare(model)
+        hook = strategy.make_update_hook()
+        _, param = strategy.layer_set.entries[0]
+        master_before = strategy._master_state.master_for(param).copy()
+        hook.apply(param, np.full_like(master_before, 1e-6))
+        master_after = strategy._master_state.master_for(param)
+        np.testing.assert_allclose(master_after, master_before + 1e-6)
+
+    def test_before_forward_refreshes_quantised_view(self, model):
+        strategy = FixedPrecisionStrategy(4, master_copy=True)
+        strategy.prepare(model)
+        _, param = strategy.layer_set.entries[0]
+        param.data = np.zeros_like(param.data)  # clobber the view
+        strategy.before_forward()
+        snapped, _ = fake_quantize(strategy._master_state.master_for(param), 4)
+        np.testing.assert_allclose(param.data, snapped, atol=1e-9)
+
+    def test_backward_bits_are_32(self, model):
+        strategy = FixedPrecisionStrategy(4, master_copy=True)
+        strategy.prepare(model)
+        assert all(bits == LayerBits(4, 32) for bits in strategy.layer_bits().values())
+        assert strategy.keeps_master_copy
+
+    def test_name_includes_master(self):
+        assert FixedPrecisionStrategy(8, master_copy=True).name == "fixed_8bit_master"
+        assert "master" in FixedPrecisionStrategy(8, master_copy=True).describe()
+
+    def test_master_copy_total_bits(self, model):
+        strategy = FixedPrecisionStrategy(4, master_copy=True)
+        strategy.prepare(model)
+        expected = 32 * sum(p.size for _, p in strategy.layer_set)
+        assert strategy._master_state.total_master_bits() == expected

@@ -1,0 +1,176 @@
+"""Table I method baselines: quantisers, master-copy behaviour, gradient handling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BNNStrategy,
+    DoReFaStrategy,
+    E2TrainStrategy,
+    TABLE1_METHODS,
+    TernGradStrategy,
+    TTQStrategy,
+    TWNStrategy,
+    WAGEStrategy,
+    build_table1_strategy,
+)
+from repro.models import MLP
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(in_features=8, num_classes=3, hidden=(12,), rng=rng)
+
+
+def _prepared(strategy, model):
+    strategy.prepare(model)
+    return strategy
+
+
+class TestRegistry:
+    def test_all_methods_buildable(self):
+        for name in TABLE1_METHODS:
+            strategy = build_table1_strategy(name)
+            assert strategy.name == name
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            build_table1_strategy("does-not-exist")
+
+    def test_paper_bprop_labels(self):
+        # Table I: WAGE is the only 8-bit BPROP method; the rest keep fp32.
+        assert TABLE1_METHODS["wage"][1] == "8-bit"
+        assert all(label == "FP32" for name, (_, label, _) in TABLE1_METHODS.items() if name != "wage")
+
+    def test_paper_optimizer_labels(self):
+        assert TABLE1_METHODS["bnn"][2] == "Adam"
+        assert TABLE1_METHODS["wage"][2] == "SGD"
+        assert TABLE1_METHODS["e2train"][2] == "SGD"
+
+
+class TestMasterCopyMethods:
+    @pytest.mark.parametrize("strategy_cls,levels", [(BNNStrategy, 2), (TWNStrategy, 3), (TTQStrategy, 3)])
+    def test_forward_view_has_few_levels(self, model, strategy_cls, levels):
+        strategy = _prepared(strategy_cls(), model)
+        strategy.before_forward()
+        for _, param in strategy.layer_set:
+            assert len(np.unique(param.data)) <= levels
+
+    def test_master_copy_flag(self, model):
+        for strategy_cls in (BNNStrategy, TWNStrategy, TTQStrategy, DoReFaStrategy):
+            assert strategy_cls().keeps_master_copy
+
+    def test_updates_go_to_master_not_view(self, model):
+        strategy = _prepared(BNNStrategy(), model)
+        strategy.before_forward()
+        hook = strategy.make_update_hook()
+        _, param = strategy.layer_set.entries[0]
+        view_before = param.data.copy()
+        master_before = strategy._master_state.master_for(param).copy()
+        hook.apply(param, np.full_like(view_before, 0.01))
+        np.testing.assert_array_equal(param.data, view_before)
+        np.testing.assert_allclose(
+            strategy._master_state.master_for(param), master_before + 0.01
+        )
+
+    def test_backward_bits_fp32(self, model):
+        strategy = _prepared(TWNStrategy(), model)
+        assert all(bits.backward_bits == 32 for bits in strategy.layer_bits().values())
+
+    def test_ttq_uses_asymmetric_scales(self, rng):
+        strategy = TTQStrategy()
+        values = np.concatenate([rng.normal(loc=2.0, size=50), rng.normal(loc=-0.5, size=50)])
+        quantised = strategy.quantise(values)
+        positives = np.unique(quantised[quantised > 0])
+        negatives = np.unique(quantised[quantised < 0])
+        assert len(positives) == 1 and len(negatives) == 1
+        assert positives[0] != -negatives[0]
+
+
+class TestDoReFa:
+    def test_forward_bits_configurable(self, model):
+        strategy = _prepared(DoReFaStrategy(weight_bits=4), model)
+        assert all(bits.forward_bits == 4 for bits in strategy.layer_bits().values())
+
+    def test_gradients_quantised_after_backward(self, model):
+        strategy = _prepared(DoReFaStrategy(weight_bits=4, gradient_bits=2), model)
+        for _, param in strategy.layer_set:
+            param.grad = np.random.default_rng(0).normal(size=param.shape)
+        strategy.after_backward(1)
+        for _, param in strategy.layer_set:
+            assert len(np.unique(param.grad)) <= 2 ** 2 + 1
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            DoReFaStrategy(weight_bits=0)
+
+
+class TestTernGrad:
+    def test_gradients_become_ternary(self, model):
+        strategy = _prepared(TernGradStrategy(seed=0), model)
+        for _, param in strategy.layer_set:
+            param.grad = np.random.default_rng(1).normal(size=param.shape)
+        strategy.after_backward(1)
+        for _, param in strategy.layer_set:
+            scale = np.max(np.abs(param.grad))
+            unique = np.unique(param.grad)
+            assert len(unique) <= 3
+            assert np.all(np.isin(unique, [-scale, 0.0, scale]))
+
+    def test_weights_stay_fp32(self, model):
+        strategy = _prepared(TernGradStrategy(), model)
+        assert all(bits == 32 for bits in strategy.weight_bits().values())
+        assert not strategy.keeps_master_copy
+
+    def test_zero_gradient_untouched(self, model):
+        strategy = _prepared(TernGradStrategy(), model)
+        _, param = strategy.layer_set.entries[0]
+        param.grad = np.zeros(param.shape)
+        strategy.after_backward(1)
+        np.testing.assert_array_equal(param.grad, np.zeros(param.shape))
+
+
+class TestWAGE:
+    def test_weights_quantised_without_master(self, model):
+        strategy = _prepared(WAGEStrategy(bits=8), model)
+        assert not strategy.keeps_master_copy
+        assert all(bits == 8 for bits in strategy.weight_bits().values())
+
+    def test_update_hook_blocks_tiny_updates(self, model):
+        strategy = _prepared(WAGEStrategy(bits=4), model)
+        hook = strategy.make_update_hook()
+        _, param = strategy.layer_set.entries[0]
+        before = param.data.copy()
+        hook.apply(param, np.full_like(before, 1e-9))
+        np.testing.assert_array_equal(param.data, before)
+        assert strategy.underflow_events > 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            WAGEStrategy(bits=1)
+
+
+class TestE2Train:
+    def test_drops_expected_fraction_of_updates(self, model):
+        strategy = _prepared(E2TrainStrategy(drop_probability=0.5, seed=0), model)
+        dropped = 0
+        iterations = 200
+        for iteration in range(iterations):
+            for param in model.parameters():
+                param.grad = np.ones(param.shape)
+            strategy.after_backward(iteration)
+            if model.body[0].weight.grad is None:
+                dropped += 1
+        assert dropped == pytest.approx(100, abs=25)
+        assert strategy.skipped_iterations == dropped
+
+    def test_effective_sample_fraction(self):
+        assert E2TrainStrategy(drop_probability=0.3).effective_sample_fraction() == pytest.approx(0.7)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            E2TrainStrategy(drop_probability=1.0)
+
+    def test_weights_fp32(self, model):
+        strategy = _prepared(E2TrainStrategy(), model)
+        assert all(bits == 32 for bits in strategy.weight_bits().values())

@@ -1,0 +1,127 @@
+"""Open-loop precision schedules (static mixed and linear ramp)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearRampStrategy, StaticMixedPrecisionStrategy
+from repro.hardware.accounting import LayerBits
+from repro.models import MLP
+from repro.quant import fake_quantize
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(in_features=8, num_classes=3, hidden=(12, 12), rng=rng)
+
+
+class TestStaticMixedPrecision:
+    def test_mapping_assignment(self, model):
+        names = [name for name, p in model.named_parameters() if p.quantisable]
+        assignment = {names[0]: 12, names[-1]: 10}
+        strategy = StaticMixedPrecisionStrategy(assignment, default_bits=6)
+        strategy.prepare(model)
+        bits = strategy.weight_bits()
+        assert bits[names[0]] == 12
+        assert bits[names[-1]] == 10
+        assert all(value == 6 for name, value in bits.items() if name not in assignment)
+
+    def test_callable_assignment(self, model):
+        strategy = StaticMixedPrecisionStrategy(lambda index, total, name: 4 + index)
+        strategy.prepare(model)
+        values = list(strategy.weight_bits().values())
+        assert values == [4 + i for i in range(len(values))]
+
+    def test_first_last_heavy_rule(self, model):
+        strategy = StaticMixedPrecisionStrategy.first_last_heavy(edge_bits=12, interior_bits=6)
+        strategy.prepare(model)
+        values = list(strategy.weight_bits().values())
+        assert values[0] == 12 and values[-1] == 12
+        assert all(v == 6 for v in values[1:-1])
+
+    def test_bits_do_not_change_over_epochs(self, model):
+        strategy = StaticMixedPrecisionStrategy.first_last_heavy()
+        strategy.prepare(model)
+        before = dict(strategy.weight_bits())
+        for epoch in range(5):
+            strategy.end_epoch(epoch)
+        assert strategy.weight_bits() == before
+
+    def test_weights_snapped_to_assigned_grid(self, model):
+        strategy = StaticMixedPrecisionStrategy.first_last_heavy(edge_bits=10, interior_bits=4)
+        strategy.prepare(model)
+        for (name, param), bits in zip(strategy.layer_set, strategy.weight_bits().values()):
+            snapped, _ = fake_quantize(param.data, bits)
+            np.testing.assert_allclose(param.data, snapped, atol=1e-9)
+
+    def test_update_hook_respects_per_layer_bits(self, model):
+        strategy = StaticMixedPrecisionStrategy.first_last_heavy(edge_bits=16, interior_bits=2)
+        strategy.prepare(model)
+        hook = strategy.make_update_hook()
+        entries = list(strategy.layer_set)
+        _, first_param = entries[0]        # 16 bits: fine update survives
+        _, middle_param = entries[1]       # 2 bits: same update underflows
+        delta = 1e-4
+        first_before = first_param.data.copy()
+        middle_before = middle_param.data.copy()
+        hook.apply(first_param, np.full_like(first_before, delta))
+        hook.apply(middle_param, np.full_like(middle_before, delta))
+        assert not np.allclose(first_param.data, first_before)
+        np.testing.assert_array_equal(middle_param.data, middle_before)
+        assert strategy.underflow_events > 0
+
+    def test_no_master_copy_and_symmetric_bits(self, model):
+        strategy = StaticMixedPrecisionStrategy.first_last_heavy()
+        strategy.prepare(model)
+        assert not strategy.keeps_master_copy
+        for name, bits in strategy.layer_bits().items():
+            assert bits.forward_bits == bits.backward_bits
+
+    def test_invalid_bits_rejected(self, model):
+        strategy = StaticMixedPrecisionStrategy({}, default_bits=6)
+        with pytest.raises(ValueError):
+            StaticMixedPrecisionStrategy({}, default_bits=1)
+        bad = StaticMixedPrecisionStrategy(lambda i, t, n: 40)
+        with pytest.raises(ValueError):
+            bad.prepare(model)
+
+
+class TestLinearRamp:
+    def test_all_layers_start_at_start_bits(self, model):
+        strategy = LinearRampStrategy(start_bits=5, end_bits=15, ramp_epochs=5)
+        strategy.prepare(model)
+        assert all(bits == 5 for bits in strategy.weight_bits().values())
+
+    def test_ramp_reaches_end_bits(self, model):
+        strategy = LinearRampStrategy(start_bits=4, end_bits=12, ramp_epochs=4)
+        strategy.prepare(model)
+        for epoch in range(6):
+            strategy.end_epoch(epoch)
+        assert all(bits == 12 for bits in strategy.weight_bits().values())
+
+    def test_ramp_is_monotone(self, model):
+        strategy = LinearRampStrategy(start_bits=4, end_bits=12, ramp_epochs=8)
+        strategy.prepare(model)
+        previous = min(strategy.weight_bits().values())
+        for epoch in range(10):
+            strategy.end_epoch(epoch)
+            current = min(strategy.weight_bits().values())
+            assert current >= previous
+            previous = current
+
+    def test_every_layer_follows_same_schedule(self, model):
+        strategy = LinearRampStrategy(start_bits=4, end_bits=10, ramp_epochs=6)
+        strategy.prepare(model)
+        strategy.end_epoch(0)
+        strategy.end_epoch(1)
+        assert len(set(strategy.weight_bits().values())) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearRampStrategy(start_bits=10, end_bits=4)
+        with pytest.raises(ValueError):
+            LinearRampStrategy(ramp_epochs=0)
+        with pytest.raises(ValueError):
+            LinearRampStrategy(start_bits=1)
+
+    def test_describe(self):
+        assert "ramp" in LinearRampStrategy().describe()

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, make_blobs
+from repro.models import MLP
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for a test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def blobs_loaders():
+    """Small, easily separable classification task with loaders."""
+    train_set, test_set = make_blobs(num_classes=4, samples_per_class=40, features=8, seed=3)
+    train_loader = DataLoader(train_set, batch_size=32, rng=np.random.default_rng(5))
+    test_loader = DataLoader(test_set, batch_size=64, shuffle=False)
+    return train_loader, test_loader
+
+
+@pytest.fixture
+def small_mlp(rng) -> MLP:
+    """A tiny MLP matching the blobs task."""
+    return MLP(in_features=8, num_classes=4, hidden=(16,), rng=rng)
+
+
+def numeric_gradient(func, values: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of an array."""
+    values = np.asarray(values, dtype=np.float64)
+    grad = np.zeros_like(values)
+    flat = values.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = func(values)
+        flat[index] = original - epsilon
+        lower = func(values)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-4) -> None:
+    """Assert analytic and numeric gradients agree within tolerance."""
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-3)
+
+
+def check_scalar_op_gradient(op, shape=(3, 4), seed: int = 0, atol: float = 1e-4) -> None:
+    """Finite-difference check: ``op`` maps a Tensor to a Tensor, summed to a scalar."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=shape)
+
+    tensor = Tensor(values.copy(), requires_grad=True)
+    out = op(tensor).sum()
+    out.backward()
+    analytic = tensor.grad
+
+    def scalar(array: np.ndarray) -> float:
+        return float(op(Tensor(array)).sum().item())
+
+    numeric = numeric_gradient(scalar, values.copy())
+    assert_grad_close(analytic, numeric, atol=atol)

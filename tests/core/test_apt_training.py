@@ -1,0 +1,166 @@
+"""Integration tests of Algorithm 2: APTStrategy + APTTrainer on real training."""
+
+import numpy as np
+import pytest
+
+from repro.core import APTConfig, APTStrategy, APTTrainer
+from repro.data import DataLoader, make_blobs
+from repro.models import MLP
+from repro.train import Trainer
+from repro.optim import SGD
+from repro.quant import fake_quantize
+
+
+@pytest.fixture
+def loaders():
+    train_set, test_set = make_blobs(num_classes=4, samples_per_class=50, features=10, seed=11)
+    return (
+        DataLoader(train_set, batch_size=32, rng=np.random.default_rng(0)),
+        DataLoader(test_set, batch_size=64, shuffle=False),
+    )
+
+
+def _make_model(seed=0):
+    return MLP(in_features=10, num_classes=4, hidden=(24,), rng=np.random.default_rng(seed))
+
+
+class TestAPTStrategy:
+    def test_requires_prepare_before_use(self):
+        strategy = APTStrategy(APTConfig())
+        with pytest.raises(RuntimeError):
+            strategy.make_update_hook()
+        with pytest.raises(RuntimeError):
+            strategy.layer_bits()
+
+    def test_layer_bits_match_controller(self, loaders):
+        strategy = APTStrategy(APTConfig(initial_bits=5, metric_interval=1))
+        model = _make_model()
+        strategy.prepare(model)
+        bits = strategy.layer_bits()
+        assert all(value.forward_bits == 5 and value.backward_bits == 5 for value in bits.values())
+        assert set(bits) == set(strategy.weight_bits())
+
+    def test_describe_mentions_thresholds(self):
+        strategy = APTStrategy(APTConfig(t_min=2.5))
+        assert "2.5" in strategy.describe()
+
+    def test_no_master_copy(self):
+        assert APTStrategy(APTConfig()).keeps_master_copy is False
+
+
+class TestAPTTrainerEndToEnd:
+    def test_learns_the_task(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(
+            _make_model(),
+            train_loader,
+            test_loader,
+            config=APTConfig(initial_bits=6, t_min=6.0, metric_interval=2),
+            learning_rate=0.05,
+            lr_milestones=(6,),
+            input_shape=(10,),
+        )
+        history = trainer.fit(epochs=6)
+        assert history.final_test_accuracy > 0.8
+
+    def test_bitwidths_adapt_upwards_from_low_start(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(
+            _make_model(),
+            train_loader,
+            test_loader,
+            config=APTConfig(initial_bits=4, t_min=6.0, metric_interval=2),
+            learning_rate=0.05,
+            lr_milestones=(10,),
+            input_shape=(10,),
+        )
+        trainer.fit(epochs=4)
+        assert all(bits > 4 for bits in trainer.controller.bitwidths)
+
+    def test_weights_stay_on_quantisation_grid(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(
+            _make_model(),
+            train_loader,
+            test_loader,
+            config=APTConfig(initial_bits=6, t_min=6.0, metric_interval=2),
+            learning_rate=0.05,
+            lr_milestones=(10,),
+            input_shape=(10,),
+        )
+        trainer.fit(epochs=3)
+        # After end_epoch the stored weights must be exactly k-bit representable.
+        for state in trainer.controller.layers:
+            snapped, _ = fake_quantize(state.parameter.data, state.bits)
+            np.testing.assert_allclose(state.parameter.data, snapped, atol=1e-9)
+
+    def test_energy_and_memory_recorded(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(
+            _make_model(),
+            train_loader,
+            test_loader,
+            input_shape=(10,),
+            lr_milestones=(10,),
+        )
+        history = trainer.fit(epochs=3)
+        assert history.total_energy_pj > 0
+        assert history.peak_memory_bits > 0
+        assert history.records[-1].average_bits < 32.0
+
+    def test_without_input_shape_no_metering(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(_make_model(), train_loader, test_loader, lr_milestones=(10,))
+        history = trainer.fit(epochs=2)
+        assert history.total_energy_pj == 0.0
+        assert trainer.energy_meter is None
+
+    def test_controller_unavailable_before_fit(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(_make_model(), train_loader, test_loader, lr_milestones=(10,))
+        with pytest.raises(RuntimeError):
+            _ = trainer.controller
+
+    def test_higher_tmin_allocates_more_bits(self, loaders):
+        train_loader, test_loader = loaders
+
+        def run(t_min):
+            trainer = APTTrainer(
+                _make_model(),
+                train_loader,
+                test_loader,
+                config=APTConfig(initial_bits=6, t_min=t_min, metric_interval=2),
+                learning_rate=0.05,
+                lr_milestones=(20,),
+                input_shape=(10,),
+            )
+            trainer.fit(epochs=5)
+            return trainer.controller.average_bits()
+
+        assert run(50.0) > run(0.1)
+
+    def test_gavg_history_populated_for_figures(self, loaders):
+        train_loader, test_loader = loaders
+        trainer = APTTrainer(
+            _make_model(),
+            train_loader,
+            test_loader,
+            config=APTConfig(initial_bits=6, t_min=1.0, metric_interval=1),
+            lr_milestones=(10,),
+            input_shape=(10,),
+        )
+        trainer.fit(epochs=3)
+        gavg_history = trainer.controller.gavg_history()
+        assert all(len(values) == 3 for values in gavg_history.values())
+        assert all(values[-1] is not None for values in gavg_history.values())
+
+    def test_strategy_reusable_via_generic_trainer(self, loaders):
+        """APT can also be driven through the generic Trainer directly."""
+        train_loader, test_loader = loaders
+        model = _make_model()
+        strategy = APTStrategy(APTConfig(initial_bits=6, t_min=6.0, metric_interval=2))
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        trainer = Trainer(model, optimizer, train_loader, test_loader, strategy=strategy)
+        history = trainer.fit(4)
+        assert history.final_test_accuracy > 0.5
+        assert strategy.controller is not None

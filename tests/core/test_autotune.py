@@ -1,0 +1,93 @@
+"""Automatic T_min selection (the paper's stated future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import APTConfig
+from repro.core.autotune import TminSearchResult, TminTrial, tune_t_min
+from repro.data import make_blobs
+from repro.experiments import build_workload, get_scale
+from repro.experiments.workload import Workload
+from repro.models import MLP
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = get_scale("smoke")
+    train_set, test_set = make_blobs(
+        num_classes=5, samples_per_class=40, features=16, separation=1.6, seed=21
+    )
+
+    def model_factory(seed: int = 0):
+        return MLP(in_features=16, num_classes=5, hidden=(24,), rng=np.random.default_rng(seed))
+
+    return Workload(scale=scale, model_factory=model_factory, train_set=train_set, test_set=test_set)
+
+
+class TestTuneTmin:
+    def test_returns_candidate_from_grid(self, workload):
+        candidates = (0.5, 6.0, 50.0)
+        result = tune_t_min(
+            workload, candidates=candidates, probe_epochs=2, successive_halving=False
+        )
+        assert result.best_t_min in candidates
+        assert len(result.trials) == len(candidates)
+
+    def test_prefers_cheaper_threshold_when_accuracy_comparable(self, workload):
+        # With a generous tolerance, the cheapest (lowest) surviving threshold
+        # must win because resources increase monotonically with T_min.
+        result = tune_t_min(
+            workload,
+            candidates=(0.5, 50.0),
+            probe_epochs=3,
+            accuracy_tolerance=1.0,
+            successive_halving=False,
+        )
+        assert result.best_t_min == 0.5
+
+    def test_successive_halving_runs_two_rounds(self, workload):
+        candidates = (0.1, 1.0, 10.0, 100.0)
+        result = tune_t_min(
+            workload, candidates=candidates, probe_epochs=2, successive_halving=True
+        )
+        # First round probes every candidate, second round only survivors.
+        assert len(result.trials) > len(candidates) / 2
+        assert len(result.trials) < 2 * len(candidates)
+        assert result.best_t_min in candidates
+
+    def test_best_config_uses_selected_threshold(self, workload):
+        result = tune_t_min(
+            workload, candidates=(1.0, 10.0), probe_epochs=2, successive_halving=False
+        )
+        config = result.best_config(APTConfig(initial_bits=5, t_min=999.0))
+        assert config.t_min == result.best_t_min
+        assert config.initial_bits == 5
+
+    def test_format_rows_and_trial_lookup(self, workload):
+        result = tune_t_min(
+            workload, candidates=(1.0, 10.0), probe_epochs=2, successive_halving=False
+        )
+        rows = result.format_rows()
+        assert any("selected" in row for row in rows)
+        trial = result.trial_for(result.best_t_min)
+        assert isinstance(trial, TminTrial)
+        with pytest.raises(KeyError):
+            result.trial_for(123.456)
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            tune_t_min(workload, candidates=())
+        with pytest.raises(ValueError):
+            tune_t_min(workload, probe_epochs=0)
+        with pytest.raises(ValueError):
+            tune_t_min(workload, keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            tune_t_min(workload, accuracy_tolerance=-0.1)
+
+    def test_trial_resource_score(self):
+        trial = TminTrial(
+            t_min=1.0, epochs=2, accuracy=0.9, normalised_energy=0.2,
+            normalised_memory=0.4, average_bits=8.0,
+        )
+        assert trial.resource_score(energy_weight=0.5) == pytest.approx(0.3)
+        assert trial.resource_score(energy_weight=1.0) == pytest.approx(0.2)

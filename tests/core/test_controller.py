@@ -1,0 +1,212 @@
+"""APTController: registration, quantised updates, Gavg sampling, epoch policy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import APTConfig, APTController
+from repro.models import MLP
+from repro.quant import fake_quantize
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(in_features=8, num_classes=3, hidden=(12,), rng=rng)
+
+
+@pytest.fixture
+def controller(model):
+    config = APTConfig(initial_bits=6, t_min=1.0, metric_interval=1)
+    return APTController(model, config)
+
+
+class TestRegistration:
+    def test_registers_only_quantisable_params(self, model):
+        controller = APTController(model, APTConfig())
+        names = controller.layer_names
+        assert all(name.endswith("weight") for name in names)
+        assert len(names) == 2  # two Linear weight matrices
+
+    def test_layer_ids_assigned(self, controller):
+        for index, state in enumerate(controller.layers):
+            assert state.parameter.layer_id == index
+
+    def test_initial_bits_applied(self, controller):
+        assert all(bits == 6 for bits in controller.bitwidths)
+
+    def test_initial_weights_snapped_to_grid(self, model):
+        controller = APTController(model, APTConfig(initial_bits=4))
+        for state in controller.layers:
+            snapped, _ = fake_quantize(state.parameter.data, 4)
+            np.testing.assert_allclose(state.parameter.data, snapped, atol=1e-9)
+
+    def test_quantise_bias_includes_bias_vectors(self, model):
+        controller = APTController(model, APTConfig(quantise_bias=True))
+        assert any(name.endswith("bias") for name in controller.layer_names)
+
+    def test_model_without_quantisable_params_rejected(self):
+        class BiasOnly(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = nn.BatchNorm1d(4)
+
+            def forward(self, x):
+                return self.bn(x)
+
+        with pytest.raises(ValueError):
+            APTController(BiasOnly(), APTConfig())
+
+    def test_state_lookup_by_parameter(self, controller):
+        param = controller.layers[0].parameter
+        assert controller.state_for(param) is controller.layers[0]
+        assert controller.state_for(nn.Linear(2, 2).weight) is None
+
+
+class TestEps:
+    def test_eps_matches_resolution(self, controller):
+        state = controller.layers[0]
+        expected = (state.parameter.data.max() - state.parameter.data.min()) / (2 ** 6 - 1)
+        assert state.eps == pytest.approx(expected)
+
+    def test_eps_tiny_at_32_bits(self, controller):
+        state = controller.layers[0]
+        state.bits = 32
+        assert state.eps < 1e-300
+
+
+class TestUpdateHook:
+    def test_small_updates_blocked(self, controller):
+        hook = controller.make_update_hook()
+        state = controller.layers[0]
+        before = state.parameter.data.copy()
+        hook.apply(state.parameter, np.full_like(before, state.eps * 0.4))
+        np.testing.assert_array_equal(state.parameter.data, before)
+        assert state.underflow_events == before.size
+
+    def test_large_updates_applied(self, controller):
+        hook = controller.make_update_hook()
+        state = controller.layers[0]
+        before = state.parameter.data.copy()
+        hook.apply(state.parameter, np.full_like(before, state.eps * 2.5))
+        np.testing.assert_allclose(state.parameter.data, before + 2 * state.eps, atol=1e-9)
+
+    def test_unmanaged_parameter_gets_plain_update(self, controller, model):
+        hook = controller.make_update_hook()
+        bias = model.body[0].bias
+        before = bias.data.copy()
+        hook.apply(bias, np.full_like(before, 1e-6))
+        np.testing.assert_allclose(bias.data, before + 1e-6)
+
+    def test_32bit_layer_gets_plain_update(self, controller):
+        hook = controller.make_update_hook()
+        state = controller.layers[0]
+        state.bits = 32
+        before = state.parameter.data.copy()
+        hook.apply(state.parameter, np.full_like(before, 1e-9))
+        np.testing.assert_allclose(state.parameter.data, before + 1e-9)
+
+
+class TestObservation:
+    def _populate_gradients(self, controller, scale=1.0):
+        for state in controller.layers:
+            state.parameter.grad = np.full(state.parameter.shape, scale)
+
+    def test_observe_updates_estimators(self, controller):
+        self._populate_gradients(controller, scale=0.5)
+        values = controller.observe_gradients()
+        assert all(value is not None for value in values)
+        assert all(value > 0 for value in values)
+
+    def test_observe_without_gradients_keeps_none(self, controller):
+        values = controller.observe_gradients()
+        assert all(value is None for value in values)
+
+    def test_gavg_reflects_gradient_magnitude(self, controller):
+        self._populate_gradients(controller, scale=1.0)
+        big = controller.observe_gradients()
+        fresh_controller = APTController(controller.model, controller.config)
+        for state in fresh_controller.layers:
+            state.parameter.grad = np.full(state.parameter.shape, 1e-6)
+        small = fresh_controller.observe_gradients()
+        assert all(b > s for b, s in zip(big, small))
+
+
+class TestEndEpoch:
+    def test_bits_increase_when_underflowing(self, controller):
+        for state in controller.layers:
+            state.parameter.grad = np.full(state.parameter.shape, state.eps * 1e-4)
+        controller.observe_gradients()
+        decisions = controller.end_epoch()
+        assert all(decision.new_bits == 7 for decision in decisions)
+        assert controller.bitwidths == [7, 7]
+
+    def test_bits_decrease_when_over_threshold(self, model):
+        config = APTConfig(initial_bits=8, t_min=0.0, t_max=1.0, metric_interval=1)
+        controller = APTController(model, config)
+        for state in controller.layers:
+            state.parameter.grad = np.full(state.parameter.shape, state.eps * 100)
+        controller.observe_gradients()
+        controller.end_epoch()
+        assert controller.bitwidths == [7, 7]
+
+    def test_history_recorded(self, controller):
+        for _ in range(3):
+            for state in controller.layers:
+                state.parameter.grad = np.full(state.parameter.shape, 1e-9)
+            controller.observe_gradients()
+            controller.end_epoch()
+        history = controller.bits_history()
+        assert all(len(values) == 3 for values in history.values())
+        gavg_history = controller.gavg_history()
+        assert all(len(values) == 3 for values in gavg_history.values())
+
+    def test_adjust_every_epochs(self, model):
+        config = APTConfig(initial_bits=6, t_min=10.0, adjust_every_epochs=2, metric_interval=1)
+        controller = APTController(model, config)
+        for state in controller.layers:
+            state.parameter.grad = np.full(state.parameter.shape, 1e-9)
+        controller.observe_gradients()
+        assert controller.end_epoch() == []  # epoch 1: no adjustment
+        assert controller.bitwidths == [6, 6]
+        controller.observe_gradients()
+        decisions = controller.end_epoch()  # epoch 2: adjustment happens
+        assert decisions and controller.bitwidths == [7, 7]
+
+    def test_weights_resnapped_after_bit_change(self, controller):
+        for state in controller.layers:
+            state.parameter.grad = np.full(state.parameter.shape, 1e-9)
+        controller.observe_gradients()
+        controller.end_epoch()
+        for state in controller.layers:
+            snapped, _ = fake_quantize(state.parameter.data, state.bits)
+            np.testing.assert_allclose(state.parameter.data, snapped, atol=1e-9)
+
+    def test_decisions_log_grows(self, controller):
+        for state in controller.layers:
+            state.parameter.grad = np.ones(state.parameter.shape)
+        controller.observe_gradients()
+        controller.end_epoch()
+        assert len(controller.decisions_log()) == 1
+
+
+class TestReporting:
+    def test_average_bits_weighted(self, controller):
+        controller.layers[0].bits = 4
+        controller.layers[1].bits = 8
+        weighted = controller.average_bits(weighted=True)
+        unweighted = controller.average_bits(weighted=False)
+        assert unweighted == pytest.approx(6.0)
+        assert 4.0 < weighted < 8.0
+
+    def test_summary_rows(self, controller):
+        rows = controller.summary()
+        assert len(rows) == controller.num_layers
+        assert {"index", "name", "bits", "gavg", "parameters", "underflow_events"} <= set(rows[0])
+
+    def test_bitwidth_by_name(self, controller):
+        mapping = controller.bitwidth_by_name()
+        assert set(mapping) == set(controller.layer_names)
+        assert all(bits == 6 for bits in mapping.values())

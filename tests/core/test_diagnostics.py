@@ -1,0 +1,151 @@
+"""Underflow / dead-state diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedPrecisionStrategy
+from repro.core.diagnostics import (
+    DiagnosticsCallback,
+    UnderflowMonitor,
+    detect_dead_state,
+)
+from repro.data import DataLoader, make_blobs
+from repro.models import MLP
+from repro.optim import SGD
+from repro.train import FP32Strategy, Trainer
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(in_features=8, num_classes=3, hidden=(12,), rng=rng)
+
+
+class TestUnderflowMonitor:
+    def test_tracks_quantisable_layers_only(self, model):
+        monitor = UnderflowMonitor(model)
+        assert all(name.endswith("weight") for name in monitor.by_name())
+
+    def test_rejects_model_without_quantisable_params(self):
+        from repro import nn
+
+        class OnlyBN(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = nn.BatchNorm1d(4)
+
+            def forward(self, x):
+                return self.bn(x)
+
+        with pytest.raises(ValueError):
+            UnderflowMonitor(OnlyBN())
+
+    def test_gradient_norm_recorded(self, model):
+        monitor = UnderflowMonitor(model)
+        for param in model.parameters():
+            param.grad = np.ones(param.shape)
+        monitor.observe_step(learning_rate=0.1)
+        for layer in monitor.layers:
+            assert layer.latest_gradient_norm is not None
+            assert layer.latest_gradient_norm > 0
+
+    def test_underflow_fraction_high_at_low_bits(self, model):
+        low_bits = {name: 3 for name, param in model.named_parameters() if param.quantisable}
+        monitor = UnderflowMonitor(model, bits_provider=lambda: low_bits)
+        for param in model.parameters():
+            param.grad = np.full(param.shape, 1e-6)
+        monitor.observe_step(learning_rate=0.01)
+        for layer in monitor.layers:
+            assert layer.latest_underflow_fraction == pytest.approx(1.0)
+
+    def test_underflow_fraction_low_at_fp32(self, model):
+        monitor = UnderflowMonitor(model)  # no bits provider -> fp32
+        for param in model.parameters():
+            param.grad = np.full(param.shape, 1e-6)
+        monitor.observe_step(learning_rate=0.01)
+        for layer in monitor.layers:
+            assert layer.latest_underflow_fraction is None  # not computed at fp32
+
+    def test_frozen_fraction_detects_static_weights(self, model):
+        monitor = UnderflowMonitor(model)
+        monitor.observe_epoch()  # baseline snapshot
+        monitor.observe_epoch()  # nothing changed since
+        assert all(layer.latest_frozen_fraction == pytest.approx(1.0) for layer in monitor.layers)
+        assert all(layer.is_frozen() for layer in monitor.layers)
+
+    def test_frozen_fraction_drops_after_updates(self, model):
+        monitor = UnderflowMonitor(model)
+        monitor.observe_epoch()
+        for param in model.parameters():
+            param.data = param.data + 0.5
+        monitor.observe_epoch()
+        assert all(layer.latest_frozen_fraction == pytest.approx(0.0) for layer in monitor.layers)
+
+    def test_summary_rows(self, model):
+        monitor = UnderflowMonitor(model)
+        rows = monitor.summary()
+        assert len(rows) == len(monitor.layers)
+        assert {"name", "bits", "gradient_norm", "underflow_fraction", "frozen_fraction"} <= set(rows[0])
+
+
+class TestDeadState:
+    def test_dead_when_all_layers_frozen(self, model):
+        monitor = UnderflowMonitor(model)
+        monitor.observe_epoch()
+        monitor.observe_epoch()
+        assert detect_dead_state(monitor, frozen_layer_fraction=0.5)
+
+    def test_not_dead_when_layers_move(self, model):
+        monitor = UnderflowMonitor(model)
+        monitor.observe_epoch()
+        for param in model.parameters():
+            param.data = param.data + 1.0
+        monitor.observe_epoch()
+        assert not detect_dead_state(monitor)
+
+    def test_invalid_fraction(self, model):
+        with pytest.raises(ValueError):
+            detect_dead_state(UnderflowMonitor(model), frozen_layer_fraction=0.0)
+
+
+class TestDiagnosticsCallbackIntegration:
+    def _loaders(self):
+        train_set, test_set = make_blobs(num_classes=3, samples_per_class=30, features=6, seed=4)
+        return (
+            DataLoader(train_set, batch_size=16, rng=np.random.default_rng(0)),
+            DataLoader(test_set, batch_size=32, shuffle=False),
+        )
+
+    def test_records_diagnostics_into_history(self, rng):
+        model = MLP(in_features=6, num_classes=3, hidden=(8,), rng=rng)
+        monitor = UnderflowMonitor(model)
+        callback = DiagnosticsCallback(monitor)
+        train_loader, test_loader = self._loaders()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=0.05, momentum=0.9),
+            train_loader,
+            test_loader,
+            strategy=FP32Strategy(),
+            callbacks=[callback],
+        )
+        history = trainer.fit(2)
+        assert "diagnostics" in history.records[-1].extra
+        assert not callback.dead_state_epochs  # fp32 training never freezes
+
+    def test_detects_dead_state_at_2_bits(self, rng):
+        """A 2-bit fixed model on this task freezes almost immediately."""
+        model = MLP(in_features=6, num_classes=3, hidden=(8,), rng=rng)
+        strategy = FixedPrecisionStrategy(2)
+        monitor = UnderflowMonitor(model, bits_provider=lambda: strategy.weight_bits())
+        callback = DiagnosticsCallback(monitor)
+        train_loader, test_loader = self._loaders()
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=0.001, momentum=0.0),  # tiny lr -> everything underflows
+            train_loader,
+            test_loader,
+            strategy=strategy,
+            callbacks=[callback],
+        )
+        trainer.fit(3)
+        assert callback.dead_state_epochs, "expected the 2-bit model to reach a dead state"

@@ -1,0 +1,182 @@
+"""The Gavg metric (Eq. 4), its estimator, and the adjustment policy (Alg. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import APTConfig, GavgEstimator, PolicyDecision, PrecisionPolicy, gavg
+from repro.quant import resolution
+
+
+class TestGavgMetric:
+    def test_matches_equation_4(self, rng):
+        gradient = rng.normal(size=50)
+        eps = 0.25
+        expected = np.mean(np.abs(gradient) / eps)
+        assert gavg(gradient, eps) == pytest.approx(expected)
+
+    def test_scales_inversely_with_eps(self, rng):
+        gradient = rng.normal(size=50)
+        assert gavg(gradient, 0.1) == pytest.approx(2 * gavg(gradient, 0.2))
+
+    def test_zero_gradient_gives_zero(self):
+        assert gavg(np.zeros(10), 0.5) == 0.0
+
+    def test_empty_gradient_rejected(self):
+        with pytest.raises(ValueError):
+            gavg(np.array([]), 0.5)
+
+    def test_higher_precision_raises_gavg(self, rng):
+        # Section III-B: more bits -> smaller eps -> larger Gavg.
+        weights = rng.normal(size=100)
+        gradient = rng.normal(scale=0.01, size=100)
+        low = gavg(gradient, resolution(weights, 4))
+        high = gavg(gradient, resolution(weights, 10))
+        assert high > low
+
+
+class TestGavgEstimator:
+    def test_first_sample_initialises(self):
+        estimator = GavgEstimator(beta=0.9)
+        assert estimator.value is None
+        assert estimator.update(3.0) == pytest.approx(3.0)
+
+    def test_ema_formula(self):
+        estimator = GavgEstimator(beta=0.5)
+        estimator.update(2.0)
+        assert estimator.update(4.0) == pytest.approx(3.0)
+
+    def test_num_samples_and_reset(self):
+        estimator = GavgEstimator()
+        estimator.update(1.0)
+        estimator.update(2.0)
+        assert estimator.num_samples == 2
+        estimator.reset_samples()
+        assert estimator.num_samples == 0
+        # The smoothed value survives the reset (it carries across epochs).
+        assert estimator.value is not None
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            GavgEstimator().update(-1.0)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            GavgEstimator(beta=1.5)
+
+    def test_converges_to_stationary_value(self):
+        estimator = GavgEstimator(beta=0.8)
+        for _ in range(200):
+            estimator.update(7.0)
+        assert estimator.value == pytest.approx(7.0, abs=1e-6)
+
+
+class TestAPTConfig:
+    def test_paper_default(self):
+        config = APTConfig.paper_default()
+        assert config.initial_bits == 6
+        assert config.t_min == 6.0
+        assert math.isinf(config.t_max)
+
+    def test_demo_fig1(self):
+        assert APTConfig.demo_fig1().t_min == 1.0
+
+    def test_with_thresholds(self):
+        config = APTConfig.paper_default().with_thresholds(2.5)
+        assert config.t_min == 2.5
+        assert math.isinf(config.t_max)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_bits": 1},
+            {"initial_bits": 40},
+            {"t_min": -1.0},
+            {"t_min": 5.0, "t_max": 1.0},
+            {"metric_interval": 0},
+            {"ema_beta": 1.0},
+            {"adjust_every_epochs": 0},
+            {"bits_step": 0},
+            {"min_bits": 1},
+            {"max_bits": 64},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            APTConfig(**kwargs)
+
+
+class TestPrecisionPolicy:
+    def _policy(self, t_min=1.0, t_max=math.inf, **kwargs):
+        return PrecisionPolicy(APTConfig(t_min=t_min, t_max=t_max, **kwargs))
+
+    def test_underflowing_layer_gains_a_bit(self):
+        decisions = self._policy(t_min=1.0).adjust([6], [0.5])
+        assert decisions[0].new_bits == 7
+        assert decisions[0].changed
+        assert decisions[0].direction == 1
+
+    def test_comfortable_layer_unchanged(self):
+        decisions = self._policy(t_min=1.0).adjust([6], [2.0])
+        assert decisions[0].new_bits == 6
+        assert not decisions[0].changed
+        assert decisions[0].direction == 0
+
+    def test_overprovisioned_layer_loses_a_bit(self):
+        decisions = self._policy(t_min=1.0, t_max=10.0).adjust([8], [50.0])
+        assert decisions[0].new_bits == 7
+        assert decisions[0].direction == -1
+
+    def test_infinite_t_max_never_decreases(self):
+        decisions = self._policy(t_min=1.0).adjust([8], [1e9])
+        assert decisions[0].new_bits == 8
+
+    def test_clamped_at_max_bits(self):
+        decisions = self._policy(t_min=1.0).adjust([32], [0.0])
+        assert decisions[0].new_bits == 32
+
+    def test_clamped_at_min_bits(self):
+        decisions = self._policy(t_min=0.0, t_max=1.0).adjust([2], [100.0])
+        assert decisions[0].new_bits == 2
+
+    def test_none_gavg_leaves_layer_untouched(self):
+        decisions = self._policy(t_min=1.0).adjust([6], [None])
+        assert decisions[0].new_bits == 6
+
+    def test_per_layer_independence(self):
+        decisions = self._policy(t_min=1.0, t_max=10.0).adjust(
+            [6, 6, 6], [0.5, 5.0, 50.0]
+        )
+        assert [d.new_bits for d in decisions] == [7, 6, 5]
+
+    def test_bits_step_respected(self):
+        decisions = self._policy(t_min=1.0, bits_step=3).adjust([6], [0.1])
+        assert decisions[0].new_bits == 9
+
+    def test_bits_step_clamps_to_max(self):
+        decisions = self._policy(t_min=1.0, bits_step=5).adjust([30], [0.1])
+        assert decisions[0].new_bits == 32
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self._policy().adjust([6, 6], [1.0])
+
+    def test_apply_returns_bitwidths_only(self):
+        assert self._policy(t_min=1.0).apply([6, 6], [0.5, 5.0]) == [7, 6]
+
+    def test_matches_algorithm_1_pseudocode(self):
+        """Replay Algorithm 1 line by line on a mixed example."""
+        t_min, t_max = 1.0, 20.0
+        bits = [2, 6, 16, 32, 4]
+        gavg_values = [0.2, 25.0, 0.9, 0.1, 10.0]
+        expected = []
+        for k, g in zip(bits, gavg_values):
+            new_k = k
+            if g < t_min and k < 32:
+                new_k = k + 1
+            if g > t_max and k > 2:
+                new_k = k - 1
+            expected.append(new_k)
+        policy = self._policy(t_min=t_min, t_max=t_max)
+        assert policy.apply(bits, gavg_values) == expected

@@ -1,0 +1,163 @@
+"""Datasets, loaders and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    make_blobs,
+    make_spirals,
+    make_synthetic_cifar10,
+    make_synthetic_cifar100,
+    make_synthetic_digits,
+    make_synthetic_image_dataset,
+    SyntheticImageConfig,
+)
+
+
+class TestArrayDataset:
+    def test_length_and_item(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 4)), rng.integers(0, 3, 10))
+        assert len(dataset) == 10
+        sample, label = dataset[0]
+        assert sample.shape == (4,)
+        assert isinstance(label, int)
+
+    def test_transform_applied(self, rng):
+        dataset = ArrayDataset(
+            rng.normal(size=(5, 4)), np.zeros(5, dtype=int), transform=lambda x: x * 0
+        )
+        sample, _ = dataset[2]
+        np.testing.assert_array_equal(sample, np.zeros(4))
+
+    def test_num_classes(self):
+        dataset = ArrayDataset(np.zeros((4, 2)), np.array([0, 2, 1, 2]))
+        assert dataset.num_classes == 3
+
+    def test_subset(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 4)), np.arange(10) % 2)
+        subset = dataset.subset([0, 3, 5])
+        assert len(subset) == 3
+        np.testing.assert_array_equal(subset.inputs[1], dataset.inputs[3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestDataLoader:
+    @pytest.fixture
+    def dataset(self, rng):
+        return ArrayDataset(rng.normal(size=(25, 3)), rng.integers(0, 2, 25))
+
+    def test_batches_cover_dataset(self, dataset):
+        loader = DataLoader(dataset, batch_size=10, shuffle=False)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 25
+        assert len(loader) == 3
+        assert loader.num_samples == 25
+
+    def test_drop_last(self, dataset):
+        loader = DataLoader(dataset, batch_size=10, shuffle=False, drop_last=True)
+        sizes = [len(labels) for _, labels in loader]
+        assert sizes == [10, 10]
+        assert len(loader) == 2
+        assert loader.num_samples == 20
+
+    def test_shuffle_deterministic_with_rng(self, dataset):
+        loader_a = DataLoader(dataset, batch_size=5, rng=np.random.default_rng(9))
+        loader_b = DataLoader(dataset, batch_size=5, rng=np.random.default_rng(9))
+        first_a = next(iter(loader_a))[1]
+        first_b = next(iter(loader_b))[1]
+        np.testing.assert_array_equal(first_a, first_b)
+
+    def test_no_shuffle_preserves_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=25, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, dataset.labels)
+
+    def test_batch_shapes(self, dataset):
+        loader = DataLoader(dataset, batch_size=4, shuffle=False)
+        inputs, labels = next(iter(loader))
+        assert inputs.shape == (4, 3)
+        assert labels.dtype == np.int64
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)
+
+
+class TestSyntheticGenerators:
+    def test_blobs_shapes_and_split(self):
+        train, test = make_blobs(num_classes=3, samples_per_class=20, features=5, seed=0)
+        assert train.inputs.shape[1] == 5
+        assert len(train) + len(test) == 60
+        assert train.num_classes == 3
+
+    def test_blobs_deterministic(self):
+        a, _ = make_blobs(seed=5)
+        b, _ = make_blobs(seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_blobs_linearly_learnable(self):
+        # Class means should be well separated relative to noise.
+        train, _ = make_blobs(num_classes=2, samples_per_class=50, features=8, separation=4.0, seed=1)
+        class0 = train.inputs[train.labels == 0].mean(axis=0)
+        class1 = train.inputs[train.labels == 1].mean(axis=0)
+        assert np.linalg.norm(class0 - class1) > 3.0
+
+    def test_spirals_shape(self):
+        train, test = make_spirals(num_classes=3, samples_per_class=30, seed=2)
+        assert train.inputs.shape[1] == 2
+        assert set(np.unique(train.labels)) <= {0, 1, 2}
+
+    def test_digits_layout(self):
+        train, test = make_synthetic_digits(train_samples=50, test_samples=20, image_size=10)
+        assert train.inputs.shape == (50, 1, 10, 10)
+        assert test.inputs.shape == (20, 1, 10, 10)
+
+    def test_cifar10_standin_layout(self):
+        train, test = make_synthetic_cifar10(train_samples=40, test_samples=20, image_size=32)
+        assert train.inputs.shape == (40, 3, 32, 32)
+        assert train.num_classes == 10
+
+    def test_cifar100_standin_has_100_classes(self):
+        train, _ = make_synthetic_cifar100(train_samples=200, test_samples=100)
+        assert train.num_classes == 100
+
+    def test_every_class_present(self):
+        train, test = make_synthetic_cifar10(train_samples=40, test_samples=20)
+        assert set(np.unique(train.labels)) == set(range(10))
+        assert set(np.unique(test.labels)) == set(range(10))
+
+    def test_same_seed_same_data(self):
+        a, _ = make_synthetic_cifar10(train_samples=20, test_samples=10, seed=3)
+        b, _ = make_synthetic_cifar10(train_samples=20, test_samples=10, seed=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_different_seeds_differ(self):
+        a, _ = make_synthetic_cifar10(train_samples=20, test_samples=10, seed=3)
+        b, _ = make_synthetic_cifar10(train_samples=20, test_samples=10, seed=4)
+        assert not np.array_equal(a.inputs, b.inputs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=10, train_samples=5)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(image_size=2)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(noise_scale=-0.1)
+
+    def test_custom_config(self):
+        config = SyntheticImageConfig(num_classes=4, train_samples=16, test_samples=8,
+                                      image_size=8, channels=2, seed=1)
+        train, test = make_synthetic_image_dataset(config)
+        assert train.inputs.shape == (16, 2, 8, 8)
+        assert len(test) == 8

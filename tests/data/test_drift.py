@@ -1,0 +1,93 @@
+"""Distribution-drift generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DriftSpec, drift_dataset, make_blobs, make_drift_sequence
+
+
+@pytest.fixture
+def dataset():
+    train, _ = make_blobs(num_classes=3, samples_per_class=40, features=6, seed=0)
+    return train
+
+
+class TestDriftSpec:
+    def test_defaults_valid(self):
+        spec = DriftSpec()
+        assert spec.class_shift >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftSpec(class_shift=-1.0)
+        with pytest.raises(ValueError):
+            DriftSpec(label_noise=1.0)
+
+
+class TestDriftDataset:
+    def test_shapes_and_labels_preserved(self, dataset):
+        drifted = drift_dataset(dataset, DriftSpec(), rng=np.random.default_rng(0))
+        assert drifted.inputs.shape == dataset.inputs.shape
+        assert drifted.num_classes == dataset.num_classes
+        np.testing.assert_array_equal(drifted.labels, dataset.labels)
+
+    def test_original_untouched(self, dataset):
+        before = dataset.inputs.copy()
+        drift_dataset(dataset, DriftSpec(class_shift=2.0), rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(dataset.inputs, before)
+
+    def test_inputs_actually_move(self, dataset):
+        drifted = drift_dataset(dataset, DriftSpec(class_shift=1.0), rng=np.random.default_rng(1))
+        assert not np.allclose(drifted.inputs, dataset.inputs)
+
+    def test_zero_spec_is_nearly_identity(self, dataset):
+        spec = DriftSpec(class_shift=0.0, scale_drift=0.0, offset_drift=0.0)
+        drifted = drift_dataset(dataset, spec, rng=np.random.default_rng(2))
+        np.testing.assert_allclose(drifted.inputs, dataset.inputs)
+
+    def test_label_noise_flips_some_labels(self, dataset):
+        spec = DriftSpec(label_noise=0.5)
+        drifted = drift_dataset(dataset, spec, rng=np.random.default_rng(3))
+        flipped = np.mean(drifted.labels != dataset.labels)
+        assert 0.1 < flipped < 0.7
+
+    def test_deterministic_given_rng(self, dataset):
+        a = drift_dataset(dataset, DriftSpec(), rng=np.random.default_rng(5))
+        b = drift_dataset(dataset, DriftSpec(), rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_drift_degrades_a_fixed_classifier(self):
+        """A nearest-centroid rule fit on the clean data loses accuracy on
+        strongly drifted data -- the premise of the adaptation scenario."""
+        train, test = make_blobs(num_classes=4, samples_per_class=60, features=8,
+                                 separation=3.0, seed=7)
+        centroids = np.stack([train.inputs[train.labels == c].mean(axis=0) for c in range(4)])
+
+        def evaluate(dataset):
+            distances = np.linalg.norm(dataset.inputs[:, None, :] - centroids[None], axis=2)
+            return float(np.mean(distances.argmin(axis=1) == dataset.labels))
+
+        clean_accuracy = evaluate(test)
+        drifted = drift_dataset(test, DriftSpec(class_shift=2.0), rng=np.random.default_rng(11))
+        assert evaluate(drifted) < clean_accuracy
+
+
+class TestDriftSequence:
+    def test_stage_count_and_first_stage_identity(self, dataset):
+        _, test = make_blobs(num_classes=3, samples_per_class=20, features=6, seed=1)
+        stages = make_drift_sequence(dataset, test, num_stages=4, spec=DriftSpec(), seed=0)
+        assert len(stages) == 4
+        assert stages[0][0] is dataset
+
+    def test_drift_accumulates(self, dataset):
+        _, test = make_blobs(num_classes=3, samples_per_class=20, features=6, seed=1)
+        stages = make_drift_sequence(
+            dataset, test, num_stages=4, spec=DriftSpec(class_shift=1.0), seed=0
+        )
+        base = dataset.inputs
+        deviations = [np.mean(np.abs(stage_train.inputs - base)) for stage_train, _ in stages]
+        assert deviations[-1] > deviations[1]
+
+    def test_invalid_stage_count(self, dataset):
+        with pytest.raises(ValueError):
+            make_drift_sequence(dataset, dataset, num_stages=0, spec=DriftSpec())

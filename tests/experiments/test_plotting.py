@@ -1,0 +1,73 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart, ascii_scatter
+
+
+class TestLineChart:
+    def test_contains_title_legend_and_glyphs(self):
+        chart = ascii_line_chart(
+            {"fp32": [0.1, 0.5, 0.9], "apt": [0.05, 0.4, 0.85]},
+            title="accuracy",
+        )
+        assert "accuracy" in chart
+        assert "o=fp32" in chart and "x=apt" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_handles_none_entries(self):
+        chart = ascii_line_chart({"gavg": [None, 1.0, 2.0, None, 3.0]})
+        assert "o" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_line_chart({"s": [2.0, 4.0]}, height=5)
+        assert "4" in chart and "2" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_line_chart({"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"x": [None, None]})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"x": [1.0]}, width=3, height=2)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"fp32": 1.0, "apt": 0.25}, width=40)
+        lines = {line.split("|")[0].strip(): line for line in chart.splitlines()}
+        assert lines["fp32"].count("#") > lines["apt"].count("#")
+
+    def test_absent_values_labelled(self):
+        chart = ascii_bar_chart({"12-bit": None, "apt": 0.3})
+        assert "absent" in chart
+
+    def test_values_printed(self):
+        chart = ascii_bar_chart({"apt": 0.123})
+        assert "0.123" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+
+class TestScatter:
+    def test_point_count_and_ranges(self):
+        chart = ascii_scatter([(0.1, 0.5), (1.0, 0.9), (10.0, 0.95)], title="tradeoff")
+        assert "tradeoff" in chart
+        assert chart.count("o") >= 2  # points may overlap but not vanish
+        assert "0.1" in chart
+
+    def test_single_point(self):
+        chart = ascii_scatter([(1.0, 2.0)])
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([])

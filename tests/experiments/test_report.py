@@ -1,0 +1,49 @@
+"""The one-shot markdown reproduction report."""
+
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.report import ReportSection, ReproductionReport, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(
+        get_scale("smoke"),
+        seed=0,
+        include_ablations=False,
+        include_schedule_comparison=False,
+        include_charts=True,
+    )
+
+
+class TestGenerateReport:
+    def test_contains_every_paper_artifact(self, report):
+        titles = [section.title for section in report.sections]
+        for prefix in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Table I"):
+            assert any(title.startswith(prefix) for title in titles)
+
+    def test_markdown_structure(self, report):
+        markdown = report.to_markdown()
+        assert markdown.startswith("# APT reproduction report")
+        assert "## Figure 2" in markdown
+        assert "| Method |" in markdown  # Table I rendered as a markdown table
+        assert "```" in markdown  # raw rows and charts are fenced
+
+    def test_charts_included(self, report):
+        fig2 = report.section("Figure 2")
+        assert any("o=" in line for line in fig2.body_lines)
+
+    def test_section_lookup(self, report):
+        assert isinstance(report.section("Table I"), ReportSection)
+        with pytest.raises(KeyError):
+            report.section("Figure 9")
+
+    def test_optional_sections_toggle(self, report):
+        titles = [section.title for section in report.sections]
+        assert not any("Ablations" in title for title in titles)
+        assert not any("schedules" in title for title in titles)
+
+    def test_scale_recorded(self, report):
+        assert report.scale_name == "smoke"
+        assert "`smoke`" in report.to_markdown()

@@ -1,0 +1,42 @@
+"""Formatting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import curves_to_rows, format_table, to_csv, to_markdown_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert len(lines) == 4
+
+    def test_column_width_adapts(self):
+        text = format_table(["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+
+class TestMarkdownAndCsv:
+    def test_markdown_structure(self):
+        text = to_markdown_table(["m", "acc"], [["apt", 0.9]])
+        lines = text.splitlines()
+        assert lines[0] == "| m | acc |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| apt | 0.9 |"
+
+    def test_csv_round_trip(self):
+        text = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        rows = [line.split(",") for line in text.strip().splitlines()]
+        assert rows[0] == ["a", "b"]
+        assert rows[2] == ["3", "4"]
+
+
+class TestCurves:
+    def test_transpose(self):
+        rows = curves_to_rows({"x": [1, 2, 3], "y": [4, 5]})
+        assert rows[0] == [0, 1, 4]
+        assert rows[2] == [2, 3, ""]
+
+    def test_empty(self):
+        assert curves_to_rows({}) == []

@@ -1,0 +1,186 @@
+"""Experiment runners for every figure / table, exercised at smoke scale."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedPrecisionStrategy
+from repro.experiments import (
+    build_workload,
+    get_scale,
+    run_ablations,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_strategy,
+    run_table1,
+)
+from repro.experiments.runners import fp32_reference_energy
+from repro.train.strategy import FP32Strategy
+
+
+@pytest.fixture(scope="module")
+def smoke_scale():
+    return get_scale("smoke")
+
+
+@pytest.fixture(scope="module")
+def smoke_workload(smoke_scale):
+    return build_workload(smoke_scale)
+
+
+class TestRunStrategy:
+    def test_fp32_normalises_to_one(self, smoke_workload):
+        result = run_strategy(smoke_workload, FP32Strategy(), epochs=2)
+        assert result.normalised_energy == pytest.approx(1.0, rel=1e-6)
+        assert result.normalised_memory == pytest.approx(1.0, rel=1e-6)
+        assert result.history.strategy_name == "fp32"
+
+    def test_fixed_precision_saves_resources(self, smoke_workload):
+        result = run_strategy(smoke_workload, FixedPrecisionStrategy(8), epochs=2)
+        assert result.normalised_energy < 0.5
+        assert result.normalised_memory < 0.5
+
+    def test_adam_optimizer_path(self, smoke_workload):
+        result = run_strategy(smoke_workload, FP32Strategy(), epochs=1, optimizer_name="adam")
+        assert len(result.history) == 1
+
+    def test_unknown_optimizer_rejected(self, smoke_workload):
+        with pytest.raises(ValueError):
+            run_strategy(smoke_workload, FP32Strategy(), epochs=1, optimizer_name="lion")
+
+    def test_fp32_reference_energy_positive(self, smoke_workload):
+        assert fp32_reference_energy(smoke_workload, epochs=3) > 0
+
+
+class TestFig1:
+    def test_structure(self, smoke_scale):
+        result = run_fig1(smoke_scale, t_min=1.0)
+        assert result.layer_a != result.layer_b
+        series = result.series()
+        assert set(series) == {"layer_a", "layer_b"}
+        assert len(series["layer_a"]) == smoke_scale.epochs
+        assert any("Figure 1" in row for row in result.format_rows())
+
+    def test_gavg_values_populated(self, smoke_scale):
+        result = run_fig1(smoke_scale)
+        final_values = [values[-1] for values in result.gavg_by_layer.values()]
+        assert all(value is not None and value >= 0 for value in final_values)
+
+
+class TestFig2:
+    def test_curves_have_all_methods(self, smoke_scale):
+        result = run_fig2(smoke_scale, low_bits=3, mid_bits=16)
+        assert set(result.curves) == {"fp32", "16-bit", "3-bit", "apt"}
+        assert all(len(curve) == smoke_scale.epochs for curve in result.curves.values())
+
+    def test_accuracies_are_fractions(self, smoke_scale):
+        result = run_fig2(smoke_scale, low_bits=3)
+        for curve in result.curves.values():
+            assert all(0.0 <= value <= 1.0 for value in curve)
+
+    def test_apt_not_worse_than_low_bits(self, smoke_scale):
+        result = run_fig2(smoke_scale, low_bits=2)
+        assert result.best_accuracy["apt"] >= result.best_accuracy["2-bit"] - 0.05
+
+
+class TestFig3:
+    def test_trajectories_start_at_initial_bits(self, smoke_scale):
+        result = run_fig3(smoke_scale, initial_bits=5)
+        for trajectory in result.trajectories().values():
+            assert trajectory[0] == 5
+
+    def test_selected_layer_count(self, smoke_scale):
+        result = run_fig3(smoke_scale, num_layers_to_plot=2)
+        assert len(result.selected_layers) == 2
+
+    def test_bits_never_leave_valid_range(self, smoke_scale):
+        result = run_fig3(smoke_scale)
+        for trajectory in result.bits_by_layer.values():
+            assert all(2 <= bits <= 32 for bits in trajectory)
+
+    def test_final_bits_reported(self, smoke_scale):
+        result = run_fig3(smoke_scale)
+        assert set(result.final_bits()) == set(result.bits_by_layer)
+
+
+class TestFig4:
+    def test_rows_and_targets(self, smoke_scale):
+        result = run_fig4(smoke_scale, fixed_bitwidths=(4, 16), num_targets=3)
+        assert len(result.targets) == 3
+        assert set(result.energy_to_target) == {"fp32", "4-bit", "16-bit", "apt"}
+        rows = result.format_rows()
+        assert any("target" in row for row in rows)
+
+    def test_energy_values_normalised(self, smoke_scale):
+        result = run_fig4(smoke_scale, fixed_bitwidths=(4,), num_targets=2)
+        for per_target in result.energy_to_target.values():
+            for value in per_target.values():
+                assert value is None or 0.0 <= value <= 1.5
+
+    def test_quantised_methods_cheaper_than_fp32_when_reached(self, smoke_scale):
+        result = run_fig4(smoke_scale, fixed_bitwidths=(16,), num_targets=2)
+        for target in result.targets:
+            fp32_cost = result.energy_to_target["fp32"][target]
+            apt_cost = result.energy_to_target["apt"][target]
+            if fp32_cost is not None and apt_cost is not None:
+                assert apt_cost < fp32_cost
+
+
+class TestFig5:
+    def test_sweep_points(self, smoke_scale):
+        result = run_fig5(smoke_scale, thresholds=(0.5, 6.0))
+        assert result.thresholds() == [0.5, 6.0]
+        assert all(0.0 <= point.accuracy <= 1.0 for point in result.points)
+        assert all(point.normalised_energy > 0 for point in result.points)
+
+    def test_higher_threshold_uses_more_resources(self, smoke_scale):
+        result = run_fig5(smoke_scale, thresholds=(0.1, 50.0))
+        low, high = result.points
+        assert high.normalised_energy >= low.normalised_energy
+        assert high.normalised_memory >= low.normalised_memory
+        assert high.average_bits >= low.average_bits
+
+
+class TestTable1:
+    def test_rows_for_requested_methods(self, smoke_scale):
+        result = run_table1(smoke_scale, methods=["wage", "bnn"], include_apt=True)
+        methods = [row.method for row in result.rows]
+        assert methods == ["wage", "bnn", "apt"]
+        assert "| Method |" in result.to_markdown()
+
+    def test_bprop_labels_match_paper(self, smoke_scale):
+        result = run_table1(smoke_scale, methods=["wage", "bnn"], include_apt=True)
+        assert result.row_for("wage").bprop_precision == "8-bit"
+        assert result.row_for("bnn").bprop_precision == "FP32"
+        assert result.row_for("apt").bprop_precision == "Adaptive"
+
+    def test_master_copy_method_has_no_memory_saving(self, smoke_scale):
+        result = run_table1(smoke_scale, methods=["bnn", "wage"], include_apt=True)
+        assert result.row_for("bnn").normalised_memory >= 1.0
+        assert result.row_for("apt").normalised_memory < 1.0
+
+    def test_unknown_row_raises(self, smoke_scale):
+        result = run_table1(smoke_scale, methods=["wage"], include_apt=False)
+        with pytest.raises(KeyError):
+            result.row_for("apt")
+
+
+class TestAblations:
+    def test_all_studies_present(self, smoke_scale):
+        result = run_ablations(
+            smoke_scale, initial_bits_grid=(4, 8), metric_intervals=(2,), epochs=2
+        )
+        studies = set(result.by_study())
+        assert studies == {"initial_bits", "t_max", "metric_interval", "bits_step"}
+        assert len(result.format_rows()) > 4
+
+    def test_points_have_valid_metrics(self, smoke_scale):
+        result = run_ablations(smoke_scale, initial_bits_grid=(6,), metric_intervals=(2,), epochs=2)
+        for point in result.points:
+            assert 0.0 <= point.accuracy <= 1.0
+            assert point.normalised_energy > 0
+            assert 2 <= point.average_bits <= 32

@@ -1,0 +1,72 @@
+"""Experiment scale presets and workload construction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, build_workload, get_scale
+from repro.experiments.scales import ExperimentScale
+
+
+class TestScales:
+    def test_expected_presets(self):
+        assert {"smoke", "bench", "bench_cifar", "paper"} <= set(SCALES)
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+    def test_paper_scale_matches_section_iv(self):
+        paper = get_scale("paper")
+        assert paper.model == "resnet20"
+        assert paper.epochs == 200
+        assert paper.batch_size == 128
+        assert paper.learning_rate == pytest.approx(0.1)
+        assert paper.lr_milestones == (100, 150)
+        assert paper.train_samples == 50000
+
+    def test_input_shape_for_vector_and_image_datasets(self):
+        assert get_scale("smoke").input_shape == (16,)
+        assert get_scale("bench").input_shape == (1, 12, 12)
+        assert get_scale("paper").input_shape == (3, 32, 32)
+
+
+class TestWorkload:
+    def test_smoke_workload_builds(self):
+        workload = build_workload(get_scale("smoke"))
+        assert len(workload.train_set) > 0
+        assert len(workload.test_set) > 0
+        model = workload.model_factory(seed=0)
+        assert model is not None
+
+    def test_model_factory_deterministic(self):
+        workload = build_workload(get_scale("smoke"))
+        a = workload.model_factory(seed=1)
+        b = workload.model_factory(seed=1)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_loaders_sized_from_scale(self):
+        scale = get_scale("smoke")
+        workload = build_workload(scale)
+        train_loader, test_loader = workload.loaders(seed=0)
+        assert train_loader.batch_size == scale.batch_size
+        assert test_loader.shuffle is False
+
+    def test_bench_workload_is_image_dataset(self):
+        workload = build_workload(get_scale("bench"))
+        sample, _ = workload.train_set[0]
+        assert sample.shape == (1, 12, 12)
+
+    def test_augmentation_attached_when_requested(self):
+        scale = get_scale("bench_cifar")
+        workload = build_workload(scale)
+        assert workload.train_set.transform is not None
+        assert workload.test_set.transform is None
+
+    def test_unknown_dataset_rejected(self):
+        bad = ExperimentScale(
+            name="bad", model="mlp", dataset="imagenet", epochs=1, batch_size=8,
+            train_samples=16, test_samples=8, learning_rate=0.1, lr_milestones=(1,),
+        )
+        with pytest.raises(ValueError):
+            build_workload(bad)

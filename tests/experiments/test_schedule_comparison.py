@@ -1,0 +1,43 @@
+"""Adaptive vs open-loop schedule comparison experiment."""
+
+import pytest
+
+from repro.experiments import get_scale, run_schedule_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_schedule_comparison(get_scale("smoke"), epochs=4, low_bits=4, ramp_end_bits=10)
+
+
+class TestScheduleComparison:
+    def test_all_policies_present(self, result):
+        policies = {row.policy for row in result.rows}
+        assert {"fp32", "uniform_4bit", "static_first_last", "linear_ramp", "apt"} == policies
+
+    def test_only_apt_is_adaptive(self, result):
+        assert result.row_for("apt").adaptive
+        assert not any(row.adaptive for row in result.rows if row.policy != "apt")
+
+    def test_quantised_policies_cheaper_than_fp32(self, result):
+        fp32 = result.row_for("fp32")
+        for policy in ("uniform_4bit", "static_first_last", "linear_ramp", "apt"):
+            assert result.row_for(policy).normalised_energy < fp32.normalised_energy
+            assert result.row_for(policy).normalised_memory < fp32.normalised_memory
+
+    def test_apt_not_worse_than_uniform_low_bits(self, result):
+        assert result.row_for("apt").accuracy >= result.row_for("uniform_4bit").accuracy - 0.05
+
+    def test_format_rows(self, result):
+        rows = result.format_rows()
+        assert any("policy" in row for row in rows)
+        assert len(rows) == len(result.rows) + 2
+
+    def test_row_lookup(self, result):
+        with pytest.raises(KeyError):
+            result.row_for("does-not-exist")
+
+    def test_fp32_normalisation_reference(self, result):
+        fp32 = result.row_for("fp32")
+        assert fp32.normalised_energy == pytest.approx(1.0, rel=1e-6)
+        assert fp32.average_bits == pytest.approx(32.0)

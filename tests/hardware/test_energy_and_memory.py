@@ -1,0 +1,150 @@
+"""Energy model, memory model and device profiles."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    BatterySimulator,
+    DEVICE_PROFILES,
+    EdgeDeviceProfile,
+    EnergyModel,
+    MemoryBreakdown,
+    TrainingMemoryModel,
+)
+from repro.models import MLP
+
+
+class TestEnergyModel:
+    def test_mac_energy_monotone_in_bits(self):
+        model = EnergyModel()
+        energies = [model.mac_energy_pj(bits) for bits in (2, 4, 8, 16, 32)]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_relative_energy_normalised_at_fp32(self):
+        assert EnergyModel().relative_mac_energy(32) == pytest.approx(1.0)
+
+    def test_quadratic_multiplier_scaling(self):
+        model = EnergyModel(multiplier_exponent=2.0)
+        quarter = model.op_energy(8).multiply_pj
+        full = model.op_energy(16).multiply_pj
+        assert full / quarter == pytest.approx(4.0, rel=1e-6)
+
+    def test_linear_adder_scaling(self):
+        model = EnergyModel(adder_exponent=1.0)
+        assert model.op_energy(16).add_pj / model.op_energy(8).add_pj == pytest.approx(2.0)
+
+    def test_memory_access_linear_in_bits(self):
+        model = EnergyModel()
+        assert model.memory_access_energy_pj(16) == pytest.approx(
+            model.memory_access_energy_pj(32) / 2
+        )
+
+    def test_dram_more_expensive_than_sram(self):
+        assert EnergyModel(use_dram=True).memory_access_energy_pj(32) > EnergyModel().memory_access_energy_pj(32)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().mac_energy_pj(0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(multiplier_exponent=0.0)
+
+    def test_low_precision_saves_energy_vs_fp32(self):
+        # The core premise of the paper: an 8-bit MAC is much cheaper than fp32.
+        assert EnergyModel().relative_mac_energy(8) < 0.2
+
+
+class TestTrainingMemoryModel:
+    @pytest.fixture
+    def model(self, rng):
+        return MLP(in_features=8, num_classes=4, hidden=(16,), rng=rng)
+
+    def _weight_names(self, model):
+        return [name for name, param in model.named_parameters() if param.quantisable]
+
+    def test_fp32_baseline_is_32_bits_per_param(self, model):
+        memory_model = TrainingMemoryModel()
+        bits = memory_model.total_bits(model, {name: 32 for name, _ in model.named_parameters()})
+        assert bits == 32 * model.num_parameters()
+
+    def test_quantised_weights_shrink_memory(self, model):
+        memory_model = TrainingMemoryModel()
+        weight_bits = {name: 6 for name in self._weight_names(model)}
+        assert memory_model.total_bits(model, weight_bits) < 32 * model.num_parameters()
+
+    def test_master_copy_removes_savings(self, model):
+        memory_model = TrainingMemoryModel()
+        weight_bits = {name: 6 for name in self._weight_names(model)}
+        without = memory_model.normalised_to_fp32(model, weight_bits, keeps_master_copy=False)
+        with_master = memory_model.normalised_to_fp32(model, weight_bits, keeps_master_copy=True)
+        assert without < 0.6
+        assert with_master > 1.0  # fp32 master + quantised copy exceeds plain fp32
+
+    def test_breakdown_components_sum(self, model):
+        memory_model = TrainingMemoryModel(include_optimiser_state=True)
+        weight_bits = {name: 8 for name in self._weight_names(model)}
+        breakdown = memory_model.breakdown(model, weight_bits, keeps_master_copy=True)
+        assert isinstance(breakdown, MemoryBreakdown)
+        assert breakdown.total_bits == (
+            breakdown.quantised_weights_bits
+            + breakdown.master_copy_bits
+            + breakdown.float_parameters_bits
+            + breakdown.optimiser_state_bits
+        )
+        assert breakdown.optimiser_state_bits == 32 * model.num_parameters()
+        assert breakdown.total_megabytes > 0
+
+    def test_unlisted_params_counted_at_fp32(self, model):
+        memory_model = TrainingMemoryModel()
+        breakdown = memory_model.breakdown(model, {})
+        assert breakdown.quantised_weights_bits == 0
+        assert breakdown.float_parameters_bits == 32 * model.num_parameters()
+
+    def test_memory_monotone_in_bits(self, model):
+        memory_model = TrainingMemoryModel()
+        names = self._weight_names(model)
+        totals = [
+            memory_model.total_bits(model, {name: bits for name in names}) for bits in (4, 8, 16, 32)
+        ]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+
+class TestDevices:
+    def test_profiles_exist(self):
+        assert {"smartphone", "smartwatch", "microcontroller"} <= set(DEVICE_PROFILES)
+
+    def test_training_budget_fraction(self):
+        device = EdgeDeviceProfile("x", battery_joules=100.0, memory_bytes=1024,
+                                   training_energy_budget_fraction=0.25)
+        assert device.training_energy_budget_joules == pytest.approx(25.0)
+        assert device.fits_in_memory(1000)
+        assert not device.fits_in_memory(2000)
+
+    def test_battery_drain(self):
+        simulator = BatterySimulator(DEVICE_PROFILES["smartwatch"])
+        start = simulator.remaining_joules
+        simulator.spend(10.0)
+        assert simulator.remaining_joules == pytest.approx(start - 10.0)
+        assert simulator.spent_joules == pytest.approx(10.0)
+        assert 0 < simulator.fraction_remaining < 1
+
+    def test_battery_clamps_at_empty(self):
+        device = EdgeDeviceProfile("tiny", battery_joules=5.0, memory_bytes=10)
+        simulator = BatterySimulator(device)
+        simulator.spend(100.0)
+        assert simulator.empty
+        assert simulator.remaining_joules == 0.0
+
+    def test_negative_spend_rejected(self):
+        simulator = BatterySimulator(DEVICE_PROFILES["smartphone"])
+        with pytest.raises(ValueError):
+            simulator.spend(-1.0)
+
+    def test_sessions_supported(self):
+        device = EdgeDeviceProfile("x", battery_joules=100.0, memory_bytes=10,
+                                   training_energy_budget_fraction=0.5)
+        simulator = BatterySimulator(device)
+        assert simulator.sessions_supported(10.0) == 5
+        with pytest.raises(ValueError):
+            simulator.sessions_supported(0.0)

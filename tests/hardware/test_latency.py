@@ -1,0 +1,98 @@
+"""Roofline latency model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import COMPUTE_PROFILES, ComputeProfile, LatencyModel, LayerBits, profile_model
+from repro.models import MLP
+
+
+@pytest.fixture
+def profile(rng):
+    return profile_model(MLP(in_features=16, num_classes=4, hidden=(32,), rng=rng), (16,))
+
+
+@pytest.fixture
+def compute():
+    return COMPUTE_PROFILES["smartphone_cpu"]
+
+
+def _uniform_bits(profile, bits):
+    return {layer.name: LayerBits(bits, bits) for layer in profile.layers}
+
+
+class TestComputeProfile:
+    def test_profiles_available(self):
+        assert {"smartphone_npu", "smartphone_cpu", "microcontroller"} <= set(COMPUTE_PROFILES)
+
+    def test_throughput_scales_with_narrow_operands(self, compute):
+        assert compute.macs_per_second(8) == pytest.approx(4 * compute.macs_per_second_fp32)
+        assert compute.macs_per_second(32) == pytest.approx(compute.macs_per_second_fp32)
+
+    def test_no_extrapolation_beyond_32_bits(self, compute):
+        assert compute.macs_per_second(64) == pytest.approx(compute.macs_per_second_fp32)
+
+    def test_zero_exponent_means_no_benefit(self):
+        flat = ComputeProfile("flat", 1e9, 1e9, throughput_exponent=0.0)
+        assert flat.macs_per_second(4) == pytest.approx(1e9)
+
+    def test_invalid_bits(self, compute):
+        with pytest.raises(ValueError):
+            compute.macs_per_second(0)
+
+
+class TestLatencyModel:
+    def test_iteration_positive(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        assert model.iteration_seconds(32, _uniform_bits(profile, 32)) > 0
+
+    def test_lower_bits_are_faster(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        fast = model.iteration_seconds(32, _uniform_bits(profile, 8))
+        slow = model.iteration_seconds(32, _uniform_bits(profile, 32))
+        assert fast < slow
+
+    def test_epoch_scales_with_samples(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        bits = _uniform_bits(profile, 16)
+        one = model.epoch_seconds(128, 32, bits)
+        two = model.epoch_seconds(256, 32, bits)
+        assert two == pytest.approx(2 * one)
+
+    def test_training_scales_with_epochs(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        bits = _uniform_bits(profile, 16)
+        assert model.training_seconds(10, 128, 32, bits) == pytest.approx(
+            10 * model.epoch_seconds(128, 32, bits)
+        )
+
+    def test_speedup_over_fp32(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        speedup = model.speedup_over_fp32(_uniform_bits(profile, 8))
+        assert speedup > 1.0
+        assert model.speedup_over_fp32(_uniform_bits(profile, 32)) == pytest.approx(1.0)
+
+    def test_missing_layers_default_to_fp32(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        partial = {profile.layers[0].name: LayerBits(8, 8)}
+        assert model.iteration_seconds(32, partial) <= model.iteration_seconds(
+            32, _uniform_bits(profile, 32)
+        )
+
+    def test_memory_bound_device_hits_roofline(self, profile):
+        # A device with huge compute but tiny bandwidth is memory bound; the
+        # iteration time must then scale with the bytes moved, i.e. with bits.
+        starved = ComputeProfile("starved", macs_per_second_fp32=1e15, memory_bandwidth_bytes=1e6)
+        model = LatencyModel(profile, starved)
+        t32 = model.iteration_seconds(1, _uniform_bits(profile, 32))
+        t8 = model.iteration_seconds(1, _uniform_bits(profile, 8))
+        assert t32 / t8 == pytest.approx(4.0, rel=0.01)
+
+    def test_validation(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        with pytest.raises(ValueError):
+            model.iteration_seconds(0, {})
+        with pytest.raises(ValueError):
+            model.epoch_seconds(-1, 32, {})
+        with pytest.raises(ValueError):
+            model.training_seconds(0, 10, 32, {})

@@ -1,0 +1,142 @@
+"""Model profiling and the training energy meter."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import EnergyMeter, EnergyModel, LayerBits, profile_model
+from repro.models import MLP, SmallConvNet, TinyConvNet, resnet20
+
+
+class TestProfileModel:
+    def test_mlp_macs_and_params(self, rng):
+        model = MLP(in_features=8, num_classes=4, hidden=(16,), rng=rng)
+        profile = profile_model(model, (8,))
+        by_name = profile.by_name()
+        assert by_name["body.0.weight"].macs == 8 * 16
+        assert by_name["body.0.weight"].parameters == 8 * 16 + 16
+        assert by_name["body.2.weight"].macs == 16 * 4
+        assert profile.total_macs == 8 * 16 + 16 * 4
+
+    def test_convnet_macs(self, rng):
+        model = TinyConvNet(in_channels=1, num_classes=10, width=4, rng=rng)
+        profile = profile_model(model, (1, 8, 8))
+        conv1 = profile.by_name()["features.0.weight"]
+        # 8x8 output spatial, 3x3 kernel, 1 -> 4 channels.
+        assert conv1.macs == 8 * 8 * 3 * 3 * 1 * 4
+        assert conv1.kind == "conv2d"
+
+    def test_resnet20_has_expected_layer_count(self, rng):
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        profile = profile_model(model, (3, 16, 16))
+        # 1 stem + 3 stages * 3 blocks * 2 convs + 2 projection shortcuts + 1 fc = 22
+        assert len(profile.layers) == 22
+
+    def test_profile_restores_forward_and_mode(self, rng):
+        model = MLP(in_features=8, num_classes=4, rng=rng)
+        model.train()
+        original_forwards = [m.forward for m in model.modules()]
+        profile_model(model, (8,))
+        assert model.training
+        assert [m.forward for m in model.modules()] == original_forwards
+
+    def test_macs_for_unknown_layer_raises(self, rng):
+        profile = profile_model(MLP(8, 4, rng=rng), (8,))
+        with pytest.raises(KeyError):
+            profile.macs_for("nope")
+
+    def test_model_without_layers_rejected(self):
+        from repro import nn
+
+        class Empty(nn.Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError):
+            profile_model(Empty(), (4,))
+
+
+class TestEnergyMeter:
+    @pytest.fixture
+    def profile(self, rng):
+        return profile_model(MLP(in_features=8, num_classes=4, hidden=(16,), rng=rng), (8,))
+
+    def test_record_epoch_totals(self, profile):
+        meter = EnergyMeter(profile)
+        bits = {layer.name: LayerBits(8, 8) for layer in profile.layers}
+        record = meter.record_epoch(0, samples=100, layer_bits=bits)
+        assert record.total_pj > 0
+        assert record.total_pj == pytest.approx(
+            record.forward_pj + record.backward_pj + record.memory_pj
+        )
+        assert meter.report.total_pj == record.total_pj
+
+    def test_backward_charged_double(self, profile):
+        meter = EnergyMeter(profile)
+        bits = {layer.name: LayerBits(8, 8) for layer in profile.layers}
+        record = meter.record_epoch(0, samples=10, layer_bits=bits)
+        assert record.backward_pj == pytest.approx(2 * record.forward_pj)
+
+    def test_lower_bits_cost_less(self, profile):
+        low = EnergyMeter(profile)
+        high = EnergyMeter(profile)
+        low_bits = {layer.name: LayerBits(4, 4) for layer in profile.layers}
+        high_bits = {layer.name: LayerBits(16, 16) for layer in profile.layers}
+        assert (
+            low.record_epoch(0, 100, low_bits).total_pj
+            < high.record_epoch(0, 100, high_bits).total_pj
+        )
+
+    def test_missing_layers_use_default_bits(self, profile):
+        meter = EnergyMeter(profile, default_bits=32)
+        partial = {profile.layers[0].name: LayerBits(4, 4)}
+        full_fp32 = {layer.name: LayerBits(32, 32) for layer in profile.layers}
+        assert meter.record_epoch(0, 10, partial).total_pj < EnergyMeter(profile).record_epoch(
+            0, 10, full_fp32
+        ).total_pj
+
+    def test_master_copy_backward_costs_more(self, profile):
+        quantised = EnergyMeter(profile)
+        master = EnergyMeter(profile)
+        q_bits = {layer.name: LayerBits(8, 8) for layer in profile.layers}
+        m_bits = {layer.name: LayerBits(8, 32) for layer in profile.layers}
+        assert (
+            quantised.record_epoch(0, 50, q_bits).total_pj
+            < master.record_epoch(0, 50, m_bits).total_pj
+        )
+
+    def test_cumulative_and_up_to_epoch(self, profile):
+        meter = EnergyMeter(profile)
+        bits = {layer.name: LayerBits(8, 8) for layer in profile.layers}
+        for epoch in range(3):
+            meter.record_epoch(epoch, 10, bits)
+        cumulative = meter.report.cumulative_pj()
+        assert len(cumulative) == 3
+        assert cumulative[-1] == pytest.approx(meter.report.total_pj)
+        assert meter.report.up_to_epoch(1) == pytest.approx(cumulative[1])
+        assert meter.report.total_joules == pytest.approx(meter.report.total_pj * 1e-12)
+
+    def test_fp32_reference_epoch(self, profile):
+        meter = EnergyMeter(profile)
+        reference = meter.fp32_reference_epoch_pj(samples=100)
+        bits = {layer.name: LayerBits(32, 32) for layer in profile.layers}
+        actual = EnergyMeter(profile).record_epoch(0, 100, bits).total_pj
+        assert reference == pytest.approx(actual)
+        # Computing the reference must not pollute this meter's own report.
+        assert meter.report.records == []
+
+    def test_negative_samples_rejected(self, profile):
+        with pytest.raises(ValueError):
+            EnergyMeter(profile).record_epoch(0, -1, {})
+
+    def test_normalisation(self, profile):
+        meter = EnergyMeter(profile)
+        bits = {layer.name: LayerBits(8, 8) for layer in profile.layers}
+        meter.record_epoch(0, 100, bits)
+        fp32 = meter.fp32_reference_epoch_pj(100)
+        assert 0 < meter.total_normalised_to_fp32(fp32) < 1
+        with pytest.raises(ValueError):
+            meter.total_normalised_to_fp32(0.0)
+
+    def test_layer_bits_validation(self):
+        with pytest.raises(ValueError):
+            LayerBits(0, 8)

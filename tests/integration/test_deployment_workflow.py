@@ -1,0 +1,112 @@
+"""End-to-end deployment workflow: train with APT -> checkpoint -> export -> reload.
+
+This chains the pieces a real edge deployment would use: Algorithm 2
+training, an on-disk checkpoint with the per-layer bitwidths, the integer-
+code export, and verification that the reloaded model predicts identically to
+the one that was trained (so the accuracy measured during training is the
+accuracy shipped to the device).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APTConfig, APTTrainer
+from repro.data import DataLoader, make_blobs
+from repro.hardware import TrainingMemoryModel
+from repro.models import MLP
+from repro.quant import export_quantized_model, load_into_model
+from repro.tensor import Tensor, no_grad
+from repro.train import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Train once with APT and share the result across the workflow tests."""
+    train_set, test_set = make_blobs(num_classes=4, samples_per_class=50, features=12, seed=13)
+    model = MLP(in_features=12, num_classes=4, hidden=(20,), rng=np.random.default_rng(0))
+    trainer = APTTrainer(
+        model,
+        DataLoader(train_set, batch_size=32, rng=np.random.default_rng(1)),
+        DataLoader(test_set, batch_size=64, shuffle=False),
+        config=APTConfig(initial_bits=6, t_min=6.0, metric_interval=2),
+        learning_rate=0.05,
+        lr_milestones=(5,),
+        input_shape=(12,),
+    )
+    history = trainer.fit(epochs=6)
+    probe = Tensor(np.random.default_rng(9).normal(size=(16, 12)))
+    with no_grad():
+        reference_logits = model(probe).data.copy()
+    return {
+        "model": model,
+        "trainer": trainer,
+        "history": history,
+        "probe": probe,
+        "reference_logits": reference_logits,
+        "test_set": test_set,
+    }
+
+
+def _fresh_model(seed=123):
+    return MLP(in_features=12, num_classes=4, hidden=(20,), rng=np.random.default_rng(seed))
+
+
+class TestCheckpointPath:
+    def test_checkpoint_round_trip_preserves_predictions(self, trained, tmp_path):
+        bitwidths = trained["trainer"].controller.bitwidth_by_name()
+        path = save_checkpoint(
+            trained["model"],
+            tmp_path / "apt_model.npz",
+            bitwidths=bitwidths,
+            metadata={"accuracy": trained["history"].final_test_accuracy},
+        )
+        restored = _fresh_model()
+        header = load_checkpoint(restored, path)
+        with no_grad():
+            logits = restored(trained["probe"]).data
+        np.testing.assert_allclose(logits, trained["reference_logits"], atol=1e-9)
+        assert header["bitwidths"] == bitwidths
+        assert header["metadata"]["accuracy"] == pytest.approx(
+            trained["history"].final_test_accuracy
+        )
+
+
+class TestExportPath:
+    def test_export_reload_preserves_predictions(self, trained):
+        bitwidths = trained["trainer"].controller.bitwidth_by_name()
+        export = export_quantized_model(trained["model"], bitwidths)
+        restored = _fresh_model(seed=321)
+        load_into_model(export, restored)
+        with no_grad():
+            logits = restored(trained["probe"]).data
+        np.testing.assert_allclose(logits, trained["reference_logits"], atol=1e-9)
+
+    def test_export_size_matches_memory_model(self, trained):
+        """The deployed size agrees with the training-memory model's view of
+        the quantised weights (minus the per-tensor qparams overhead)."""
+        bitwidths = trained["trainer"].controller.bitwidth_by_name()
+        export = export_quantized_model(trained["model"], bitwidths, include_buffers=False)
+        breakdown = TrainingMemoryModel().breakdown(trained["model"], bitwidths)
+        qparams_overhead = sum(32 + tensor.bits for tensor in export.quantized.values())
+        expected = breakdown.quantised_weights_bits + breakdown.float_parameters_bits
+        assert export.total_bits() - qparams_overhead == expected
+
+    def test_exported_model_is_much_smaller_than_fp32(self, trained):
+        bitwidths = trained["trainer"].controller.bitwidth_by_name()
+        export = export_quantized_model(trained["model"], bitwidths, include_buffers=False)
+        fp32_bits = 32 * trained["model"].num_parameters()
+        assert export.total_bits() < 0.6 * fp32_bits
+
+    def test_reloaded_model_keeps_test_accuracy(self, trained):
+        bitwidths = trained["trainer"].controller.bitwidth_by_name()
+        export = export_quantized_model(trained["model"], bitwidths)
+        restored = _fresh_model(seed=555)
+        load_into_model(export, restored)
+        correct = 0
+        total = 0
+        with no_grad():
+            for inputs, labels in DataLoader(trained["test_set"], batch_size=64, shuffle=False):
+                predictions = restored(Tensor(inputs)).data.argmax(axis=1)
+                correct += int((predictions == labels).sum())
+                total += len(labels)
+        assert correct / total == pytest.approx(trained["history"].final_test_accuracy, abs=1e-9)

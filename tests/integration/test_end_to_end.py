@@ -1,0 +1,151 @@
+"""End-to-end behaviour tests of the paper's headline claims at small scale.
+
+These are slower than unit tests (each trains several models) but still run
+in seconds.  They check the *shape* of the paper's results:
+
+* underflow stalls a too-low fixed bitwidth while APT recovers from the same
+  starting point (Figure 2's ordering),
+* APT saves both energy and memory relative to fp32 (the abstract's claim),
+* raising T_min buys accuracy with energy/memory (Figure 5's trend),
+* master-copy baselines save no training memory (Table I's point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BNNStrategy, FixedPrecisionStrategy
+from repro.core import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.data import make_blobs
+from repro.experiments import build_workload, get_scale, run_strategy
+from repro.experiments.workload import Workload
+from repro.models import MLP
+from repro.train.strategy import FP32Strategy
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # A harder blobs task (low class separation) so that a too-low fixed
+    # bitwidth visibly stalls while fp32 and APT still reach high accuracy.
+    scale = get_scale("smoke")
+    train_set, test_set = make_blobs(
+        num_classes=6, samples_per_class=60, features=16, separation=1.4, noise=1.0, seed=9
+    )
+
+    def model_factory(seed: int = 0):
+        return MLP(in_features=16, num_classes=6, hidden=(32,), rng=np.random.default_rng(seed))
+
+    return Workload(scale=scale, model_factory=model_factory, train_set=train_set, test_set=test_set)
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    """Train the four Figure 2 strategies once and share across tests."""
+    epochs = 5
+    out = {}
+    out["fp32"] = run_strategy(workload, FP32Strategy(), epochs=epochs, seed=0)
+    out["fixed2"] = run_strategy(workload, FixedPrecisionStrategy(2), epochs=epochs, seed=0)
+    out["fixed16"] = run_strategy(workload, FixedPrecisionStrategy(16), epochs=epochs, seed=0)
+    out["apt"] = run_strategy(
+        workload,
+        APTStrategy(APTConfig(initial_bits=4, t_min=6.0, metric_interval=1)),
+        epochs=epochs,
+        seed=0,
+    )
+    return out
+
+
+class TestFigure2Ordering:
+    def test_fp32_and_16bit_learn_equally_well(self, results):
+        assert results["fixed16"].best_accuracy == pytest.approx(
+            results["fp32"].best_accuracy, abs=0.05
+        )
+
+    def test_apt_beats_too_low_fixed_bitwidth(self, results):
+        assert results["apt"].best_accuracy > results["fixed2"].best_accuracy + 0.05
+
+    def test_apt_close_to_fp32(self, results):
+        assert results["apt"].best_accuracy >= results["fp32"].best_accuracy - 0.1
+
+
+class TestHeadlineSavings:
+    def test_apt_saves_over_half_the_energy(self, results):
+        assert results["apt"].normalised_energy < 0.5
+
+    def test_apt_saves_over_half_the_memory(self, results):
+        assert results["apt"].normalised_memory < 0.5
+
+    def test_16bit_energy_between_apt_and_fp32(self, results):
+        assert results["apt"].total_energy_pj < results["fixed16"].total_energy_pj
+        assert results["fixed16"].total_energy_pj < results["fp32"].total_energy_pj
+
+
+class TestUnderflowMechanism:
+    def test_low_fixed_bitwidth_suffers_underflow(self, workload):
+        strategy = FixedPrecisionStrategy(2)
+        run_strategy(workload, strategy, epochs=2, seed=0)
+        assert strategy.underflow_events > 0
+
+    def test_apt_raises_bits_in_response_to_underflow(self, workload):
+        strategy = APTStrategy(APTConfig(initial_bits=3, t_min=6.0, metric_interval=1))
+        run_strategy(workload, strategy, epochs=4, seed=0)
+        assert all(bits > 3 for bits in strategy.controller.bitwidths)
+        assert strategy.controller.total_underflow_events() > 0
+
+
+class TestTminTradeoff:
+    def test_higher_threshold_more_accuracy_and_cost(self, workload):
+        low = run_strategy(
+            workload,
+            APTStrategy(APTConfig(initial_bits=4, t_min=0.1, metric_interval=1)),
+            epochs=4,
+            seed=1,
+        )
+        high = run_strategy(
+            workload,
+            APTStrategy(APTConfig(initial_bits=4, t_min=50.0, metric_interval=1)),
+            epochs=4,
+            seed=1,
+        )
+        assert high.normalised_energy > low.normalised_energy
+        assert high.normalised_memory > low.normalised_memory
+        assert high.best_accuracy >= low.best_accuracy - 0.02
+
+
+class TestMasterCopyMemory:
+    def test_bnn_keeps_fp32_memory(self, workload):
+        result = run_strategy(workload, BNNStrategy(), epochs=2, seed=0, optimizer_name="adam")
+        assert result.normalised_memory >= 1.0
+
+    def test_fixed_with_master_copy_no_saving(self, workload):
+        result = run_strategy(workload, FixedPrecisionStrategy(8, master_copy=True), epochs=2, seed=0)
+        assert result.normalised_memory >= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_history(self, workload):
+        config = APTConfig(initial_bits=5, t_min=6.0, metric_interval=1)
+        a = run_strategy(workload, APTStrategy(config), epochs=3, seed=3)
+        b = run_strategy(workload, APTStrategy(config), epochs=3, seed=3)
+        assert a.history.test_accuracy_curve == b.history.test_accuracy_curve
+        assert a.total_energy_pj == pytest.approx(b.total_energy_pj)
+
+    def test_different_seeds_differ(self, workload):
+        config = APTConfig(initial_bits=5, t_min=6.0, metric_interval=1)
+        a = run_strategy(workload, APTStrategy(config), epochs=3, seed=3)
+        b = run_strategy(workload, APTStrategy(config), epochs=3, seed=4)
+        assert a.history.train_loss_curve != b.history.train_loss_curve
+
+
+class TestConvolutionalEndToEnd:
+    def test_apt_trains_a_cnn(self):
+        """APT on the bench-scale CNN workload reaches reasonable accuracy."""
+        workload = build_workload(get_scale("bench"))
+        result = run_strategy(
+            workload,
+            APTStrategy(APTConfig(initial_bits=6, t_min=6.0, metric_interval=2)),
+            epochs=5,
+            seed=0,
+        )
+        assert result.best_accuracy > 0.3  # well above the 10% chance level
+        assert result.normalised_energy < 1.0

@@ -1,0 +1,95 @@
+"""Property-based tests on training-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import APTConfig, APTController
+from repro.core.policy import PrecisionPolicy
+from repro.models import MLP
+from repro.quant import fake_quantize
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    bits=st.lists(st.integers(min_value=2, max_value=32), min_size=1, max_size=30),
+    gavg=st.lists(
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    ),
+    t_min=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    t_span=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+)
+def test_policy_invariants(bits, gavg, t_min, t_span):
+    """Algorithm 1 invariants for arbitrary inputs.
+
+    * bitwidths stay within [min_bits, max_bits],
+    * each layer changes by at most bits_step,
+    * layers with no Gavg estimate are never touched,
+    * a layer is only raised if it was below T_min and only lowered if it was
+      above T_max.
+    """
+    size = min(len(bits), len(gavg))
+    bits, gavg = bits[:size], gavg[:size]
+    if size == 0:
+        return
+    config = APTConfig(t_min=t_min, t_max=t_min + t_span)
+    decisions = PrecisionPolicy(config).adjust(bits, gavg)
+    for decision, old_bits, value in zip(decisions, bits, gavg):
+        assert config.min_bits <= decision.new_bits <= config.max_bits
+        assert abs(decision.new_bits - old_bits) <= config.bits_step
+        if value is None:
+            assert decision.new_bits == old_bits
+        elif decision.new_bits > old_bits:
+            assert value < config.t_min
+        elif decision.new_bits < old_bits:
+            assert value > config.t_max
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    initial_bits=st.integers(min_value=2, max_value=12),
+    gradient_scale=st.floats(min_value=1e-8, max_value=1.0, allow_nan=False),
+    epochs=st.integers(min_value=1, max_value=4),
+)
+def test_controller_invariants_under_random_gradients(initial_bits, gradient_scale, epochs):
+    """The controller keeps weights on-grid and bitwidths in range for any
+    gradient magnitude regime."""
+    model = MLP(in_features=6, num_classes=3, hidden=(8,), rng=np.random.default_rng(0))
+    config = APTConfig(initial_bits=initial_bits, t_min=6.0, metric_interval=1)
+    controller = APTController(model, config)
+    hook = controller.make_update_hook()
+    rng = np.random.default_rng(1)
+
+    for _ in range(epochs):
+        for state in controller.layers:
+            state.parameter.grad = rng.normal(scale=gradient_scale, size=state.parameter.shape)
+        controller.observe_gradients()
+        for state in controller.layers:
+            hook.apply(state.parameter, -0.05 * state.parameter.grad)
+        controller.end_epoch()
+
+    for state in controller.layers:
+        assert config.min_bits <= state.bits <= config.max_bits
+        snapped, _ = fake_quantize(state.parameter.data, state.bits)
+        np.testing.assert_allclose(state.parameter.data, snapped, atol=1e-9)
+        assert np.all(np.isfinite(state.parameter.data))
+
+    history = controller.bits_history()
+    assert all(len(values) == epochs for values in history.values())
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(bits=st.integers(min_value=2, max_value=16))
+def test_memory_model_proportional_to_bits(bits):
+    """Training memory of a fully quantised model scales linearly with bits."""
+    from repro.hardware import TrainingMemoryModel
+
+    model = MLP(in_features=6, num_classes=3, hidden=(8,), rng=np.random.default_rng(0))
+    names = [name for name, param in model.named_parameters() if param.quantisable]
+    memory_model = TrainingMemoryModel()
+    total = memory_model.total_bits(model, {name: bits for name in names})
+    weight_params = sum(p.size for n, p in model.named_parameters() if n in names)
+    other_params = model.num_parameters() - weight_params
+    assert total == bits * weight_params + 32 * other_params

@@ -1,0 +1,161 @@
+"""Model zoo: shapes, parameter counts, registry, gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    CifarNet,
+    MLP,
+    MobileNetV2Cifar,
+    SmallConvNet,
+    TinyConvNet,
+    VGGLike,
+    available_models,
+    build_model,
+    mobilenetv2_cifar,
+    resnet20,
+    resnet110,
+    resnet_n,
+)
+from repro.nn.loss import CrossEntropyLoss
+from repro.tensor import Tensor
+
+
+class TestSimpleModels:
+    def test_mlp_output_shape(self, rng):
+        model = MLP(in_features=10, num_classes=5, hidden=(16, 8), rng=rng)
+        assert model(Tensor(rng.normal(size=(3, 10)))).shape == (3, 5)
+
+    def test_mlp_with_batchnorm(self, rng):
+        model = MLP(in_features=10, num_classes=5, hidden=(16,), batch_norm=True, rng=rng)
+        assert model(Tensor(rng.normal(size=(4, 10)))).shape == (4, 5)
+
+    def test_tiny_convnet_shape(self, rng):
+        model = TinyConvNet(in_channels=1, num_classes=10, width=4, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 1, 12, 12)))).shape == (2, 10)
+
+    def test_small_convnet_shape(self, rng):
+        model = SmallConvNet(in_channels=3, num_classes=10, width=8, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 3, 16, 16)))).shape == (2, 10)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = TinyConvNet(in_channels=1, num_classes=4, width=4, rng=rng)
+        logits = model(Tensor(rng.normal(size=(2, 1, 8, 8))))
+        CrossEntropyLoss()(logits, np.array([0, 1])).backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestResNet:
+    def test_resnet20_depth(self, rng):
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        assert model.depth == 20
+        weights = [n for n, p in model.named_parameters() if n.endswith("weight") and p.ndim == 4]
+        # 19 convolutional weight tensors + 2 projection shortcuts.
+        assert len(weights) == 21
+
+    def test_resnet110_depth_and_block_count(self, rng):
+        model = resnet110(width_multiplier=0.125, rng=rng)
+        assert model.depth == 110
+        assert len(model.stage1) == 18
+
+    def test_forward_shape(self, rng):
+        model = resnet20(num_classes=10, width_multiplier=0.25, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_downsampling_halves_spatial_twice(self, rng):
+        model = resnet20(width_multiplier=0.25, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 32, 32)))
+        out = model.stem(x)
+        out = model.stage1(out)
+        assert out.shape[2] == 32
+        out = model.stage2(out)
+        assert out.shape[2] == 16
+        out = model.stage3(out)
+        assert out.shape[2] == 8
+
+    def test_width_multiplier_scales_params(self, rng):
+        small = resnet20(width_multiplier=0.25, rng=np.random.default_rng(0))
+        large = resnet20(width_multiplier=0.5, rng=np.random.default_rng(0))
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_gradients_flow_through_residuals(self, rng):
+        model = resnet_n(2, num_classes=4, width_multiplier=0.25, rng=rng)
+        logits = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        CrossEntropyLoss()(logits, np.array([0, 1])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            resnet_n(0)
+        with pytest.raises(ValueError):
+            resnet20(width_multiplier=0.0)
+
+
+class TestMobileNetV2:
+    def test_forward_shape(self, rng):
+        model = mobilenetv2_cifar(num_classes=10, width_multiplier=0.2, depth_multiplier=0.4, rng=rng)
+        assert model(Tensor(rng.normal(size=(1, 3, 32, 32)))).shape == (1, 10)
+
+    def test_residual_only_when_shapes_match(self, rng):
+        from repro.models.mobilenetv2 import InvertedResidual
+
+        same = InvertedResidual(8, 8, stride=1, expand_ratio=2, rng=rng)
+        different = InvertedResidual(8, 16, stride=1, expand_ratio=2, rng=rng)
+        strided = InvertedResidual(8, 8, stride=2, expand_ratio=2, rng=rng)
+        assert same.use_residual
+        assert not different.use_residual
+        assert not strided.use_residual
+
+    def test_invalid_stride(self, rng):
+        from repro.models.mobilenetv2 import InvertedResidual
+
+        with pytest.raises(ValueError):
+            InvertedResidual(8, 8, stride=3, expand_ratio=2, rng=rng)
+
+    def test_width_multiplier_scaling(self):
+        small = MobileNetV2Cifar(width_multiplier=0.1, depth_multiplier=0.4,
+                                 rng=np.random.default_rng(0))
+        large = MobileNetV2Cifar(width_multiplier=0.2, depth_multiplier=0.4,
+                                 rng=np.random.default_rng(0))
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_invalid_multipliers(self):
+        with pytest.raises(ValueError):
+            MobileNetV2Cifar(width_multiplier=0.0)
+
+
+class TestTable1Architectures:
+    def test_cifarnet_shape(self, rng):
+        model = CifarNet(num_classes=10, width_multiplier=0.25, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_vgg_like_shape(self, rng):
+        model = VGGLike(num_classes=10, width_multiplier=0.125, rng=rng)
+        assert model(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 10)
+
+
+class TestRegistry:
+    def test_all_registered_models_build_and_run(self, rng):
+        for name in available_models():
+            width = 0.125 if name in ("resnet110", "mobilenetv2") else 0.25
+            model = build_model(name, num_classes=4, width_multiplier=width, in_channels=3, rng=rng)
+            if name == "mlp":
+                x = Tensor(rng.normal(size=(2, 3)))
+            else:
+                x = Tensor(rng.normal(size=(2, 3, 32, 32)))
+            assert model(x).shape == (2, 4)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("alexnet")
+
+    def test_expected_names_present(self):
+        names = available_models()
+        assert {"resnet20", "resnet110", "mobilenetv2", "cifarnet", "vgg_like", "mlp"} <= set(names)
+
+    def test_deterministic_build(self):
+        a = build_model("tiny_convnet", rng=np.random.default_rng(1))
+        b = build_model("tiny_convnet", rng=np.random.default_rng(1))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)

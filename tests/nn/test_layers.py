@@ -1,0 +1,137 @@
+"""Linear, Conv2d and utility layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(8, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_bias_not_quantisable(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        assert layer.weight.quantisable
+        assert not layer.bias.quantisable
+
+    def test_deterministic_init(self):
+        a = nn.Linear(6, 6, rng=np.random.default_rng(3))
+        b = nn.Linear(6, 6, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_gradients_flow(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_output_spatial_helper(self, rng):
+        layer = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        assert layer.output_spatial(8, 8) == (4, 4)
+
+    def test_bias_disabled_by_default(self, rng):
+        layer = nn.Conv2d(3, 8, kernel_size=3, rng=rng)
+        assert layer.bias is None
+
+    def test_bias_enabled(self, rng):
+        layer = nn.Conv2d(3, 8, kernel_size=3, bias=True, rng=rng)
+        assert layer.bias is not None
+        assert not layer.bias.quantisable
+
+    def test_gradients_flow(self, rng):
+        layer = nn.Conv2d(2, 4, kernel_size=3, padding=1, rng=rng)
+        layer(Tensor(rng.normal(size=(1, 2, 5, 5)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.data.shape
+
+
+class TestUtilityLayers:
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert nn.Identity()(x) is x
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_dropout_train_scales_survivors(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1000, 10)))
+        out = layer(x).data
+        surviving = out[out != 0]
+        assert np.allclose(surviving, 2.0)
+        # Expectation is preserved approximately.
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_dropout_zero_probability_is_identity(self, rng):
+        layer = nn.Dropout(0.0)
+        x = Tensor(rng.normal(size=(3, 3)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestActivations:
+    def test_relu(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_relu6_clips(self):
+        out = nn.ReLU6()(Tensor(np.array([-1.0, 3.0, 9.0])))
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_leaky_relu(self):
+        out = nn.LeakyReLU(0.1)(Tensor(np.array([-2.0, 4.0])))
+        np.testing.assert_allclose(out.data, [-0.2, 4.0])
+
+    def test_sigmoid_midpoint(self):
+        assert nn.Sigmoid()(Tensor(np.array([0.0]))).data[0] == pytest.approx(0.5)
+
+    def test_tanh_range(self):
+        out = nn.Tanh()(Tensor(np.linspace(-5, 5, 11))).data
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestPoolingLayers:
+    def test_max_pool_layer(self, rng):
+        out = nn.MaxPool2d(2)(Tensor(rng.normal(size=(1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_avg_pool_layer(self, rng):
+        out = nn.AvgPool2d(3, stride=3)(Tensor(rng.normal(size=(1, 2, 6, 6))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_global_avg_pool_layer(self, rng):
+        out = nn.GlobalAvgPool2d()(Tensor(rng.normal(size=(2, 5, 4, 4))))
+        assert out.shape == (2, 5)

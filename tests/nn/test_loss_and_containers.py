@@ -1,0 +1,105 @@
+"""Loss functions and module containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+from tests.conftest import assert_grad_close, numeric_gradient
+
+
+class TestCrossEntropyLoss:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        loss = nn.CrossEntropyLoss()(Tensor(logits), labels).item()
+
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(6), labels].mean()
+        assert loss == pytest.approx(expected, abs=1e-10)
+
+    def test_perfect_prediction_gives_small_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_uniform_prediction_gives_log_c(self):
+        logits = np.zeros((5, 8))
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.zeros(5, dtype=int)).item()
+        assert loss == pytest.approx(np.log(8), abs=1e-10)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        t = Tensor(logits.copy(), requires_grad=True)
+        nn.CrossEntropyLoss()(t, labels).backward()
+
+        def scalar(array):
+            return float(nn.CrossEntropyLoss()(Tensor(array), labels).item())
+
+        assert_grad_close(t.grad, numeric_gradient(scalar, logits.copy()))
+
+    def test_rejects_bad_shapes(self, rng):
+        loss = nn.CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss(Tensor(rng.normal(size=(3,))), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            loss(Tensor(rng.normal(size=(3, 2))), np.array([0, 1]))
+
+
+class TestMSELoss:
+    def test_value(self):
+        prediction = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = np.array([1.0, 1.0, 1.0])
+        assert nn.MSELoss()(prediction, target).item() == pytest.approx((0 + 1 + 4) / 3)
+
+    def test_accepts_tensor_target(self):
+        prediction = Tensor(np.array([2.0]))
+        assert nn.MSELoss()(prediction, Tensor(np.array([0.0]))).item() == pytest.approx(4.0)
+
+    def test_gradient(self):
+        prediction = Tensor(np.array([3.0]), requires_grad=True)
+        nn.MSELoss()(prediction, np.array([1.0])).backward()
+        assert prediction.grad[0] == pytest.approx(4.0)
+
+
+class TestSequential:
+    def test_runs_in_order(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        out = model(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_len_and_indexing(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_iteration(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.ReLU())
+        assert len(list(iter(model))) == 2
+
+    def test_append(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+
+    def test_parameters_collected_from_children(self, rng):
+        model = nn.Sequential(nn.Linear(4, 4, rng=rng), nn.Linear(4, 2, rng=rng))
+        assert len(model.parameters()) == 4
+
+
+class TestModuleList:
+    def test_holds_and_indexes(self, rng):
+        modules = nn.ModuleList([nn.Linear(2, 2, rng=rng), nn.Linear(2, 2, rng=rng)])
+        assert len(modules) == 2
+        assert isinstance(modules[0], nn.Linear)
+
+    def test_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([])(None)
+
+    def test_parameters_registered(self, rng):
+        modules = nn.ModuleList([nn.Linear(2, 2, rng=rng)])
+        assert len(modules.parameters()) == 2

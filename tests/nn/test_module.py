@@ -1,0 +1,131 @@
+"""Module / Parameter registration, traversal, modes and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class _Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.extra = Parameter(np.zeros(3), name="extra")
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        param = Parameter(np.ones(3))
+        assert param.requires_grad
+
+    def test_quantisable_flag_default(self):
+        assert Parameter(np.ones(3)).quantisable is True
+        assert Parameter(np.ones(3), quantisable=False).quantisable is False
+
+    def test_layer_id_initially_none(self):
+        assert Parameter(np.ones(3)).layer_id is None
+
+    def test_data_is_float64(self):
+        assert Parameter(np.ones(3, dtype=np.float32)).data.dtype == np.float64
+
+
+class TestRegistration:
+    def test_named_parameters_collects_nested(self):
+        net = _Net()
+        names = {name for name, _ in net.named_parameters()}
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "fc2.weight" in names
+        assert "extra" in names
+
+    def test_parameters_count(self):
+        net = _Net()
+        # fc1: 4*8 + 8, fc2: 8*2 + 2, extra: 3
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 3
+
+    def test_named_modules(self):
+        net = _Net()
+        names = {name for name, _ in net.named_modules()}
+        assert "" in names
+        assert "fc1" in names and "fc2" in names
+
+    def test_children(self):
+        net = _Net()
+        assert len(list(net.children())) == 2
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm2d(4)
+        buffer_names = {name for name, _ in bn.named_buffers()}
+        assert buffer_names == {"running_mean", "running_var"}
+
+    def test_update_buffer_unknown_name_raises(self):
+        bn = nn.BatchNorm2d(4)
+        with pytest.raises(KeyError):
+            bn.update_buffer("nonexistent", np.zeros(4))
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = _Net()
+        net.eval()
+        assert not net.training
+        assert not net.fc1.training
+        net.train()
+        assert net.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        net = _Net()
+        out = net(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        net_a = _Net()
+        net_b = _Net()
+        state = net_a.state_dict()
+        net_b.load_state_dict(state)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            net_a.named_parameters(), net_b.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = _Net()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.any(net.fc1.weight.data == 99.0)
+
+    def test_load_rejects_unknown_key(self):
+        net = _Net()
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nonexistent": np.zeros(3)})
+
+    def test_load_rejects_shape_mismatch(self):
+        net = _Net()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_buffers_round_trip(self):
+        bn_a = nn.BatchNorm1d(4)
+        bn_a(Tensor(np.random.default_rng(0).normal(size=(8, 4))))
+        bn_b = nn.BatchNorm1d(4)
+        bn_b.load_state_dict(bn_a.state_dict())
+        np.testing.assert_allclose(bn_b.running_mean, bn_a.running_mean)
+        np.testing.assert_allclose(bn_b.running_var, bn_a.running_var)
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.ones(2)))

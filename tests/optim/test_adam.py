@@ -1,0 +1,74 @@
+"""Adam optimiser behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import Adam
+
+
+def _param(values):
+    return Parameter(np.asarray(values, dtype=np.float64))
+
+
+class TestAdam:
+    def test_first_step_moves_by_lr(self):
+        # With bias correction, the very first Adam step is ~lr in magnitude.
+        param = _param([1.0])
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([5.0])
+        optimizer.step()
+        assert param.data[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_direction_follows_gradient_sign(self):
+        param = _param([0.0, 0.0])
+        optimizer = Adam([param], lr=0.01)
+        param.grad = np.array([1.0, -1.0])
+        optimizer.step()
+        assert param.data[0] < 0 < param.data[1]
+
+    def test_converges_on_quadratic(self):
+        param = _param([5.0])
+        optimizer = Adam([param], lr=0.5)
+        for _ in range(200):
+            param.grad = 2 * param.data  # d/dx x^2
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-2
+
+    def test_weight_decay(self):
+        param = _param([10.0])
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([_param([1.0])], lr=-1.0)
+
+    def test_step_count(self):
+        param = _param([1.0])
+        optimizer = Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        assert optimizer.step_count == 1
+
+    def test_update_hook_used(self):
+        calls = []
+
+        from repro.optim.sgd import UpdateHook
+
+        class Recorder(UpdateHook):
+            def apply(self, param, delta):
+                calls.append(delta.copy())
+                param.data = param.data + delta
+
+        param = _param([1.0])
+        optimizer = Adam([param], lr=0.1, update_hook=Recorder())
+        param.grad = np.array([1.0])
+        optimizer.step()
+        assert len(calls) == 1

@@ -1,0 +1,89 @@
+"""Learning-rate schedules, including the paper's exact recipes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    ConstantLR,
+    CosineAnnealingLR,
+    MultiStepLR,
+    WarmupMultiStepLR,
+)
+
+
+@pytest.fixture
+def optimizer():
+    return SGD([Parameter(np.zeros(3))], lr=0.1)
+
+
+class TestConstant:
+    def test_never_changes(self, optimizer):
+        scheduler = ConstantLR(optimizer)
+        for epoch in range(10):
+            assert scheduler.step(epoch) == pytest.approx(0.1)
+
+
+class TestMultiStep:
+    def test_paper_cifar10_recipe(self, optimizer):
+        # Start 0.1, divide by 10 at epochs 100 and 150, train to 200.
+        scheduler = MultiStepLR(optimizer, milestones=[100, 150], gamma=0.1)
+        assert scheduler.step(0) == pytest.approx(0.1)
+        assert scheduler.step(99) == pytest.approx(0.1)
+        assert scheduler.step(100) == pytest.approx(0.01)
+        assert scheduler.step(149) == pytest.approx(0.01)
+        assert scheduler.step(150) == pytest.approx(0.001)
+        assert scheduler.step(199) == pytest.approx(0.001)
+
+    def test_sets_optimizer_lr(self, optimizer):
+        scheduler = MultiStepLR(optimizer, milestones=[2])
+        scheduler.step(5)
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_unsorted_milestones_accepted(self, optimizer):
+        scheduler = MultiStepLR(optimizer, milestones=[150, 100])
+        assert scheduler.get_lr(120) == pytest.approx(0.01)
+
+
+class TestWarmup:
+    def test_paper_cifar100_recipe(self, optimizer):
+        # lr 0.01 for the first two epochs, then the CIFAR-10 schedule.
+        scheduler = WarmupMultiStepLR(
+            optimizer, milestones=[100, 150], warmup_epochs=2, warmup_lr=0.01
+        )
+        assert scheduler.step(0) == pytest.approx(0.01)
+        assert scheduler.step(1) == pytest.approx(0.01)
+        assert scheduler.step(2) == pytest.approx(0.1)
+        assert scheduler.step(100) == pytest.approx(0.01)
+
+    def test_warmup_shorter_than_milestones(self, optimizer):
+        scheduler = WarmupMultiStepLR(optimizer, milestones=[5], warmup_epochs=1, warmup_lr=0.001)
+        assert scheduler.step(0) == pytest.approx(0.001)
+        assert scheduler.step(1) == pytest.approx(0.1)
+
+
+class TestCosine:
+    def test_endpoints(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.01)
+        assert scheduler.get_lr(0) == pytest.approx(0.1)
+        assert scheduler.get_lr(10) == pytest.approx(0.01)
+
+    def test_midpoint(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, t_max=10)
+        assert scheduler.get_lr(5) == pytest.approx(0.05)
+
+    def test_monotone_decreasing(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, t_max=20)
+        values = [scheduler.get_lr(epoch) for epoch in range(21)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_clamps_past_t_max(self, optimizer):
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        assert scheduler.get_lr(50) == pytest.approx(0.0)
+
+    def test_invalid_t_max(self, optimizer):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, t_max=0)

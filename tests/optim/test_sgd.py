@@ -1,0 +1,128 @@
+"""SGD: vanilla step, momentum, weight decay, update hook."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, UpdateHook
+
+
+def _param(values):
+    return Parameter(np.asarray(values, dtype=np.float64))
+
+
+class TestBasicStep:
+    def test_vanilla_update(self):
+        param = _param([1.0, 2.0])
+        param.grad = np.array([0.5, -0.5])
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [0.95, 2.05])
+
+    def test_skips_params_without_grad(self):
+        param = _param([1.0])
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_zero_grad(self):
+        param = _param([1.0])
+        param.grad = np.array([1.0])
+        optimizer = SGD([param], lr=0.1)
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_step_count(self):
+        param = _param([1.0])
+        optimizer = SGD([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        optimizer.step()
+        assert optimizer.step_count == 2
+
+    def test_lr_mutable(self):
+        param = _param([1.0])
+        optimizer = SGD([param], lr=0.1)
+        optimizer.lr = 0.01
+        param.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [0.99])
+
+
+class TestMomentumAndDecay:
+    def test_momentum_accumulates(self):
+        param = _param([0.0])
+        optimizer = SGD([param], lr=1.0, momentum=0.9)
+        param.grad = np.array([1.0])
+        optimizer.step()  # velocity = 1, param = -1
+        param.grad = np.array([1.0])
+        optimizer.step()  # velocity = 1.9, param = -2.9
+        np.testing.assert_allclose(param.data, [-2.9])
+
+    def test_weight_decay_adds_l2_pull(self):
+        param = _param([10.0])
+        optimizer = SGD([param], lr=0.1, weight_decay=0.1)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [10.0 - 0.1 * 0.1 * 10.0])
+
+    def test_momentum_matches_reference_formula(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5)
+        grads = [rng.normal(size=5) for _ in range(4)]
+
+        param = _param(values.copy())
+        optimizer = SGD([param], lr=0.05, momentum=0.8, weight_decay=0.01)
+        reference = values.copy()
+        velocity = np.zeros(5)
+        for grad in grads:
+            param.grad = grad.copy()
+            optimizer.step()
+            effective = grad + 0.01 * reference
+            velocity = 0.8 * velocity + effective
+            reference = reference - 0.05 * velocity
+        np.testing.assert_allclose(param.data, reference, atol=1e-12)
+
+
+class TestValidationAndHook:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_positive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.0)
+
+    def test_negative_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([_param([1.0])], lr=0.1, momentum=-0.1)
+
+    def test_update_hook_receives_full_delta(self):
+        captured = {}
+
+        class Capture(UpdateHook):
+            def apply(self, param, delta):
+                captured["delta"] = delta.copy()
+                param.data = param.data + delta
+
+        param = _param([1.0])
+        optimizer = SGD([param], lr=0.5, update_hook=Capture())
+        param.grad = np.array([2.0])
+        optimizer.step()
+        np.testing.assert_allclose(captured["delta"], [-1.0])
+        np.testing.assert_allclose(param.data, [0.0])
+
+    def test_hook_can_suppress_update(self):
+        class Freeze(UpdateHook):
+            def apply(self, param, delta):
+                pass  # intentionally do nothing
+
+        param = _param([1.0])
+        optimizer = SGD([param], lr=0.5, update_hook=Freeze())
+        param.grad = np.array([2.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_state_dict(self):
+        optimizer = SGD([_param([1.0])], lr=0.1, momentum=0.9, weight_decay=1e-4)
+        state = optimizer.state_dict()
+        assert state["lr"] == 0.1
+        assert state["momentum"] == 0.9

@@ -1,0 +1,104 @@
+"""Activation quantisation (optional extension to the paper's weight-only scheme)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import ActivationQuantizer, QuantizedActivation
+from repro.tensor import Tensor
+
+
+class TestActivationQuantizer:
+    def test_output_has_bounded_levels(self, rng):
+        quantizer = ActivationQuantizer(bits=3)
+        values = rng.normal(size=1000)
+        out = quantizer.quantise_array(values)
+        assert len(np.unique(out)) <= 2 ** 3
+
+    def test_quantisation_error_shrinks_with_bits(self, rng):
+        values = rng.normal(size=500)
+        errors = []
+        for bits in (2, 4, 8):
+            quantizer = ActivationQuantizer(bits=bits)
+            errors.append(np.abs(quantizer.quantise_array(values) - values).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_32_bits_disables_quantisation(self, rng):
+        quantizer = ActivationQuantizer(bits=32)
+        values = rng.normal(size=100)
+        np.testing.assert_array_equal(quantizer.quantise_array(values), values)
+
+    def test_clip_value_applied(self):
+        quantizer = ActivationQuantizer(bits=8, clip_value=1.0)
+        out = quantizer.quantise_array(np.array([-5.0, 0.5, 5.0]))
+        # Values are clipped to [-1, 1] before quantisation; the zero-anchored
+        # grid may overshoot the clip bound by at most one quantisation step.
+        step = 2.0 / (2 ** 8 - 1)
+        assert out.max() <= 1.0 + step
+        assert out.min() >= -1.0 - step
+
+    def test_observer_not_updated_at_eval_time(self, rng):
+        quantizer = ActivationQuantizer(bits=8)
+        quantizer(Tensor(rng.normal(size=(4, 4))), training=True)
+        updates_after_train = quantizer.observer.num_updates
+        quantizer(Tensor(rng.normal(size=(4, 4))), training=False)
+        assert quantizer.observer.num_updates == updates_after_train
+
+    def test_straight_through_gradient(self, rng):
+        quantizer = ActivationQuantizer(bits=4)
+        values = rng.normal(size=(3, 3))
+        x = Tensor(values.copy(), requires_grad=True)
+        out = quantizer(x, training=True)
+        out.sum().backward()
+        # STE: gradient of the quantiser is the identity.
+        np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+    def test_set_bits(self):
+        quantizer = ActivationQuantizer(bits=8)
+        quantizer.set_bits(4)
+        assert quantizer.bits == 4
+        with pytest.raises(ValueError):
+            quantizer.set_bits(1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ActivationQuantizer(bits=1)
+        with pytest.raises(ValueError):
+            ActivationQuantizer(clip_value=0.0)
+
+    def test_range_tracks_stream(self, rng):
+        quantizer = ActivationQuantizer(bits=8, observer_beta=0.5)
+        for _ in range(20):
+            quantizer.quantise_array(rng.uniform(-2.0, 2.0, size=100))
+        assert quantizer.observer.min_value < -1.0
+        assert quantizer.observer.max_value > 1.0
+
+
+class TestQuantizedActivationModule:
+    def test_forward_shape_preserved(self, rng):
+        module = QuantizedActivation(bits=4)
+        x = Tensor(rng.normal(size=(2, 8)))
+        assert module(x).shape == (2, 8)
+
+    def test_usable_inside_sequential(self, rng):
+        model = nn.Sequential(
+            nn.Linear(6, 12, rng=rng),
+            nn.ReLU(),
+            QuantizedActivation(bits=4),
+            nn.Linear(12, 3, rng=rng),
+        )
+        out = model(Tensor(rng.normal(size=(5, 6))))
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert all(param.grad is not None for param in model.parameters())
+
+    def test_eval_mode_does_not_update_observer(self, rng):
+        module = QuantizedActivation(bits=4)
+        module(Tensor(rng.normal(size=(2, 4))))
+        updates = module.quantizer.observer.num_updates
+        module.eval()
+        module(Tensor(rng.normal(size=(2, 4))))
+        assert module.quantizer.observer.num_updates == updates
+
+    def test_bits_property(self):
+        assert QuantizedActivation(bits=5).bits == 5

@@ -1,0 +1,140 @@
+"""Affine quantisation: qparams, round trips, the Eq. 2 resolution."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    AffineQParams,
+    compute_qparams,
+    dequantize,
+    fake_quantize,
+    quantize,
+    resolution,
+)
+from repro.quant.affine import MAX_BITS, MIN_BITS
+
+
+class TestResolution:
+    def test_matches_equation_2(self, rng):
+        values = rng.normal(size=100)
+        bits = 6
+        expected = (values.max() - values.min()) / (2 ** bits - 1)
+        assert resolution(values, bits) == pytest.approx(expected)
+
+    def test_decreases_with_more_bits(self, rng):
+        values = rng.normal(size=50)
+        resolutions = [resolution(values, bits) for bits in (4, 8, 12, 16)]
+        assert all(a > b for a, b in zip(resolutions, resolutions[1:]))
+
+    def test_constant_tensor_returns_tiny_positive(self):
+        eps = resolution(np.full(10, 3.0), 8)
+        assert eps > 0
+        assert eps < 1e-300
+
+    def test_empty_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            resolution(np.array([]), 8)
+
+    @pytest.mark.parametrize("bits", [1, 0, 33, -5])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            resolution(np.ones(3), bits)
+
+    def test_non_integer_bits_rejected(self):
+        with pytest.raises(TypeError):
+            resolution(np.ones(3), 7.5)
+
+
+class TestQParams:
+    def test_range_covers_data(self, rng):
+        # Anchoring the grid so zero is exactly representable can shift each
+        # end of the covered range by up to one step.
+        values = rng.normal(size=200)
+        qparams = compute_qparams(values, 8)
+        lowest = dequantize(np.array([qparams.qmin]), qparams)[0]
+        highest = dequantize(np.array([qparams.qmax]), qparams)[0]
+        assert lowest <= values.min() + qparams.scale + 1e-9
+        assert highest >= values.max() - qparams.scale - 1e-9
+
+    def test_zero_exactly_representable(self, rng):
+        values = rng.normal(size=100) + 2.0
+        qparams = compute_qparams(values, 8)
+        zero_code = quantize(np.array([0.0]), qparams)
+        np.testing.assert_allclose(dequantize(zero_code, qparams), [0.0], atol=1e-12)
+
+    def test_num_levels(self):
+        qparams = compute_qparams(np.array([-1.0, 1.0]), 4)
+        assert qparams.num_levels == 16
+        assert qparams.qmax == 15
+
+    def test_constant_tensor(self):
+        qparams = compute_qparams(np.full(5, 2.0), 8)
+        assert qparams.scale > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_qparams(np.array([]), 8)
+
+
+class TestQuantizeDequantize:
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        values = rng.uniform(-3, 5, size=500)
+        qparams = compute_qparams(values, 8)
+        recovered = dequantize(quantize(values, qparams), qparams)
+        assert np.max(np.abs(recovered - values)) <= qparams.scale / 2 + 1e-12
+
+    def test_codes_within_range(self, rng):
+        values = rng.normal(size=100)
+        qparams = compute_qparams(values, 5)
+        codes = quantize(values, qparams)
+        assert codes.min() >= 0
+        assert codes.max() <= 2 ** 5 - 1
+
+    def test_codes_are_integers(self, rng):
+        codes = quantize(rng.normal(size=10), compute_qparams(rng.normal(size=10), 4))
+        assert codes.dtype == np.int64
+
+    def test_out_of_range_values_clipped(self):
+        qparams = compute_qparams(np.array([-1.0, 1.0]), 4)
+        codes = quantize(np.array([-100.0, 100.0]), qparams)
+        assert codes[0] == qparams.qmin
+        assert codes[1] == qparams.qmax
+
+
+class TestFakeQuantize:
+    def test_output_on_grid(self, rng):
+        values = rng.normal(size=300)
+        snapped, qparams = fake_quantize(values, 6)
+        codes = np.round(snapped / qparams.scale) + qparams.zero_point
+        np.testing.assert_allclose(
+            snapped, qparams.scale * (codes - qparams.zero_point), atol=1e-9
+        )
+
+    def test_idempotent(self, rng):
+        values = rng.normal(size=100)
+        first, _ = fake_quantize(values, 6)
+        second, _ = fake_quantize(first, 6)
+        np.testing.assert_allclose(first, second, atol=1e-12)
+
+    def test_distinct_values_bounded_by_levels(self, rng):
+        values = rng.normal(size=1000)
+        snapped, _ = fake_quantize(values, 3)
+        assert len(np.unique(snapped)) <= 2 ** 3
+
+    def test_32_bit_passthrough(self, rng):
+        values = rng.normal(size=50)
+        snapped, qparams = fake_quantize(values, 32)
+        np.testing.assert_array_equal(snapped, values)
+        assert qparams.bits == 32
+
+    def test_error_decreases_with_bits(self, rng):
+        values = rng.normal(size=500)
+        errors = []
+        for bits in (2, 4, 8, 12):
+            snapped, _ = fake_quantize(values, bits)
+            errors.append(np.abs(snapped - values).max())
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_bit_bounds(self):
+        assert MIN_BITS == 2
+        assert MAX_BITS == 32

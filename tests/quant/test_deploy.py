@@ -1,0 +1,114 @@
+"""Quantised-model export / reload (deployment path)."""
+
+import numpy as np
+import pytest
+
+from repro.core import APTConfig, APTTrainer
+from repro.data import DataLoader, make_blobs
+from repro.models import MLP, TinyConvNet
+from repro.quant import (
+    export_quantized_model,
+    export_size_report,
+    load_into_model,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def model(rng):
+    return MLP(in_features=8, num_classes=3, hidden=(12,), rng=rng)
+
+
+def _weight_bits(model, bits=6):
+    return {name: bits for name, param in model.named_parameters() if param.quantisable}
+
+
+class TestExport:
+    def test_splits_quantised_and_float_parameters(self, model):
+        export = export_quantized_model(model, _weight_bits(model))
+        assert set(export.quantized) == set(_weight_bits(model))
+        assert all(name.endswith("bias") for name in export.float_parameters)
+
+    def test_unlisted_params_stored_as_float(self, model):
+        export = export_quantized_model(model, {})
+        assert not export.quantized
+        assert len(export.float_parameters) == len(list(model.named_parameters()))
+
+    def test_32bit_entries_stay_float(self, model):
+        bits = _weight_bits(model, 32)
+        export = export_quantized_model(model, bits)
+        assert not export.quantized
+
+    def test_total_bits_smaller_than_fp32(self, model):
+        export = export_quantized_model(model, _weight_bits(model, 4), include_buffers=False)
+        fp32_bits = 32 * model.num_parameters()
+        assert export.total_bits() < fp32_bits
+        assert export.total_bytes() == pytest.approx(export.total_bits() / 8)
+
+    def test_buffers_included_when_requested(self, rng):
+        conv = TinyConvNet(in_channels=1, num_classes=3, width=4, rng=rng)
+        export = export_quantized_model(conv, _weight_bits(conv), include_buffers=True)
+        assert any("running_mean" in name for name in export.buffers)
+
+    def test_parameter_names(self, model):
+        export = export_quantized_model(model, _weight_bits(model))
+        assert set(export.parameter_names()) == {name for name, _ in model.named_parameters()}
+
+
+class TestRoundTrip:
+    def test_reload_reproduces_grid_aligned_weights(self, rng):
+        """Export -> load reproduces APT's trained weights exactly."""
+        train_set, test_set = make_blobs(num_classes=3, samples_per_class=30, features=8, seed=1)
+        model = MLP(in_features=8, num_classes=3, hidden=(12,), rng=rng)
+        trainer = APTTrainer(
+            model,
+            DataLoader(train_set, batch_size=16, rng=np.random.default_rng(0)),
+            DataLoader(test_set, batch_size=32, shuffle=False),
+            config=APTConfig(initial_bits=5, t_min=6.0, metric_interval=1),
+            lr_milestones=(10,),
+        )
+        trainer.fit(epochs=2)
+        bitwidths = trainer.controller.bitwidth_by_name()
+
+        export = export_quantized_model(model, bitwidths)
+        reference = {name: p.data.copy() for name, p in model.named_parameters()}
+
+        fresh = MLP(in_features=8, num_classes=3, hidden=(12,), rng=np.random.default_rng(42))
+        load_into_model(export, fresh)
+        for name, param in fresh.named_parameters():
+            np.testing.assert_allclose(param.data, reference[name], atol=1e-9)
+
+    def test_reload_preserves_predictions(self, model, rng):
+        inputs = Tensor(rng.normal(size=(5, 8)))
+        bits = _weight_bits(model, 8)
+        # Snap the model onto the 8-bit grid first so export is lossless.
+        from repro.quant import fake_quantize
+
+        for name, param in model.named_parameters():
+            if name in bits:
+                param.data = fake_quantize(param.data, 8)[0]
+        expected = model(inputs).data
+
+        export = export_quantized_model(model, bits)
+        fresh = MLP(in_features=8, num_classes=3, hidden=(12,), rng=np.random.default_rng(7))
+        load_into_model(export, fresh)
+        np.testing.assert_allclose(fresh(inputs).data, expected, atol=1e-9)
+
+    def test_load_rejects_unknown_parameter(self, model):
+        export = export_quantized_model(model, _weight_bits(model))
+        other = MLP(in_features=4, num_classes=2, hidden=(3,), rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_into_model(export, other)
+
+
+class TestSizeReport:
+    def test_rows_and_savings(self, model):
+        rows = export_size_report(model, _weight_bits(model, 4))
+        assert len(rows) == len(list(model.named_parameters()))
+        for name, bits, quant_kib, fp32_kib in rows:
+            if name.endswith("weight"):
+                assert bits == 4
+                assert quant_kib < fp32_kib
+            else:
+                assert bits == 32
+                assert quant_kib == pytest.approx(fp32_kib)

@@ -1,0 +1,95 @@
+"""QuantizedTensor storage and range observers."""
+
+import numpy as np
+import pytest
+
+from repro.quant import MinMaxObserver, MovingAverageMinMaxObserver, QuantizedTensor
+
+
+class TestQuantizedTensor:
+    def test_round_trip_error_bounded(self, rng):
+        values = rng.normal(size=(8, 8))
+        qt = QuantizedTensor.from_float(values, 8)
+        recovered = qt.dequantize()
+        assert np.max(np.abs(recovered - values)) <= qt.qparams.scale / 2 + 1e-12
+
+    def test_shape_and_count(self, rng):
+        qt = QuantizedTensor.from_float(rng.normal(size=(4, 5)), 6)
+        assert qt.shape == (4, 5)
+        assert qt.num_elements == 20
+        assert qt.bits == 6
+
+    def test_memory_bits(self, rng):
+        qt = QuantizedTensor.from_float(rng.normal(size=100), 6)
+        assert qt.memory_bits(include_qparams=False) == 600
+        assert qt.memory_bits(include_qparams=True) == 600 + 32 + 6
+        assert qt.memory_bytes(include_qparams=False) == pytest.approx(75.0)
+
+    def test_memory_scales_with_bits(self, rng):
+        values = rng.normal(size=64)
+        low = QuantizedTensor.from_float(values, 4).memory_bits(False)
+        high = QuantizedTensor.from_float(values, 16).memory_bits(False)
+        assert high == 4 * low
+
+    def test_equality(self, rng):
+        values = rng.normal(size=10)
+        assert QuantizedTensor.from_float(values, 5) == QuantizedTensor.from_float(values, 5)
+        assert QuantizedTensor.from_float(values, 5) != QuantizedTensor.from_float(values, 6)
+
+
+class TestMinMaxObserver:
+    def test_tracks_global_extrema(self):
+        observer = MinMaxObserver()
+        observer.update(np.array([1.0, 2.0]))
+        observer.update(np.array([-3.0, 0.5]))
+        assert observer.min_value == -3.0
+        assert observer.max_value == 2.0
+        assert observer.num_updates == 2
+
+    def test_uninitialised_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().compute_qparams(8)
+
+    def test_empty_update_ignored(self):
+        observer = MinMaxObserver()
+        observer.update(np.array([]))
+        assert not observer.initialized
+
+    def test_qparams_cover_observed_range(self, rng):
+        observer = MinMaxObserver()
+        values = rng.normal(size=100)
+        observer.update(values)
+        qparams = observer.compute_qparams(8)
+        assert qparams.scale >= (values.max() - min(values.min(), 0)) / (2 ** 8 - 1) - 1e-12
+
+    def test_reset(self):
+        observer = MinMaxObserver()
+        observer.update(np.array([1.0]))
+        observer.reset()
+        assert not observer.initialized
+        assert observer.num_updates == 0
+
+
+class TestMovingAverageObserver:
+    def test_first_update_initialises(self):
+        observer = MovingAverageMinMaxObserver(beta=0.9)
+        observer.update(np.array([-1.0, 1.0]))
+        assert observer.min_value == -1.0
+        assert observer.max_value == 1.0
+
+    def test_smoothing(self):
+        observer = MovingAverageMinMaxObserver(beta=0.5)
+        observer.update(np.array([0.0, 0.0]))
+        observer.update(np.array([2.0, 2.0]))
+        assert observer.max_value == pytest.approx(1.0)
+
+    def test_converges_to_stationary_range(self):
+        observer = MovingAverageMinMaxObserver(beta=0.8)
+        for _ in range(100):
+            observer.update(np.array([-2.0, 4.0]))
+        assert observer.min_value == pytest.approx(-2.0, abs=1e-6)
+        assert observer.max_value == pytest.approx(4.0, abs=1e-6)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            MovingAverageMinMaxObserver(beta=1.0)

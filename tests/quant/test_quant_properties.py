@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on the quantisation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    compute_qparams,
+    dequantize,
+    fake_quantize,
+    gradient_resolution_ratio,
+    quantize,
+    quantised_update,
+    resolution,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=2, max_side=40),
+    elements=finite_floats,
+)
+
+bit_widths = st.integers(min_value=2, max_value=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=float_arrays, bits=bit_widths)
+def test_fake_quantize_error_bounded_by_grid_step(values, bits):
+    """|fake_quantize(x) - x| is bounded by the quantiser's own grid step.
+
+    The grid is zero-anchored, so for tensors that do not straddle zero the
+    step can be coarser than Eq. 2's data-range resolution; the universally
+    valid bound is one step of the actual scale (half a step for interior
+    points plus up to half a step of zero-point rounding at the edges).
+    """
+    snapped, qparams = fake_quantize(values, bits)
+    bound = qparams.scale + 1e-9 + 1e-9 * np.max(np.abs(values))
+    assert np.max(np.abs(snapped - values)) <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=2, max_side=40),
+        elements=finite_floats,
+    ),
+    bits=bit_widths,
+)
+def test_fake_quantize_error_bounded_by_eq2_resolution_when_straddling_zero(values, bits):
+    """For tensors whose range straddles zero (every real weight tensor), the
+    zero-anchored grid step equals Eq. 2's resolution and bounds the error."""
+    values = values - values.mean()  # force the range to straddle zero
+    snapped, _ = fake_quantize(values, bits)
+    eps = resolution(values, bits)
+    assert np.max(np.abs(snapped - values)) <= eps + 1e-9 + 1e-9 * np.max(np.abs(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=float_arrays, bits=bit_widths)
+def test_fake_quantize_refit_drift_is_bounded(values, bits):
+    """Re-quantising already-snapped values moves them by at most one step.
+
+    Exact idempotency cannot hold in general: the second pass re-fits the
+    affine grid to the snapped data's (possibly shrunken, zero-anchored)
+    range.  What the training loop relies on -- re-fitting the grid at epoch
+    boundaries does not walk the weights away -- is that the drift is bounded
+    by the quantisation resolution itself.
+    """
+    first, _ = fake_quantize(values, bits)
+    second, _ = fake_quantize(first, bits)
+    eps = resolution(values, bits)
+    assert np.max(np.abs(second - first)) <= eps + 1e-9 + 1e-9 * np.max(np.abs(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=float_arrays, bits=bit_widths)
+def test_quantize_codes_in_range(values, bits):
+    qparams = compute_qparams(values, bits)
+    codes = quantize(values, qparams)
+    assert codes.min() >= 0
+    assert codes.max() <= 2 ** bits - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=float_arrays, bits=bit_widths)
+def test_distinct_levels_bounded(values, bits):
+    snapped, _ = fake_quantize(values, bits)
+    assert len(np.unique(snapped)) <= 2 ** bits
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=float_arrays, bits=bit_widths)
+def test_zero_is_exactly_representable(values, bits):
+    qparams = compute_qparams(values, bits)
+    zero = dequantize(quantize(np.array([0.0]), qparams), qparams)
+    np.testing.assert_allclose(zero, [0.0], atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=float_arrays)
+def test_resolution_monotone_in_bits(values):
+    resolutions = [resolution(values, bits) for bits in (2, 4, 8, 16)]
+    assert all(a >= b for a, b in zip(resolutions, resolutions[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=hnp.arrays(
+        np.float64,
+        20,
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+    ),
+    update=hnp.arrays(
+        np.float64,
+        20,
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False),
+    ),
+    eps=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+)
+def test_quantised_update_properties(weights, update, eps):
+    """The applied change is a multiple of eps and never exceeds the request.
+
+    Weight magnitudes and eps are bounded so that ``new_weights - weights``
+    can be recovered without catastrophic cancellation; the invariants being
+    checked are properties of the update rule, not of float subtraction.
+    """
+    new_weights, lost = quantised_update(weights, update, eps)
+    applied = new_weights - weights
+    steps = applied / eps
+    np.testing.assert_allclose(steps, np.round(steps), atol=1e-6)
+    # Truncation toward zero: the applied change never meaningfully overshoots
+    # the requested update (the 1e-9*eps slack covers the anti-ulp nudge).
+    assert np.all(np.abs(applied) <= np.abs(update) + 1e-9 * eps + 1e-9)
+    assert np.all(applied * update >= -1e-12)
+    assert 0 <= lost <= weights.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    gradient=hnp.arrays(np.float64, 30, elements=finite_floats),
+    eps=st.floats(min_value=1e-9, max_value=100.0, allow_nan=False),
+)
+def test_gradient_resolution_ratio_non_negative_and_scales(gradient, eps):
+    ratio = gradient_resolution_ratio(gradient, eps)
+    assert np.all(ratio >= 0)
+    double = gradient_resolution_ratio(gradient, eps * 2)
+    np.testing.assert_allclose(double, ratio / 2, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,118 @@
+"""Baseline quantiser family (binary, ternary, DoReFa, WAGE, stochastic rounding)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    binarize,
+    dorefa_quantize_gradients,
+    dorefa_quantize_weights,
+    stochastic_round,
+    ternarize,
+    wage_quantize,
+)
+
+
+class TestBinarize:
+    def test_two_levels(self, rng):
+        values, alpha = binarize(rng.normal(size=100))
+        assert set(np.unique(values)) <= {alpha, -alpha}
+
+    def test_alpha_is_mean_magnitude(self, rng):
+        raw = rng.normal(size=100)
+        _, alpha = binarize(raw)
+        assert alpha == pytest.approx(np.mean(np.abs(raw)))
+
+    def test_sign_preserved(self):
+        values, _ = binarize(np.array([2.0, -3.0, 0.5]))
+        assert values[0] > 0 and values[1] < 0 and values[2] > 0
+
+    def test_empty(self):
+        values, alpha = binarize(np.array([]))
+        assert alpha == 0.0
+        assert values.size == 0
+
+
+class TestTernarize:
+    def test_three_levels(self, rng):
+        values, alpha, _ = ternarize(rng.normal(size=500))
+        assert set(np.unique(values)) <= {-alpha, 0.0, alpha}
+
+    def test_small_values_zeroed(self):
+        values, _, threshold = ternarize(np.array([0.01, 5.0, -5.0, -0.01]))
+        assert values[0] == 0.0 and values[3] == 0.0
+        assert threshold > 0.01
+
+    def test_alpha_positive_for_normal_data(self, rng):
+        _, alpha, _ = ternarize(rng.normal(size=100))
+        assert alpha > 0
+
+    def test_all_below_threshold(self):
+        values, alpha, _ = ternarize(np.zeros(10))
+        assert alpha == 0.0
+        np.testing.assert_array_equal(values, np.zeros(10))
+
+    def test_empty(self):
+        values, alpha, threshold = ternarize(np.array([]))
+        assert values.size == 0 and alpha == 0.0 and threshold == 0.0
+
+
+class TestDoReFa:
+    def test_weights_bounded(self, rng):
+        out = dorefa_quantize_weights(rng.normal(size=200), 4)
+        assert np.all(out >= -1.0 - 1e-9) and np.all(out <= 1.0 + 1e-9)
+
+    def test_weights_level_count(self, rng):
+        out = dorefa_quantize_weights(rng.normal(size=1000), 2)
+        assert len(np.unique(out)) <= 2 ** 2
+
+    def test_weights_32bit_passthrough(self, rng):
+        values = rng.normal(size=20)
+        np.testing.assert_array_equal(dorefa_quantize_weights(values, 32), values)
+
+    def test_zero_input(self):
+        np.testing.assert_array_equal(dorefa_quantize_weights(np.zeros(5), 4), np.zeros(5))
+
+    def test_gradients_unbiased_in_expectation(self):
+        gradient = np.full(2000, 0.3)
+        rng = np.random.default_rng(0)
+        quantised = dorefa_quantize_gradients(gradient, 2, rng=rng)
+        assert quantised.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_gradients_zero_input(self):
+        np.testing.assert_array_equal(dorefa_quantize_gradients(np.zeros(5), 4), np.zeros(5))
+
+    def test_gradients_32bit_passthrough(self, rng):
+        values = rng.normal(size=10)
+        np.testing.assert_array_equal(dorefa_quantize_gradients(values, 32), values)
+
+
+class TestWage:
+    def test_on_fixed_point_grid(self, rng):
+        bits = 8
+        out = wage_quantize(rng.uniform(-1, 1, size=200), bits)
+        step = 2.0 ** (1 - bits)
+        np.testing.assert_allclose(out / step, np.round(out / step), atol=1e-9)
+
+    def test_clipping(self):
+        out = wage_quantize(np.array([5.0, -5.0]), 4)
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_32bit_passthrough(self, rng):
+        values = rng.normal(size=10)
+        np.testing.assert_array_equal(wage_quantize(values, 32), values)
+
+
+class TestStochasticRound:
+    def test_results_are_integers(self, rng):
+        out = stochastic_round(rng.uniform(-5, 5, size=100), rng=np.random.default_rng(1))
+        np.testing.assert_allclose(out, np.round(out))
+
+    def test_unbiased(self):
+        values = np.full(5000, 2.3)
+        out = stochastic_round(values, rng=np.random.default_rng(2))
+        assert out.mean() == pytest.approx(2.3, abs=0.03)
+
+    def test_exact_integers_unchanged(self):
+        values = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_array_equal(stochastic_round(values, rng=np.random.default_rng(3)), values)

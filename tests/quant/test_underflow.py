@@ -1,0 +1,113 @@
+"""Quantisation-underflow arithmetic: the heart of the paper's mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    gradient_resolution_ratio,
+    quantised_update,
+    resolution,
+    underflow_fraction,
+)
+
+
+class TestQuantisedUpdate:
+    def test_small_updates_are_lost(self):
+        weights = np.array([1.0, 2.0, 3.0])
+        update = np.array([0.05, -0.04, 0.09])  # all below eps
+        new_weights, lost = quantised_update(weights, update, eps=0.1)
+        np.testing.assert_array_equal(new_weights, weights)
+        assert lost == 3
+
+    def test_large_updates_survive_in_eps_multiples(self):
+        weights = np.zeros(3)
+        update = np.array([0.25, -0.35, 0.1])
+        new_weights, lost = quantised_update(weights, update, eps=0.1)
+        np.testing.assert_allclose(new_weights, [0.2, -0.3, 0.1])
+        assert lost == 0
+
+    def test_symmetric_for_positive_and_negative(self):
+        weights = np.zeros(2)
+        new_weights, lost = quantised_update(weights, np.array([0.09, -0.09]), eps=0.1)
+        np.testing.assert_array_equal(new_weights, [0.0, 0.0])
+        assert lost == 2
+
+    def test_zero_updates_not_counted_as_underflow(self):
+        _, lost = quantised_update(np.zeros(3), np.zeros(3), eps=0.1)
+        assert lost == 0
+
+    def test_equals_plain_update_when_eps_divides(self):
+        weights = np.array([1.0, -1.0])
+        update = np.array([0.3, -0.2])
+        new_weights, _ = quantised_update(weights, update, eps=0.1)
+        np.testing.assert_allclose(new_weights, weights + update, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            quantised_update(np.zeros(3), np.zeros(4), eps=0.1)
+
+    def test_non_positive_eps_rejected(self):
+        with pytest.raises(ValueError):
+            quantised_update(np.zeros(3), np.zeros(3), eps=0.0)
+
+    def test_high_precision_loses_nothing(self, rng):
+        # At 16 bits the resolution is far below typical SGD updates.
+        weights = rng.normal(size=100)
+        eps = resolution(weights, 16)
+        update = rng.normal(scale=0.01, size=100)
+        new_weights, lost = quantised_update(weights, update, eps)
+        assert lost == 0
+        np.testing.assert_allclose(new_weights, weights + update, atol=eps)
+
+    def test_low_precision_loses_most(self, rng):
+        weights = rng.normal(size=100)
+        eps = resolution(weights, 3)
+        update = rng.normal(scale=0.01, size=100)
+        _, lost = quantised_update(weights, update, eps)
+        assert lost > 90
+
+
+class TestUnderflowFraction:
+    def test_all_lost(self):
+        assert underflow_fraction(np.full(10, 0.01), eps=0.1) == 1.0
+
+    def test_none_lost(self):
+        assert underflow_fraction(np.full(10, 0.5), eps=0.1) == 0.0
+
+    def test_half_lost(self):
+        update = np.array([0.01, 0.5, 0.02, 0.9])
+        assert underflow_fraction(update, eps=0.1) == pytest.approx(0.5)
+
+    def test_zero_updates_excluded_from_denominator(self):
+        update = np.array([0.0, 0.0, 0.05])
+        assert underflow_fraction(update, eps=0.1) == 1.0
+
+    def test_all_zero_updates(self):
+        assert underflow_fraction(np.zeros(5), eps=0.1) == 0.0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            underflow_fraction(np.ones(3), eps=-1.0)
+
+
+class TestGradientResolutionRatio:
+    def test_values(self):
+        ratio = gradient_resolution_ratio(np.array([0.2, -0.4]), eps=0.1)
+        np.testing.assert_allclose(ratio, [2.0, 4.0])
+
+    def test_always_non_negative(self, rng):
+        ratio = gradient_resolution_ratio(rng.normal(size=100), eps=0.5)
+        assert np.all(ratio >= 0)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            gradient_resolution_ratio(np.ones(3), eps=0.0)
+
+    def test_more_bits_means_larger_ratio(self, rng):
+        # Same gradients, higher precision -> smaller eps -> larger ratio,
+        # i.e. underflow becomes less likely (Section III-B).
+        weights = rng.normal(size=100)
+        gradient = rng.normal(scale=0.01, size=100)
+        low = gradient_resolution_ratio(gradient, resolution(weights, 4)).mean()
+        high = gradient_resolution_ratio(gradient, resolution(weights, 12)).mean()
+        assert high > low

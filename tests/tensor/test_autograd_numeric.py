@@ -1,0 +1,203 @@
+"""Finite-difference verification of every autograd backward rule."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+from tests.conftest import assert_grad_close, check_scalar_op_gradient, numeric_gradient
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_scalar_op_gradient(lambda t: t + 3.0)
+
+    def test_sub(self):
+        check_scalar_op_gradient(lambda t: t - 2.0)
+
+    def test_rsub(self):
+        check_scalar_op_gradient(lambda t: 2.0 - t)
+
+    def test_mul(self):
+        check_scalar_op_gradient(lambda t: t * 1.7)
+
+    def test_div(self):
+        check_scalar_op_gradient(lambda t: t / 2.5)
+
+    def test_rdiv(self):
+        check_scalar_op_gradient(lambda t: 1.0 / (t * t + 1.0))
+
+    def test_neg(self):
+        check_scalar_op_gradient(lambda t: -t)
+
+    def test_pow(self):
+        check_scalar_op_gradient(lambda t: (t * t + 1.0) ** 1.5)
+
+    def test_exp(self):
+        check_scalar_op_gradient(lambda t: t.exp())
+
+    def test_log(self):
+        check_scalar_op_gradient(lambda t: (t * t + 1.0).log())
+
+    def test_sqrt(self):
+        check_scalar_op_gradient(lambda t: (t * t + 1.0).sqrt())
+
+    def test_abs(self):
+        # Keep values away from zero where |x| is not differentiable.
+        check_scalar_op_gradient(lambda t: (t + 5.0).abs())
+
+    def test_relu(self):
+        check_scalar_op_gradient(lambda t: (t + 0.3).relu())
+
+    def test_sigmoid(self):
+        check_scalar_op_gradient(lambda t: t.sigmoid())
+
+    def test_tanh(self):
+        check_scalar_op_gradient(lambda t: t.tanh())
+
+    def test_clamp(self):
+        check_scalar_op_gradient(lambda t: t.clamp(-0.4, 0.4) * t)
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_scalar_op_gradient(lambda t: t.sum() * 2.0)
+
+    def test_sum_axis(self):
+        check_scalar_op_gradient(lambda t: (t.sum(axis=0) ** 2))
+
+    def test_mean(self):
+        check_scalar_op_gradient(lambda t: t.mean(axis=1) ** 2)
+
+    def test_var(self):
+        check_scalar_op_gradient(lambda t: t.var(axis=1), atol=1e-3)
+
+    def test_max(self):
+        # Use well-separated values so the argmax is stable under perturbation.
+        rng = np.random.default_rng(0)
+        values = rng.permutation(np.arange(12.0)).reshape(3, 4)
+        tensor = Tensor(values.copy(), requires_grad=True)
+        (tensor.max(axis=1) ** 2).sum().backward()
+
+        def scalar(array):
+            return float(((Tensor(array).max(axis=1)) ** 2).sum().item())
+
+        numeric = numeric_gradient(scalar, values.copy())
+        assert_grad_close(tensor.grad, numeric)
+
+    def test_min(self):
+        rng = np.random.default_rng(1)
+        values = rng.permutation(np.arange(12.0)).reshape(3, 4)
+        tensor = Tensor(values.copy(), requires_grad=True)
+        (tensor.min(axis=0) * 3.0).sum().backward()
+
+        def scalar(array):
+            return float((Tensor(array).min(axis=0) * 3.0).sum().item())
+
+        numeric = numeric_gradient(scalar, values.copy())
+        assert_grad_close(tensor.grad, numeric)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_scalar_op_gradient(lambda t: t.reshape(12) ** 2, shape=(3, 4))
+
+    def test_transpose(self):
+        check_scalar_op_gradient(lambda t: t.transpose() ** 2, shape=(3, 4))
+
+    def test_flatten(self):
+        check_scalar_op_gradient(lambda t: t.flatten(start_dim=0) ** 2, shape=(2, 3))
+
+    def test_getitem(self):
+        check_scalar_op_gradient(lambda t: t[1:] ** 2, shape=(4, 3))
+
+    def test_pad2d(self):
+        check_scalar_op_gradient(lambda t: t.pad2d(1) ** 2, shape=(1, 2, 3, 3))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(2)
+        a_values = rng.normal(size=(2, 3))
+        b_values = rng.normal(size=(2, 3))
+        a = Tensor(a_values.copy(), requires_grad=True)
+        b = Tensor(b_values.copy(), requires_grad=True)
+        (Tensor.concatenate([a, b], axis=0) ** 2).sum().backward()
+        assert_grad_close(a.grad, 2 * a_values)
+        assert_grad_close(b.grad, 2 * b_values)
+
+    def test_stack(self):
+        values = np.random.default_rng(3).normal(size=(2, 3))
+        a = Tensor(values.copy(), requires_grad=True)
+        b = Tensor(values.copy(), requires_grad=True)
+        (Tensor.stack([a, b], axis=0) ** 2).sum().backward()
+        assert_grad_close(a.grad, 2 * values)
+        assert_grad_close(b.grad, 2 * values)
+
+
+class TestCompositeGradients:
+    def test_matmul_both_operands(self):
+        rng = np.random.default_rng(4)
+        a_values = rng.normal(size=(3, 4))
+        b_values = rng.normal(size=(4, 2))
+        a = Tensor(a_values.copy(), requires_grad=True)
+        b = Tensor(b_values.copy(), requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+
+        def scalar_a(array):
+            return float(((Tensor(array) @ Tensor(b_values)) ** 2).sum().item())
+
+        def scalar_b(array):
+            return float(((Tensor(a_values) @ Tensor(array)) ** 2).sum().item())
+
+        assert_grad_close(a.grad, numeric_gradient(scalar_a, a_values.copy()))
+        assert_grad_close(b.grad, numeric_gradient(scalar_b, b_values.copy()))
+
+    def test_gradient_accumulates_over_reuse(self):
+        values = np.array([1.0, 2.0, 3.0])
+        t = Tensor(values.copy(), requires_grad=True)
+        out = (t * 2.0).sum() + (t * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, np.full(3, 5.0))
+
+    def test_diamond_graph(self):
+        values = np.array([1.5, -0.5])
+        t = Tensor(values.copy(), requires_grad=True)
+        a = t * 2.0
+        b = t + 1.0
+        ((a * b).sum()).backward()
+
+        def scalar(array):
+            x = Tensor(array)
+            return float(((x * 2.0) * (x + 1.0)).sum().item())
+
+        assert_grad_close(t.grad, numeric_gradient(scalar, values.copy()))
+
+    def test_broadcast_gradient_shapes(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        ((a + b) ** 2).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, np.full(3, 16.0))
+
+    def test_scalar_broadcast_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        scale = Tensor(2.0, requires_grad=True)
+        ((a * scale).sum()).backward()
+        assert scale.grad.shape == ()
+        assert scale.grad.item() == pytest.approx(4.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        # A 2000-op chain would overflow Python's recursion limit if backward
+        # were recursive; the iterative traversal must handle it.
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(2000):
+            out = out + 0.001
+        out.sum().backward()
+        assert t.grad.item() == pytest.approx(1.0)
+
+    def test_no_grad_through_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = (t.detach() * 2.0).sum() + (t * 1.0).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, np.ones(3))

@@ -1,0 +1,66 @@
+"""Weight-initialiser statistics and determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tensor import init
+
+
+class TestFanComputation:
+    def test_dense_shape(self):
+        fan_in, fan_out = init._fan_in_out((10, 20))
+        assert (fan_in, fan_out) == (20, 10)
+
+    def test_conv_shape(self):
+        fan_in, fan_out = init._fan_in_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+    def test_other_shape_falls_back_to_product(self):
+        fan_in, fan_out = init._fan_in_out((5,))
+        assert fan_in == fan_out == 5
+
+
+class TestKaiming:
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_normal((256, 128), rng=rng)
+        expected_std = math.sqrt(2.0 / 128)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_uniform((64, 100), rng=rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 100)
+        assert np.all(np.abs(weights) <= bound + 1e-12)
+
+    def test_deterministic_given_rng(self):
+        a = init.kaiming_normal((10, 10), rng=np.random.default_rng(7))
+        b = init.kaiming_normal((10, 10), rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_conv_shape_supported(self):
+        weights = init.kaiming_normal((16, 8, 3, 3), rng=np.random.default_rng(1))
+        assert weights.shape == (16, 8, 3, 3)
+
+
+class TestXavier:
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_normal((300, 200), rng=rng)
+        expected_std = math.sqrt(2.0 / 500)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_uniform_bound(self):
+        weights = init.xavier_uniform((50, 50), rng=np.random.default_rng(0))
+        bound = math.sqrt(6.0 / 100)
+        assert np.all(np.abs(weights) <= bound + 1e-12)
+
+
+class TestConstant:
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((3, 3)) == 1)
+        assert init.zeros((2, 2)).dtype == np.float64

@@ -1,0 +1,235 @@
+"""Forward-value correctness of Tensor operations against numpy."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_from_scalar(self):
+        t = Tensor(3.5)
+        assert t.item() == pytest.approx(3.5)
+        assert t.size == 1
+
+    def test_from_tensor_shares_buffer(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_zeros_ones_full(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+        assert np.all(Tensor.full((2, 2), 7.0).data == 7.0)
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+        assert t.grad is None
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_copy_is_deep(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        c = t.copy()
+        c.data[0] = 5.0
+        assert t.data[0] == 1.0
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1.0).data, [2.0, 3.0])
+        np.testing.assert_allclose((1.0 + a).data, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([3.0, 5.0])
+        np.testing.assert_allclose((a - 1.0).data, [2.0, 4.0])
+        np.testing.assert_allclose((10.0 - a).data, [7.0, 5.0])
+
+    def test_mul_and_div(self):
+        a, b = Tensor([2.0, 4.0]), Tensor([4.0, 2.0])
+        np.testing.assert_allclose((a * b).data, [8.0, 8.0])
+        np.testing.assert_allclose((a / b).data, [0.5, 2.0])
+
+    def test_rtruediv(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((8.0 / a).data, [4.0, 2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_broadcast_add(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose((a + b).data, np.ones((2, 3)) + np.array([1.0, 2.0, 3.0]))
+
+
+class TestElementwiseFunctions:
+    def test_exp_log_roundtrip(self):
+        values = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(Tensor(values).exp().log().data, values, atol=1e-12)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).abs().data, [1.0, 2.0])
+
+    def test_relu(self):
+        np.testing.assert_allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_clamp(self):
+        values = Tensor([-2.0, 0.5, 3.0]).clamp(0.0, 1.0)
+        np.testing.assert_allclose(values.data, [0.0, 0.5, 1.0])
+
+    def test_clamp_one_sided(self):
+        np.testing.assert_allclose(Tensor([-2.0, 3.0]).clamp(min_value=0.0).data, [0.0, 3.0])
+        np.testing.assert_allclose(Tensor([-2.0, 3.0]).clamp(max_value=0.0).data, [-2.0, 0.0])
+
+    def test_sigmoid_range(self):
+        out = Tensor(np.linspace(-10, 10, 21)).sigmoid().data
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_tanh_matches_numpy(self):
+        values = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(Tensor(values).tanh().data, np.tanh(values))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor(np.arange(6.0)).sum().item() == pytest.approx(15.0)
+
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.sum(axis=1).shape == (2,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(t.mean(axis=0).data, [1.5, 2.5, 3.5])
+
+    def test_mean_axis_tuple(self):
+        t = Tensor(np.ones((2, 3, 4)))
+        assert t.mean(axis=(1, 2)).shape == (2,)
+
+    def test_var(self):
+        values = np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]])
+        np.testing.assert_allclose(Tensor(values).var(axis=1).data, values.var(axis=1))
+
+    def test_max_min(self):
+        t = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        np.testing.assert_allclose(t.max(axis=0).data, [3.0, 5.0])
+        np.testing.assert_allclose(t.min(axis=1).data, [1.0, 2.0])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_reshape_infer(self):
+        assert Tensor(np.arange(6.0)).reshape(2, -1).shape == (2, 3)
+
+    def test_transpose_default(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_transpose_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose(0, 2, 1).shape == (2, 4, 3)
+
+    def test_flatten(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.flatten(start_dim=1).shape == (2, 12)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        np.testing.assert_allclose(t[1].data, np.arange(4.0) + 4)
+        np.testing.assert_allclose(t[:, 2].data, [2.0, 6.0, 10.0])
+
+    def test_pad2d(self):
+        t = Tensor(np.ones((1, 1, 2, 2)))
+        padded = t.pad2d(1)
+        assert padded.shape == (1, 1, 4, 4)
+        assert padded.data[0, 0, 0, 0] == 0.0
+        assert padded.data[0, 0, 1, 1] == 1.0
+
+    def test_pad2d_zero_is_identity(self):
+        t = Tensor(np.ones((1, 1, 2, 2)))
+        assert t.pad2d(0) is t
+
+    def test_stack(self):
+        parts = [Tensor(np.full((2,), float(i))) for i in range(3)]
+        stacked = Tensor.stack(parts, axis=0)
+        assert stacked.shape == (3, 2)
+        np.testing.assert_allclose(stacked.data[2], [2.0, 2.0])
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((3, 2)))
+        merged = Tensor.concatenate([a, b], axis=0)
+        assert merged.shape == (5, 2)
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            t = Tensor(np.ones(3), requires_grad=True)
+            out = t * 2
+            assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 4.0, 6.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t.sum()).backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None

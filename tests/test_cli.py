@@ -1,0 +1,131 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+class TestTrainCommand:
+    def test_apt_training_runs_and_reports(self, capsys):
+        exit_code = cli.run_train(
+            ["--scale", "smoke", "--strategy", "apt", "--epochs", "2", "--quiet"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "final acc=" in out
+        assert "APT" in out
+
+    def test_fixed_strategy_with_bits(self, capsys):
+        exit_code = cli.run_train(
+            ["--scale", "smoke", "--strategy", "fixed", "--bits", "8", "--epochs", "1", "--quiet"]
+        )
+        assert exit_code == 0
+        assert "fixed 8-bit" in capsys.readouterr().out
+
+    def test_fp32_strategy(self, capsys):
+        exit_code = cli.run_train(["--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"])
+        assert exit_code == 0
+        assert "energy=1.000x fp32" in capsys.readouterr().out
+
+    def test_table1_method_strategy(self, capsys):
+        exit_code = cli.run_train(
+            ["--scale", "smoke", "--strategy", "wage", "--epochs", "1", "--quiet", "--optimizer", "sgd"]
+        )
+        assert exit_code == 0
+        assert "wage" in capsys.readouterr().out
+
+    def test_per_epoch_log_printed_without_quiet(self, capsys):
+        cli.run_train(["--scale", "smoke", "--strategy", "fp32", "--epochs", "2"])
+        out = capsys.readouterr().out
+        assert "epoch   0" in out and "epoch   1" in out
+
+    def test_history_and_checkpoint_written(self, tmp_path, capsys):
+        history_path = tmp_path / "history.json"
+        checkpoint_path = tmp_path / "model.npz"
+        exit_code = cli.run_train(
+            [
+                "--scale", "smoke", "--strategy", "apt", "--epochs", "2", "--quiet",
+                "--history-out", str(history_path),
+                "--checkpoint-out", str(checkpoint_path),
+            ]
+        )
+        assert exit_code == 0
+        assert history_path.exists()
+        payload = json.loads(history_path.read_text())
+        assert payload["strategy"] == "apt"
+        assert checkpoint_path.exists()
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.run_train(["--scale", "galactic"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.run_train(["--strategy", "alchemy"])
+
+
+class TestExperimentCommand:
+    def test_fig1_prints_rows(self, capsys):
+        exit_code = cli.run_experiment(["fig1", "--scale", "smoke", "--epochs", "2"])
+        assert exit_code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_table1_json_output(self, tmp_path, capsys):
+        json_path = tmp_path / "table1.json"
+        exit_code = cli.run_experiment(
+            ["table1", "--scale", "smoke", "--epochs", "1", "--json-out", str(json_path)]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        methods = {row["method"] for row in payload["rows"]}
+        assert "apt" in methods
+
+    def test_fig5_json_output(self, tmp_path, capsys):
+        json_path = tmp_path / "fig5.json"
+        exit_code = cli.run_experiment(
+            ["fig5", "--scale", "smoke", "--epochs", "1", "--json-out", str(json_path)]
+        )
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert len(payload["points"]) > 0
+
+    def test_tune_tmin_command(self, capsys):
+        exit_code = cli.run_experiment(["tune-tmin", "--scale", "smoke", "--epochs", "1"])
+        assert exit_code == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_schedules_command(self, capsys):
+        exit_code = cli.run_experiment(["schedules", "--scale", "smoke", "--epochs", "1"])
+        assert exit_code == 0
+        assert "open-loop" in capsys.readouterr().out
+
+    def test_report_command_writes_markdown(self, tmp_path, capsys):
+        markdown_path = tmp_path / "report.md"
+        exit_code = cli.run_experiment(
+            ["report", "--scale", "smoke", "--markdown-out", str(markdown_path)]
+        )
+        assert exit_code == 0
+        text = markdown_path.read_text()
+        assert text.startswith("# APT reproduction report")
+        assert "## Table I" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.run_experiment(["fig9", "--scale", "smoke"])
+
+
+class TestMainDispatch:
+    def test_train_dispatch(self, capsys):
+        assert cli.main(["train", "--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"]) == 0
+
+    def test_experiment_dispatch(self, capsys):
+        assert cli.main(["experiment", "fig3", "--scale", "smoke", "--epochs", "1"]) == 0
+
+    def test_help(self, capsys):
+        assert cli.main([]) == 0
+        assert "repro-train" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert cli.main(["deploy"]) == 2

@@ -1,0 +1,157 @@
+"""Metrics, history bookkeeping and callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.train import (
+    EarlyStopOnAccuracy,
+    EpochLogger,
+    EpochRecord,
+    RunningAverage,
+    TrainingHistory,
+    accuracy,
+    top_k_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_none_correct(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros(2))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4], [0.9, 0.05, 0.05]])
+        assert top_k_accuracy(logits, np.array([2, 1]), k=1) == 0.0
+        assert top_k_accuracy(logits, np.array([2, 1]), k=2) == 0.5
+        assert top_k_accuracy(logits, np.array([2, 1]), k=3) == 1.0
+
+    def test_top_k_clamps_to_classes(self):
+        logits = np.array([[0.3, 0.7]])
+        assert top_k_accuracy(logits, np.array([0]), k=10) == 1.0
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 2)), np.zeros(2), k=0)
+
+
+class TestRunningAverage:
+    def test_weighted_mean(self):
+        average = RunningAverage()
+        average.update(1.0, weight=1)
+        average.update(3.0, weight=3)
+        assert average.value == pytest.approx(2.5)
+
+    def test_empty_is_none(self):
+        assert RunningAverage().value is None
+
+    def test_reset(self):
+        average = RunningAverage()
+        average.update(5.0)
+        average.reset()
+        assert average.value is None
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RunningAverage().update(1.0, weight=-1)
+
+
+def _record(epoch, acc, energy=0.0, cumulative=0.0, memory=0):
+    return EpochRecord(
+        epoch=epoch,
+        train_loss=1.0 / (epoch + 1),
+        train_accuracy=acc,
+        test_accuracy=acc,
+        learning_rate=0.1,
+        energy_pj=energy,
+        cumulative_energy_pj=cumulative,
+        memory_bits=memory,
+    )
+
+
+class TestTrainingHistory:
+    def test_curves(self):
+        history = TrainingHistory("test")
+        for epoch, acc in enumerate([0.3, 0.6, 0.9]):
+            history.append(_record(epoch, acc, energy=10, cumulative=10 * (epoch + 1)))
+        assert history.epochs == [0, 1, 2]
+        assert history.test_accuracy_curve == [0.3, 0.6, 0.9]
+        assert history.cumulative_energy_curve == [10, 20, 30]
+        assert len(history) == 3
+
+    def test_best_and_final(self):
+        history = TrainingHistory("test")
+        for epoch, acc in enumerate([0.3, 0.9, 0.7]):
+            history.append(_record(epoch, acc))
+        assert history.best_test_accuracy == 0.9
+        assert history.final_test_accuracy == 0.7
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            _ = TrainingHistory("test").best_test_accuracy
+
+    def test_epochs_and_energy_to_reach(self):
+        history = TrainingHistory("test")
+        for epoch, acc in enumerate([0.3, 0.6, 0.9]):
+            history.append(_record(epoch, acc, cumulative=100.0 * (epoch + 1)))
+        assert history.epochs_to_reach(0.6) == 1
+        assert history.energy_to_reach(0.6) == pytest.approx(200.0)
+        assert history.epochs_to_reach(0.99) is None
+        assert history.energy_to_reach(0.99) is None
+
+    def test_peak_memory(self):
+        history = TrainingHistory("test")
+        history.append(_record(0, 0.5, memory=100))
+        history.append(_record(1, 0.6, memory=300))
+        history.append(_record(2, 0.7, memory=200))
+        assert history.peak_memory_bits == 300
+
+    def test_to_dict_round_trip_fields(self):
+        history = TrainingHistory("apt")
+        history.append(_record(0, 0.5))
+        payload = history.to_dict()
+        assert payload["strategy"] == "apt"
+        assert payload["records"][0]["test_accuracy"] == 0.5
+
+
+class TestCallbacks:
+    def test_early_stop_triggers_once(self):
+        callback = EarlyStopOnAccuracy(0.8)
+        assert not callback.should_stop(None, _record(0, 0.5))
+        assert callback.should_stop(None, _record(1, 0.85))
+        assert callback.reached_at == 1
+        # Further records do not re-trigger.
+        assert not callback.should_stop(None, _record(2, 0.9))
+
+    def test_early_stop_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopOnAccuracy(0.0)
+        with pytest.raises(ValueError):
+            EarlyStopOnAccuracy(1.5)
+
+    def test_epoch_logger_prints(self, capsys):
+        logger = EpochLogger(every=2)
+        logger.on_epoch_end(None, _record(0, 0.5))
+        logger.on_epoch_end(None, _record(1, 0.6))
+        logger.on_epoch_end(None, _record(2, 0.7))
+        out = capsys.readouterr().out
+        assert "epoch   0" in out
+        assert "epoch   1" not in out
+        assert "epoch   2" in out
+
+    def test_epoch_logger_validation(self):
+        with pytest.raises(ValueError):
+            EpochLogger(every=0)

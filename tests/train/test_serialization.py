@@ -1,0 +1,124 @@
+"""Saving / loading histories, JSON payloads and model checkpoints."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import MLP, TinyConvNet
+from repro.train import (
+    EpochRecord,
+    TrainingHistory,
+    dump_json,
+    load_checkpoint,
+    load_history,
+    load_json,
+    save_checkpoint,
+    save_history,
+)
+from repro.tensor import Tensor
+
+
+def _history(n=3):
+    history = TrainingHistory("apt")
+    for epoch in range(n):
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                train_loss=1.0 - 0.2 * epoch,
+                train_accuracy=0.5 + 0.1 * epoch,
+                test_accuracy=0.4 + 0.1 * epoch,
+                learning_rate=0.1,
+                energy_pj=float(np.float64(123.5)),
+                cumulative_energy_pj=123.5 * (epoch + 1),
+                memory_bits=1000 + epoch,
+                average_bits=6.0 + epoch,
+                extra={"layer_bits": {"w": 6 + epoch}},
+            )
+        )
+    return history
+
+
+class TestJson:
+    def test_round_trip_basic_types(self, tmp_path):
+        payload = {"a": 1, "b": [1.5, "x"], "c": {"nested": True}}
+        path = dump_json(payload, tmp_path / "out.json")
+        assert load_json(path) == payload
+
+    def test_numpy_scalars_converted(self, tmp_path):
+        payload = {"i": np.int64(3), "f": np.float32(1.5), "arr": np.arange(3)}
+        loaded = load_json(dump_json(payload, tmp_path / "np.json"))
+        assert loaded == {"i": 3, "f": 1.5, "arr": [0, 1, 2]}
+
+    def test_infinities_encoded_as_strings(self, tmp_path):
+        loaded = load_json(dump_json({"t_max": math.inf, "neg": -math.inf}, tmp_path / "inf.json"))
+        assert loaded == {"t_max": "Infinity", "neg": "-Infinity"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = dump_json({"x": 1}, tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()
+
+
+class TestHistoryRoundTrip:
+    def test_round_trip(self, tmp_path):
+        history = _history()
+        path = save_history(history, tmp_path / "history.json")
+        loaded = load_history(path)
+        assert loaded.strategy_name == "apt"
+        assert len(loaded) == len(history)
+        assert loaded.test_accuracy_curve == history.test_accuracy_curve
+        assert loaded.records[0].extra["layer_bits"]["w"] == 6
+
+    def test_derived_quantities_preserved(self, tmp_path):
+        history = _history(4)
+        loaded = load_history(save_history(history, tmp_path / "h.json"))
+        assert loaded.best_test_accuracy == pytest.approx(history.best_test_accuracy)
+        assert loaded.total_energy_pj == pytest.approx(history.total_energy_pj)
+        assert loaded.epochs_to_reach(0.55) == history.epochs_to_reach(0.55)
+
+
+class TestCheckpoint:
+    def test_round_trip_restores_weights(self, tmp_path, rng):
+        model = MLP(in_features=6, num_classes=3, hidden=(8,), rng=rng)
+        reference = {name: p.data.copy() for name, p in model.named_parameters()}
+        path = save_checkpoint(model, tmp_path / "model.npz", bitwidths={"body.0.weight": 6})
+
+        fresh = MLP(in_features=6, num_classes=3, hidden=(8,), rng=np.random.default_rng(999))
+        header = load_checkpoint(fresh, path)
+        for name, param in fresh.named_parameters():
+            np.testing.assert_array_equal(param.data, reference[name])
+        assert header["bitwidths"] == {"body.0.weight": 6}
+
+    def test_metadata_round_trip(self, tmp_path, rng):
+        model = MLP(in_features=4, num_classes=2, rng=rng)
+        path = save_checkpoint(
+            model, tmp_path / "ckpt", metadata={"accuracy": 0.93, "strategy": "apt"}
+        )
+        header = load_checkpoint(model, path)
+        assert header["metadata"]["strategy"] == "apt"
+        assert header["metadata"]["accuracy"] == pytest.approx(0.93)
+
+    def test_buffers_restored(self, tmp_path, rng):
+        model = TinyConvNet(in_channels=1, num_classes=3, width=4, rng=rng)
+        model(Tensor(rng.normal(size=(4, 1, 8, 8))))  # populate BN running stats
+        reference = dict(model.named_buffers())
+        path = save_checkpoint(model, tmp_path / "conv.npz")
+
+        fresh = TinyConvNet(in_channels=1, num_classes=3, width=4, rng=np.random.default_rng(5))
+        load_checkpoint(fresh, path)
+        for name, buffer in fresh.named_buffers():
+            np.testing.assert_allclose(buffer, reference[name])
+
+    def test_load_accepts_path_without_suffix(self, tmp_path, rng):
+        model = MLP(in_features=4, num_classes=2, rng=rng)
+        save_checkpoint(model, tmp_path / "plain")
+        load_checkpoint(model, tmp_path / "plain")
+
+    def test_restored_model_predictions_identical(self, tmp_path, rng):
+        model = MLP(in_features=5, num_classes=3, hidden=(7,), rng=rng)
+        inputs = Tensor(rng.normal(size=(4, 5)))
+        expected = model(inputs).data
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        fresh = MLP(in_features=5, num_classes=3, hidden=(7,), rng=np.random.default_rng(77))
+        load_checkpoint(fresh, path)
+        np.testing.assert_allclose(fresh(inputs).data, expected)

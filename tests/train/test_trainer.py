@@ -1,0 +1,115 @@
+"""The shared training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_blobs
+from repro.hardware import EnergyMeter, TrainingMemoryModel, profile_model
+from repro.models import MLP
+from repro.optim import SGD, MultiStepLR
+from repro.train import EarlyStopOnAccuracy, FP32Strategy, Trainer, TrainerConfig
+from repro.baselines import FixedPrecisionStrategy
+
+
+@pytest.fixture
+def task():
+    train_set, test_set = make_blobs(num_classes=3, samples_per_class=40, features=6, seed=7)
+    train_loader = DataLoader(train_set, batch_size=24, rng=np.random.default_rng(2))
+    test_loader = DataLoader(test_set, batch_size=64, shuffle=False)
+    return train_loader, test_loader
+
+
+def _build_trainer(task, strategy=None, with_meters=False, callbacks=(), config=None, seed=0):
+    train_loader, test_loader = task
+    model = MLP(in_features=6, num_classes=3, hidden=(16,), rng=np.random.default_rng(seed))
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-4)
+    kwargs = {}
+    if with_meters:
+        profile = profile_model(model, (6,))
+        kwargs["energy_meter"] = EnergyMeter(profile)
+        kwargs["memory_model"] = TrainingMemoryModel()
+    return Trainer(
+        model,
+        optimizer,
+        train_loader,
+        test_loader,
+        strategy=strategy,
+        scheduler=MultiStepLR(optimizer, milestones=[3]),
+        callbacks=list(callbacks),
+        config=config,
+        **kwargs,
+    )
+
+
+class TestTrainingLoop:
+    def test_fp32_learns_blobs(self, task):
+        history = _build_trainer(task).fit(5)
+        assert history.final_test_accuracy > 0.9
+        assert len(history) == 5
+        assert history.strategy_name == "fp32"
+
+    def test_loss_decreases(self, task):
+        history = _build_trainer(task).fit(5)
+        assert history.records[-1].train_loss < history.records[0].train_loss
+
+    def test_learning_rate_schedule_recorded(self, task):
+        history = _build_trainer(task).fit(5)
+        assert history.records[0].learning_rate == pytest.approx(0.05)
+        assert history.records[4].learning_rate == pytest.approx(0.005)
+
+    def test_evaluate_returns_accuracy(self, task):
+        trainer = _build_trainer(task)
+        trainer.fit(3)
+        assert 0.0 <= trainer.evaluate() <= 1.0
+
+    def test_early_stopping(self, task):
+        callback = EarlyStopOnAccuracy(0.6)
+        history = _build_trainer(task, callbacks=[callback]).fit(10)
+        assert len(history) < 10
+        assert callback.reached_at is not None
+
+    def test_evaluate_every(self, task):
+        config = TrainerConfig(epochs=4, evaluate_every=2)
+        history = _build_trainer(task, config=config).fit(4)
+        # Epoch 1 reuses epoch 0's accuracy instead of re-evaluating.
+        assert history.records[1].test_accuracy == history.records[0].test_accuracy
+
+    def test_trainer_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(evaluate_every=0)
+
+
+class TestResourceAccounting:
+    def test_energy_and_memory_recorded(self, task):
+        history = _build_trainer(task, with_meters=True).fit(3)
+        assert history.total_energy_pj > 0
+        assert history.records[0].cumulative_energy_pj == pytest.approx(history.records[0].energy_pj)
+        assert history.records[-1].cumulative_energy_pj == pytest.approx(history.total_energy_pj)
+        assert history.peak_memory_bits > 0
+
+    def test_fp32_average_bits_is_32(self, task):
+        history = _build_trainer(task, with_meters=True).fit(2)
+        assert history.records[-1].average_bits == 32.0
+
+    def test_fixed_precision_average_bits(self, task):
+        history = _build_trainer(task, strategy=FixedPrecisionStrategy(8), with_meters=True).fit(2)
+        assert history.records[-1].average_bits == pytest.approx(8.0)
+
+    def test_quantised_strategy_uses_less_energy(self, task):
+        fp32 = _build_trainer(task, with_meters=True, seed=1).fit(3)
+        fixed = _build_trainer(task, strategy=FixedPrecisionStrategy(8), with_meters=True, seed=1).fit(3)
+        assert fixed.total_energy_pj < fp32.total_energy_pj
+
+    def test_layer_bits_recorded_in_extras(self, task):
+        history = _build_trainer(task, strategy=FixedPrecisionStrategy(8), with_meters=True).fit(2)
+        assert "layer_bits" in history.records[-1].extra
+        assert all(bits == 8 for bits in history.records[-1].extra["layer_bits"].values())
+
+    def test_strategy_update_hook_installed(self, task):
+        trainer = _build_trainer(task, strategy=FixedPrecisionStrategy(6))
+        trainer.fit(1)
+        from repro.baselines.fixed_precision import _FixedQuantisedUpdateHook
+
+        assert isinstance(trainer.optimizer.update_hook, _FixedQuantisedUpdateHook)
