@@ -16,22 +16,27 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
     Regenerate one of the paper's figures / tables (or the ablations, or the
     automatic T_min search) and print its rows, optionally as JSON.
 
+    Sweeps run through the experiment orchestrator: ``--workers N`` fans the
+    independent training jobs of a figure/table out over N processes, and
+    ``--cache-dir DIR`` memoises completed runs on disk so re-running an
+    experiment (or another experiment sharing jobs with it) retrains nothing.
+
     .. code-block:: bash
 
         repro-experiment fig2 --scale bench
         repro-experiment table1 --scale bench --json-out table1.json
+        repro-experiment table1 --scale bench --workers 4 --cache-dir .repro-cache
         repro-experiment tune-tmin --scale smoke
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional, Sequence
 
-from repro.baselines import FixedPrecisionStrategy, TABLE1_METHODS, build_table1_strategy
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
+from repro.baselines import TABLE1_METHODS
 from repro.experiments import (
     build_workload,
     get_scale,
@@ -44,9 +49,9 @@ from repro.experiments import (
     run_strategy,
     run_table1,
 )
+from repro.experiments.orchestrator import build_strategy
 from repro.experiments.scales import SCALES
 from repro.train.serialization import dump_json, save_checkpoint, save_history
-from repro.train.strategy import FP32Strategy
 
 
 def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
@@ -58,22 +63,24 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_strategy(args: argparse.Namespace):
-    if args.strategy == "fp32":
-        return FP32Strategy()
+def _strategy_params(args: argparse.Namespace) -> dict:
+    """Map repro-train flags onto the orchestrator's strategy-param schema."""
     if args.strategy == "fixed":
-        return FixedPrecisionStrategy(args.bits, master_copy=args.master_copy)
+        return {"bits": args.bits, "master_copy": args.master_copy}
     if args.strategy == "apt":
-        config = APTConfig(
-            initial_bits=args.initial_bits,
-            t_min=args.t_min,
-            t_max=args.t_max if args.t_max is not None else float("inf"),
-            metric_interval=args.metric_interval,
-        )
-        return APTStrategy(config)
-    if args.strategy in TABLE1_METHODS:
-        return build_table1_strategy(args.strategy)
-    raise ValueError(f"unknown strategy {args.strategy!r}")
+        return {
+            "initial_bits": args.initial_bits,
+            "t_min": args.t_min,
+            "t_max": args.t_max if args.t_max is not None else math.inf,
+            "metric_interval": args.metric_interval,
+        }
+    return {}
+
+
+def _build_strategy(args: argparse.Namespace):
+    # One strategy factory for the whole codebase: repro-train builds its
+    # strategy exactly as an orchestrator worker would build a RunSpec's.
+    return build_strategy(args.strategy, _strategy_params(args))
 
 
 # --------------------------------------------------------------------------- #
@@ -122,6 +129,7 @@ def run_train(argv: Optional[Sequence[str]] = None) -> int:
         epochs=args.epochs,
         seed=args.seed,
         optimizer_name=args.optimizer,
+        keep_trainer=bool(args.checkpoint_out),
     )
     history = result.history
 
@@ -171,6 +179,22 @@ def build_experiment_parser() -> argparse.ArgumentParser:
     _add_scale_argument(parser)
     parser.add_argument("--epochs", type=int, default=None, help="override the scale's epoch count")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="fan the experiment's training jobs out over N worker processes (default 1: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist/reuse run results in this directory (keyed by content hash)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the result cache even if --cache-dir is set",
+    )
     parser.add_argument("--json-out", default=None, help="also write the result as JSON here")
     parser.add_argument(
         "--markdown-out", default=None, help="for 'report': write the markdown document here"
@@ -178,29 +202,47 @@ def build_experiment_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(name: str, scale, epochs, seed):
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
+
+
+def _progress_printer(event) -> None:
+    """One stderr line per resolved training job (cache hit or fresh run)."""
+    timing = f" ({event.duration_s:.1f}s)" if event.duration_s else ""
+    print(
+        f"[{event.sequence}/{event.total}] {event.status:<9s} {event.spec.describe()}{timing}",
+        file=sys.stderr,
+    )
+
+
+def _run_experiment(name: str, scale, epochs, seed, orchestration):
     if name == "fig1":
-        result = run_fig1(scale, epochs=epochs, seed=seed)
+        result = run_fig1(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "fig2":
-        result = run_fig2(scale, epochs=epochs, seed=seed)
+        result = run_fig2(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "fig3":
-        result = run_fig3(scale, epochs=epochs, seed=seed)
+        result = run_fig3(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "fig4":
-        result = run_fig4(scale, epochs=epochs, seed=seed)
+        result = run_fig4(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "fig5":
-        result = run_fig5(scale, epochs=epochs, seed=seed)
+        result = run_fig5(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "table1":
-        result = run_table1(scale, epochs=epochs, seed=seed)
+        result = run_table1(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "ablations":
-        result = run_ablations(scale, epochs=epochs, seed=seed)
+        result = run_ablations(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "schedules":
         from repro.experiments import run_schedule_comparison
 
-        result = run_schedule_comparison(scale, epochs=epochs, seed=seed)
+        result = run_schedule_comparison(scale, epochs=epochs, seed=seed, **orchestration)
     elif name == "report":
         from repro.experiments.report import generate_report
 
-        result = generate_report(scale, seed=seed)
+        # The report runner has no epochs override (each figure uses the
+        # scale's own epoch count) but takes the same orchestration settings.
+        result = generate_report(scale, seed=seed, **orchestration)
     elif name == "tune-tmin":
         from repro.core.autotune import tune_t_min
 
@@ -239,7 +281,27 @@ def _result_payload(name: str, result) -> dict:
 def run_experiment(argv: Optional[Sequence[str]] = None) -> int:
     args = build_experiment_parser().parse_args(argv)
     scale = get_scale(args.scale)
-    result = _run_experiment(args.experiment, scale, args.epochs, args.seed)
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        cache_path = Path(args.cache_dir)
+        # Fail before training, not when the first result is stored.
+        if cache_path.exists() and not cache_path.is_dir():
+            print(f"--cache-dir {args.cache_dir!r} exists and is not a directory", file=sys.stderr)
+            return 2
+    if args.experiment == "tune-tmin" and (args.workers > 1 or args.cache_dir):
+        print(
+            "note: tune-tmin runs its own adaptive search; "
+            "--workers/--cache-dir are ignored for it",
+            file=sys.stderr,
+        )
+    orchestration = {
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "use_cache": not args.no_cache,
+        "progress": _progress_printer,
+    }
+    result = _run_experiment(args.experiment, scale, args.epochs, args.seed, orchestration)
 
     if args.experiment == "report":
         markdown = result.to_markdown()

@@ -17,6 +17,14 @@ See DESIGN.md section 4 for the experiment index.
 from repro.experiments.scales import ExperimentScale, SCALES, get_scale
 from repro.experiments.workload import Workload, build_workload
 from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    RunEvent,
+    RunSpec,
+    execute_spec,
+    execute_specs,
+)
 from repro.experiments.fig1_gavg_dynamics import Fig1Result, run_fig1
 from repro.experiments.fig2_training_curves import Fig2Result, run_fig2
 from repro.experiments.fig3_bitwidth_trajectory import Fig3Result, run_fig3
@@ -37,6 +45,12 @@ __all__ = [
     "build_workload",
     "StrategyRunResult",
     "run_strategy",
+    "Orchestrator",
+    "ResultStore",
+    "RunEvent",
+    "RunSpec",
+    "execute_spec",
+    "execute_specs",
     "Fig1Result",
     "run_fig1",
     "Fig2Result",

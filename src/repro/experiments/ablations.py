@@ -21,11 +21,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
 
 
 @dataclass
@@ -83,39 +86,54 @@ def run_ablations(
     initial_bits_grid: Sequence[int] = (4, 6, 8),
     metric_intervals: Sequence[int] = (2, 8),
     t_min: float = 6.0,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> AblationResult:
     """Run the four ablation studies at the given scale."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
-    result = AblationResult()
 
-    # 1. Initial bitwidth insensitivity.
+    def apt_spec(setting: str, **params: object) -> RunSpec:
+        merged = {"t_min": t_min, "metric_interval": scale.metric_interval, **params}
+        return RunSpec(
+            scale=scale,
+            strategy_kind="apt",
+            strategy_params=merged,
+            seed=seed,
+            epochs=epochs,
+            label=setting,
+        )
+
+    # (study, setting, spec) for every configuration; all independent, so
+    # the whole ablation grid fans out in one batch.
+    jobs = []
     for bits in initial_bits_grid:
-        config = APTConfig(initial_bits=bits, t_min=t_min, metric_interval=scale.metric_interval)
-        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
-        _record(result, "initial_bits", f"init={bits}", run)
-
-    # 2. Finite vs infinite T_max.
+        jobs.append(("initial_bits", f"init={bits}", apt_spec(f"init={bits}", initial_bits=bits)))
     for t_max, label in ((math.inf, "T_max=inf"), (max(t_min * 10, 50.0), "T_max=finite")):
-        config = APTConfig(
-            initial_bits=6, t_min=t_min, t_max=t_max, metric_interval=scale.metric_interval
-        )
-        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
-        _record(result, "t_max", label, run)
-
-    # 3. Gavg sampling interval.
+        jobs.append(("t_max", label, apt_spec(label, initial_bits=6, t_max=t_max)))
     for interval in metric_intervals:
-        config = APTConfig(initial_bits=6, t_min=t_min, metric_interval=interval)
-        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
-        _record(result, "metric_interval", f"interval={interval}", run)
-
-    # 4. Layer-wise vs model-wide adjustment step size (bits_step models an
-    #    aggressive global-style policy that moves every layer faster).
-    for step, label in ((1, "step=1 (paper)"), (2, "step=2")):
-        config = APTConfig(
-            initial_bits=6, t_min=t_min, bits_step=step, metric_interval=scale.metric_interval
+        jobs.append(
+            (
+                "metric_interval",
+                f"interval={interval}",
+                apt_spec(f"interval={interval}", initial_bits=6, metric_interval=interval),
+            )
         )
-        run = run_strategy(workload, APTStrategy(config), epochs=epochs, seed=seed)
-        _record(result, "bits_step", label, run)
+    # bits_step models an aggressive global-style policy that moves every
+    # layer faster than the paper's one-bit-per-epoch rule.
+    for step, label in ((1, "step=1 (paper)"), (2, "step=2")):
+        jobs.append(("bits_step", label, apt_spec(label, initial_bits=6, bits_step=step)))
 
+    results = execute_specs(
+        [spec for _, _, spec in jobs],
+        workers=workers,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+
+    result = AblationResult()
+    for (study, setting, _), run in zip(jobs, results):
+        _record(result, study, setting, run)
     return result

@@ -19,11 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
 
 
 @dataclass
@@ -59,21 +62,31 @@ def run_fig1(
     t_min: float = 1.0,
     epochs: Optional[int] = None,
     seed: int = 0,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig1Result:
     """Reproduce Figure 1 at the given workload scale."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
-    config = APTConfig(
-        initial_bits=6,
-        t_min=t_min,
-        metric_interval=scale.metric_interval,
+    spec = RunSpec(
+        scale=scale,
+        strategy_kind="apt",
+        strategy_params={
+            "initial_bits": 6,
+            "t_min": t_min,
+            "metric_interval": scale.metric_interval,
+        },
+        seed=seed,
+        epochs=epochs,
+        label="apt",
     )
-    strategy = APTStrategy(config)
-    run = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+    (run,) = execute_specs(
+        [spec], workers=workers, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
 
-    controller = strategy.controller
-    gavg_by_layer = controller.gavg_history()
-    bits_by_layer = controller.bits_history()
+    gavg_by_layer = run.gavg_by_layer
+    bits_by_layer = run.bits_by_layer
 
     def first_value(values: List[Optional[float]]) -> float:
         for value in values:

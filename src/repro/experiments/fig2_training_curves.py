@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.fixed_precision import FixedPrecisionStrategy
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
-from repro.train.strategy import FP32Strategy
 
 
 @dataclass
@@ -53,6 +54,10 @@ def run_fig2(
     mid_bits: int = 16,
     t_min: float = 6.0,
     initial_bits: int = 6,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig2Result:
     """Reproduce Figure 2 (training curves of the four methods).
 
@@ -62,20 +67,44 @@ def run_fig2(
     scales whose weight ranges are narrower).
     """
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
 
-    strategies = {
-        "fp32": FP32Strategy(),
-        f"{mid_bits}-bit": FixedPrecisionStrategy(mid_bits),
-        f"{low_bits}-bit": FixedPrecisionStrategy(low_bits),
-        "apt": APTStrategy(
-            APTConfig(initial_bits=initial_bits, t_min=t_min, metric_interval=scale.metric_interval)
+    specs = [
+        RunSpec(scale=scale, strategy_kind="fp32", seed=seed, epochs=epochs, label="fp32"),
+        RunSpec(
+            scale=scale,
+            strategy_kind="fixed",
+            strategy_params={"bits": mid_bits},
+            seed=seed,
+            epochs=epochs,
+            label=f"{mid_bits}-bit",
         ),
+        RunSpec(
+            scale=scale,
+            strategy_kind="fixed",
+            strategy_params={"bits": low_bits},
+            seed=seed,
+            epochs=epochs,
+            label=f"{low_bits}-bit",
+        ),
+        RunSpec(
+            scale=scale,
+            strategy_kind="apt",
+            strategy_params={
+                "initial_bits": initial_bits,
+                "t_min": t_min,
+                "metric_interval": scale.metric_interval,
+            },
+            seed=seed,
+            epochs=epochs,
+            label="apt",
+        ),
+    ]
+    results = execute_specs(
+        specs, workers=workers, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
+    runs: Dict[str, StrategyRunResult] = {
+        spec.label: result for spec, result in zip(specs, results)
     }
-
-    runs: Dict[str, StrategyRunResult] = {}
-    for name, strategy in strategies.items():
-        runs[name] = run_strategy(workload, strategy, epochs=epochs, seed=seed)
 
     curves = {name: run.history.test_accuracy_curve for name, run in runs.items()}
     return Fig2Result(

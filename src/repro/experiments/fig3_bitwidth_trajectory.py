@@ -11,11 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
 
 
 @dataclass
@@ -49,15 +52,30 @@ def run_fig3(
     num_layers_to_plot: int = 4,
     t_min: float = 6.0,
     initial_bits: int = 6,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig3Result:
     """Reproduce Figure 3 (bitwidth trajectories of representative layers)."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
-    config = APTConfig(initial_bits=initial_bits, t_min=t_min, metric_interval=scale.metric_interval)
-    strategy = APTStrategy(config)
-    run = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+    spec = RunSpec(
+        scale=scale,
+        strategy_kind="apt",
+        strategy_params={
+            "initial_bits": initial_bits,
+            "t_min": t_min,
+            "metric_interval": scale.metric_interval,
+        },
+        seed=seed,
+        epochs=epochs,
+        label="apt",
+    )
+    (run,) = execute_specs(
+        [spec], workers=workers, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
 
-    bits_by_layer = strategy.controller.bits_history()
+    bits_by_layer = run.bits_by_layer
     names = list(bits_by_layer)
     # Representative selection: first layer, last layer, and evenly spaced
     # interior layers (the paper picks four layers including first and last).

@@ -20,13 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.fixed_precision import FixedPrecisionStrategy
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, fp32_reference_energy, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult, fp32_reference_energy
 from repro.experiments.scales import ExperimentScale, get_scale
 from repro.experiments.workload import build_workload
-from repro.train.strategy import FP32Strategy
 
 
 @dataclass
@@ -64,22 +66,48 @@ def run_fig4(
     fixed_bitwidths: Sequence[int] = (8, 12, 16),
     num_targets: int = 4,
     t_min: float = 6.0,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig4Result:
     """Reproduce Figure 4 (energy to reach target accuracies)."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
     epochs = epochs if epochs is not None else scale.epochs
 
-    strategies = {"fp32": FP32Strategy()}
+    specs = [RunSpec(scale=scale, strategy_kind="fp32", seed=seed, epochs=epochs, label="fp32")]
     for bits in fixed_bitwidths:
-        strategies[f"{bits}-bit"] = FixedPrecisionStrategy(bits)
-    strategies["apt"] = APTStrategy(
-        APTConfig(initial_bits=6, t_min=t_min, metric_interval=scale.metric_interval)
+        specs.append(
+            RunSpec(
+                scale=scale,
+                strategy_kind="fixed",
+                strategy_params={"bits": bits},
+                seed=seed,
+                epochs=epochs,
+                label=f"{bits}-bit",
+            )
+        )
+    specs.append(
+        RunSpec(
+            scale=scale,
+            strategy_kind="apt",
+            strategy_params={
+                "initial_bits": 6,
+                "t_min": t_min,
+                "metric_interval": scale.metric_interval,
+            },
+            seed=seed,
+            epochs=epochs,
+            label="apt",
+        )
     )
-
-    runs: Dict[str, StrategyRunResult] = {}
-    for name, strategy in strategies.items():
-        runs[name] = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+    results = execute_specs(
+        specs, workers=workers, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
+    runs: Dict[str, StrategyRunResult] = {
+        spec.label: result for spec, result in zip(specs, results)
+    }
+    workload = build_workload(scale)
 
     # Accuracy targets: evenly spaced between ~70% and ~100% of the best
     # accuracy the fp32 run achieved (the paper uses 91%..92% absolute).  The

@@ -16,11 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
 
 
 @dataclass
@@ -64,21 +67,36 @@ def run_fig5(
     seed: int = 0,
     thresholds: Sequence[float] = (0.1, 0.5, 1.0, 6.0, 20.0, 100.0),
     initial_bits: int = 6,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig5Result:
     """Reproduce Figure 5 (the T_min trade-off sweep)."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
+
+    specs = [
+        RunSpec(
+            scale=scale,
+            strategy_kind="apt",
+            strategy_params={
+                "initial_bits": initial_bits,
+                "t_min": float(t_min),
+                "metric_interval": scale.metric_interval,
+            },
+            seed=seed,
+            epochs=epochs,
+            label=f"t_min={float(t_min)}",
+        )
+        for t_min in thresholds
+    ]
+    results = execute_specs(
+        specs, workers=workers, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
 
     points: List[TradeoffPoint] = []
     runs: Dict[float, StrategyRunResult] = {}
-    for t_min in thresholds:
-        config = APTConfig(
-            initial_bits=initial_bits,
-            t_min=float(t_min),
-            metric_interval=scale.metric_interval,
-        )
-        strategy = APTStrategy(config)
-        run = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+    for t_min, run in zip(thresholds, results):
         runs[float(t_min)] = run
         points.append(
             TradeoffPoint(

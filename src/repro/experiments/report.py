@@ -70,12 +70,28 @@ def generate_report(
     include_ablations: bool = True,
     include_schedule_comparison: bool = True,
     include_charts: bool = True,
+    workers: int = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
 ) -> ReproductionReport:
-    """Run every experiment at ``scale`` and assemble the markdown report."""
+    """Run every experiment at ``scale`` and assemble the markdown report.
+
+    ``workers`` / ``cache_dir`` / ``use_cache`` are forwarded to every
+    experiment's orchestrator; with a cache directory the report reuses any
+    runs the individual figure commands already produced (many of the
+    figures share training jobs, so even a cold full report benefits).
+    """
     scale = scale or get_scale("bench")
+    orchestration = {
+        "workers": workers,
+        "cache_dir": cache_dir,
+        "use_cache": use_cache,
+        "progress": progress,
+    }
     report = ReproductionReport(scale_name=scale.name)
 
-    fig1 = run_fig1(scale, seed=seed)
+    fig1 = run_fig1(scale, seed=seed, **orchestration)
     section = ReportSection("Figure 1 - Gavg dynamics (T_min = 1.0)")
     section.body_lines += _code_block(fig1.format_rows())
     if include_charts:
@@ -84,7 +100,7 @@ def generate_report(
         )
     report.sections.append(section)
 
-    fig2 = run_fig2(scale, seed=seed)
+    fig2 = run_fig2(scale, seed=seed, **orchestration)
     section = ReportSection("Figure 2 - training curves")
     section.body_lines += _code_block(fig2.format_rows())
     if include_charts:
@@ -93,12 +109,12 @@ def generate_report(
         )
     report.sections.append(section)
 
-    fig3 = run_fig3(scale, seed=seed)
+    fig3 = run_fig3(scale, seed=seed, **orchestration)
     section = ReportSection("Figure 3 - layer-wise bitwidth trajectories")
     section.body_lines += _code_block(fig3.format_rows())
     report.sections.append(section)
 
-    fig4 = run_fig4(scale, seed=seed)
+    fig4 = run_fig4(scale, seed=seed, **orchestration)
     section = ReportSection("Figure 4 - energy to reach target accuracy")
     section.body_lines += _code_block(fig4.format_rows())
     if include_charts and fig4.targets:
@@ -114,24 +130,24 @@ def generate_report(
             )
     report.sections.append(section)
 
-    fig5 = run_fig5(scale, seed=seed)
+    fig5 = run_fig5(scale, seed=seed, **orchestration)
     section = ReportSection("Figure 5 - T_min trade-off sweep")
     section.body_lines += _code_block(fig5.format_rows())
     report.sections.append(section)
 
-    table1 = run_table1(scale, seed=seed)
+    table1 = run_table1(scale, seed=seed, **orchestration)
     section = ReportSection("Table I - method comparison")
     section.body_lines += table1.to_markdown().splitlines()
     report.sections.append(section)
 
     if include_ablations:
-        ablations = run_ablations(scale, seed=seed)
+        ablations = run_ablations(scale, seed=seed, **orchestration)
         section = ReportSection("Ablations")
         section.body_lines += _code_block(ablations.format_rows())
         report.sections.append(section)
 
     if include_schedule_comparison:
-        schedules = run_schedule_comparison(scale, seed=seed)
+        schedules = run_schedule_comparison(scale, seed=seed, **orchestration)
         section = ReportSection("Adaptive vs open-loop schedules")
         section.body_lines += _code_block(schedules.format_rows())
         report.sections.append(section)

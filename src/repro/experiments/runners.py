@@ -1,9 +1,23 @@
-"""Shared strategy runner used by every experiment module."""
+"""Shared strategy runner used by every experiment module.
+
+:func:`run_strategy` trains one precision strategy on one workload and
+returns a :class:`StrategyRunResult`.  The result is a *picklable summary*:
+it carries the training history, the resource totals, and — for adaptive
+strategies — the controller's per-layer Gavg / bitwidth trajectories, but
+**not** the live :class:`~repro.train.trainer.Trainer` (model, loaders,
+optimiser state).  That keeps a sweep's worth of results small enough to
+hold in memory and lets the experiment orchestrator ship results across
+process boundaries and persist them as JSON.
+
+Callers that genuinely need the trained model in-process (the ``repro-train``
+checkpoint path) pass ``keep_trainer=True`` and read the optional
+:attr:`StrategyRunResult.trainer` handle.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +37,12 @@ from repro.train.trainer import Trainer
 
 @dataclass
 class StrategyRunResult:
-    """Everything one training run produces."""
+    """Serialisable summary of one training run.
+
+    Everything except :attr:`trainer` is plain data (floats, ints, lists,
+    dicts, :class:`TrainingHistory`) and survives ``pickle`` and the JSON
+    round-trip of :meth:`to_dict` / :meth:`from_dict`.
+    """
 
     strategy_name: str
     history: TrainingHistory
@@ -37,9 +56,61 @@ class StrategyRunResult:
     normalised_memory: float
     #: Best test accuracy seen during the run.
     best_accuracy: float
-    #: The trainer (kept so callers can inspect strategy state, e.g. the APT
-    #: controller history for Figures 1 and 3).
-    trainer: Trainer
+    #: Human-readable strategy description (``strategy.describe()``).
+    strategy_description: str = ""
+    #: Per-layer smoothed-Gavg trajectories (APT only; Figure 1).
+    gavg_by_layer: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    #: Per-layer bitwidth trajectories (APT only; Figure 3).
+    bits_by_layer: Dict[str, List[int]] = field(default_factory=dict)
+    #: Final stored bitwidth per quantised parameter (checkpoint metadata).
+    weight_bits: Dict[str, int] = field(default_factory=dict)
+    #: The live trainer, populated only on request (``keep_trainer=True``);
+    #: never pickled or serialised with the summary.
+    trainer: Optional[Trainer] = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-python representation for the orchestrator's result store."""
+        return {
+            "strategy_name": self.strategy_name,
+            "strategy_description": self.strategy_description,
+            "history": self.history.to_dict(),
+            "total_energy_pj": self.total_energy_pj,
+            "normalised_energy": self.normalised_energy,
+            "peak_memory_bits": self.peak_memory_bits,
+            "normalised_memory": self.normalised_memory,
+            "best_accuracy": self.best_accuracy,
+            "gavg_by_layer": self.gavg_by_layer,
+            "bits_by_layer": self.bits_by_layer,
+            "weight_bits": self.weight_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StrategyRunResult":
+        """Rebuild a summary written by :meth:`to_dict` (via JSON or not)."""
+        return cls(
+            strategy_name=payload["strategy_name"],
+            history=TrainingHistory.from_dict(payload["history"]),
+            total_energy_pj=float(payload["total_energy_pj"]),
+            normalised_energy=float(payload["normalised_energy"]),
+            peak_memory_bits=int(payload["peak_memory_bits"]),
+            normalised_memory=float(payload["normalised_memory"]),
+            best_accuracy=float(payload["best_accuracy"]),
+            strategy_description=payload.get("strategy_description", ""),
+            gavg_by_layer={
+                # float() also restores the "Infinity"/"NaN" strings a JSON
+                # writer uses for non-finite Gavg samples.
+                name: [None if value is None else float(value) for value in values]
+                for name, values in (payload.get("gavg_by_layer") or {}).items()
+            },
+            bits_by_layer={
+                name: [int(bits) for bits in values]
+                for name, values in (payload.get("bits_by_layer") or {}).items()
+            },
+            weight_bits={
+                name: int(bits)
+                for name, bits in (payload.get("weight_bits") or {}).items()
+            },
+        )
 
 
 def fp32_reference_energy(workload: Workload, epochs: int, energy_model: Optional[EnergyModel] = None) -> float:
@@ -64,8 +135,14 @@ def run_strategy(
     learning_rate: Optional[float] = None,
     callbacks: Sequence[Callback] = (),
     energy_model: Optional[EnergyModel] = None,
+    keep_trainer: bool = False,
 ) -> StrategyRunResult:
-    """Train one strategy on a workload and collect the paper's measurements."""
+    """Train one strategy on a workload and collect the paper's measurements.
+
+    The returned summary drops the trainer (model + loaders + optimiser)
+    unless ``keep_trainer=True``; sweeps that train many strategies would
+    otherwise pin every completed run's model in memory.
+    """
     scale = workload.scale
     epochs = epochs if epochs is not None else scale.epochs
     learning_rate = learning_rate if learning_rate is not None else scale.learning_rate
@@ -102,6 +179,18 @@ def run_strategy(
         model, {name: 32 for name, _ in model.named_parameters()}
     )
     peak_memory = history.peak_memory_bits or fp32_memory
+
+    # Capture the adaptive controller's trajectories (Figures 1 and 3) as
+    # plain data so callers need not retain the strategy or trainer.
+    controller = getattr(strategy, "controller", None)
+    gavg_by_layer: Dict[str, List[Optional[float]]] = {}
+    bits_by_layer: Dict[str, List[int]] = {}
+    if controller is not None:
+        if hasattr(controller, "gavg_history"):
+            gavg_by_layer = controller.gavg_history()
+        if hasattr(controller, "bits_history"):
+            bits_by_layer = controller.bits_history()
+
     return StrategyRunResult(
         strategy_name=strategy.name,
         history=history,
@@ -110,5 +199,9 @@ def run_strategy(
         peak_memory_bits=peak_memory,
         normalised_memory=peak_memory / fp32_memory if fp32_memory else 0.0,
         best_accuracy=history.best_test_accuracy,
-        trainer=trainer,
+        strategy_description=strategy.describe(),
+        gavg_by_layer=gavg_by_layer,
+        bits_by_layer=bits_by_layer,
+        weight_bits=dict(strategy.weight_bits()),
+        trainer=trainer if keep_trainer else None,
     )

@@ -22,14 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.baselines.fixed_precision import FixedPrecisionStrategy
-from repro.baselines.schedules import LinearRampStrategy, StaticMixedPrecisionStrategy
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
-from repro.train.strategy import FP32Strategy
 
 
 @dataclass
@@ -76,34 +76,83 @@ def run_schedule_comparison(
     low_bits: int = 6,
     ramp_end_bits: int = 14,
     t_min: float = 6.0,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> ScheduleComparisonResult:
     """Run the adaptive-vs-open-loop comparison at the given scale."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
     epochs = epochs if epochs is not None else scale.epochs
     ramp_epochs = max(1, int(0.6 * epochs))
 
     policies = {
-        "fp32": (FP32Strategy(), False),
-        f"uniform_{low_bits}bit": (FixedPrecisionStrategy(low_bits), False),
+        "fp32": (RunSpec(scale=scale, strategy_kind="fp32", seed=seed, epochs=epochs, label="fp32"), False),
+        f"uniform_{low_bits}bit": (
+            RunSpec(
+                scale=scale,
+                strategy_kind="fixed",
+                strategy_params={"bits": low_bits},
+                seed=seed,
+                epochs=epochs,
+                label=f"uniform_{low_bits}bit",
+            ),
+            False,
+        ),
         "static_first_last": (
-            StaticMixedPrecisionStrategy.first_last_heavy(edge_bits=ramp_end_bits, interior_bits=low_bits),
+            RunSpec(
+                scale=scale,
+                strategy_kind="static_first_last",
+                strategy_params={"edge_bits": ramp_end_bits, "interior_bits": low_bits},
+                seed=seed,
+                epochs=epochs,
+                label="static_first_last",
+            ),
             False,
         ),
         "linear_ramp": (
-            LinearRampStrategy(start_bits=low_bits, end_bits=ramp_end_bits, ramp_epochs=ramp_epochs),
+            RunSpec(
+                scale=scale,
+                strategy_kind="linear_ramp",
+                strategy_params={
+                    "start_bits": low_bits,
+                    "end_bits": ramp_end_bits,
+                    "ramp_epochs": ramp_epochs,
+                },
+                seed=seed,
+                epochs=epochs,
+                label="linear_ramp",
+            ),
             False,
         ),
         "apt": (
-            APTStrategy(APTConfig(initial_bits=low_bits, t_min=t_min, metric_interval=scale.metric_interval)),
+            RunSpec(
+                scale=scale,
+                strategy_kind="apt",
+                strategy_params={
+                    "initial_bits": low_bits,
+                    "t_min": t_min,
+                    "metric_interval": scale.metric_interval,
+                },
+                seed=seed,
+                epochs=epochs,
+                label="apt",
+            ),
             True,
         ),
     }
 
+    results = execute_specs(
+        [spec for spec, _ in policies.values()],
+        workers=workers,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+    )
+
     rows: List[ScheduleComparisonRow] = []
     runs: Dict[str, StrategyRunResult] = {}
-    for policy, (strategy, adaptive) in policies.items():
-        result = run_strategy(workload, strategy, epochs=epochs, seed=seed)
+    for (policy, (_, adaptive)), result in zip(policies.items(), results):
         runs[policy] = result
         rows.append(
             ScheduleComparisonRow(

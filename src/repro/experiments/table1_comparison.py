@@ -13,12 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.methods import TABLE1_METHODS, build_table1_strategy
-from repro.core.config import APTConfig
-from repro.core.strategy import APTStrategy
-from repro.experiments.runners import StrategyRunResult, run_strategy
+from repro.baselines.methods import TABLE1_METHODS
+from repro.experiments.orchestrator import (
+    PathLike,
+    ProgressCallback,
+    RunSpec,
+    execute_specs,
+)
+from repro.experiments.runners import StrategyRunResult
 from repro.experiments.scales import ExperimentScale, get_scale
-from repro.experiments.workload import build_workload
 
 
 @dataclass
@@ -80,48 +83,61 @@ def run_table1(
     methods: Optional[Sequence[str]] = None,
     include_apt: bool = True,
     t_min: float = 6.0,
+    workers: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Table1Result:
     """Reproduce Table I on one dataset (selected by the scale preset)."""
     scale = scale or get_scale("bench")
-    workload = build_workload(scale)
     method_names = list(methods) if methods is not None else list(TABLE1_METHODS)
+
+    specs: List[RunSpec] = []
+    labels: List[tuple] = []  # (method, bprop label, optimizer label)
+    for name in method_names:
+        _, bprop_label, optimizer_label = TABLE1_METHODS[name]
+        specs.append(
+            RunSpec(
+                scale=scale,
+                strategy_kind=name,
+                seed=seed,
+                epochs=epochs,
+                optimizer=optimizer_label.lower(),
+                label=name,
+            )
+        )
+        labels.append((name, bprop_label, optimizer_label))
+    if include_apt:
+        specs.append(
+            RunSpec(
+                scale=scale,
+                strategy_kind="apt",
+                strategy_params={
+                    "initial_bits": 6,
+                    "t_min": t_min,
+                    "metric_interval": scale.metric_interval,
+                },
+                seed=seed,
+                epochs=epochs,
+                optimizer="sgd",
+                label="apt",
+            )
+        )
+        labels.append(("apt", "Adaptive", "SGD"))
+
+    results = execute_specs(
+        specs, workers=workers, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
 
     rows: List[Table1Row] = []
     runs: Dict[str, StrategyRunResult] = {}
-
-    for name in method_names:
-        strategy = build_table1_strategy(name)
-        _, bprop_label, optimizer_label = TABLE1_METHODS[name]
-        run = run_strategy(
-            workload,
-            strategy,
-            epochs=epochs,
-            seed=seed,
-            optimizer_name=optimizer_label.lower(),
-        )
+    for (name, bprop_label, optimizer_label), run in zip(labels, results):
         runs[name] = run
         rows.append(
             Table1Row(
                 method=name,
                 bprop_precision=bprop_label,
                 optimizer=optimizer_label,
-                accuracy=run.best_accuracy,
-                normalised_memory=run.normalised_memory,
-                normalised_energy=run.normalised_energy,
-            )
-        )
-
-    if include_apt:
-        strategy = APTStrategy(
-            APTConfig(initial_bits=6, t_min=t_min, metric_interval=scale.metric_interval)
-        )
-        run = run_strategy(workload, strategy, epochs=epochs, seed=seed, optimizer_name="sgd")
-        runs["apt"] = run
-        rows.append(
-            Table1Row(
-                method="apt",
-                bprop_precision="Adaptive",
-                optimizer="SGD",
                 accuracy=run.best_accuracy,
                 normalised_memory=run.normalised_memory,
                 normalised_energy=run.normalised_energy,

@@ -9,7 +9,7 @@ target accuracy is first reached (Figure 4), and end-of-run resource totals
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, fields, asdict
 from typing import Dict, List, Optional
 
 
@@ -117,3 +117,34 @@ class TrainingHistory:
             "strategy": self.strategy_name,
             "records": [asdict(record) for record in self.records],
         }
+
+    #: Float fields of EpochRecord; JSON writers encode non-finite values in
+    #: them as the strings "Infinity"/"-Infinity"/"NaN", which must come back
+    #: as floats (a diverged low-bit run legitimately records an inf/NaN loss).
+    _FLOAT_FIELDS = (
+        "train_loss",
+        "train_accuracy",
+        "test_accuracy",
+        "learning_rate",
+        "energy_pj",
+        "cumulative_energy_pj",
+        "average_bits",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrainingHistory":
+        """Rebuild a history written by :meth:`to_dict`.
+
+        Unknown record keys (written by a newer version) are ignored so old
+        code can read new result-store entries.
+        """
+        history = cls(strategy_name=payload["strategy"])
+        field_names = {f.name for f in fields(EpochRecord)}
+        for record in payload["records"]:
+            known = {key: value for key, value in record.items() if key in field_names}
+            for name in cls._FLOAT_FIELDS:
+                if name in known:
+                    # float() parses the "Infinity"/"NaN" spellings directly.
+                    known[name] = float(known[name])
+            history.append(EpochRecord(**known))
+        return history

@@ -25,7 +25,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 import numpy as np
 
 from repro.nn.module import Module
-from repro.train.history import EpochRecord, TrainingHistory
+from repro.train.history import TrainingHistory
 
 PathLike = Union[str, Path]
 
@@ -56,6 +56,10 @@ def _to_jsonable(value: Any) -> Any:
     return value
 
 
+#: Public name for reuse by the experiment orchestrator's result store.
+to_jsonable = _to_jsonable
+
+
 def dump_json(payload: Any, path: PathLike) -> Path:
     """Write any experiment result / history payload as pretty-printed JSON."""
     path = Path(path)
@@ -79,13 +83,7 @@ def save_history(history: TrainingHistory, path: PathLike) -> Path:
 
 def load_history(path: PathLike) -> TrainingHistory:
     """Reconstruct a :class:`TrainingHistory` saved by :func:`save_history`."""
-    payload = load_json(path)
-    history = TrainingHistory(strategy_name=payload["strategy"])
-    field_names = {field.name for field in dataclasses.fields(EpochRecord)}
-    for record in payload["records"]:
-        known = {key: value for key, value in record.items() if key in field_names}
-        history.append(EpochRecord(**known))
-    return history
+    return TrainingHistory.from_dict(load_json(path))
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,316 @@
+"""The experiment orchestrator: spec hashing, result store, fan-out."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    RunSpec,
+    build_strategy,
+    execute_spec,
+    execute_specs,
+)
+from repro.experiments.table1_comparison import run_table1
+from repro.train.serialization import to_jsonable
+
+
+@pytest.fixture(scope="module")
+def smoke_scale():
+    return get_scale("smoke")
+
+
+def make_specs(scale, epochs=2, seed=0):
+    """A small mixed batch: fp32, fixed 8-bit, and APT."""
+    return [
+        RunSpec(scale=scale, strategy_kind="fp32", seed=seed, epochs=epochs),
+        RunSpec(
+            scale=scale,
+            strategy_kind="fixed",
+            strategy_params={"bits": 8},
+            seed=seed,
+            epochs=epochs,
+        ),
+        RunSpec(
+            scale=scale,
+            strategy_kind="apt",
+            strategy_params={"initial_bits": 5, "t_min": 6.0, "metric_interval": 2},
+            seed=seed,
+            epochs=epochs,
+        ),
+    ]
+
+
+def canonical_bytes(result):
+    """The byte-identical form the store would write for a result."""
+    return json.dumps(to_jsonable(result.to_dict()), sort_keys=True).encode()
+
+
+def _hash_in_subprocess(spec):
+    return spec.content_hash()
+
+
+class TestRunSpecHashing:
+    def test_identical_specs_hash_equal(self, smoke_scale):
+        a, b = make_specs(smoke_scale)[2], make_specs(smoke_scale)[2]
+        assert a.content_hash() == b.content_hash()
+
+    def test_label_does_not_affect_hash(self, smoke_scale):
+        spec = RunSpec(scale=smoke_scale, strategy_kind="fp32", epochs=2, label="x")
+        relabelled = RunSpec(scale=smoke_scale, strategy_kind="fp32", epochs=2, label="y")
+        assert spec.content_hash() == relabelled.content_hash()
+
+    def test_every_content_field_changes_hash(self, smoke_scale):
+        base = RunSpec(
+            scale=smoke_scale,
+            strategy_kind="apt",
+            strategy_params={"t_min": 6.0},
+            seed=0,
+            epochs=2,
+        )
+        variants = [
+            RunSpec(scale=smoke_scale, strategy_kind="apt", strategy_params={"t_min": 1.0}, seed=0, epochs=2),
+            RunSpec(scale=smoke_scale, strategy_kind="apt", strategy_params={"t_min": 6.0}, seed=1, epochs=2),
+            RunSpec(scale=smoke_scale, strategy_kind="apt", strategy_params={"t_min": 6.0}, seed=0, epochs=3),
+            RunSpec(scale=smoke_scale, strategy_kind="fp32", seed=0, epochs=2),
+            RunSpec(scale=get_scale("bench"), strategy_kind="apt", strategy_params={"t_min": 6.0}, seed=0, epochs=2),
+            RunSpec(scale=smoke_scale, strategy_kind="apt", strategy_params={"t_min": 6.0}, seed=0, epochs=2, optimizer="adam"),
+        ]
+        hashes = {spec.content_hash() for spec in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_none_epochs_normalises_to_scale_default(self, smoke_scale):
+        implicit = RunSpec(scale=smoke_scale, strategy_kind="fp32")
+        explicit = RunSpec(scale=smoke_scale, strategy_kind="fp32", epochs=smoke_scale.epochs)
+        assert implicit.content_hash() == explicit.content_hash()
+
+    def test_hash_stable_across_processes(self, smoke_scale):
+        """The cache key a worker computes equals the parent's."""
+        specs = make_specs(smoke_scale)
+        parent_hashes = [spec.content_hash() for spec in specs]
+        with multiprocessing.Pool(processes=2) as pool:
+            child_hashes = pool.map(_hash_in_subprocess, specs)
+        assert parent_hashes == child_hashes
+
+    def test_infinite_t_max_is_hashable_and_buildable(self, smoke_scale):
+        spec = RunSpec(
+            scale=smoke_scale,
+            strategy_kind="apt",
+            strategy_params={"t_min": 6.0, "t_max": float("inf")},
+            epochs=1,
+        )
+        assert spec.content_hash()
+        strategy = build_strategy(spec.strategy_kind, spec.strategy_params)
+        assert strategy.config.t_max == float("inf")
+
+
+class TestBuildStrategy:
+    def test_all_kinds_constructible(self):
+        for kind, params in [
+            ("fp32", {}),
+            ("fixed", {"bits": 8, "master_copy": True}),
+            ("apt", {"initial_bits": 6, "t_min": 6.0}),
+            ("static_first_last", {"edge_bits": 12, "interior_bits": 6}),
+            ("linear_ramp", {"start_bits": 4, "end_bits": 8, "ramp_epochs": 3}),
+            ("wage", {}),
+            ("bnn", {}),
+        ]:
+            assert build_strategy(kind, params) is not None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_strategy("alchemy", {})
+
+
+class TestResultStore:
+    def test_round_trip_preserves_summary(self, smoke_scale, tmp_path):
+        spec = make_specs(smoke_scale)[2]
+        result = execute_spec(spec)
+        store = ResultStore(tmp_path)
+        store.put(spec, result)
+
+        loaded = store.get(spec)
+        assert loaded is not None
+        assert loaded.strategy_name == result.strategy_name
+        assert loaded.best_accuracy == result.best_accuracy
+        assert loaded.history.test_accuracy_curve == result.history.test_accuracy_curve
+        assert loaded.bits_by_layer == result.bits_by_layer
+        assert loaded.gavg_by_layer == result.gavg_by_layer
+        assert loaded.weight_bits == result.weight_bits
+        assert canonical_bytes(loaded) == canonical_bytes(result)
+
+    def test_non_finite_metrics_survive_round_trip(self, smoke_scale, tmp_path):
+        """A diverged run (inf/NaN loss) must come back as floats, not strings."""
+        import math
+
+        spec = make_specs(smoke_scale)[0]
+        result = execute_spec(spec)
+        record = result.history.records[0]
+        record.train_loss = float("nan")
+        record.learning_rate = float("inf")
+        result.gavg_by_layer = {"layer": [None, float("inf")]}
+
+        store = ResultStore(tmp_path)
+        store.put(spec, result)
+        loaded = store.get(spec)
+        assert math.isnan(loaded.history.records[0].train_loss)
+        assert loaded.history.records[0].learning_rate == float("inf")
+        assert loaded.gavg_by_layer["layer"] == [None, float("inf")]
+        # Derived quantities must keep working on the reloaded history.
+        assert isinstance(loaded.history.best_test_accuracy, float)
+
+    def test_miss_on_unknown_spec(self, smoke_scale, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(make_specs(smoke_scale)[0]) is None
+        assert make_specs(smoke_scale)[0] not in store
+
+    def test_corrupt_entry_is_a_miss(self, smoke_scale, tmp_path):
+        spec = make_specs(smoke_scale)[0]
+        store = ResultStore(tmp_path)
+        store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(spec).write_text("{not json")
+        assert store.get(spec) is None
+
+    def test_format_version_mismatch_is_a_miss(self, smoke_scale, tmp_path):
+        spec = make_specs(smoke_scale)[0]
+        result = execute_spec(spec)
+        store = ResultStore(tmp_path)
+        path = store.put(spec, result)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = -1
+        path.write_text(json.dumps(payload))
+        assert store.get(spec) is None
+
+    def test_clear_and_len(self, smoke_scale, tmp_path):
+        spec = make_specs(smoke_scale)[0]
+        store = ResultStore(tmp_path)
+        store.put(spec, execute_spec(spec))
+        assert len(store) == 1
+        assert store.list_hashes() == [spec.content_hash()]
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestOrchestratorCaching:
+    def test_miss_then_hit_then_resume(self, smoke_scale, tmp_path):
+        specs = make_specs(smoke_scale)
+        store = ResultStore(tmp_path)
+
+        first = Orchestrator(store=store)
+        results_cold = first.run(specs)
+        assert first.last_report.executed == 3
+        assert first.last_report.cache_hits == 0
+
+        second = Orchestrator(store=store)
+        results_warm = second.run(specs)
+        assert second.last_report.executed == 0
+        assert second.last_report.cache_hits == 3
+        for cold, warm in zip(results_cold, results_warm):
+            assert canonical_bytes(cold) == canonical_bytes(warm)
+
+        # Resume: drop one entry; only that spec re-trains.
+        store.path_for(specs[1]).unlink()
+        third = Orchestrator(store=store)
+        third.run(specs)
+        assert third.last_report.executed == 1
+        assert third.last_report.cache_hits == 2
+
+    def test_cached_batch_performs_zero_training(self, smoke_scale, tmp_path, monkeypatch):
+        specs = make_specs(smoke_scale)
+        execute_specs(specs, cache_dir=tmp_path)
+
+        import repro.experiments.orchestrator as orch_module
+
+        def explode(spec):
+            raise AssertionError("a fully cached batch must not train")
+
+        monkeypatch.setattr(orch_module, "execute_spec", explode)
+        results = execute_specs(specs, cache_dir=tmp_path)
+        assert len(results) == 3
+
+    def test_no_cache_flag_ignores_store(self, smoke_scale, tmp_path):
+        specs = make_specs(smoke_scale)[:1]
+        store = ResultStore(tmp_path)
+        Orchestrator(store=store).run(specs)
+
+        bypass = Orchestrator(store=store, use_cache=False)
+        bypass.run(specs)
+        assert bypass.last_report.executed == 1
+        assert bypass.last_report.cache_hits == 0
+
+    def test_duplicate_specs_train_once(self, smoke_scale):
+        spec = make_specs(smoke_scale)[0]
+        twin = RunSpec(
+            scale=smoke_scale, strategy_kind="fp32", seed=0, epochs=2, label="twin"
+        )
+        orchestrator = Orchestrator()
+        results = orchestrator.run([spec, twin])
+        assert orchestrator.last_report.executed == 1
+        assert orchestrator.last_report.cache_hits == 1
+        assert canonical_bytes(results[0]) == canonical_bytes(results[1])
+
+    def test_progress_events_cover_every_spec(self, smoke_scale, tmp_path):
+        specs = make_specs(smoke_scale)
+        events = []
+        execute_specs(specs, cache_dir=tmp_path, progress=events.append)
+        assert len(events) == 3
+        assert all(event.status == "completed" for event in events)
+        assert sorted(event.sequence for event in events) == [1, 2, 3]
+
+        events.clear()
+        execute_specs(specs, cache_dir=tmp_path, progress=events.append)
+        assert [event.status for event in events] == ["cached"] * 3
+
+
+class TestParallelExecution:
+    def test_parallel_equals_serial_byte_for_byte(self, smoke_scale, tmp_path):
+        specs = make_specs(smoke_scale)
+        serial = execute_specs(specs, workers=1)
+        parallel = execute_specs(specs, workers=2)
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert canonical_bytes(serial_result) == canonical_bytes(parallel_result)
+
+    def test_parallel_run_populates_store(self, smoke_scale, tmp_path):
+        specs = make_specs(smoke_scale)
+        execute_specs(specs, workers=2, cache_dir=tmp_path)
+        store = ResultStore(tmp_path)
+        assert len(store) == 3
+        follow_up = Orchestrator(store=store)
+        follow_up.run(specs)
+        assert follow_up.last_report.executed == 0
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            Orchestrator(workers=0)
+
+
+class TestExperimentIntegration:
+    def test_table1_second_invocation_all_cache_hits(self, smoke_scale, tmp_path, monkeypatch):
+        """The acceptance check: re-running Table 1 trains nothing."""
+        kwargs = dict(methods=["wage"], include_apt=True, epochs=1, cache_dir=tmp_path)
+        first = run_table1(smoke_scale, **kwargs)
+
+        import repro.experiments.orchestrator as orch_module
+
+        def explode(spec):
+            raise AssertionError("cached table1 re-run must not train")
+
+        monkeypatch.setattr(orch_module, "execute_spec", explode)
+        second = run_table1(smoke_scale, **kwargs)
+        assert [row.as_tuple() for row in first.rows] == [
+            row.as_tuple() for row in second.rows
+        ]
+
+    def test_table1_parallel_matches_serial(self, smoke_scale):
+        kwargs = dict(methods=["wage", "bnn"], include_apt=True, epochs=1)
+        serial = run_table1(smoke_scale, workers=1, **kwargs)
+        parallel = run_table1(smoke_scale, workers=4, **kwargs)
+        assert [row.as_tuple() for row in serial.rows] == [
+            row.as_tuple() for row in parallel.rows
+        ]
+        for method, serial_run in serial.runs.items():
+            assert canonical_bytes(serial_run) == canonical_bytes(parallel.runs[method])

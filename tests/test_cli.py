@@ -116,6 +116,38 @@ class TestExperimentCommand:
             cli.run_experiment(["fig9", "--scale", "smoke"])
 
 
+class TestExperimentOrchestrationFlags:
+    def test_cache_dir_populated_and_reused(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["fig3", "--scale", "smoke", "--epochs", "2", "--cache-dir", str(cache)]
+        assert cli.run_experiment(argv) == 0
+        first_out = capsys.readouterr()
+        assert list(cache.glob("*.json")), "cache directory should hold the run"
+        assert "completed" in first_out.err
+
+        assert cli.run_experiment(argv) == 0
+        second_out = capsys.readouterr()
+        assert "cached" in second_out.err
+        assert second_out.out == first_out.out
+
+    def test_no_cache_flag_retrains(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["fig3", "--scale", "smoke", "--epochs", "1", "--cache-dir", str(cache)]
+        assert cli.run_experiment(argv) == 0
+        capsys.readouterr()
+        assert cli.run_experiment(argv + ["--no-cache"]) == 0
+        assert "completed" in capsys.readouterr().err
+
+    def test_workers_flag_matches_serial_output(self, capsys):
+        assert cli.run_experiment(["fig2", "--scale", "smoke", "--epochs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            cli.run_experiment(["fig2", "--scale", "smoke", "--epochs", "1", "--workers", "2"])
+            == 0
+        )
+        assert capsys.readouterr().out == serial_out
+
+
 class TestMainDispatch:
     def test_train_dispatch(self, capsys):
         assert cli.main(["train", "--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"]) == 0
