@@ -4,7 +4,8 @@ Constrained Devices" (Huang, Luo, Zhou; ICDCS 2020).
 The package layers, bottom to top:
 
 * :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.optim` -- a from-scratch
-  numpy autograd / neural-network / optimiser substrate.
+  numpy autograd / neural-network / optimiser substrate, built on the
+  grad-free forward kernels in :mod:`repro.kernels`.
 * :mod:`repro.quant` -- affine quantisation, the underflow arithmetic of
   Eqs. 2-3 and the baseline quantiser family.
 * :mod:`repro.core` -- Adaptive Precision Training itself: the Gavg metric
@@ -15,6 +16,10 @@ The package layers, bottom to top:
 * :mod:`repro.data`, :mod:`repro.models`, :mod:`repro.train` -- datasets,
   model zoo and the shared training harness.
 * :mod:`repro.experiments` -- one runner per figure / table of the paper.
+* :mod:`repro.runtime`, :mod:`repro.serve` -- the inference side: compile a
+  trained (or quantised-exported) model into a static, autograd-free
+  :class:`~repro.runtime.plan.ExecutionPlan` and serve it through a
+  micro-batching engine (``repro.cli serve-bench``).
 
 Quickstart::
 
@@ -40,6 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "tensor",
+    "kernels",
     "nn",
     "optim",
     "quant",
@@ -50,4 +56,6 @@ __all__ = [
     "models",
     "train",
     "experiments",
+    "runtime",
+    "serve",
 ]

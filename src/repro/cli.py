@@ -27,6 +27,18 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
         repro-experiment table1 --scale bench --json-out table1.json
         repro-experiment table1 --scale bench --workers 4 --cache-dir .repro-cache
         repro-experiment tune-tmin --scale smoke
+
+``serve-bench`` (``python -m repro.cli serve-bench``)
+    Compile a model into execution plans (float, and quantised at each
+    requested bitwidth -- or from a saved export / checkpoint) and report
+    serving throughput, latency and analytic energy per request against the
+    training-stack Module forward.
+
+    .. code-block:: bash
+
+        python -m repro.cli serve-bench --model tiny_convnet --bits 8,4
+        python -m repro.cli serve-bench --model small_convnet --batch-size 32
+        python -m repro.cli serve-bench --model tiny_convnet --export model.npz
 """
 
 from __future__ import annotations
@@ -320,8 +332,119 @@ def run_experiment(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# repro serve-bench
+# --------------------------------------------------------------------------- #
+def build_serve_bench_parser() -> argparse.ArgumentParser:
+    from repro.hardware.latency import COMPUTE_PROFILES
+    from repro.models import available_models
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-bench",
+        description=(
+            "Compile a model into execution plans and benchmark serving "
+            "throughput/latency at each bitwidth against the Module forward."
+        ),
+    )
+    parser.add_argument(
+        "--model", default="tiny_convnet", choices=available_models(), help="registry model"
+    )
+    parser.add_argument("--num-classes", type=int, default=10)
+    parser.add_argument("--in-channels", type=int, default=1)
+    parser.add_argument("--image-size", type=int, default=12, help="input H=W (conv models)")
+    parser.add_argument(
+        "--width-multiplier", type=float, default=1.0, help="channel scaling factor"
+    )
+    parser.add_argument(
+        "--bits", default="8,4", help="comma-separated uniform weight bitwidths to serve"
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, help="load trained weights from this .npz checkpoint"
+    )
+    parser.add_argument(
+        "--export",
+        default=None,
+        help="serve this saved QuantizedModelExport (.npz) instead of synthesising exports",
+    )
+    parser.add_argument("--batch-size", type=int, default=16, help="micro-batch size")
+    parser.add_argument("--requests", type=int, default=256, help="synthetic requests per variant")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best wins)")
+    parser.add_argument(
+        "--device",
+        default="smartphone_npu",
+        choices=sorted(COMPUTE_PROFILES) + ["none"],
+        help="edge profile for analytic energy/latency models ('none' to skip)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json-out", default=None, help="also write the report as JSON here")
+    return parser
+
+
+def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
+    import numpy as np
+
+    from repro.models import build_model
+    from repro.quant.deploy import load_export
+    from repro.serve import run_serve_bench as serve_bench
+    from repro.train.serialization import load_checkpoint
+
+    args = build_serve_bench_parser().parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    model = build_model(
+        args.model,
+        num_classes=args.num_classes,
+        width_multiplier=args.width_multiplier,
+        in_channels=args.in_channels,
+        rng=rng,
+    )
+    if args.model == "mlp":
+        input_shape = (args.in_channels,)
+    else:
+        input_shape = (args.in_channels, args.image_size, args.image_size)
+    try:
+        if args.checkpoint:
+            load_checkpoint(model, args.checkpoint)
+            print(f"loaded checkpoint {args.checkpoint}")
+        export = load_export(args.export) if args.export else None
+    except FileNotFoundError as error:
+        print(f"cannot load model artifact: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        bits_list = [int(bits) for bits in args.bits.split(",") if bits.strip()]
+    except ValueError:
+        print(f"--bits must be a comma-separated list of integers, got {args.bits!r}", file=sys.stderr)
+        return 2
+    try:
+        report = serve_bench(
+            model,
+            input_shape,
+            bits_list=bits_list,
+            export=export,
+            batch_size=args.batch_size,
+            requests=args.requests,
+            repeats=args.repeats,
+            device=None if args.device == "none" else args.device,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        # e.g. an export saved from a different architecture than --model.
+        print(f"serve-bench failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serve-bench: {report.model} input={report.input_shape} "
+        f"batch={report.batch_size} requests={report.requests} device={report.device}"
+    )
+    for line in report.format_rows():
+        print(line)
+    if args.json_out:
+        path = dump_json({"rows": [vars(row) for row in report.rows]}, args.json_out)
+        print(f"\nreport written to {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli {train,experiment} ...``."""
+    """Dispatch ``python -m repro.cli {train,experiment,serve-bench} ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -331,7 +454,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_train(rest)
     if command == "experiment":
         return run_experiment(rest)
-    print(f"unknown command {command!r}; expected 'train' or 'experiment'", file=sys.stderr)
+    if command == "serve-bench":
+        return run_serve_bench(rest)
+    print(
+        f"unknown command {command!r}; expected 'train', 'experiment' or 'serve-bench'",
+        file=sys.stderr,
+    )
     return 2
 
 

@@ -21,7 +21,7 @@ analytic cost model (documented in DESIGN.md):
 from repro.hardware.energy import EnergyModel, OpEnergy
 from repro.hardware.profile import LayerProfile, ModelProfile, profile_model
 from repro.hardware.memory import TrainingMemoryModel, MemoryBreakdown
-from repro.hardware.accounting import EnergyMeter, EnergyReport, LayerBits
+from repro.hardware.accounting import EnergyMeter, EnergyReport, LayerBits, inference_energy_pj
 from repro.hardware.device import EdgeDeviceProfile, BatterySimulator, DEVICE_PROFILES
 from repro.hardware.latency import ComputeProfile, LatencyModel, COMPUTE_PROFILES
 
@@ -39,6 +39,7 @@ __all__ = [
     "EnergyMeter",
     "EnergyReport",
     "LayerBits",
+    "inference_energy_pj",
     "EdgeDeviceProfile",
     "BatterySimulator",
     "DEVICE_PROFILES",

@@ -79,6 +79,31 @@ class EnergyReport:
         return sum(record.total_pj for record in self.records if record.epoch <= epoch)
 
 
+def inference_energy_pj(
+    profile: ModelProfile,
+    forward_bits: Mapping[str, int],
+    samples: int,
+    energy_model: Optional[EnergyModel] = None,
+    default_bits: int = 32,
+) -> float:
+    """Analytic energy of forward-only inference over ``samples`` examples.
+
+    Charges each layer's MACs at its forward bitwidth plus one weight read
+    per sample, mirroring the forward/memory terms of
+    :meth:`EnergyMeter.record_epoch` without the backward pass.  Used by the
+    serving layer to attach a per-batch energy estimate.
+    """
+    if samples < 0:
+        raise ValueError(f"samples must be non-negative, got {samples}")
+    model = energy_model or EnergyModel()
+    total = 0.0
+    for layer in profile.layers:
+        bits = int(forward_bits.get(layer.name, default_bits))
+        total += layer.macs * samples * model.mac_energy_pj(bits)
+        total += layer.parameters * samples * model.memory_access_energy_pj(bits)
+    return total
+
+
 class EnergyMeter:
     """Integrates the energy model over a training run.
 

@@ -82,6 +82,25 @@ class LatencyModel:
         memory_time = weight_bytes / self.compute.memory_bandwidth_bytes
         return max(forward_compute + backward_compute, memory_time)
 
+    def inference_seconds(self, batch_size: int, forward_bits: Mapping[str, int]) -> float:
+        """Estimated wall-clock of one forward-only (inference) batch.
+
+        ``forward_bits`` maps layer names (weight parameter names, as in the
+        model profile) to the operand bitwidth of the forward pass; missing
+        layers are assumed fp32.  The roofline is the same as for training
+        but without the backward term, and weight traffic is a single read.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+        total = 0.0
+        for layer in self.profile.layers:
+            bits = int(forward_bits.get(layer.name, 32))
+            compute = layer.macs * batch_size / self.compute.macs_per_second(bits)
+            weight_bytes = layer.parameters * bits / 8.0
+            memory = weight_bytes / self.compute.memory_bandwidth_bytes
+            total += max(compute, memory)
+        return total
+
     def iteration_seconds(self, batch_size: int, layer_bits: Mapping[str, LayerBits]) -> float:
         """Estimated wall-clock of one training iteration (one mini-batch)."""
         if batch_size < 1:

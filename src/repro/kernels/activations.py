@@ -1,0 +1,57 @@
+"""Elementwise activation kernels.
+
+Each kernel accepts an optional ``out`` array so a compiled plan can reuse a
+preallocated buffer instead of allocating per call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def relu(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    return np.maximum(x, 0.0, out=out)
+
+
+def relu6(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    return np.clip(x, 0.0, 6.0, out=out)
+
+
+def clamp(
+    x: np.ndarray,
+    min_value: Optional[float] = None,
+    max_value: Optional[float] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    low = -np.inf if min_value is None else min_value
+    high = np.inf if max_value is None else max_value
+    return np.clip(x, low, high, out=out)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    return np.where(x > 0, x, negative_slope * x)
+
+
+def sigmoid(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    result = 1.0 / (1.0 + np.exp(-x))
+    if out is not None:
+        np.copyto(out, result)
+        return out
+    return result
+
+
+def tanh(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    return np.tanh(x, out=out)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

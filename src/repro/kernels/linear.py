@@ -1,0 +1,15 @@
+"""Dense (fully connected) kernel."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+    """Affine transform ``x @ weight.T + bias`` with a ``(C_out, C_in)`` weight."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out

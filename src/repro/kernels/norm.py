@@ -1,0 +1,29 @@
+"""Normalisation kernels (inference form)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def batch_norm(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    eps: float,
+    view_shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Batch normalisation with fixed statistics (the eval-mode computation).
+
+    ``view_shape`` broadcasts the per-feature vectors against ``x`` --
+    ``(1, C, 1, 1)`` for NCHW feature maps, ``(1, C)`` for flat features.
+    The arithmetic mirrors the autograd path exactly:
+    ``(x - mean) / sqrt(var + eps) * weight + bias``.
+    """
+    mean = mean.reshape(view_shape)
+    var = var.reshape(view_shape)
+    normalised = (x - mean) / np.sqrt(var + eps)
+    return normalised * weight.reshape(view_shape) + bias.reshape(view_shape)

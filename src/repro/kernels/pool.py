@@ -1,0 +1,99 @@
+"""Pooling kernels over NCHW inputs, lowered through im2col."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.conv import IntPair, as_pair, im2col
+
+
+def _pool_cols(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], Tuple[int, ...], int, int]:
+    """Reshape channels into the batch dim and gather pooling windows."""
+    batch, channels, height, width = x.shape
+    reshaped = x.reshape(batch * channels, 1, height, width)
+    cols, indices, out_h, out_w = im2col(reshaped, kernel, stride, (0, 0))
+    return cols, indices, reshaped.shape, out_h, out_w
+
+
+def max_pool2d_cols(
+    x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], Tuple[int, ...]]:
+    """Max pooling returning the intermediates autograd needs.
+
+    Returns ``(out, cols, argmax, indices, reshaped_shape)`` where ``out``
+    has shape ``(N, C, out_h, out_w)``.
+    """
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    batch, channels = x.shape[:2]
+    cols, indices, reshaped_shape, out_h, out_w = _pool_cols(x, kernel, stride_pair)
+    argmax = cols.argmax(axis=1)
+    out = cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+    return out, cols, argmax, indices, reshaped_shape
+
+
+def _tiled_reduce(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], ufunc
+) -> Optional[np.ndarray]:
+    """Reduce non-overlapping windows by accumulating over kernel offsets.
+
+    Only applies when stride == kernel and the kernel divides the input
+    evenly (the common case).  Accumulating ``kh*kw`` strided slices with a
+    binary ufunc is much faster than a multi-axis reduction over the
+    window view, whose inner strides defeat numpy's reduction loops.
+    """
+    kernel_h, kernel_w = kernel
+    if stride != kernel:
+        return None
+    batch, channels, height, width = x.shape
+    if height % kernel_h or width % kernel_w:
+        return None
+    view = x.reshape(
+        batch, channels, height // kernel_h, kernel_h, width // kernel_w, kernel_w
+    )
+    out = np.ascontiguousarray(view[:, :, :, 0, :, 0])
+    for i in range(kernel_h):
+        for j in range(kernel_w):
+            if i == 0 and j == 0:
+                continue
+            ufunc(out, view[:, :, :, i, :, j], out=out)
+    return out
+
+
+def max_pool2d(x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None) -> np.ndarray:
+    """Max pooling over an NCHW input (forward only, no argmax bookkeeping)."""
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    out = _tiled_reduce(x, kernel, stride_pair, np.maximum)
+    if out is not None:
+        return out
+    batch, channels = x.shape[:2]
+    cols, _, _, out_h, out_w = _pool_cols(x, kernel, stride_pair)
+    return cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+
+
+def avg_pool2d_cols(
+    x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> Tuple[np.ndarray, np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], Tuple[int, ...]]:
+    """Average pooling returning the intermediates autograd needs."""
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    batch, channels = x.shape[:2]
+    cols, indices, reshaped_shape, out_h, out_w = _pool_cols(x, kernel, stride_pair)
+    out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+    return out, cols, indices, reshaped_shape
+
+
+def avg_pool2d(x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None) -> np.ndarray:
+    """Average pooling over an NCHW input (forward only)."""
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    out = _tiled_reduce(x, kernel, stride_pair, np.add)
+    if out is not None:
+        # Not in-place: integer inputs must still produce a float mean.
+        return out * (1.0 / (kernel[0] * kernel[1]))
+    return avg_pool2d_cols(x, kernel, stride_pair)[0]

@@ -12,8 +12,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor
+from repro.tensor import Tensor, is_grad_enabled
 
 
 class _BatchNorm(Module):
@@ -38,6 +39,20 @@ class _BatchNorm(Module):
             self.update_buffer("running_mean", new_mean)
             self.update_buffer("running_var", new_var)
         else:
+            if not is_grad_enabled():
+                # Evaluation under no_grad: skip the per-op Tensor wrappers and
+                # run the grad-free kernel (same arithmetic, same result).
+                return Tensor(
+                    kernels.batch_norm(
+                        x.data,
+                        self.running_mean,
+                        self.running_var,
+                        self.weight.data,
+                        self.bias.data,
+                        self.eps,
+                        view_shape,
+                    )
+                )
             mean = Tensor(self.running_mean.reshape(view_shape))
             var = Tensor(self.running_var.reshape(view_shape))
         normalised = (x - mean) / (var + self.eps).sqrt()

@@ -36,7 +36,9 @@ from repro.quant.deploy import (
     QuantizedModelExport,
     export_quantized_model,
     export_size_report,
+    load_export,
     load_into_model,
+    save_export,
 )
 
 __all__ = [
@@ -64,4 +66,6 @@ __all__ = [
     "export_quantized_model",
     "export_size_report",
     "load_into_model",
+    "save_export",
+    "load_export",
 ]

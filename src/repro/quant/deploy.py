@@ -21,13 +21,15 @@ accuracy measured during training.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
 from repro.nn.module import Module
-from repro.quant.affine import FLOAT_BITS_THRESHOLD
+from repro.quant.affine import FLOAT_BITS_THRESHOLD, AffineQParams
 from repro.quant.qtensor import QuantizedTensor
 
 
@@ -105,6 +107,60 @@ def load_into_model(export: QuantizedModelExport, model: Module) -> None:
             if name in owners:
                 owner, local_name = owners[name]
                 owner.update_buffer(local_name, np.array(values, copy=True))
+
+
+def save_export(export: QuantizedModelExport, path: Union[str, Path]) -> Path:
+    """Write an export to disk as an ``.npz`` archive.
+
+    Integer codes are stored as integers (not dequantised floats), so the
+    artifact on disk is the same thing the runtime executes: per-layer codes
+    plus affine parameters, with float leftovers alongside.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    qparams: Dict[str, Dict[str, float]] = {}
+    for name, tensor in export.quantized.items():
+        arrays[f"codes/{name}"] = tensor.codes
+        qparams[name] = {
+            "scale": float(tensor.qparams.scale),
+            "zero_point": int(tensor.qparams.zero_point),
+            "bits": int(tensor.qparams.bits),
+        }
+    for name, array in export.float_parameters.items():
+        arrays[f"float/{name}"] = array
+    for name, array in export.buffers.items():
+        arrays[f"buffer/{name}"] = array
+    arrays["__qparams__"] = np.frombuffer(json.dumps(qparams).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_export(path: Union[str, Path]) -> QuantizedModelExport:
+    """Read an export previously written by :func:`save_export`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    export = QuantizedModelExport()
+    with np.load(path, allow_pickle=False) as archive:
+        qparams = json.loads(bytes(archive["__qparams__"].tobytes()).decode("utf-8"))
+        for key in archive.files:
+            if key.startswith("codes/"):
+                name = key[len("codes/"):]
+                params = qparams[name]
+                export.quantized[name] = QuantizedTensor(
+                    codes=archive[key],
+                    qparams=AffineQParams(
+                        scale=params["scale"],
+                        zero_point=params["zero_point"],
+                        bits=params["bits"],
+                    ),
+                )
+            elif key.startswith("float/"):
+                export.float_parameters[key[len("float/"):]] = archive[key]
+            elif key.startswith("buffer/"):
+                export.buffers[key[len("buffer/"):]] = archive[key]
+    return export
 
 
 def export_size_report(

@@ -1,0 +1,24 @@
+"""Compiled inference runtime.
+
+Splits execution from autograd: :func:`compile_plan` lowers any
+:class:`~repro.nn.module.Module` into a static
+:class:`~repro.runtime.plan.ExecutionPlan` of grad-free kernel calls
+(constant-folded, batch-norm-fused, buffer-reusing), and
+:func:`compile_quantized_plan` builds the variant that executes a
+:class:`~repro.quant.deploy.QuantizedModelExport` directly from its integer
+codes.  The serving layer in :mod:`repro.serve` runs these plans.
+"""
+
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanCompileError,
+    compile_plan,
+    compile_quantized_plan,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanCompileError",
+    "compile_plan",
+    "compile_quantized_plan",
+]

@@ -1,0 +1,28 @@
+"""Serving front-end for compiled execution plans.
+
+* :class:`~repro.serve.engine.MicroBatchServer` -- request queue, dynamic
+  micro-batches, plan execution, measured + modelled accounting.
+* :func:`~repro.serve.bench.run_serve_bench` -- throughput / latency /
+  energy comparison of compiled plans (float and quantised) against the
+  training-stack ``Module`` forward, behind the ``repro serve-bench`` CLI.
+"""
+
+from repro.serve.engine import (
+    BatchRecord,
+    InferenceRequest,
+    InferenceResult,
+    MicroBatchServer,
+    ServeStats,
+)
+from repro.serve.bench import ServeBenchReport, ServeBenchRow, run_serve_bench
+
+__all__ = [
+    "MicroBatchServer",
+    "InferenceRequest",
+    "InferenceResult",
+    "BatchRecord",
+    "ServeStats",
+    "ServeBenchReport",
+    "ServeBenchRow",
+    "run_serve_bench",
+]

@@ -1,0 +1,271 @@
+"""Serving benchmark: compiled plans vs the training-stack forward.
+
+:func:`run_serve_bench` feeds a stream of synthetic requests through the
+micro-batching engine for each requested variant and reports throughput,
+latency and analytic per-request energy:
+
+* ``module-forward`` -- the status-quo deployment path this PR replaces:
+  dequantised weights in the training ``Module``, whose ``__call__`` builds
+  an autograd graph on every inference;
+* ``module-no-grad`` -- the same forward under ``no_grad`` (graph recording
+  off, but still one ``Tensor`` per op);
+* ``plan-fp32`` -- the compiled float plan;
+* ``plan-<k>bit`` -- compiled quantised plans executing integer codes at
+  each requested bitwidth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import COMPUTE_PROFILES, ComputeProfile
+from repro.hardware.profile import ModelProfile, profile_model
+from repro.nn.module import Module
+from repro.quant.deploy import QuantizedModelExport, export_quantized_model
+from repro.runtime.plan import ExecutionPlan, compile_plan, compile_quantized_plan
+from repro.serve.engine import MicroBatchServer
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class ServeBenchRow:
+    """One variant's aggregate numbers."""
+
+    variant: str
+    bits: Optional[int]
+    weight_kib: float
+    throughput_rps: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    energy_uj_per_request: Optional[float]
+    speedup_vs_module: float
+
+
+@dataclass
+class ServeBenchReport:
+    """Result of one serve benchmark run."""
+
+    model: str
+    input_shape: Tuple[int, ...]
+    batch_size: int
+    requests: int
+    device: Optional[str]
+    rows: List[ServeBenchRow] = field(default_factory=list)
+
+    def row(self, variant: str) -> ServeBenchRow:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(f"no benchmark row named {variant!r}")
+
+    def format_rows(self) -> List[str]:
+        header = (
+            f"{'variant':<16s} {'bits':>4s} {'weights':>10s} {'req/s':>10s} "
+            f"{'mean ms':>9s} {'p95 ms':>9s} {'uJ/req':>9s} {'vs module':>10s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            energy = f"{row.energy_uj_per_request:9.2f}" if row.energy_uj_per_request else "        -"
+            lines.append(
+                f"{row.variant:<16s} {row.bits if row.bits else '-':>4} "
+                f"{row.weight_kib:9.1f}K {row.throughput_rps:10.0f} "
+                f"{row.mean_latency_ms:9.3f} {row.p95_latency_ms:9.3f} "
+                f"{energy} {row.speedup_vs_module:9.2f}x"
+            )
+        return lines
+
+
+def _request_stream(
+    input_shape: Tuple[int, ...], count: int, rng: np.random.Generator
+) -> np.ndarray:
+    return rng.normal(size=(count,) + tuple(input_shape))
+
+
+def _time_module(model: Module, batches: Sequence[np.ndarray], grad: bool, repeats: int) -> float:
+    """Best-of-``repeats`` seconds to push all batches through the module."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        if grad:
+            for batch in batches:
+                model(Tensor(batch))
+        else:
+            with no_grad():
+                for batch in batches:
+                    model(Tensor(batch))
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _serve_through_engine(
+    plan: ExecutionPlan,
+    samples: np.ndarray,
+    batch_size: int,
+    profile: Optional[ModelProfile],
+    energy_model: Optional[EnergyModel],
+    compute_profile: Optional[ComputeProfile],
+    repeats: int,
+) -> Tuple[float, MicroBatchServer]:
+    """Best-of-``repeats`` seconds to serve all samples; returns last server."""
+    best = float("inf")
+    server: Optional[MicroBatchServer] = None
+    for _ in range(repeats):
+        # Infinite delay: a batch dispatches exactly when it is full, so the
+        # benchmark measures full micro-batches (drain flushes the tail).
+        server = MicroBatchServer(
+            plan,
+            max_batch_size=batch_size,
+            max_queue_delay_s=float("inf"),
+            profile=profile,
+            energy_model=energy_model,
+            compute_profile=compute_profile,
+        )
+        started = time.perf_counter()
+        for sample in samples:
+            server.submit(sample)
+            server.step()
+        server.drain()
+        best = min(best, time.perf_counter() - started)
+    assert server is not None
+    return best, server
+
+
+def run_serve_bench(
+    model: Module,
+    input_shape: Tuple[int, ...],
+    *,
+    bits_list: Sequence[int] = (8, 4),
+    export: Optional[QuantizedModelExport] = None,
+    batch_size: int = 16,
+    requests: int = 256,
+    repeats: int = 3,
+    device: Optional[str] = "smartphone_npu",
+    seed: int = 0,
+) -> ServeBenchReport:
+    """Benchmark serving ``model`` through compiled plans at several bitwidths.
+
+    Parameters
+    ----------
+    model:
+        Architecture (and weights) to serve.  The model is snapshotted into
+        plans; its weights are not modified except when ``export`` /
+        ``bits_list`` loads quantised values (the standard deployment flow).
+    input_shape:
+        Per-sample input shape.
+    bits_list:
+        Uniform weight bitwidths to export and serve.  Every export is
+        built from the model's own weights; the model comes back unchanged
+        (``compile_quantized_plan`` restores its state after tracing).
+        Ignored when ``export`` is given (its own bitwidths are used).
+    export:
+        A pre-built export to serve instead of synthesising uniform-bitwidth
+        exports from the model.
+    batch_size, requests:
+        Micro-batch size and number of synthetic requests per variant.
+    repeats:
+        Timing repetitions; the best run is reported.
+    device:
+        Key into :data:`~repro.hardware.latency.COMPUTE_PROFILES` for the
+        analytic energy / device-latency models, or ``None`` to skip them.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    if requests < 1:
+        raise ValueError(f"requests must be at least 1, got {requests}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+    rng = np.random.default_rng(seed)
+    samples = _request_stream(input_shape, requests, rng)
+    batches = [
+        samples[start : start + batch_size] for start in range(0, requests, batch_size)
+    ]
+    profile = profile_model(model, input_shape) if device else None
+    energy_model = EnergyModel() if device else None
+    compute_profile = COMPUTE_PROFILES[device] if device else None
+
+    report = ServeBenchReport(
+        model=type(model).__name__,
+        input_shape=tuple(input_shape),
+        batch_size=batch_size,
+        requests=requests,
+        device=device,
+    )
+    was_training = model.training
+    model.eval()
+
+    def module_weight_kib() -> float:
+        return sum(p.data.nbytes for p in model.parameters()) / 1024
+
+    # Baseline: the training-stack forward (builds an autograd graph).
+    module_seconds = _time_module(model, batches, grad=True, repeats=repeats)
+    report.rows.append(
+        ServeBenchRow(
+            variant="module-forward",
+            bits=None,
+            weight_kib=module_weight_kib(),
+            throughput_rps=requests / module_seconds,
+            mean_latency_ms=module_seconds / len(batches) * 1e3,
+            p95_latency_ms=module_seconds / len(batches) * 1e3,
+            energy_uj_per_request=None,
+            speedup_vs_module=1.0,
+        )
+    )
+    no_grad_seconds = _time_module(model, batches, grad=False, repeats=repeats)
+    report.rows.append(
+        ServeBenchRow(
+            variant="module-no-grad",
+            bits=None,
+            weight_kib=module_weight_kib(),
+            throughput_rps=requests / no_grad_seconds,
+            mean_latency_ms=no_grad_seconds / len(batches) * 1e3,
+            p95_latency_ms=no_grad_seconds / len(batches) * 1e3,
+            energy_uj_per_request=None,
+            speedup_vs_module=module_seconds / no_grad_seconds,
+        )
+    )
+
+    def add_plan_row(variant: str, plan: ExecutionPlan, bits: Optional[int]) -> None:
+        seconds, server = _serve_through_engine(
+            plan, samples, batch_size, profile, energy_model, compute_profile, repeats
+        )
+        stats = server.stats
+        energy = (
+            stats.energy_pj / stats.requests * 1e-6 if stats.energy_pj else None
+        )  # pJ -> uJ
+        report.rows.append(
+            ServeBenchRow(
+                variant=variant,
+                bits=bits,
+                weight_kib=plan.weight_bytes() / 1024,
+                throughput_rps=requests / seconds,
+                mean_latency_ms=float(np.mean(stats.latencies)) * 1e3,
+                p95_latency_ms=stats.latency_percentile(95) * 1e3,
+                energy_uj_per_request=energy,
+                speedup_vs_module=module_seconds / seconds,
+            )
+        )
+
+    try:
+        add_plan_row("plan-fp32", compile_plan(model, input_shape), 32)
+        if export is not None:
+            bits_present = sorted({t.bits for t in export.quantized.values()})
+            label = f"plan-{bits_present[0]}bit" if len(bits_present) == 1 else "plan-mixed"
+            bits = bits_present[0] if len(bits_present) == 1 else None
+            add_plan_row(label, compile_quantized_plan(model, export, input_shape), bits)
+        else:
+            for bits in bits_list:
+                uniform = {name: bits for name, _ in model.named_parameters()}
+                synthetic = export_quantized_model(model, uniform)
+                add_plan_row(
+                    f"plan-{bits}bit",
+                    compile_quantized_plan(model, synthetic, input_shape),
+                    bits,
+                )
+    finally:
+        model.train(was_training)
+    return report

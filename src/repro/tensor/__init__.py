@@ -17,8 +17,24 @@ The engine intentionally mirrors a small subset of the PyTorch API so that
 code written against it reads like conventional deep-learning code.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import (
+    OpRecord,
+    Tensor,
+    graph_nodes_created,
+    is_grad_enabled,
+    no_grad,
+    trace_ops,
+)
 from repro.tensor import functional
 from repro.tensor import init
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "init"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "graph_nodes_created",
+    "trace_ops",
+    "OpRecord",
+    "functional",
+    "init",
+]

@@ -1,8 +1,10 @@
 """Functional neural-network operations built on the autograd :class:`Tensor`.
 
-The convolution and pooling operations use an im2col lowering so the inner
-loops run as dense numpy matrix multiplications.  All functions take and
-return :class:`~repro.tensor.tensor.Tensor` objects and are differentiable.
+The raw forward arithmetic lives in the grad-free :mod:`repro.kernels`
+subpackage (im2col lowering, dense matmuls, pooling); the functions here are
+thin differentiable wrappers that call those kernels and attach the backward
+closures.  All functions take and return
+:class:`~repro.tensor.tensor.Tensor` objects.
 
 Layout convention: image tensors are NCHW (batch, channels, height, width),
 matching the paper's PyTorch reference implementation.
@@ -14,80 +16,11 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro import kernels
+from repro.kernels.conv import as_pair as _as_pair, col2im as _col2im, im2col as _im2col
 from repro.tensor.tensor import Tensor
 
 IntPair = Union[int, Tuple[int, int]]
-
-
-def _as_pair(value: IntPair) -> Tuple[int, int]:
-    if isinstance(value, tuple):
-        return value
-    return (value, value)
-
-
-def _im2col_indices(
-    input_shape: Tuple[int, int, int, int],
-    kernel_size: Tuple[int, int],
-    stride: Tuple[int, int],
-    padding: Tuple[int, int],
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Compute the gather indices used to lower a convolution to a matmul."""
-    batch, channels, height, width = input_shape
-    kernel_h, kernel_w = kernel_size
-    stride_h, stride_w = stride
-    pad_h, pad_w = padding
-
-    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
-    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"convolution output size would be non-positive for input {input_shape}, "
-            f"kernel {kernel_size}, stride {stride}, padding {padding}"
-        )
-
-    i0 = np.repeat(np.arange(kernel_h), kernel_w)
-    i0 = np.tile(i0, channels)
-    i1 = stride_h * np.repeat(np.arange(out_h), out_w)
-    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
-    j1 = stride_w * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
-    return k, i, j, out_h, out_w
-
-
-def _im2col(
-    array: np.ndarray,
-    kernel_size: Tuple[int, int],
-    stride: Tuple[int, int],
-    padding: Tuple[int, int],
-) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray], int, int]:
-    pad_h, pad_w = padding
-    padded = np.pad(array, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
-    k, i, j, out_h, out_w = _im2col_indices(array.shape, kernel_size, stride, padding)
-    cols = padded[:, k, i, j]  # (batch, C*kh*kw, out_h*out_w)
-    return cols, (k, i, j), out_h, out_w
-
-
-def _col2im(
-    cols: np.ndarray,
-    input_shape: Tuple[int, int, int, int],
-    indices: Tuple[np.ndarray, np.ndarray, np.ndarray],
-    padding: Tuple[int, int],
-) -> np.ndarray:
-    batch, channels, height, width = input_shape
-    pad_h, pad_w = padding
-    k, i, j = indices
-    padded = np.zeros((batch, channels, height + 2 * pad_h, width + 2 * pad_w), dtype=cols.dtype)
-    np.add.at(padded, (slice(None), k, i, j), cols)
-    if pad_h == 0 and pad_w == 0:
-        return padded
-    return padded[
-        :,
-        :,
-        pad_h : pad_h + height,
-        pad_w : pad_w + width,
-    ]
 
 
 def conv2d(
@@ -118,10 +51,12 @@ def conv2d(
             f"input has {x.data.shape[1]} channels but weight expects {in_channels}"
         )
 
-    cols, indices, out_h, out_w = _im2col(x.data, (kernel_h, kernel_w), stride_pair, padding_pair)
+    cols, indices, out_h, out_w = _im2col(
+        x.data, (kernel_h, kernel_w), stride_pair, padding_pair
+    )
     weight_matrix = weight.data.reshape(out_channels, -1)
     # (batch, C_out, out_h*out_w)
-    out = np.einsum("of,bfp->bop", weight_matrix, cols, optimize=True)
+    out = kernels.matmul_cols(weight_matrix, cols)
     if bias is not None:
         out = out + bias.data.reshape(1, -1, 1)
     out = out.reshape(x.data.shape[0], out_channels, out_h, out_w)
@@ -140,7 +75,9 @@ def conv2d(
             x._accumulate_grad(_col2im(grad_cols, input_shape, indices, padding_pair))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out, parents, backward, "conv2d")
+    return Tensor._make(
+        out, parents, backward, "conv2d", ctx={"stride": stride_pair, "padding": padding_pair}
+    )
 
 
 def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
@@ -148,16 +85,9 @@ def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None
     kernel = _as_pair(kernel_size)
     stride_pair = _as_pair(stride) if stride is not None else kernel
     batch, channels, height, width = x.data.shape
-    kernel_h, kernel_w = kernel
-    stride_h, stride_w = stride_pair
-    out_h = (height - kernel_h) // stride_h + 1
-    out_w = (width - kernel_w) // stride_w + 1
-
-    reshaped = x.data.reshape(batch * channels, 1, height, width)
-    cols, indices, _, _ = _im2col(reshaped, kernel, stride_pair, (0, 0))
-    # cols: (batch*channels, kh*kw, out_h*out_w)
-    argmax = cols.argmax(axis=1)
-    out = cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+    out, cols, argmax, indices, reshaped_shape = kernels.max_pool2d_cols(
+        x.data, kernel, stride_pair
+    )
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
@@ -167,10 +97,12 @@ def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None
         rows = np.arange(cols.shape[0])[:, None]
         positions = np.arange(cols.shape[2])[None, :]
         grad_cols[rows, argmax, positions] = grad_flat
-        grad_input = _col2im(grad_cols, reshaped.shape, indices, (0, 0))
+        grad_input = _col2im(grad_cols, reshaped_shape, indices, (0, 0))
         x._accumulate_grad(grad_input.reshape(batch, channels, height, width))
 
-    return Tensor._make(out, (x,), backward, "max_pool2d")
+    return Tensor._make(
+        out, (x,), backward, "max_pool2d", ctx={"kernel_size": kernel, "stride": stride_pair}
+    )
 
 
 def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
@@ -178,25 +110,20 @@ def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None
     kernel = _as_pair(kernel_size)
     stride_pair = _as_pair(stride) if stride is not None else kernel
     batch, channels, height, width = x.data.shape
-    kernel_h, kernel_w = kernel
-    stride_h, stride_w = stride_pair
-    out_h = (height - kernel_h) // stride_h + 1
-    out_w = (width - kernel_w) // stride_w + 1
-
-    reshaped = x.data.reshape(batch * channels, 1, height, width)
-    cols, indices, _, _ = _im2col(reshaped, kernel, stride_pair, (0, 0))
-    out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
-    window = kernel_h * kernel_w
+    out, cols, indices, reshaped_shape = kernels.avg_pool2d_cols(x.data, kernel, stride_pair)
+    window = kernel[0] * kernel[1]
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
         grad_flat = grad.reshape(batch * channels, 1, -1)
         grad_cols = np.broadcast_to(grad_flat / window, cols.shape).copy()
-        grad_input = _col2im(grad_cols, reshaped.shape, indices, (0, 0))
+        grad_input = _col2im(grad_cols, reshaped_shape, indices, (0, 0))
         x._accumulate_grad(grad_input.reshape(batch, channels, height, width))
 
-    return Tensor._make(out, (x,), backward, "avg_pool2d")
+    return Tensor._make(
+        out, (x,), backward, "avg_pool2d", ctx={"kernel_size": kernel, "stride": stride_pair}
+    )
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

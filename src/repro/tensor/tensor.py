@@ -21,7 +21,8 @@ general-purpose framework.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,10 +30,61 @@ ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
 
 _GRAD_ENABLED = True
 
+#: Running count of operation-result tensors created via :meth:`Tensor._make`.
+#: A compiled execution plan must not construct any graph nodes; the runtime
+#: test-suite asserts this counter stays flat across ``plan.run``.
+_GRAPH_NODES_CREATED = 0
+
+#: Active operation trace (a list of :class:`OpRecord`) or ``None``.  Set by
+#: :func:`trace_ops`; consumed by the plan compiler in :mod:`repro.runtime`.
+_ACTIVE_TRACE: Optional[List["OpRecord"]] = None
+
 
 def is_grad_enabled() -> bool:
     """Return whether gradient recording is currently enabled."""
     return _GRAD_ENABLED
+
+
+def graph_nodes_created() -> int:
+    """Total operation-result tensors ever created (a monotonic counter).
+
+    Diff two readings around a code region to count how many autograd-graph
+    nodes it built; a compiled :class:`~repro.runtime.plan.ExecutionPlan`
+    builds exactly zero.
+    """
+    return _GRAPH_NODES_CREATED
+
+
+@dataclass
+class OpRecord:
+    """One traced operation: its name, result, inputs and static parameters."""
+
+    op: str
+    out: "Tensor"
+    parents: Tuple["Tensor", ...]
+    ctx: Dict[str, object] = field(default_factory=dict)
+
+
+@contextlib.contextmanager
+def trace_ops():
+    """Record every tensor operation executed inside the block.
+
+    Yields the list the records are appended to.  Gradient recording is
+    forced *on* for the duration so operations keep their parent links and no
+    module takes a grad-free fast path that would hide ops from the trace;
+    nothing calls ``backward`` so no gradients are accumulated.
+    """
+    global _ACTIVE_TRACE, _GRAD_ENABLED
+    previous_trace = _ACTIVE_TRACE
+    previous_grad = _GRAD_ENABLED
+    records: List[OpRecord] = []
+    _ACTIVE_TRACE = records
+    _GRAD_ENABLED = True
+    try:
+        yield records
+    finally:
+        _ACTIVE_TRACE = previous_trace
+        _GRAD_ENABLED = previous_grad
 
 
 @contextlib.contextmanager
@@ -164,12 +216,22 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
         op: str,
+        ctx: Optional[Dict[str, object]] = None,
     ) -> "Tensor":
-        """Create a result tensor, wiring up the backward closure if needed."""
+        """Create a result tensor, wiring up the backward closure if needed.
+
+        ``ctx`` carries the operation's static parameters (stride, axes, ...)
+        for the benefit of an active :func:`trace_ops` block; it is not
+        stored on the tensor.
+        """
+        global _GRAPH_NODES_CREATED
+        _GRAPH_NODES_CREATED += 1
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=requires, _parents=parents if requires else (), _op=op)
         if requires:
             out._backward = backward
+        if _ACTIVE_TRACE is not None:
+            _ACTIVE_TRACE.append(OpRecord(op=op, out=out, parents=tuple(parents), ctx=ctx or {}))
         return out
 
     def _accumulate_grad(self, grad: np.ndarray) -> None:
@@ -293,7 +355,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(data, (self,), backward, "pow")
+        return Tensor._make(data, (self,), backward, "pow", ctx={"exponent": exponent})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -363,7 +425,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * mask)
 
-        return Tensor._make(data, (self,), backward, "clamp")
+        return Tensor._make(
+            data, (self,), backward, "clamp", ctx={"min": min_value, "max": max_value}
+        )
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
@@ -393,7 +457,7 @@ class Tensor:
                 expanded = np.expand_dims(grad, axis)
             self._accumulate_grad(np.broadcast_to(expanded, self.data.shape))
 
-        return Tensor._make(data, (self,), backward, "sum")
+        return Tensor._make(data, (self,), backward, "sum", ctx={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -424,7 +488,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate_grad(expanded_grad * mask / np.maximum(counts, 1))
 
-        return Tensor._make(data, (self,), backward, "max")
+        return Tensor._make(data, (self,), backward, "max", ctx={"axis": axis, "keepdims": keepdims})
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -454,7 +518,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward, "transpose")
+        return Tensor._make(data, (self,), backward, "transpose", ctx={"axes": axes})
 
     @property
     def T(self) -> "Tensor":

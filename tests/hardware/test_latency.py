@@ -96,3 +96,27 @@ class TestLatencyModel:
             model.epoch_seconds(-1, 32, {})
         with pytest.raises(ValueError):
             model.training_seconds(0, 10, 32, {})
+
+
+class TestInferenceLatency:
+    def test_forward_only_is_faster_than_training_iteration(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        forward = {layer.name: 8 for layer in profile.layers}
+        training = _uniform_bits(profile, 8)
+        assert model.inference_seconds(32, forward) < model.iteration_seconds(32, training)
+
+    def test_lower_bits_not_slower(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        t8 = model.inference_seconds(16, {layer.name: 8 for layer in profile.layers})
+        t32 = model.inference_seconds(16, {layer.name: 32 for layer in profile.layers})
+        assert t8 <= t32
+
+    def test_missing_layers_default_to_fp32(self, profile, compute):
+        model = LatencyModel(profile, compute)
+        assert model.inference_seconds(4, {}) == pytest.approx(
+            model.inference_seconds(4, {layer.name: 32 for layer in profile.layers})
+        )
+
+    def test_batch_size_validation(self, profile, compute):
+        with pytest.raises(ValueError):
+            LatencyModel(profile, compute).inference_seconds(0, {})

@@ -140,3 +140,37 @@ class TestEnergyMeter:
     def test_layer_bits_validation(self):
         with pytest.raises(ValueError):
             LayerBits(0, 8)
+
+
+class TestInferenceEnergy:
+    @pytest.fixture
+    def profile(self, rng):
+        return profile_model(MLP(in_features=8, num_classes=4, hidden=(16,), rng=rng), (8,))
+
+    def test_scales_linearly_with_samples(self, profile):
+        from repro.hardware import inference_energy_pj
+
+        one = inference_energy_pj(profile, {}, 1)
+        ten = inference_energy_pj(profile, {}, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_quantised_inference_cheaper(self, profile):
+        from repro.hardware import inference_energy_pj
+
+        low = inference_energy_pj(profile, {layer.name: 4 for layer in profile.layers}, 8)
+        high = inference_energy_pj(profile, {layer.name: 32 for layer in profile.layers}, 8)
+        assert low < high * 0.25
+
+    def test_forward_only_less_than_training_epoch(self, profile):
+        from repro.hardware import EnergyMeter, inference_energy_pj
+
+        bits = {layer.name: LayerBits(8, 8) for layer in profile.layers}
+        epoch = EnergyMeter(profile).record_epoch(0, 64, bits).total_pj
+        forward = inference_energy_pj(profile, {layer.name: 8 for layer in profile.layers}, 64)
+        assert forward < epoch
+
+    def test_negative_samples_rejected(self, profile):
+        from repro.hardware import inference_energy_pj
+
+        with pytest.raises(ValueError):
+            inference_energy_pj(profile, {}, -1)

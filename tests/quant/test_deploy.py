@@ -9,7 +9,9 @@ from repro.models import MLP, TinyConvNet
 from repro.quant import (
     export_quantized_model,
     export_size_report,
+    load_export,
     load_into_model,
+    save_export,
 )
 from repro.tensor import Tensor
 
@@ -99,6 +101,40 @@ class TestRoundTrip:
         other = MLP(in_features=4, num_classes=2, hidden=(3,), rng=np.random.default_rng(0))
         with pytest.raises((KeyError, ValueError)):
             load_into_model(export, other)
+
+
+class TestSaveLoadExport:
+    def test_disk_round_trip_is_exact(self, rng, tmp_path):
+        conv = TinyConvNet(in_channels=1, num_classes=3, width=4, rng=rng)
+        export = export_quantized_model(conv, _weight_bits(conv, 5))
+        path = save_export(export, tmp_path / "model.npz")
+        loaded = load_export(path)
+        assert set(loaded.quantized) == set(export.quantized)
+        for name, tensor in export.quantized.items():
+            assert loaded.quantized[name] == tensor
+        for name, array in export.float_parameters.items():
+            np.testing.assert_array_equal(loaded.float_parameters[name], array)
+        for name, array in export.buffers.items():
+            np.testing.assert_array_equal(loaded.buffers[name], array)
+
+    def test_codes_stored_as_integers(self, model, tmp_path):
+        export = export_quantized_model(model, _weight_bits(model, 6))
+        path = save_export(export, tmp_path / "mlp")
+        assert path.suffix == ".npz"
+        loaded = load_export(tmp_path / "mlp")
+        for tensor in loaded.quantized.values():
+            assert np.issubdtype(tensor.codes.dtype, np.integer)
+            assert tensor.bits == 6
+
+    def test_loaded_export_drives_quantized_plan(self, rng, tmp_path):
+        from repro.runtime import compile_quantized_plan
+
+        conv = TinyConvNet(in_channels=1, num_classes=3, width=4, rng=rng)
+        export = export_quantized_model(conv, _weight_bits(conv, 8))
+        path = save_export(export, tmp_path / "conv.npz")
+        plan = compile_quantized_plan(conv, load_export(path), (1, 12, 12))
+        logits = plan.run(np.random.default_rng(0).normal(size=(2, 1, 12, 12)))
+        assert logits.shape == (2, 3)
 
 
 class TestSizeReport:

@@ -1,0 +1,228 @@
+"""Micro-batching engine: batching policy, accounting, results."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import EnergyModel, profile_model
+from repro.hardware.latency import COMPUTE_PROFILES
+from repro.models import build_model
+from repro.runtime import compile_plan
+from repro.serve import MicroBatchServer, run_serve_bench
+from repro.tensor import Tensor, no_grad
+
+
+class FakeClock:
+    """Manually advanced time source for deterministic latency tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def served_model():
+    model = build_model("tiny_convnet", num_classes=5, in_channels=1, rng=np.random.default_rng(0))
+    shape = (1, 12, 12)
+    return model, shape, compile_plan(model, shape)
+
+
+def _samples(shape, count, seed=0):
+    return np.random.default_rng(seed).normal(size=(count,) + shape)
+
+
+class TestBatchingPolicy:
+    def test_full_batch_dispatches(self, served_model):
+        _, shape, plan = served_model
+        clock = FakeClock()
+        server = MicroBatchServer(
+            plan, max_batch_size=4, max_queue_delay_s=100.0, clock=clock
+        )
+        for sample in _samples(shape, 3):
+            server.submit(sample)
+        assert server.step() == []  # 3 < 4 pending, none has waited long enough
+        server.submit(_samples(shape, 1)[0])
+        results = server.step()
+        assert len(results) == 4
+        assert server.pending() == 0
+        assert {r.batch_size for r in results} == {4}
+
+    def test_delay_forces_partial_batch(self, served_model):
+        _, shape, plan = served_model
+        clock = FakeClock()
+        server = MicroBatchServer(plan, max_batch_size=8, max_queue_delay_s=0.5, clock=clock)
+        server.submit(_samples(shape, 1)[0])
+        assert server.step() == []
+        clock.advance(0.6)
+        results = server.step()
+        assert len(results) == 1
+        assert results[0].queue_seconds == pytest.approx(0.6)
+
+    def test_drain_flushes_everything_in_batches(self, served_model):
+        _, shape, plan = served_model
+        server = MicroBatchServer(plan, max_batch_size=4, max_queue_delay_s=float("inf"))
+        for sample in _samples(shape, 10):
+            server.submit(sample)
+        results = server.drain()
+        assert len(results) == 10
+        assert server.pending() == 0
+        assert [record.size for record in server.batch_records] == [4, 4, 2]
+
+    def test_request_ids_are_stable_and_ordered(self, served_model):
+        _, shape, plan = served_model
+        server = MicroBatchServer(plan, max_batch_size=3)
+        ids = [server.submit(sample) for sample in _samples(shape, 5)]
+        results = server.drain()
+        assert [r.request_id for r in results] == ids
+
+    def test_submit_copies_the_sample(self, served_model):
+        model, shape, plan = served_model
+        server = MicroBatchServer(plan, max_batch_size=2, max_queue_delay_s=float("inf"))
+        buffer = np.zeros(shape)
+        first = np.random.default_rng(0).normal(size=shape)
+        buffer[...] = first
+        server.submit(buffer)
+        buffer[...] = 100.0  # front-end reuses its input buffer
+        server.submit(buffer)
+        results = server.drain()
+        model.eval()
+        with no_grad():
+            expected = model(Tensor(first[None])).data[0]
+        np.testing.assert_allclose(results[0].logits, expected, rtol=1e-6, atol=1e-8)
+
+    def test_rejects_wrong_shape_and_bad_config(self, served_model):
+        _, shape, plan = served_model
+        server = MicroBatchServer(plan)
+        with pytest.raises(ValueError, match="does not match"):
+            server.submit(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatchServer(plan, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_queue_delay_s"):
+            MicroBatchServer(plan, max_queue_delay_s=-1.0)
+
+
+class TestResultsAndAccounting:
+    def test_logits_match_module(self, served_model):
+        model, shape, plan = served_model
+        samples = _samples(shape, 6, seed=3)
+        server = MicroBatchServer(plan, max_batch_size=4)
+        for sample in samples:
+            server.submit(sample)
+        results = server.drain()
+        model.eval()
+        with no_grad():
+            expected = model(Tensor(samples)).data
+        got = np.stack([r.logits for r in results])
+        np.testing.assert_allclose(got, expected, rtol=1e-6, atol=1e-8)
+        assert all(r.prediction == int(np.argmax(r.logits)) for r in results)
+
+    def test_stats_totals(self, served_model):
+        _, shape, plan = served_model
+        server = MicroBatchServer(plan, max_batch_size=4, max_queue_delay_s=float("inf"))
+        for sample in _samples(shape, 9):
+            server.submit(sample)
+        server.drain()
+        stats = server.stats
+        assert stats.requests == 9
+        assert stats.batches == 3
+        assert stats.mean_batch_size == pytest.approx(3.0)
+        assert len(stats.latencies) == 9
+        assert stats.throughput_rps > 0
+        assert stats.latency_percentile(95) >= stats.latency_percentile(50)
+
+    def test_hardware_accounting_attached(self, served_model):
+        model, shape, plan = served_model
+        profile = profile_model(model, shape)
+        server = MicroBatchServer(
+            plan,
+            max_batch_size=4,
+            profile=profile,
+            energy_model=EnergyModel(),
+            compute_profile=COMPUTE_PROFILES["microcontroller"],
+        )
+        for sample in _samples(shape, 4):
+            server.submit(sample)
+        server.drain()
+        record = server.batch_records[0]
+        assert record.energy_pj is not None and record.energy_pj > 0
+        assert record.device_seconds is not None and record.device_seconds > 0
+        assert server.stats.energy_pj == pytest.approx(record.energy_pj)
+
+    def test_quantised_plan_costs_less_energy(self, served_model):
+        from repro.quant import export_quantized_model
+        from repro.runtime import compile_quantized_plan
+
+        model, shape, _ = served_model
+        profile = profile_model(model, shape)
+        export = export_quantized_model(model, {n: 4 for n, _ in model.named_parameters()})
+        qplan = compile_quantized_plan(model, export, shape)
+        fplan = compile_plan(model, shape)
+
+        def energy(plan):
+            server = MicroBatchServer(plan, max_batch_size=4, profile=profile)
+            for sample in _samples(shape, 4):
+                server.submit(sample)
+            server.drain()
+            return server.stats.energy_pj
+
+        assert energy(qplan) < energy(fplan) * 0.5
+
+
+class TestServeBench:
+    def test_report_structure(self, served_model):
+        model, shape, _ = served_model
+        report = run_serve_bench(
+            model, shape, bits_list=(8,), batch_size=4, requests=16, repeats=1
+        )
+        variants = [row.variant for row in report.rows]
+        assert variants == ["module-forward", "module-no-grad", "plan-fp32", "plan-8bit"]
+        assert report.row("plan-8bit").weight_kib < report.row("plan-fp32").weight_kib
+        assert report.row("module-forward").speedup_vs_module == 1.0
+        assert all(row.throughput_rps > 0 for row in report.rows)
+        assert len(report.format_rows()) == len(report.rows) + 2
+
+    def test_bench_restores_model_weights_and_mode(self, served_model):
+        model, shape, _ = served_model
+        model.train()
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        run_serve_bench(model, shape, bits_list=(4, 8), batch_size=4, requests=8,
+                        repeats=1, device=None)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        assert model.training
+
+    def test_bench_validates_sizes(self, served_model):
+        model, shape, _ = served_model
+        with pytest.raises(ValueError, match="repeats"):
+            run_serve_bench(model, shape, repeats=0, requests=4, device=None)
+        with pytest.raises(ValueError, match="requests"):
+            run_serve_bench(model, shape, requests=0, device=None)
+        with pytest.raises(ValueError, match="batch_size"):
+            run_serve_bench(model, shape, batch_size=0, requests=4, device=None)
+
+    def test_bench_variants_export_from_original_weights(self, served_model):
+        from repro.quant import export_quantized_model
+
+        model, shape, _ = served_model
+        # 8-bit after a lossy 4-bit variant must equal a clean 8-bit export.
+        clean = export_quantized_model(model, {n: 8 for n, _ in model.named_parameters()})
+        run_serve_bench(model, shape, bits_list=(4,), batch_size=4, requests=8,
+                        repeats=1, device=None)
+        after = export_quantized_model(model, {n: 8 for n, _ in model.named_parameters()})
+        for name, tensor in clean.quantized.items():
+            assert after.quantized[name] == tensor
+
+    def test_bench_with_prebuilt_export(self, served_model):
+        from repro.quant import export_quantized_model
+
+        model, shape, _ = served_model
+        export = export_quantized_model(model, {n: 6 for n, _ in model.named_parameters()})
+        report = run_serve_bench(
+            model, shape, export=export, batch_size=4, requests=12, repeats=1, device=None
+        )
+        assert report.row("plan-6bit").bits == 6
+        assert report.row("plan-6bit").energy_uj_per_request is None

@@ -1,0 +1,62 @@
+"""Operation tracing and the graph-node counter."""
+
+import numpy as np
+
+from repro.tensor import Tensor, graph_nodes_created, is_grad_enabled, no_grad, trace_ops
+
+
+class TestGraphNodeCounter:
+    def test_counts_op_results(self):
+        a = Tensor(np.ones(3))
+        before = graph_nodes_created()
+        _ = a + 1.0
+        _ = a * 2.0
+        assert graph_nodes_created() == before + 2
+
+    def test_counts_even_under_no_grad(self):
+        a = Tensor(np.ones(3))
+        before = graph_nodes_created()
+        with no_grad():
+            _ = a.relu()
+        assert graph_nodes_created() == before + 1
+
+    def test_plain_construction_not_counted(self):
+        before = graph_nodes_created()
+        Tensor(np.zeros(4))
+        assert graph_nodes_created() == before
+
+
+class TestTraceOps:
+    def test_records_ops_with_parents_and_ctx(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+        with trace_ops() as records:
+            b = a.relu()
+            c = b.sum(axis=1, keepdims=True)
+        assert [r.op for r in records] == ["relu", "sum"]
+        assert records[0].parents == (a,)
+        assert records[1].ctx == {"axis": 1, "keepdims": True}
+        assert records[1].out is c
+
+    def test_trace_forces_grad_on_and_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with trace_ops():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_no_recording_outside_block(self):
+        a = Tensor(np.ones(2))
+        with trace_ops() as records:
+            _ = a + 1.0
+        _ = a + 2.0
+        assert len(records) == 1
+
+    def test_nested_traces_are_independent(self):
+        a = Tensor(np.ones(2))
+        with trace_ops() as outer:
+            _ = a + 1.0
+            with trace_ops() as inner:
+                _ = a * 3.0
+            _ = a - 1.0
+        assert [r.op for r in inner] == ["mul"]
+        assert [r.op for r in outer] == ["add", "sub"]

@@ -148,12 +148,85 @@ class TestExperimentOrchestrationFlags:
         assert capsys.readouterr().out == serial_out
 
 
+class TestServeBenchCommand:
+    def _argv(self, *extra):
+        return [
+            "--model", "tiny_convnet", "--requests", "12", "--batch-size", "4",
+            "--repeats", "1", *extra,
+        ]
+
+    def test_runs_and_prints_rows(self, capsys):
+        assert cli.run_serve_bench(self._argv()) == 0
+        out = capsys.readouterr().out
+        assert "module-forward" in out
+        assert "plan-fp32" in out
+        assert "plan-8bit" in out and "plan-4bit" in out
+
+    def test_bits_flag_selects_variants(self, capsys):
+        assert cli.run_serve_bench(self._argv("--bits", "6")) == 0
+        out = capsys.readouterr().out
+        assert "plan-6bit" in out
+        assert "plan-8bit" not in out
+
+    def test_bad_bits_flag(self, capsys):
+        assert cli.run_serve_bench(self._argv("--bits", "eight")) == 2
+
+    def test_device_none_skips_energy(self, capsys):
+        assert cli.run_serve_bench(self._argv("--device", "none")) == 0
+
+    def test_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.json"
+        assert cli.run_serve_bench(self._argv("--json-out", str(out_path))) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert {row["variant"] for row in payload["rows"]} >= {"module-forward", "plan-fp32"}
+
+    def test_mismatched_export_fails_cleanly(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.models import build_model
+        from repro.quant import export_quantized_model, save_export
+
+        conv = build_model("tiny_convnet", num_classes=10, in_channels=1,
+                           rng=np.random.default_rng(0))
+        export = export_quantized_model(conv, {n: 8 for n, _ in conv.named_parameters()})
+        path = save_export(export, tmp_path / "conv.npz")
+        argv = ["--model", "mlp", "--in-channels", "8", "--export", str(path),
+                "--requests", "8", "--batch-size", "4", "--repeats", "1"]
+        assert cli.run_serve_bench(argv) == 2
+        assert "serve-bench failed" in capsys.readouterr().err
+
+    def test_missing_checkpoint_fails_cleanly(self, capsys):
+        assert cli.run_serve_bench(self._argv("--checkpoint", "/nonexistent.npz")) == 2
+        assert "cannot load model artifact" in capsys.readouterr().err
+
+    def test_serves_saved_export(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.models import build_model
+        from repro.quant import export_quantized_model, save_export
+
+        model = build_model("tiny_convnet", num_classes=10, in_channels=1,
+                            rng=np.random.default_rng(0))
+        export = export_quantized_model(model, {n: 5 for n, _ in model.named_parameters()})
+        path = save_export(export, tmp_path / "export.npz")
+        assert cli.run_serve_bench(self._argv("--export", str(path))) == 0
+        assert "plan-5bit" in capsys.readouterr().out
+
+
 class TestMainDispatch:
     def test_train_dispatch(self, capsys):
         assert cli.main(["train", "--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"]) == 0
 
     def test_experiment_dispatch(self, capsys):
         assert cli.main(["experiment", "fig3", "--scale", "smoke", "--epochs", "1"]) == 0
+
+    def test_serve_bench_dispatch(self, capsys):
+        argv = ["serve-bench", "--model", "mlp", "--in-channels", "8",
+                "--requests", "8", "--batch-size", "4", "--repeats", "1", "--bits", "8"]
+        assert cli.main(argv) == 0
+        assert "plan-8bit" in capsys.readouterr().out
 
     def test_help(self, capsys):
         assert cli.main([]) == 0
