@@ -1,4 +1,4 @@
-"""Serve quickstart: train -> export -> compile a plan -> serve a batch.
+"""Serve quickstart: train -> export -> compile -> serve -> scale out.
 
 The full deployment path this library now supports end to end:
 
@@ -7,7 +7,11 @@ The full deployment path this library now supports end to end:
 3. compile the export into a quantised ExecutionPlan -- integer weights,
    batch norm folded into the convolutions, zero autograd at run time,
 4. serve a batch of requests through the micro-batching engine and compare
-   throughput / agreement with the training-stack Module forward.
+   throughput / agreement with the training-stack Module forward,
+5. scale out: register the model's bitwidth variants in a ModelRepository
+   and serve the same test set through the concurrent InferenceService --
+   a worker-pool of threads sharing one immutable plan per variant, with
+   per-request precision-aware SLO routing.
 
 Runs in well under a minute on a laptop CPU:
 
@@ -27,7 +31,13 @@ from repro.hardware.latency import COMPUTE_PROFILES
 from repro.models import build_model
 from repro.quant import export_quantized_model
 from repro.runtime import compile_quantized_plan
-from repro.serve import MicroBatchServer
+from repro.serve import (
+    InferenceService,
+    MicroBatchServer,
+    ModelRepository,
+    QueuePolicy,
+    RequestSLO,
+)
 from repro.tensor import Tensor, no_grad
 
 
@@ -100,6 +110,34 @@ def main() -> None:
     agree = np.argmax(plan_logits, axis=1) == np.argmax(module_logits, axis=1)
     print(f"\nplan vs module on one batch: {agree.mean():.0%} prediction agreement, "
           f"{module_seconds / plan_seconds:.1f}x faster than the Module forward")
+
+    # 5. Scale out: the concurrent multi-variant service.  The repository
+    # holds the APT export alongside the fp32 plan; each worker thread owns
+    # its own buffer arena over the *same* immutable plans, and every
+    # request is routed to the cheapest bitwidth variant meeting its SLO.
+    repo = ModelRepository()
+    repo.add_model("digits", model, (1, 12, 12))
+    apt_bits = repo.add_export("digits", export)
+    service = InferenceService(
+        repo,
+        workers=2,
+        queue_policy=QueuePolicy(max_batch_size=32, max_queue_delay_s=0.0, max_depth=512),
+        compute_profile=COMPUTE_PROFILES["smartphone_npu"],
+    )
+    slo = RequestSLO(min_bits=4)  # quality floor; router picks the cheapest >= 4 bits
+    with service:
+        futures = [
+            service.submit("digits", test_set[index][0], slo)
+            for index in range(len(test_set))
+        ]
+        routed = [future.result(timeout=10.0) for future in futures]
+    predictions = np.array([r.prediction for r in routed])
+    stats = service.stats
+    print(f"\nconcurrent service: {stats.requests} requests in {stats.batches} batches "
+          f"over 2 workers, all routed to the {routed[0].bits}-bit variant "
+          f"(APT export stores {apt_bits} bits max)")
+    print(f"accuracy through the service: {(predictions == labels).mean():.3f}   "
+          f"p95 latency {stats.latency_percentile(95) * 1e3:.2f} ms")
 
 
 if __name__ == "__main__":

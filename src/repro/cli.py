@@ -32,13 +32,20 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
     Compile a model into execution plans (float, and quantised at each
     requested bitwidth -- or from a saved export / checkpoint) and report
     serving throughput, latency and analytic energy per request against the
-    training-stack Module forward.
+    training-stack Module forward.  With ``--workers`` the bench switches
+    to the concurrent :class:`~repro.serve.service.InferenceService` and
+    reports throughput scaling across worker-pool sizes instead;
+    ``--model`` then accepts a comma-separated list to exercise multi-model
+    scheduling.
 
     .. code-block:: bash
 
         python -m repro.cli serve-bench --model tiny_convnet --bits 8,4
         python -m repro.cli serve-bench --model small_convnet --batch-size 32
         python -m repro.cli serve-bench --model tiny_convnet --export model.npz
+        python -m repro.cli serve-bench --model tiny_convnet --workers 1,4
+        python -m repro.cli serve-bench --model tiny_convnet,small_convnet \
+            --workers 2 --scaling-bits 8
 """
 
 from __future__ import annotations
@@ -347,7 +354,12 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--model", default="tiny_convnet", choices=available_models(), help="registry model"
+        "--model",
+        default="tiny_convnet",
+        help=(
+            "registry model; with --workers a comma-separated list serves "
+            f"multiple models concurrently (known: {', '.join(available_models())})"
+        ),
     )
     parser.add_argument("--num-classes", type=int, default=10)
     parser.add_argument("--in-channels", type=int, default=1)
@@ -370,6 +382,19 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=256, help="synthetic requests per variant")
     parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best wins)")
     parser.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "comma-separated worker-pool sizes (e.g. 1,4): run the concurrent "
+            "multi-worker scaling bench instead of the per-bitwidth comparison"
+        ),
+    )
+    parser.add_argument(
+        "--scaling-bits",
+        default="fp32",
+        help="bitwidth variant served by the scaling bench: 'fp32' or an integer",
+    )
+    parser.add_argument(
         "--device",
         default="smartphone_npu",
         choices=sorted(COMPUTE_PROFILES) + ["none"],
@@ -380,24 +405,125 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
+def _run_scaling_bench(args, model_names: List[str]) -> int:
     import numpy as np
 
     from repro.models import build_model
+    from repro.serve import run_scaling_bench
+
+    try:
+        workers_list = [int(value) for value in args.workers.split(",") if value.strip()]
+    except ValueError:
+        print(f"--workers must be a comma-separated list of integers, got {args.workers!r}",
+              file=sys.stderr)
+        return 2
+    if not workers_list or any(workers < 1 for workers in workers_list):
+        print(f"--workers entries must be positive, got {args.workers!r}", file=sys.stderr)
+        return 2
+    if args.scaling_bits == "fp32":
+        scaling_bits = None
+    else:
+        try:
+            scaling_bits = int(args.scaling_bits)
+        except ValueError:
+            print(f"--scaling-bits must be 'fp32' or an integer, got {args.scaling_bits!r}",
+                  file=sys.stderr)
+            return 2
+
+    ignored = []
+    if args.bits != "8,4":
+        ignored.append("--bits (use --scaling-bits)")
+    if args.device != "smartphone_npu":
+        ignored.append("--device")
+    if ignored:
+        print(f"note: {', '.join(ignored)} ignored by the --workers scaling bench",
+              file=sys.stderr)
+
+    models = {}
+    for index, name in enumerate(model_names):
+        module = build_model(
+            name,
+            num_classes=args.num_classes,
+            width_multiplier=args.width_multiplier,
+            in_channels=args.in_channels,
+            rng=np.random.default_rng(args.seed + index),
+        )
+        if name == "mlp":
+            shape = (args.in_channels,)
+        else:
+            shape = (args.in_channels, args.image_size, args.image_size)
+        models[name] = (module, shape)
+
+    try:
+        report = run_scaling_bench(
+            models,
+            bits=scaling_bits,
+            workers_list=workers_list,
+            batch_size=args.batch_size,
+            requests=args.requests,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        # e.g. --scaling-bits outside the quantiser's supported range.
+        print(f"serve-bench failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serve-bench scaling: models={','.join(report.models)} "
+        f"variant={'fp32' if report.bits is None else f'{report.bits}bit'} "
+        f"batch={report.batch_size} requests={report.requests}"
+    )
+    for line in report.format_rows():
+        print(line)
+    if args.json_out:
+        path = dump_json({"rows": [vars(row) for row in report.rows]}, args.json_out)
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
+    import numpy as np
+
+    from repro.models import available_models, build_model
     from repro.quant.deploy import load_export
     from repro.serve import run_serve_bench as serve_bench
     from repro.train.serialization import load_checkpoint
 
     args = build_serve_bench_parser().parse_args(argv)
+    model_names = [name for name in args.model.split(",") if name.strip()]
+    unknown = [name for name in model_names if name not in available_models()]
+    if not model_names or unknown:
+        print(
+            f"unknown model(s) {unknown or args.model!r}; "
+            f"known: {', '.join(available_models())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None:
+        if args.export or args.checkpoint:
+            # The scaling bench rebuilds models from the registry; silently
+            # benchmarking fresh weights while the user thinks their
+            # artifact is being served would be misleading.
+            print(
+                "--export/--checkpoint are not supported by the --workers "
+                "scaling bench (it synthesises variants via --scaling-bits)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_scaling_bench(args, model_names)
+    if len(model_names) > 1:
+        print("multiple --model values need --workers (the scaling bench)", file=sys.stderr)
+        return 2
+
     rng = np.random.default_rng(args.seed)
     model = build_model(
-        args.model,
+        model_names[0],
         num_classes=args.num_classes,
         width_multiplier=args.width_multiplier,
         in_channels=args.in_channels,
         rng=rng,
     )
-    if args.model == "mlp":
+    if model_names[0] == "mlp":
         input_shape = (args.in_channels,)
     else:
         input_shape = (args.in_channels, args.image_size, args.image_size)
@@ -406,7 +532,8 @@ def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
             load_checkpoint(model, args.checkpoint)
             print(f"loaded checkpoint {args.checkpoint}")
         export = load_export(args.export) if args.export else None
-    except FileNotFoundError as error:
+    except (FileNotFoundError, KeyError, ValueError) as error:
+        # Missing file, architecture mismatch, or unsupported export format.
         print(f"cannot load model artifact: {error}", file=sys.stderr)
         return 2
 

@@ -33,6 +33,8 @@ from repro.quant.schemes import (
 )
 from repro.quant.activation import ActivationQuantizer, QuantizedActivation
 from repro.quant.deploy import (
+    EXPORT_FORMAT_VERSION,
+    ExportFormatError,
     QuantizedModelExport,
     export_quantized_model,
     export_size_report,
@@ -62,6 +64,8 @@ __all__ = [
     "stochastic_round",
     "ActivationQuantizer",
     "QuantizedActivation",
+    "EXPORT_FORMAT_VERSION",
+    "ExportFormatError",
     "QuantizedModelExport",
     "export_quantized_model",
     "export_size_report",

@@ -21,6 +21,7 @@ accuracy measured during training.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,6 +32,17 @@ import numpy as np
 from repro.nn.module import Module
 from repro.quant.affine import FLOAT_BITS_THRESHOLD, AffineQParams
 from repro.quant.qtensor import QuantizedTensor
+
+#: On-disk format version written by :func:`save_export`.  Bump whenever the
+#: archive layout changes incompatibly; :func:`load_export` rejects versions
+#: it does not know how to read.  Version 1 is the pre-versioned layout
+#: (no ``__meta__`` entry); version 2 added ``__meta__`` with the format
+#: version and the export's content hash.
+EXPORT_FORMAT_VERSION = 2
+
+
+class ExportFormatError(ValueError):
+    """Raised when an export archive's format version is not supported."""
 
 
 @dataclass
@@ -53,6 +65,41 @@ class QuantizedModelExport:
 
     def parameter_names(self) -> List[str]:
         return sorted(list(self.quantized) + list(self.float_parameters))
+
+    def content_hash(self) -> str:
+        """Deterministic sha256 over everything that defines the export.
+
+        Two exports hash equal iff they hold the same parameter names,
+        integer codes, affine parameters, float leftovers and buffers.
+        The hash covers parameter *values*, not model topology; the plan
+        cache (:class:`repro.runtime.PlanCache`) pairs it with an
+        architecture fingerprint when keying compiled plans.
+        :func:`save_export` persists the hash so a reloaded archive keeps
+        its identity and corruption is detected on load.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self.quantized):
+            tensor = self.quantized[name]
+            digest.update(name.encode("utf-8"))
+            digest.update(
+                json.dumps(
+                    {
+                        "scale": float(tensor.qparams.scale),
+                        "zero_point": int(tensor.qparams.zero_point),
+                        "bits": int(tensor.qparams.bits),
+                        "shape": list(tensor.codes.shape),
+                        "dtype": tensor.codes.dtype.str,
+                    },
+                    sort_keys=True,
+                ).encode("utf-8")
+            )
+            digest.update(np.ascontiguousarray(tensor.codes).tobytes())
+        for section, arrays in (("float", self.float_parameters), ("buffer", self.buffers)):
+            for name in sorted(arrays):
+                array = np.ascontiguousarray(arrays[name])
+                digest.update(f"{section}/{name}:{array.dtype.str}:{array.shape}".encode("utf-8"))
+                digest.update(array.tobytes())
+        return digest.hexdigest()
 
 
 def export_quantized_model(
@@ -114,7 +161,11 @@ def save_export(export: QuantizedModelExport, path: Union[str, Path]) -> Path:
 
     Integer codes are stored as integers (not dequantised floats), so the
     artifact on disk is the same thing the runtime executes: per-layer codes
-    plus affine parameters, with float leftovers alongside.
+    plus affine parameters, with float leftovers alongside.  The archive
+    carries a ``__meta__`` entry with the format version and the export's
+    :meth:`~QuantizedModelExport.content_hash`, so caches keyed on the hash
+    (plan cache, model repository) survive a save/load round trip and stale
+    or foreign archives are detected on load.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -132,17 +183,37 @@ def save_export(export: QuantizedModelExport, path: Union[str, Path]) -> Path:
     for name, array in export.buffers.items():
         arrays[f"buffer/{name}"] = array
     arrays["__qparams__"] = np.frombuffer(json.dumps(qparams).encode("utf-8"), dtype=np.uint8)
+    meta = {"format_version": EXPORT_FORMAT_VERSION, "content_hash": export.content_hash()}
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     np.savez(path, **arrays)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_export(path: Union[str, Path]) -> QuantizedModelExport:
-    """Read an export previously written by :func:`save_export`."""
+    """Read an export previously written by :func:`save_export`.
+
+    Archives without a ``__meta__`` entry are accepted as format version 1
+    (written before versioning existed); any other unknown version raises
+    :class:`ExportFormatError`.  A version-2 archive whose stored content
+    hash does not match the reloaded data raises :class:`ExportFormatError`
+    too -- the file was corrupted or hand-edited.
+    """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     export = QuantizedModelExport()
     with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" in archive.files:
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        else:
+            meta = {"format_version": 1}
+        version = meta.get("format_version")
+        if version not in (1, EXPORT_FORMAT_VERSION):
+            raise ExportFormatError(
+                f"export archive {path} has format version {version!r}; this "
+                f"build reads versions 1 and {EXPORT_FORMAT_VERSION} -- "
+                f"re-export the model with the current save_export"
+            )
         qparams = json.loads(bytes(archive["__qparams__"].tobytes()).decode("utf-8"))
         for key in archive.files:
             if key.startswith("codes/"):
@@ -160,6 +231,12 @@ def load_export(path: Union[str, Path]) -> QuantizedModelExport:
                 export.float_parameters[key[len("float/"):]] = archive[key]
             elif key.startswith("buffer/"):
                 export.buffers[key[len("buffer/"):]] = archive[key]
+    stored_hash = meta.get("content_hash")
+    if stored_hash is not None and stored_hash != export.content_hash():
+        raise ExportFormatError(
+            f"export archive {path} fails its content-hash check; the file "
+            f"is corrupted or was modified after save_export wrote it"
+        )
     return export
 
 

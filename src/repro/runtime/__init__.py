@@ -3,13 +3,23 @@
 Splits execution from autograd: :func:`compile_plan` lowers any
 :class:`~repro.nn.module.Module` into a static
 :class:`~repro.runtime.plan.ExecutionPlan` of grad-free kernel calls
-(constant-folded, batch-norm-fused, buffer-reusing), and
-:func:`compile_quantized_plan` builds the variant that executes a
+(constant-folded, batch-norm-fused), and :func:`compile_quantized_plan`
+builds the variant that executes a
 :class:`~repro.quant.deploy.QuantizedModelExport` directly from its integer
-codes.  The serving layer in :mod:`repro.serve` runs these plans.
+codes.
+
+Plans are immutable compiled artifacts; all per-execution mutable state (the
+slot environment and reused scratch buffers) lives in an
+:class:`~repro.runtime.plan.ExecutionContext` arena that ``run`` borrows, so
+one plan executes concurrently from any number of threads.  Compilation is
+serialised process-wide; :class:`~repro.runtime.cache.PlanCache` compiles
+each export (keyed by content hash) exactly once under concurrent lookups.
+The serving layer in :mod:`repro.serve` runs these plans.
 """
 
+from repro.runtime.cache import PlanCache
 from repro.runtime.plan import (
+    ExecutionContext,
     ExecutionPlan,
     PlanCompileError,
     compile_plan,
@@ -17,7 +27,9 @@ from repro.runtime.plan import (
 )
 
 __all__ = [
+    "ExecutionContext",
     "ExecutionPlan",
+    "PlanCache",
     "PlanCompileError",
     "compile_plan",
     "compile_quantized_plan",

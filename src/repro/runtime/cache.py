@@ -1,0 +1,144 @@
+"""Content-addressed cache of compiled quantised execution plans.
+
+Compiling a plan costs a traced forward pass plus lowering, and -- because
+tracing runs through the shared model object and thread-local instrumentation
+state -- it is serialised process-wide by the compile lock in
+:mod:`repro.runtime.plan`.  Serving stacks that hold many (model, bitwidth)
+variants therefore want to compile each variant exactly once and share the
+resulting (immutable, thread-safe) plan everywhere.
+
+:class:`PlanCache` provides that: entries are keyed by the **content hash**
+of the :class:`~repro.quant.deploy.QuantizedModelExport`
+(:meth:`~repro.quant.deploy.QuantizedModelExport.content_hash`) together
+with an :func:`architecture fingerprint <architecture_fingerprint>` of the
+model (module tree + layer geometry -- the export hash covers values, not
+topology), the per-sample input shape and the ``fold_affine`` flag.  Two
+exports holding identical codes for the same architecture share one plan no
+matter how they were produced (built in process, reloaded from ``.npz``,
+deduplicated across model repositories).  Under concurrent lookups of the
+same key, exactly one thread compiles while the others wait for its result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.nn.module import Module
+from repro.quant.deploy import QuantizedModelExport
+from repro.runtime.plan import ExecutionPlan, compile_quantized_plan
+
+PlanKey = Tuple[str, str, Tuple[int, ...], bool]
+
+#: Geometry attributes that change how a module lowers without changing its
+#: parameter values (two convs with identical weights but different strides
+#: compile to different plans).
+_GEOMETRY_ATTRS = ("kernel_size", "stride", "padding", "in_channels", "out_channels",
+                   "in_features", "out_features")
+
+
+def architecture_fingerprint(model: Module) -> str:
+    """Hash of the model's *structure*: module tree, types, layer geometry.
+
+    The export content hash covers parameter values; this covers topology,
+    so two architectures that happen to share parameter names and values
+    (e.g. the same conv stack at different strides) never share a plan.
+    """
+    digest = hashlib.sha256()
+    for name, module in model.named_modules():
+        digest.update(f"{name}:{type(module).__name__}".encode("utf-8"))
+        for attr in _GEOMETRY_ATTRS:
+            value = getattr(module, attr, None)
+            if value is not None:
+                digest.update(f":{attr}={value}".encode("utf-8"))
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+class PlanCache:
+    """Compile-once cache of quantised plans, safe for concurrent lookups.
+
+    The cache guarantees *exactly one* compilation per distinct key even
+    when many threads request it simultaneously: the first requester marks
+    the key in flight and compiles (under the global compile lock); the
+    rest block on an event and pick up the shared plan.  A failed
+    compilation clears the in-flight marker so a later request can retry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plans: Dict[PlanKey, ExecutionPlan] = {}
+        self._inflight: Dict[PlanKey, threading.Event] = {}
+        self.hits = 0
+        self.compiles = 0
+
+    @staticmethod
+    def key_for(
+        model: Module,
+        export: QuantizedModelExport,
+        input_shape: Tuple[int, ...],
+        fold_affine: bool = True,
+    ) -> PlanKey:
+        return (
+            architecture_fingerprint(model),
+            export.content_hash(),
+            tuple(input_shape),
+            bool(fold_affine),
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        """The cached plan for ``key``, or ``None`` (does not wait on in-flight)."""
+        with self._lock:
+            return self._plans.get(key)
+
+    def get_or_compile(
+        self,
+        model: Module,
+        export: QuantizedModelExport,
+        input_shape: Tuple[int, ...],
+        *,
+        fold_affine: bool = True,
+        validate: bool = True,
+    ) -> ExecutionPlan:
+        """The plan for ``export`` at ``input_shape``, compiling at most once.
+
+        ``model`` supplies the architecture -- it is part of the cache key
+        (structure fingerprint), compiles the plan on a miss, and is
+        restored to its own state after tracing (see
+        :func:`~repro.runtime.plan.compile_quantized_plan`).
+        """
+        key = self.key_for(model, export, input_shape, fold_affine)
+        while True:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self.hits += 1
+                    return plan
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    self.compiles += 1
+                    break
+            # Another thread is compiling this key; wait and re-check.
+            event.wait()
+        try:
+            plan = compile_quantized_plan(
+                model, export, input_shape, fold_affine=fold_affine, validate=validate
+            )
+            with self._lock:
+                self._plans[key] = plan
+            return plan
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()

@@ -21,18 +21,28 @@ slots:
   them, and the affine scale is applied at the kernel boundary (folded into
   the step's output scale), instead of dequantising the whole model back
   into float training buffers;
-* **buffer reuse** -- convolution and elementwise steps write into
-  step-owned buffers that are reused across calls, so steady-state serving
-  does not reallocate activations.
+* **buffer reuse** -- convolution and elementwise steps write into reused
+  scratch buffers, so steady-state serving does not reallocate activations.
 
 Plans are *snapshots*: weights are copied at compile time, and a plan is
 specialised to one per-sample input shape but polymorphic in the batch
 dimension.  Executing a plan constructs zero autograd-graph nodes
 (asserted in the test-suite via :func:`repro.tensor.graph_nodes_created`).
+
+Plans are also *immutable once compiled*: all mutable execution state (the
+slot environment and the per-step scratch buffers) lives in an
+:class:`ExecutionContext` arena, not on the plan or its steps.  ``run``
+borrows one -- the calling thread's own by default, or an explicit arena
+handed in by a worker pool -- so a single compiled plan is safely shared
+across any number of threads (each with its own context), which is what
+:mod:`repro.serve.workers` relies on.  Compilation, by contrast, goes
+through thread-local tracing state in :mod:`repro.tensor` and must be
+serialised; :class:`repro.runtime.cache.PlanCache` takes care of that.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -49,6 +59,13 @@ from repro.tensor import Tensor, trace_ops
 _PROBE_BATCH = 2
 
 Ref = Tuple[str, Union[int, np.ndarray]]  # ("slot", index) | ("const", array)
+
+#: Compilation is serialised process-wide: tracing records operations into
+#: thread-local state, but :func:`compile_quantized_plan` temporarily loads
+#: export values into the *shared* model object, so two concurrent
+#: compilations against one model would race on its parameters.  Execution
+#: of compiled plans takes no lock and scales across threads.
+_COMPILE_LOCK = threading.RLock()
 
 
 class PlanCompileError(RuntimeError):
@@ -69,17 +86,52 @@ def _smallest_int_dtype(low: int, high: int) -> np.dtype:
 
 
 # --------------------------------------------------------------------------- #
+# Execution state
+# --------------------------------------------------------------------------- #
+class ExecutionContext:
+    """Per-execution mutable state of one :class:`ExecutionPlan`.
+
+    Holds the slot environment the steps read and write, plus one scratch
+    buffer per step (the buffer arena).  The plan itself stays immutable, so
+    any number of contexts -- one per worker thread -- can execute the same
+    plan concurrently.  A context is *not* itself thread-safe: it belongs to
+    exactly one executing thread at a time.
+    """
+
+    __slots__ = ("plan", "env", "_scratch")
+
+    def __init__(self, plan: "ExecutionPlan") -> None:
+        self.plan = plan
+        self.env: List[Optional[np.ndarray]] = [None] * plan.num_slots
+        self._scratch: List[Optional[np.ndarray]] = [None] * len(plan.steps)
+
+    def scratch(self, step: "Step", shape: Tuple[int, ...]) -> np.ndarray:
+        """The reusable float64 output buffer owned by ``step`` in this arena."""
+        buf = self._scratch[step.index]
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=np.float64)
+            self._scratch[step.index] = buf
+        return buf
+
+
+# --------------------------------------------------------------------------- #
 # Steps
 # --------------------------------------------------------------------------- #
 class Step:
-    """One kernel call: reads input slots / baked constants, writes ``out``."""
+    """One kernel call: reads input slots / baked constants, writes ``out``.
 
-    __slots__ = ("out",)
+    Steps are immutable after compilation (``index`` is assigned once by the
+    owning plan); all scratch space comes from the borrowed
+    :class:`ExecutionContext`.
+    """
+
+    __slots__ = ("out", "index")
 
     def __init__(self, out: int) -> None:
         self.out = out
+        self.index = -1  # assigned by ExecutionPlan
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         raise NotImplementedError
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
@@ -118,7 +170,6 @@ class ConvStep(Step, _AffineOutMixin):
         "out_shift",
         "bits",
         "param_name",
-        "_buf",
     )
 
     def __init__(
@@ -145,17 +196,12 @@ class ConvStep(Step, _AffineOutMixin):
         self.out_shift = out_shift
         self.bits = bits
         self.param_name = param_name
-        self._buf: Optional[np.ndarray] = None
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         x = env[self.x]
         cols, _, out_h, out_w = kernels.im2col(x, self.kernel_size, self.stride, self.padding)
         shape = (x.shape[0], self.out_channels, out_h * out_w)
-        if self._buf is None or self._buf.shape != shape:
-            self._buf = np.empty(shape, dtype=np.float64)
-        raw = kernels.matmul_cols(self.weight_matrix, cols, out=self._buf)
-        if raw is not self._buf:
-            self._buf = raw  # integer weights: numpy picked the result buffer
+        raw = kernels.matmul_cols(self.weight_matrix, cols, out=ctx.scratch(self, shape))
         out = raw.reshape(x.shape[0], self.out_channels, out_h, out_w)
         env[self.out] = self._apply_affine(out)
 
@@ -191,8 +237,13 @@ class LinearStep(Step, _AffineOutMixin):
         self.bits = bits
         self.param_name = param_name
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
-        raw = env[self.x] @ self.weight
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
+        x = env[self.x]
+        if x.ndim == 2 and np.result_type(x, self.weight) == np.float64:
+            shape = (x.shape[0], self.weight.shape[1])
+            raw = np.matmul(x, self.weight, out=ctx.scratch(self, shape))
+        else:
+            raw = x @ self.weight
         env[self.out] = self._apply_affine(raw)
 
     def describe(self) -> str:
@@ -211,7 +262,7 @@ class MatmulStep(Step):
         self.lhs = lhs
         self.rhs = rhs
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         env[self.out] = _resolve(self.lhs, env) @ _resolve(self.rhs, env)
 
 
@@ -232,43 +283,37 @@ _UNARY_UFUNCS = {
 
 
 class ElementwiseStep(Step):
-    """Broadcasted elementwise operation with a reusable output buffer."""
+    """Broadcasted elementwise operation writing into arena scratch."""
 
-    __slots__ = ("op", "inputs", "ctx", "_buf")
+    __slots__ = ("op", "inputs", "ctx")
 
     def __init__(self, out: int, op: str, inputs: Sequence[Ref], ctx: Dict[str, object]) -> None:
         super().__init__(out)
         self.op = op
         self.inputs = tuple(inputs)
         self.ctx = ctx
-        self._buf: Optional[np.ndarray] = None
 
-    def _out_buffer(self, shape: Tuple[int, ...]) -> np.ndarray:
-        if self._buf is None or self._buf.shape != shape:
-            self._buf = np.empty(shape, dtype=np.float64)
-        return self._buf
-
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         arrays = [_resolve(ref, env) for ref in self.inputs]
         op = self.op
         if op in _BINARY_UFUNCS:
             a, b = arrays
-            out = self._out_buffer(np.broadcast_shapes(a.shape, b.shape))
+            out = ctx.scratch(self, np.broadcast_shapes(a.shape, b.shape))
             env[self.out] = _BINARY_UFUNCS[op](a, b, out=out)
             return
         (x,) = arrays
         if op == "relu":
-            env[self.out] = np.maximum(x, 0.0, out=self._out_buffer(x.shape))
+            env[self.out] = np.maximum(x, 0.0, out=ctx.scratch(self, x.shape))
         elif op == "clamp":
             low = self.ctx.get("min")
             high = self.ctx.get("max")
-            env[self.out] = kernels.clamp(x, low, high, out=self._out_buffer(x.shape))
+            env[self.out] = kernels.clamp(x, low, high, out=ctx.scratch(self, x.shape))
         elif op == "pow":
-            env[self.out] = np.power(x, self.ctx["exponent"], out=self._out_buffer(x.shape))
+            env[self.out] = np.power(x, self.ctx["exponent"], out=ctx.scratch(self, x.shape))
         elif op == "sigmoid":
-            env[self.out] = kernels.sigmoid(x, out=self._out_buffer(x.shape))
+            env[self.out] = kernels.sigmoid(x, out=ctx.scratch(self, x.shape))
         elif op in _UNARY_UFUNCS:
-            env[self.out] = _UNARY_UFUNCS[op](x, out=self._out_buffer(x.shape))
+            env[self.out] = _UNARY_UFUNCS[op](x, out=ctx.scratch(self, x.shape))
         else:  # pragma: no cover - translation rejects unknown ops
             raise PlanCompileError(f"unknown elementwise op {op!r}")
 
@@ -285,7 +330,7 @@ class MaxPoolStep(Step):
         self.kernel_size = kernel_size
         self.stride = stride
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         env[self.out] = kernels.max_pool2d(env[self.x], self.kernel_size, self.stride)
 
     def describe(self) -> str:
@@ -301,7 +346,7 @@ class AvgPoolStep(Step):
         self.kernel_size = kernel_size
         self.stride = stride
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         env[self.out] = kernels.avg_pool2d(env[self.x], self.kernel_size, self.stride)
 
     def describe(self) -> str:
@@ -317,7 +362,7 @@ class SumStep(Step):
         self.axis = tuple(axis) if isinstance(axis, (list, tuple)) else axis
         self.keepdims = keepdims
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         env[self.out] = env[self.x].sum(axis=self.axis, keepdims=self.keepdims)
 
     def describe(self) -> str:
@@ -333,7 +378,7 @@ class MaxReduceStep(Step):
         self.axis = tuple(axis) if isinstance(axis, (list, tuple)) else axis
         self.keepdims = keepdims
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         env[self.out] = env[self.x].max(axis=self.axis, keepdims=self.keepdims)
 
     def describe(self) -> str:
@@ -349,7 +394,7 @@ class ReshapeStep(Step):
         self.target = target
         self.batch_polymorphic = batch_polymorphic
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         x = env[self.x]
         shape = (x.shape[0],) + self.target[1:] if self.batch_polymorphic else self.target
         env[self.out] = x.reshape(shape)
@@ -367,7 +412,7 @@ class TransposeStep(Step):
         self.x = x
         self.axes = tuple(axes)
 
-    def run(self, env: List[Optional[np.ndarray]]) -> None:
+    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         env[self.out] = env[self.x].transpose(self.axes)
 
     def describe(self) -> str:
@@ -383,7 +428,13 @@ class ExecutionPlan:
     ``run`` accepts a batch of shape ``(N,) + input_shape`` (or one sample of
     ``input_shape``) and returns the model's output.  Execution is pure
     numpy: no :class:`~repro.tensor.tensor.Tensor` objects, no autograd
-    graph, reused step buffers.
+    graph, reused arena buffers.
+
+    The plan is an immutable compiled artifact: steps, baked weights and
+    topology never change after construction.  All mutable execution state
+    lives in an :class:`ExecutionContext`; ``run`` borrows the calling
+    thread's implicit context unless a worker passes its own, so one plan
+    instance serves any number of threads concurrently.
     """
 
     def __init__(
@@ -396,14 +447,53 @@ class ExecutionPlan:
         quantized: bool,
     ) -> None:
         self.steps = steps
+        for index, step in enumerate(steps):
+            step.index = index
         self.num_slots = num_slots
         self.output_slot = output_slot
         self.input_shape = tuple(input_shape)
         self.source = source
         self.quantized = quantized
+        self._thread_contexts = threading.local()
+
+    # -- execution state ------------------------------------------------- #
+    def create_context(self) -> ExecutionContext:
+        """A fresh buffer arena for this plan (one per worker thread)."""
+        return ExecutionContext(self)
+
+    def _implicit_context(self) -> ExecutionContext:
+        """The calling thread's own lazily-created context."""
+        ctx = getattr(self._thread_contexts, "ctx", None)
+        if ctx is None:
+            ctx = ExecutionContext(self)
+            self._thread_contexts.ctx = ctx
+        return ctx
 
     # -- execution ------------------------------------------------------- #
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(
+        self,
+        x: np.ndarray,
+        *,
+        ctx: Optional[ExecutionContext] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Execute the plan on ``x``.
+
+        Parameters
+        ----------
+        x:
+            One sample of ``input_shape`` or a batch ``(N,) + input_shape``.
+        ctx:
+            Execution context (buffer arena) to borrow.  Defaults to a
+            context owned by the calling thread, so plain ``run`` calls are
+            already thread-safe; worker pools pass their own per-worker
+            arena explicitly to avoid the thread-local lookup and to control
+            buffer lifetime.
+        out:
+            Optional pre-allocated output buffer with the result's exact
+            shape.  When given, the result is written into it (no allocation
+            on the hot path) and ``out`` is returned.
+        """
         x = np.asarray(x, dtype=np.float64)
         single = x.shape == self.input_shape
         if single:
@@ -413,14 +503,34 @@ class ExecutionPlan:
                 f"plan compiled for per-sample shape {self.input_shape}, "
                 f"got input of shape {x.shape}"
             )
-        env: List[Optional[np.ndarray]] = [None] * self.num_slots
+        if ctx is None:
+            ctx = self._implicit_context()
+        elif ctx.plan is not self:
+            raise ValueError("execution context belongs to a different plan")
+        env = ctx.env
         env[0] = x
         for step in self.steps:
-            step.run(env)
-        out = env[self.output_slot]
-        # Step buffers are reused by the next call; hand back an owned copy.
-        result = np.array(out, copy=True)
-        return result[0] if single else result
+            step.run(env, ctx)
+        result = env[self.output_slot]
+        # Arena buffers are reused by the next call; hand back owned memory.
+        # A single sample is sliced *before* the copy so only its own bytes
+        # move (no copy of the batch-of-one array followed by a slice).
+        source = result[0] if single else result
+        if out is not None:
+            if out.shape != source.shape:
+                raise ValueError(
+                    f"out buffer has shape {out.shape}, result has {source.shape}"
+                )
+            np.copyto(out, source)
+            result = out
+        else:
+            result = np.array(source, copy=True)
+        # Drop slot references so the context does not pin the caller's
+        # input batch and non-scratch intermediates between calls (contexts
+        # live as long as their worker; every slot is re-written before it
+        # is read on the next run).
+        env[:] = [None] * self.num_slots
+        return result
 
     __call__ = run
 
@@ -503,15 +613,27 @@ def compile_quantized_plan(
     scale.  There is no model-wide dequantise round-trip and no autograd
     involvement at execution time.
     """
-    state = model.state_dict()
-    try:
-        load_into_model(export, model)
-        return _compile(model, export, input_shape, fold_affine, validate)
-    finally:
-        model.load_state_dict(state)
+    with _COMPILE_LOCK:
+        state = model.state_dict()
+        try:
+            load_into_model(export, model)
+            return _compile(model, export, input_shape, fold_affine, validate)
+        finally:
+            model.load_state_dict(state)
 
 
 def _compile(
+    model: Module,
+    export: Optional[QuantizedModelExport],
+    input_shape: Tuple[int, ...],
+    fold_affine: bool,
+    validate: bool,
+) -> ExecutionPlan:
+    with _COMPILE_LOCK:
+        return _compile_locked(model, export, input_shape, fold_affine, validate)
+
+
+def _compile_locked(
     model: Module,
     export: Optional[QuantizedModelExport],
     input_shape: Tuple[int, ...],

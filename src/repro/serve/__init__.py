@@ -1,28 +1,82 @@
 """Serving front-end for compiled execution plans.
 
-* :class:`~repro.serve.engine.MicroBatchServer` -- request queue, dynamic
-  micro-batches, plan execution, measured + modelled accounting.
-* :func:`~repro.serve.bench.run_serve_bench` -- throughput / latency /
-  energy comparison of compiled plans (float and quantised) against the
-  training-stack ``Module`` forward, behind the ``repro serve-bench`` CLI.
+Layered concurrent serving stack:
+
+* :class:`~repro.serve.repository.ModelRepository` -- named models ×
+  bitwidth variants, compiled once through a content-hash plan cache.
+* :class:`~repro.serve.scheduler.Scheduler` -- per-variant micro-batch
+  queues with bounded depth (:class:`~repro.serve.scheduler.QueueFullError`
+  backpressure) and max-delay dispatch.
+* :class:`~repro.serve.routing.PrecisionRouter` -- per-request SLO routing
+  to the cheapest bitwidth variant (the paper's adaptive-precision loop at
+  serving time).
+* :class:`~repro.serve.workers.WorkerPool` -- threads executing shared
+  plans concurrently, one buffer arena per worker.
+* :class:`~repro.serve.service.InferenceService` -- the composition:
+  ``submit(model, x, slo) -> ResultFuture``.
+* :class:`~repro.serve.engine.MicroBatchServer` -- the cooperative
+  single-model façade over the same layers (deterministic, testable).
+* :func:`~repro.serve.bench.run_serve_bench` /
+  :func:`~repro.serve.bench.run_scaling_bench` -- throughput / latency /
+  energy benchmarks behind ``repro.cli serve-bench``.
 """
 
-from repro.serve.engine import (
+from repro.serve.engine import MicroBatchServer
+from repro.serve.repository import FLOAT_BITS, ModelRepository
+from repro.serve.routing import (
+    DEFAULT_SLO,
+    NoVariantError,
+    PrecisionRouter,
+    RequestSLO,
+    RoutingDecision,
+)
+from repro.serve.scheduler import QueueFullError, QueuePolicy, Scheduler
+from repro.serve.service import InferenceService
+from repro.serve.types import (
+    BatchAccountant,
     BatchRecord,
     InferenceRequest,
     InferenceResult,
-    MicroBatchServer,
+    ResultFuture,
     ServeStats,
+    VariantCost,
 )
-from repro.serve.bench import ServeBenchReport, ServeBenchRow, run_serve_bench
+from repro.serve.workers import BatchExecutor, WorkerPool
+from repro.serve.bench import (
+    ScalingBenchReport,
+    ScalingBenchRow,
+    ServeBenchReport,
+    ServeBenchRow,
+    run_scaling_bench,
+    run_serve_bench,
+)
 
 __all__ = [
     "MicroBatchServer",
+    "ModelRepository",
+    "FLOAT_BITS",
+    "InferenceService",
+    "PrecisionRouter",
+    "RequestSLO",
+    "RoutingDecision",
+    "DEFAULT_SLO",
+    "NoVariantError",
+    "Scheduler",
+    "QueuePolicy",
+    "QueueFullError",
+    "WorkerPool",
+    "BatchExecutor",
     "InferenceRequest",
     "InferenceResult",
+    "ResultFuture",
     "BatchRecord",
     "ServeStats",
+    "BatchAccountant",
+    "VariantCost",
     "ServeBenchReport",
     "ServeBenchRow",
+    "ScalingBenchReport",
+    "ScalingBenchRow",
     "run_serve_bench",
+    "run_scaling_bench",
 ]

@@ -12,13 +12,20 @@ latency and analytic per-request energy:
 * ``plan-fp32`` -- the compiled float plan;
 * ``plan-<k>bit`` -- compiled quantised plans executing integer codes at
   each requested bitwidth.
+
+:func:`run_scaling_bench` is the concurrent companion: it serves the same
+request stream through the multi-model :class:`~repro.serve.service.
+InferenceService` at several worker-pool sizes and reports how throughput
+scales over the single-worker baseline (possible because one compiled plan
+is shared across worker threads, each with its own buffer arena, and the
+numpy kernels release the GIL).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,9 +33,13 @@ from repro.hardware.energy import EnergyModel
 from repro.hardware.latency import COMPUTE_PROFILES, ComputeProfile
 from repro.hardware.profile import ModelProfile, profile_model
 from repro.nn.module import Module
+from repro.quant.affine import FLOAT_BITS_THRESHOLD
 from repro.quant.deploy import QuantizedModelExport, export_quantized_model
 from repro.runtime.plan import ExecutionPlan, compile_plan, compile_quantized_plan
 from repro.serve.engine import MicroBatchServer
+from repro.serve.repository import ModelRepository
+from repro.serve.scheduler import QueuePolicy
+from repro.serve.service import InferenceService
 from repro.tensor import Tensor, no_grad
 
 
@@ -268,4 +279,147 @@ def run_serve_bench(
                 )
     finally:
         model.train(was_training)
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Multi-worker scaling benchmark
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScalingBenchRow:
+    """Throughput of one worker-pool size."""
+
+    workers: int
+    seconds: float
+    throughput_rps: float
+    #: Relative to the report's first workers_list entry (its baseline).
+    speedup_vs_baseline: float
+    mean_batch_size: float
+
+
+@dataclass
+class ScalingBenchReport:
+    """Result of one multi-worker scaling run."""
+
+    models: List[str]
+    bits: Optional[int]
+    batch_size: int
+    requests: int
+    rows: List[ScalingBenchRow] = field(default_factory=list)
+
+    def row(self, workers: int) -> ScalingBenchRow:
+        for row in self.rows:
+            if row.workers == workers:
+                return row
+        raise KeyError(f"no scaling row for {workers} workers")
+
+    def format_rows(self) -> List[str]:
+        baseline = self.rows[0].workers if self.rows else 1
+        header = (
+            f"{'workers':>7s} {'seconds':>9s} {'req/s':>10s} "
+            f"{f'vs {baseline} wkr':>9s} {'mean batch':>11s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.workers:7d} {row.seconds:9.3f} {row.throughput_rps:10.0f} "
+                f"{row.speedup_vs_baseline:8.2f}x {row.mean_batch_size:11.1f}"
+            )
+        return lines
+
+
+def run_scaling_bench(
+    models: Mapping[str, Tuple[Module, Tuple[int, ...]]],
+    *,
+    bits: Optional[int] = None,
+    workers_list: Sequence[int] = (1, 2, 4),
+    batch_size: int = 16,
+    requests: int = 256,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ScalingBenchReport:
+    """Serve one request stream at several worker-pool sizes.
+
+    Parameters
+    ----------
+    models:
+        ``name -> (module, per_sample_input_shape)``.  Requests are spread
+        round-robin over the named models, exercising the multi-model
+        scheduler; a single-entry mapping benchmarks single-model scaling.
+    bits:
+        Serve every model's uniform ``bits``-bit quantised export, or (the
+        default, ``None``) the compiled fp32 plan.
+    workers_list:
+        Worker-pool sizes to time.  Throughput is reported relative to the
+        first entry (conventionally 1).
+    batch_size, requests, repeats, seed:
+        As in :func:`run_serve_bench`; ``requests`` is the total across all
+        models, and the best of ``repeats`` timings is reported per size.
+    """
+    if not models:
+        raise ValueError("models mapping must not be empty")
+    if bits is not None and not 2 <= bits < FLOAT_BITS_THRESHOLD:
+        raise ValueError(
+            f"bits must be in [2, {FLOAT_BITS_THRESHOLD - 1}] or None for fp32, got {bits}"
+        )
+    if not workers_list:
+        raise ValueError("workers_list must not be empty")
+    if requests < 1:
+        raise ValueError(f"requests must be at least 1, got {requests}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+
+    repository = ModelRepository()
+    for name, (model, input_shape) in models.items():
+        repository.add_model(name, model, input_shape)
+        if bits is not None:
+            uniform = {pname: bits for pname, _ in model.named_parameters()}
+            repository.add_export(name, export_quantized_model(model, uniform), bits=bits)
+    repository.warm()
+
+    rng = np.random.default_rng(seed)
+    names = list(models)
+    streams = {
+        name: _request_stream(models[name][1], requests // len(names) + 1, rng)
+        for name in names
+    }
+    policy = QueuePolicy(max_batch_size=batch_size, max_queue_delay_s=float("inf"))
+
+    report = ScalingBenchReport(
+        models=names, bits=bits, batch_size=batch_size, requests=requests
+    )
+    for workers in workers_list:
+        best = float("inf")
+        best_stats = None
+        for _ in range(repeats):
+            service = InferenceService(
+                repository, workers=workers, queue_policy=policy, warm=False
+            )
+            futures = []
+            started = time.perf_counter()
+            with service:
+                for index in range(requests):
+                    name = names[index % len(names)]
+                    sample = streams[name][index // len(names)]
+                    futures.append(service.submit(name, sample))
+                service.stop()
+                for future in futures:
+                    future.result(timeout=60.0)
+            seconds = time.perf_counter() - started
+            if seconds < best:
+                best = seconds
+                best_stats = service.stats
+        assert best_stats is not None
+        report.rows.append(
+            ScalingBenchRow(
+                workers=workers,
+                seconds=best,
+                throughput_rps=requests / best,
+                speedup_vs_baseline=0.0,  # filled below once the baseline is known
+                mean_batch_size=best_stats.mean_batch_size,
+            )
+        )
+    baseline = report.rows[0].throughput_rps
+    for row in report.rows:
+        row.speedup_vs_baseline = row.throughput_rps / baseline if baseline > 0 else 0.0
     return report

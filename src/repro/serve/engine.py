@@ -1,107 +1,50 @@
-"""Micro-batching inference engine over a compiled execution plan.
+"""Cooperative single-model micro-batching engine (a façade).
+
+:class:`MicroBatchServer` is the deterministic, single-threaded front door
+to the serving stack: one compiled plan, one request queue, batches served
+inline from the caller's thread.  Since the concurrent service landed it is
+a thin composition of the shared layers --
+:class:`~repro.serve.scheduler.Scheduler` (one queue, the same max-batch /
+max-delay / bounded-depth policy the multi-model service uses) and
+:class:`~repro.serve.types.BatchAccountant` (the same measured + modelled
+accounting the worker pool attaches) -- so its behaviour and the worker
+pool's agree by construction.
 
 Request flow::
 
-    submit(x) -> request queue -> dynamic batch -> ExecutionPlan.run
+    submit(x) -> scheduler queue -> dynamic batch -> ExecutionPlan.run
               -> per-request results + latency / energy accounting
 
-The engine is cooperative and single-threaded: a front-end calls
-:meth:`MicroBatchServer.submit` as requests arrive and :meth:`step` (or
-:meth:`drain`) from its serving loop.  A batch is dispatched when enough
-requests are queued (``max_batch_size``) or when the oldest pending request
-has waited ``max_queue_delay_s`` (with a zero delay, every ``step`` serves
-whatever is pending).  Keeping the loop cooperative makes serving behaviour
-deterministic and testable; the clock is injectable for the same reason.
-
-Accounting has two sides:
-
-* **measured** -- wall-clock compute time per batch and per-request queue +
-  compute latency, from the injected clock;
-* **modelled** -- per-batch energy (pJ) and device-time estimates from the
-  analytic :mod:`repro.hardware` models, using the plan's per-layer stored
-  bitwidths, so a bench run reports what the batch *would* cost on an edge
-  accelerator profile rather than on the host CPU.
+The engine stays cooperative on purpose: a front-end calls ``submit`` as
+requests arrive and ``step`` (or ``drain``) from its serving loop, which
+makes serving behaviour deterministic and testable; the clock is injectable
+for the same reason.  For multi-threaded throughput, multiple models, or
+precision-aware routing, use :class:`~repro.serve.service.InferenceService`.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.hardware.accounting import inference_energy_pj
 from repro.hardware.energy import EnergyModel
-from repro.hardware.latency import ComputeProfile, LatencyModel
+from repro.hardware.latency import ComputeProfile
 from repro.hardware.profile import ModelProfile
 from repro.runtime.plan import ExecutionPlan
+from repro.serve.scheduler import QueueFullError, QueuePolicy, Scheduler
+from repro.serve.types import (
+    BatchAccountant,
+    BatchRecord,
+    InferenceRequest,
+    InferenceResult,
+    ServeStats,
+)
 
-
-@dataclass
-class InferenceRequest:
-    """One queued sample awaiting a batch slot."""
-
-    request_id: int
-    x: np.ndarray
-    enqueued_at: float
-
-
-@dataclass
-class InferenceResult:
-    """Outcome of one request after its batch executed."""
-
-    request_id: int
-    logits: np.ndarray
-    prediction: int
-    batch_id: int
-    batch_size: int
-    queue_seconds: float
-    compute_seconds: float
-
-    @property
-    def latency_seconds(self) -> float:
-        return self.queue_seconds + self.compute_seconds
-
-
-@dataclass
-class BatchRecord:
-    """Accounting for one dispatched batch."""
-
-    batch_id: int
-    size: int
-    compute_seconds: float
-    energy_pj: Optional[float] = None
-    device_seconds: Optional[float] = None
-
-
-@dataclass
-class ServeStats:
-    """Aggregate view over everything the engine served so far."""
-
-    requests: int = 0
-    batches: int = 0
-    wall_compute_seconds: float = 0.0
-    energy_pj: float = 0.0
-    device_seconds: float = 0.0
-    latencies: List[float] = field(default_factory=list)
-
-    @property
-    def mean_batch_size(self) -> float:
-        return self.requests / self.batches if self.batches else 0.0
-
-    @property
-    def throughput_rps(self) -> float:
-        """Requests per second of plan compute (excludes queueing idle time)."""
-        if self.wall_compute_seconds <= 0:
-            return 0.0
-        return self.requests / self.wall_compute_seconds
-
-    def latency_percentile(self, q: float) -> float:
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies), q))
+#: The single queue key used by the façade's private scheduler.
+_QUEUE = "default"
 
 
 class MicroBatchServer:
@@ -116,6 +59,10 @@ class MicroBatchServer:
     max_queue_delay_s:
         Also dispatch (a partial batch) once the oldest pending request has
         waited this long.  ``0.0`` means every :meth:`step` call flushes.
+    max_queue_depth:
+        Bounded queue depth: ``submit`` raises
+        :class:`~repro.serve.scheduler.QueueFullError` beyond it.  ``None``
+        (the default) keeps the historical unbounded behaviour.
     profile, energy_model, compute_profile:
         Optional analytic models; when ``profile`` is given each batch gets
         an energy estimate (and a device-latency estimate if
@@ -130,32 +77,41 @@ class MicroBatchServer:
         *,
         max_batch_size: int = 32,
         max_queue_delay_s: float = 0.0,
+        max_queue_depth: Optional[int] = None,
         profile: Optional[ModelProfile] = None,
         energy_model: Optional[EnergyModel] = None,
         compute_profile: Optional[ComputeProfile] = None,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
-        if max_batch_size < 1:
-            raise ValueError(f"max_batch_size must be at least 1, got {max_batch_size}")
-        if max_queue_delay_s < 0:
-            raise ValueError(f"max_queue_delay_s must be non-negative, got {max_queue_delay_s}")
         self.plan = plan
-        self.max_batch_size = max_batch_size
-        self.max_queue_delay_s = max_queue_delay_s
         self.profile = profile
         self.energy_model = energy_model
         self.clock = clock
-        self._latency_model = (
-            LatencyModel(profile, compute_profile)
-            if profile is not None and compute_profile is not None
-            else None
+        self._accountant = BatchAccountant(profile, energy_model, compute_profile)
+        self._forward_bits = plan.bits_by_layer()
+        self._policy = QueuePolicy(
+            max_batch_size=max_batch_size,
+            max_queue_delay_s=max_queue_delay_s,
+            max_depth=max_queue_depth,
         )
-        self._forward_bits: Dict[str, int] = plan.bits_by_layer()
-        self._queue: Deque[InferenceRequest] = deque()
-        self._next_request_id = 0
+        self._scheduler = Scheduler(clock=clock)
+        self._scheduler.register(_QUEUE, self._policy)
+        self._ctx = plan.create_context()
+        self._request_ids = itertools.count()
         self._next_batch_id = 0
         self.stats = ServeStats()
         self.batch_records: List[BatchRecord] = []
+
+    # The batching policy is frozen into the scheduler queue at
+    # construction; read-only properties keep the historical attributes
+    # observable while making attempted runtime mutation fail loudly.
+    @property
+    def max_batch_size(self) -> int:
+        return self._policy.max_batch_size
+
+    @property
+    def max_queue_delay_s(self) -> float:
+        return self._policy.max_queue_delay_s
 
     # ------------------------------------------------------------------ #
     # Producer side
@@ -173,65 +129,55 @@ class MicroBatchServer:
                 f"request shape {x.shape} does not match the plan's per-sample "
                 f"input shape {self.plan.input_shape}"
             )
-        request = InferenceRequest(self._next_request_id, x, self.clock())
-        self._next_request_id += 1
-        self._queue.append(request)
+        request = InferenceRequest(next(self._request_ids), x, self.clock())
+        try:
+            self._scheduler.submit(_QUEUE, request)
+        except QueueFullError:
+            self.stats.rejected += 1
+            raise
         return request.request_id
 
     def pending(self) -> int:
-        return len(self._queue)
+        return self._scheduler.pending(_QUEUE)
 
     # ------------------------------------------------------------------ #
     # Serving loop side
     # ------------------------------------------------------------------ #
-    def _batch_due(self) -> bool:
-        if not self._queue:
-            return False
-        if len(self._queue) >= self.max_batch_size:
-            return True
-        waited = self.clock() - self._queue[0].enqueued_at
-        return waited >= self.max_queue_delay_s
-
     def step(self) -> List[InferenceResult]:
         """Serve at most one batch, if one is due.  Returns its results."""
-        if not self._batch_due():
+        item = self._scheduler.pop_due()
+        if item is None:
             return []
-        return self._execute_batch()
+        return self._execute_batch(item[1])
 
     def drain(self) -> List[InferenceResult]:
         """Serve everything pending, ignoring the delay policy."""
         results: List[InferenceResult] = []
-        while self._queue:
-            results.extend(self._execute_batch())
-        return results
+        while True:
+            item = self._scheduler.pop_any()
+            if item is None:
+                return results
+            results.extend(self._execute_batch(item[1]))
 
-    def _execute_batch(self) -> List[InferenceResult]:
-        size = min(len(self._queue), self.max_batch_size)
-        requests = [self._queue.popleft() for _ in range(size)]
+    def _execute_batch(self, requests: List[InferenceRequest]) -> List[InferenceResult]:
+        size = len(requests)
         batch = np.stack([request.x for request in requests])
         started = self.clock()
-        logits = self.plan.run(batch)
+        logits = self.plan.run(batch, ctx=self._ctx)
         compute_seconds = self.clock() - started
         predictions = np.argmax(logits, axis=-1)
 
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         record = BatchRecord(batch_id=batch_id, size=size, compute_seconds=compute_seconds)
-        if self.profile is not None:
-            record.energy_pj = inference_energy_pj(
-                self.profile, self._forward_bits, size, self.energy_model
-            )
-            self.stats.energy_pj += record.energy_pj
-        if self._latency_model is not None:
-            record.device_seconds = self._latency_model.inference_seconds(
-                size, self._forward_bits
-            )
-            self.stats.device_seconds += record.device_seconds
+        self._accountant.annotate(record, self._forward_bits)
         self.batch_records.append(record)
 
         results = []
+        latencies: List[float] = []
         for index, request in enumerate(requests):
             queue_seconds = started - request.enqueued_at
+            latencies.append(queue_seconds + compute_seconds)
             results.append(
                 InferenceResult(
                     request_id=request.request_id,
@@ -243,8 +189,5 @@ class MicroBatchServer:
                     compute_seconds=compute_seconds,
                 )
             )
-            self.stats.latencies.append(queue_seconds + compute_seconds)
-        self.stats.requests += size
-        self.stats.batches += 1
-        self.stats.wall_compute_seconds += compute_seconds
+        self.stats.record_batch(record, latencies)
         return results

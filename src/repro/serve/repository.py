@@ -1,0 +1,241 @@
+"""Named models × bitwidth variants, compiled once and shared.
+
+The :class:`ModelRepository` is the serving stack's model store.  Each
+registered model owns:
+
+* the architecture (a :class:`~repro.nn.module.Module`, used only for
+  compilation) and its per-sample input shape;
+* any number of **bitwidth variants** -- quantised
+  :class:`~repro.quant.deploy.QuantizedModelExport` objects (added in
+  process or loaded from ``.npz`` archives) plus an optional fp32 variant
+  compiled from the module's own weights;
+* a :class:`~repro.hardware.profile.ModelProfile` for the analytic cost
+  models, so the router can price every variant without compiling it.
+
+Plans are compiled lazily on first request and exactly once per variant:
+quantised variants go through a shared, content-hash-keyed
+:class:`~repro.runtime.cache.PlanCache` (so identical exports -- reloaded
+archives, duplicate registrations -- share one plan), and the fp32 variant
+is memoised per model under the repository lock.  The compiled
+:class:`~repro.runtime.plan.ExecutionPlan` objects are immutable and safe
+to execute from any number of worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.hardware.profile import ModelProfile, profile_model
+from repro.nn.module import Module
+from repro.quant.deploy import QuantizedModelExport, load_export
+from repro.runtime.cache import PlanCache
+from repro.runtime.plan import ExecutionPlan, compile_plan
+
+#: Variant key of the uncompressed float plan compiled from the module's
+#: own weights.
+FLOAT_BITS = 32
+
+
+@dataclass
+class _ModelEntry:
+    model: Module
+    input_shape: Tuple[int, ...]
+    profile: ModelProfile
+    exports: Dict[int, QuantizedModelExport] = field(default_factory=dict)
+    float_variant: bool = True
+    float_plan: Optional[ExecutionPlan] = None
+    #: Serialises the one-off fp32 compile without holding the repository
+    #: lock (which every per-batch lookup needs) across it.
+    float_compile_lock: threading.Lock = field(default_factory=threading.Lock)
+    quantized_plans: Dict[int, ExecutionPlan] = field(default_factory=dict)
+
+
+def _infer_variant_bits(export: QuantizedModelExport) -> int:
+    """Default variant key: the widest stored bitwidth in the export.
+
+    Uniform exports (the common case) key as their single bitwidth; a
+    mixed-precision export keys conservatively as its widest layer.  Pass
+    ``bits=`` explicitly to override.
+    """
+    widths = {tensor.bits for tensor in export.quantized.values()}
+    if not widths:
+        raise ValueError("export holds no quantised tensors; serve the float variant instead")
+    return max(widths)
+
+
+class ModelRepository:
+    """Thread-safe store of named models and their compiled plan variants."""
+
+    def __init__(self, plan_cache: Optional[PlanCache] = None) -> None:
+        self._lock = threading.RLock()
+        self._entries: Dict[str, _ModelEntry] = {}
+        self.plan_cache = plan_cache or PlanCache()
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add_model(
+        self,
+        name: str,
+        model: Module,
+        input_shape: Tuple[int, ...],
+        *,
+        float_variant: bool = True,
+    ) -> None:
+        """Register a model architecture under ``name``.
+
+        ``float_variant=False`` drops the fp32 plan from the variant list --
+        for deployments that only ever serve quantised exports.
+        """
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"model {name!r} is already registered")
+            self._entries[name] = _ModelEntry(
+                model=model,
+                input_shape=tuple(input_shape),
+                profile=profile_model(model, input_shape),
+                float_variant=float_variant,
+            )
+
+    def add_export(
+        self,
+        name: str,
+        export: QuantizedModelExport,
+        *,
+        bits: Optional[int] = None,
+    ) -> int:
+        """Attach a quantised variant to model ``name``; returns its key."""
+        key = int(bits) if bits is not None else _infer_variant_bits(export)
+        with self._lock:
+            entry = self._entry(name)
+            if key == FLOAT_BITS or key in entry.exports:
+                raise ValueError(f"model {name!r} already has a {key}-bit variant")
+            entry.exports[key] = export
+        return key
+
+    def load_export_file(
+        self,
+        name: str,
+        path: Union[str, Path],
+        *,
+        bits: Optional[int] = None,
+    ) -> int:
+        """Attach a variant from a ``.npz`` archive written by ``save_export``."""
+        return self.add_export(name, load_export(path), bits=bits)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def _entry(self, name: str) -> _ModelEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(
+                f"model {name!r} is not registered; known models: {sorted(self._entries)}"
+            )
+        return entry
+
+    def models(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def variants(self, name: str) -> List[int]:
+        """Bitwidth keys of ``name``'s variants, cheapest (narrowest) first."""
+        with self._lock:
+            entry = self._entry(name)
+            keys = sorted(entry.exports)
+            if entry.float_variant:
+                keys.append(FLOAT_BITS)
+            return keys
+
+    def input_shape(self, name: str) -> Tuple[int, ...]:
+        with self._lock:
+            return self._entry(name).input_shape
+
+    def profile(self, name: str) -> ModelProfile:
+        with self._lock:
+            return self._entry(name).profile
+
+    def export(self, name: str, bits: int) -> QuantizedModelExport:
+        with self._lock:
+            entry = self._entry(name)
+            if bits not in entry.exports:
+                raise KeyError(f"model {name!r} has no {bits}-bit export")
+            return entry.exports[bits]
+
+    def forward_bits(self, name: str, bits: int) -> Dict[str, int]:
+        """Per-layer stored bitwidths of one variant (for the cost models).
+
+        Derived from the export's metadata, not the compiled plan, so the
+        router can price variants without triggering compilation.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            layer_names = [layer.name for layer in entry.profile.layers]
+            if bits == FLOAT_BITS:
+                return {layer: FLOAT_BITS for layer in layer_names}
+            export = entry.exports.get(bits)
+            if export is None:
+                raise KeyError(f"model {name!r} has no {bits}-bit export")
+            return {
+                layer: export.quantized[layer].bits if layer in export.quantized else FLOAT_BITS
+                for layer in layer_names
+            }
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def plan(self, name: str, bits: int = FLOAT_BITS) -> ExecutionPlan:
+        """The compiled plan of one variant, compiling on first request.
+
+        Quantised variants compile through the shared content-hash plan
+        cache (at most one compilation per distinct export, even under
+        concurrent lookups); the fp32 variant is memoised per model.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            if bits == FLOAT_BITS:
+                if not entry.float_variant:
+                    raise KeyError(f"model {name!r} was registered without a float variant")
+                if entry.float_plan is not None:
+                    return entry.float_plan
+        if bits == FLOAT_BITS:
+            # Compile outside the repository lock (workers take it per batch);
+            # the entry's own lock makes the fp32 compile exactly-once.
+            with entry.float_compile_lock:
+                if entry.float_plan is None:
+                    plan = compile_plan(entry.model, entry.input_shape)
+                    with self._lock:
+                        entry.float_plan = plan
+                return entry.float_plan
+        with self._lock:
+            entry = self._entry(name)
+            cached = entry.quantized_plans.get(bits)
+            if cached is not None:
+                return cached
+            export = entry.exports.get(bits)
+            if export is None:
+                raise KeyError(
+                    f"model {name!r} has no {bits}-bit variant; "
+                    f"available: {self.variants(name)}"
+                )
+            model, input_shape = entry.model, entry.input_shape
+        # Compile outside the repository lock: the plan cache provides its
+        # own exactly-once guarantee, and holding our lock across a compile
+        # would serialise unrelated repository lookups behind it.
+        plan = self.plan_cache.get_or_compile(model, export, input_shape)
+        with self._lock:
+            self._entry(name).quantized_plans.setdefault(bits, plan)
+        return plan
+
+    def warm(self, name: Optional[str] = None) -> int:
+        """Eagerly compile every variant (of one model or all); returns count."""
+        names = [name] if name is not None else self.models()
+        compiled = 0
+        for model_name in names:
+            for bits in self.variants(model_name):
+                self.plan(model_name, bits)
+                compiled += 1
+        return compiled

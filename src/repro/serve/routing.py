@@ -1,0 +1,162 @@
+"""Precision-aware request routing across a model's bitwidth variants.
+
+This is the paper's adaptive-precision loop transplanted from training time
+to serving time.  During training, APT keeps precision as low as the
+quality signal allows; at serving time the router picks, per request, the
+**lowest-bitwidth variant that satisfies the request's SLO**:
+
+* ``min_bits`` is the quality floor -- the request refuses variants
+  narrower than this (the serving-side stand-in for the paper's accuracy
+  target, since stored bitwidth is the deployment-time quality knob);
+* ``max_energy_uj`` / ``max_latency_s`` bound the *modelled* per-request
+  energy and device latency, priced with the :mod:`repro.hardware` models
+  against each variant's per-layer stored bitwidths.
+
+Variants are scanned cheapest (narrowest) first, so the first admissible
+variant is the cheapest one that honours the quality floor; if every
+variant above the floor busts the energy/latency budget, the router falls
+back to the cheapest admissible-by-quality variant (serving degraded is
+better than not serving) unless the SLO is marked ``strict``, in which case
+the request is rejected with :class:`NoVariantError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import ComputeProfile
+from repro.serve.repository import ModelRepository
+from repro.serve.types import BatchAccountant, VariantCost
+
+
+class NoVariantError(RuntimeError):
+    """No bitwidth variant satisfies the request's strict SLO."""
+
+
+@dataclass(frozen=True)
+class RequestSLO:
+    """Per-request service-level objective driving variant selection."""
+
+    #: Quality floor: refuse variants stored below this many bits.
+    min_bits: int = 0
+    #: Budget on the modelled per-request energy, in microjoules.
+    max_energy_uj: Optional[float] = None
+    #: Budget on the modelled per-request device latency, in seconds.
+    max_latency_s: Optional[float] = None
+    #: ``"efficiency"`` picks the narrowest variant meeting the SLO (the
+    #: paper's cheapest-precision-that-suffices loop); ``"quality"`` picks
+    #: the widest variant that still fits the energy/latency budgets.
+    prefer: str = "efficiency"
+    #: Reject (instead of degrading to the cheapest variant) when no
+    #: variant fits the budgets.
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prefer not in ("efficiency", "quality"):
+            raise ValueError(f"prefer must be 'efficiency' or 'quality', got {self.prefer!r}")
+
+
+#: The default objective: any precision, no budget -- routes to the
+#: narrowest variant on offer.
+DEFAULT_SLO = RequestSLO()
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """The router's verdict for one request."""
+
+    model: str
+    bits: int
+    cost: VariantCost
+    #: True when the budgets could not be met and the router degraded to
+    #: the cheapest quality-admissible variant.
+    degraded: bool = False
+
+
+class PrecisionRouter:
+    """Route requests to the cheapest variant that meets their SLO."""
+
+    def __init__(
+        self,
+        repository: ModelRepository,
+        *,
+        energy_model: Optional[EnergyModel] = None,
+        compute_profile: Optional[ComputeProfile] = None,
+    ) -> None:
+        self.repository = repository
+        self.energy_model = energy_model
+        self.compute_profile = compute_profile
+        # Router state is touched from submit threads and worker threads;
+        # costs are static per variant (profile × stored bitwidths), so they
+        # are memoised rather than re-priced on the submit hot path.
+        self._lock = threading.Lock()
+        self._accountants: Dict[str, BatchAccountant] = {}
+        self._costs: Dict[Tuple[str, int], VariantCost] = {}
+
+    def accountant(self, model: str) -> BatchAccountant:
+        """The (memoised) cost accountant for one repository model."""
+        with self._lock:
+            cached = self._accountants.get(model)
+            if cached is None:
+                cached = BatchAccountant(
+                    self.repository.profile(model),
+                    energy_model=self.energy_model,
+                    compute_profile=self.compute_profile,
+                )
+                self._accountants[model] = cached
+            return cached
+
+    def variant_cost(self, model: str, bits: int) -> VariantCost:
+        """Modelled per-request cost of serving ``model`` at ``bits`` (memoised)."""
+        with self._lock:
+            cached = self._costs.get((model, bits))
+        if cached is not None:
+            return cached
+        forward_bits = self.repository.forward_bits(model, bits)
+        cost = self.accountant(model).request_costs(forward_bits)
+        with self._lock:
+            self._costs[(model, bits)] = cost
+        return cost
+
+    @staticmethod
+    def _within_budget(cost: VariantCost, slo: RequestSLO) -> bool:
+        if slo.max_energy_uj is not None:
+            if cost.energy_uj is None or cost.energy_uj > slo.max_energy_uj:
+                return False
+        if slo.max_latency_s is not None:
+            if cost.device_seconds is None or cost.device_seconds > slo.max_latency_s:
+                return False
+        return True
+
+    def route(self, model: str, slo: RequestSLO = DEFAULT_SLO) -> RoutingDecision:
+        """Pick the serving variant for one request against its SLO."""
+        admissible = [
+            bits for bits in self.repository.variants(model) if bits >= slo.min_bits
+        ]
+        if not admissible:
+            raise NoVariantError(
+                f"model {model!r} has no variant at or above the quality floor "
+                f"of {slo.min_bits} bits (variants: {self.repository.variants(model)})"
+            )
+        order = admissible if slo.prefer == "efficiency" else list(reversed(admissible))
+        for bits in order:
+            cost = self.variant_cost(model, bits)
+            if self._within_budget(cost, slo):
+                return RoutingDecision(model=model, bits=bits, cost=cost)
+        if slo.strict:
+            raise NoVariantError(
+                f"no variant of model {model!r} meets the strict SLO "
+                f"(min_bits={slo.min_bits}, max_energy_uj={slo.max_energy_uj}, "
+                f"max_latency_s={slo.max_latency_s})"
+            )
+        # Degrade: serve the cheapest quality-admissible variant anyway.
+        cheapest = admissible[0]
+        return RoutingDecision(
+            model=model,
+            bits=cheapest,
+            cost=self.variant_cost(model, cheapest),
+            degraded=True,
+        )

@@ -1,0 +1,222 @@
+"""Per-model micro-batch queues with admission control and dispatch policy.
+
+The scheduler is the seam between request producers (front-ends calling
+``submit``) and batch consumers (the cooperative single-model engine, or the
+threads of a :class:`~repro.serve.workers.WorkerPool`).  Each registered
+model gets its own bounded FIFO queue; a batch for a model is *due* when
+either
+
+* ``max_batch_size`` requests are pending for it, or
+* the oldest pending request has waited ``max_queue_delay_s``.
+
+Admission control is depth-based backpressure: when a queue already holds
+``max_depth`` requests, ``submit`` raises :class:`QueueFullError` instead of
+letting the queue (and tail latency) grow without bound.  The caller decides
+what rejection means -- shed the request, retry later, or route to another
+model.
+
+All methods are thread-safe.  Consumers either poll (``pop_due``, used by
+the cooperative engine) or block (``get_batch``, used by worker threads,
+woken by submissions and by ``stop``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from threading import Condition
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.serve.types import InferenceRequest
+
+
+class QueueFullError(RuntimeError):
+    """A model's queue is at its bounded depth; the request was not admitted."""
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Batching / admission parameters of one model's queue."""
+
+    max_batch_size: int = 32
+    max_queue_delay_s: float = 0.0
+    #: Maximum pending requests before ``submit`` rejects; ``None`` is
+    #: unbounded (the single-model engine's backwards-compatible default).
+    max_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be at least 1, got {self.max_batch_size}")
+        if self.max_queue_delay_s < 0:
+            raise ValueError(
+                f"max_queue_delay_s must be non-negative, got {self.max_queue_delay_s}"
+            )
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be at least 1 or None, got {self.max_depth}")
+
+
+class _ModelQueue:
+    __slots__ = ("policy", "pending")
+
+    def __init__(self, policy: QueuePolicy) -> None:
+        self.policy = policy
+        self.pending: Deque[InferenceRequest] = deque()
+
+
+class Scheduler:
+    """Thread-safe per-model request queues with max-delay batch dispatch."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self._cond = Condition()
+        self._queues: Dict[str, _ModelQueue] = {}
+        #: Round-robin cursor so one busy model cannot starve the others.
+        self._rotation: List[str] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Registration / introspection
+    # ------------------------------------------------------------------ #
+    def register(self, model: str, policy: Optional[QueuePolicy] = None) -> None:
+        with self._cond:
+            if model in self._queues:
+                raise ValueError(f"model {model!r} already registered with the scheduler")
+            self._queues[model] = _ModelQueue(policy or QueuePolicy())
+            self._rotation.append(model)
+
+    def models(self) -> List[str]:
+        with self._cond:
+            return list(self._rotation)
+
+    def pending(self, model: Optional[str] = None) -> int:
+        with self._cond:
+            if model is not None:
+                return len(self._queue_of(model).pending)
+            return sum(len(queue.pending) for queue in self._queues.values())
+
+    def _queue_of(self, model: str) -> _ModelQueue:
+        queue = self._queues.get(model)
+        if queue is None:
+            raise KeyError(f"model {model!r} is not registered with the scheduler")
+        return queue
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def submit(self, model: str, request: InferenceRequest) -> None:
+        """Enqueue one request, or raise :class:`QueueFullError` at max depth.
+
+        Raises ``RuntimeError`` once the scheduler is stopped: consumers are
+        draining (or gone), so admitting the request would strand it.
+        """
+        with self._cond:
+            if self._stopped:
+                raise RuntimeError("scheduler is stopped; request not admitted")
+            queue = self._queue_of(model)
+            depth = queue.policy.max_depth
+            if depth is not None and len(queue.pending) >= depth:
+                raise QueueFullError(
+                    f"queue for model {model!r} is at its bounded depth ({depth}); "
+                    f"retry later or route elsewhere"
+                )
+            queue.pending.append(request)
+            self._cond.notify()
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+    def _due_model_locked(self, now: float) -> Optional[str]:
+        for offset in range(len(self._rotation)):
+            name = self._rotation[offset]
+            queue = self._queues[name]
+            if not queue.pending:
+                continue
+            policy = queue.policy
+            if len(queue.pending) >= policy.max_batch_size:
+                self._rotation.append(self._rotation.pop(offset))
+                return name
+            if now - queue.pending[0].enqueued_at >= policy.max_queue_delay_s:
+                self._rotation.append(self._rotation.pop(offset))
+                return name
+        return None
+
+    def _pop_batch_locked(self, model: str) -> List[InferenceRequest]:
+        queue = self._queues[model]
+        size = min(len(queue.pending), queue.policy.max_batch_size)
+        return [queue.pending.popleft() for _ in range(size)]
+
+    def pop_due(self) -> Optional[Tuple[str, List[InferenceRequest]]]:
+        """Non-blocking: the next due ``(model, batch)``, or ``None``."""
+        with self._cond:
+            model = self._due_model_locked(self.clock())
+            if model is None:
+                return None
+            return model, self._pop_batch_locked(model)
+
+    def pop_any(self, model: Optional[str] = None) -> Optional[Tuple[str, List[InferenceRequest]]]:
+        """Non-blocking: pop pending requests regardless of the delay policy.
+
+        Used by ``drain`` flows to flush partial tail batches.
+        """
+        with self._cond:
+            candidates = [model] if model is not None else list(self._rotation)
+            for name in candidates:
+                if self._queue_of(name).pending:
+                    return name, self._pop_batch_locked(name)
+            return None
+
+    def get_batch(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[str, List[InferenceRequest]]]:
+        """Blocking consumer call: wait until a batch is due (or ``stop``).
+
+        Returns ``None`` when the scheduler is stopped and every queue has
+        fully drained, or when ``timeout`` elapses with nothing due.  While
+        stopping, remaining requests are handed out as (possibly partial)
+        batches so no admitted request is dropped.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                now = self.clock()
+                model = self._due_model_locked(now)
+                if model is not None:
+                    return model, self._pop_batch_locked(model)
+                if self._stopped:
+                    for name in list(self._rotation):
+                        if self._queues[name].pending:
+                            return name, self._pop_batch_locked(name)
+                    return None
+                # Wake early enough to honour the tightest max-delay among
+                # non-empty queues (or wait for a submission/stop).
+                wait = self._next_deadline_locked(now)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cond.wait(wait)
+
+    def _next_deadline_locked(self, now: float) -> Optional[float]:
+        soonest: Optional[float] = None
+        for queue in self._queues.values():
+            if not queue.pending:
+                continue
+            due_in = queue.policy.max_queue_delay_s - (now - queue.pending[0].enqueued_at)
+            if due_in != float("inf"):
+                soonest = due_in if soonest is None else min(soonest, due_in)
+        if soonest is None:
+            return None
+        return max(soonest, 0.0)
+
+    def stop(self) -> None:
+        """Stop blocking consumers once the queues drain."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+
+    @property
+    def stopped(self) -> bool:
+        with self._cond:
+            return self._stopped

@@ -1,0 +1,236 @@
+"""The concurrent multi-model inference service.
+
+Composition of the serving layers::
+
+    submit(model, x, slo)
+        │  PrecisionRouter: cheapest bitwidth variant meeting the SLO
+        ▼
+    Scheduler: one bounded micro-batch queue per (model, bits) variant
+        │  max-batch / max-delay dispatch, QueueFullError backpressure
+        ▼
+    WorkerPool: N threads, per-worker ExecutionContext arenas
+        │  one immutable ExecutionPlan per variant, shared by all workers
+        ▼
+    ResultFuture per request + ServeStats / BatchRecord accounting
+
+Queues are per **variant**, not per model: a dispatched batch executes
+through exactly one compiled plan, so requests routed to different
+bitwidths of the same model must never share a batch.
+
+The service is the concurrent big sibling of the cooperative
+:class:`~repro.serve.engine.MicroBatchServer` (which remains the
+deterministic single-model, single-thread façade used by tests and
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import ComputeProfile
+from repro.runtime.plan import ExecutionPlan
+from repro.serve.repository import ModelRepository
+from repro.serve.routing import DEFAULT_SLO, PrecisionRouter, RequestSLO, RoutingDecision
+from repro.serve.scheduler import QueueFullError, QueuePolicy, Scheduler
+from repro.serve.types import (
+    BatchAccountant,
+    InferenceRequest,
+    ResultFuture,
+    ServeStats,
+)
+from repro.serve.workers import BatchExecutor, WorkerPool
+
+
+def _queue_key(model: str, bits: int) -> str:
+    return f"{model}@{bits}"
+
+
+class _RepositoryExecutor(BatchExecutor):
+    """Resolve ``model@bits`` queue keys against the repository + router.
+
+    Resolutions are memoised per queue key: the plan, forward-bits mapping
+    and accountant of a variant are immutable, so workers only take the
+    repository / router locks on a variant's first batch.
+    """
+
+    def __init__(self, service: "InferenceService") -> None:
+        self.service = service
+        self._lock = threading.Lock()
+        self._resolved: Dict[str, Tuple] = {}
+
+    def resolve(
+        self, queue_key: str
+    ) -> Tuple[ExecutionPlan, Dict[str, int], Optional[BatchAccountant], str, Optional[int]]:
+        with self._lock:
+            cached = self._resolved.get(queue_key)
+        if cached is not None:
+            return cached
+        model, _, bits_text = queue_key.rpartition("@")
+        bits = int(bits_text)
+        service = self.service
+        plan = service.repository.plan(model, bits)
+        forward_bits = service.repository.forward_bits(model, bits)
+        accountant = service.router.accountant(model) if service.modelled_accounting else None
+        resolved = (plan, forward_bits, accountant, model, bits)
+        with self._lock:
+            self._resolved[queue_key] = resolved
+        return resolved
+
+
+class InferenceService:
+    """Concurrent multi-model serving over a repository of compiled plans.
+
+    Parameters
+    ----------
+    repository:
+        The models and bitwidth variants to serve.  Registered variants get
+        one scheduler queue each; plans compile on service start (``warm``)
+        so workers never stall on the process-wide compile lock.
+    workers:
+        Worker threads.  Each owns private execution contexts; throughput
+        scales with cores because the numpy kernels release the GIL.
+    queue_policy:
+        Batching / backpressure policy applied to every variant queue.
+    compute_profile, energy_model:
+        Analytic device models for routing costs and per-batch accounting;
+        both optional (without them routing falls back to bit-ordering and
+        batches carry wall-clock accounting only).
+    clock:
+        Injectable time source (tests).
+    """
+
+    def __init__(
+        self,
+        repository: ModelRepository,
+        *,
+        workers: int = 1,
+        queue_policy: Optional[QueuePolicy] = None,
+        compute_profile: Optional[ComputeProfile] = None,
+        energy_model: Optional[EnergyModel] = None,
+        warm: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.repository = repository
+        self.router = PrecisionRouter(
+            repository, energy_model=energy_model, compute_profile=compute_profile
+        )
+        self.modelled_accounting = compute_profile is not None or energy_model is not None
+        self.clock = clock
+        self.stats = ServeStats()
+        self.scheduler = Scheduler(clock=clock)
+        self._queue_policy = queue_policy or QueuePolicy()
+        self._request_ids = itertools.count()
+        self._rejected_lock = threading.Lock()
+        self._known_queues = set()
+        for model in repository.models():
+            for bits in repository.variants(model):
+                self.scheduler.register(_queue_key(model, bits), self._queue_policy)
+                self._known_queues.add(_queue_key(model, bits))
+        if warm:
+            repository.warm()
+        self.pool = WorkerPool(
+            self.scheduler,
+            _RepositoryExecutor(self),
+            workers=workers,
+            stats=self.stats,
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceService":
+        self.pool.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Drain the queues and stop the workers."""
+        self.pool.stop(timeout)
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        model: str,
+        x: np.ndarray,
+        slo: RequestSLO = DEFAULT_SLO,
+    ) -> ResultFuture:
+        """Route, admit and enqueue one request; returns its future.
+
+        Raises :class:`~repro.serve.scheduler.QueueFullError` when the
+        routed variant's queue is at its bounded depth (counted in
+        ``stats.rejected``) and
+        :class:`~repro.serve.routing.NoVariantError` when no variant
+        satisfies a strict SLO.
+        """
+        decision = self.route(model, slo)
+        x = np.array(x, dtype=np.float64, copy=True)
+        expected = self.repository.input_shape(model)
+        if x.shape != expected:
+            raise ValueError(
+                f"request shape {x.shape} does not match model {model!r}'s "
+                f"per-sample input shape {expected}"
+            )
+        future = ResultFuture()
+        request = InferenceRequest(
+            request_id=next(self._request_ids),
+            x=x,
+            enqueued_at=self.clock(),
+            model=model,
+            bits=decision.bits,
+            future=future,
+        )
+        key = _queue_key(model, decision.bits)
+        self._ensure_queue(key)
+        try:
+            self.scheduler.submit(key, request)
+        except QueueFullError:
+            with self._rejected_lock:
+                self.stats.rejected += 1
+            raise
+        return future
+
+    def _ensure_queue(self, key: str) -> None:
+        """Register a queue for a variant added to the repository after
+        construction (the repository is mutable and thread-safe, so late
+        ``add_export`` calls are legitimate).  The local set keeps the
+        check off the scheduler lock on the submit hot path."""
+        if key in self._known_queues:
+            return
+        try:
+            self.scheduler.register(key, self._queue_policy)
+        except ValueError:
+            pass  # another submitter registered it first
+        self._known_queues.add(key)
+
+    def route(self, model: str, slo: RequestSLO = DEFAULT_SLO) -> RoutingDecision:
+        """The routing decision ``submit`` would make (without enqueueing)."""
+        return self.router.route(model, slo)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def pending(self, model: Optional[str] = None) -> int:
+        if model is None:
+            return self.scheduler.pending()
+        return sum(
+            self.scheduler.pending(_queue_key(model, bits))
+            for bits in self.repository.variants(model)
+        )
+
+    @property
+    def batch_records(self) -> List:
+        return self.pool.batch_records

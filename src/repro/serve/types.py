@@ -1,0 +1,215 @@
+"""Shared request / result / accounting types of the serving stack.
+
+Every layer of the stack speaks these types: the scheduler queues
+:class:`InferenceRequest` objects, workers and the single-model engine
+produce :class:`InferenceResult` per request and one :class:`BatchRecord`
+per dispatched batch, and :class:`ServeStats` aggregates either side.
+:class:`BatchAccountant` owns the modelled (energy / device-latency) side of
+the accounting so the cooperative engine and the threaded worker pool share
+one implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hardware.accounting import inference_energy_pj
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import ComputeProfile, LatencyModel
+from repro.hardware.profile import ModelProfile
+
+
+class ResultFuture:
+    """Hand-rolled future for one request's :class:`InferenceResult`.
+
+    The submitting thread holds the future; the worker that executes the
+    request's batch fulfils it.  Smaller than ``concurrent.futures.Future``
+    on purpose: exactly one producer, results are never cancelled.
+    """
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional["InferenceResult"] = None
+        self._error: Optional[BaseException] = None
+
+    def set_result(self, result: "InferenceResult") -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> "InferenceResult":
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference result not ready within the timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class InferenceRequest:
+    """One queued sample awaiting a batch slot."""
+
+    request_id: int
+    x: np.ndarray
+    enqueued_at: float
+    #: Name of the repository model this request targets ("" for the
+    #: single-model engine, which serves exactly one plan).
+    model: str = ""
+    #: Bitwidth variant the router picked for this request (None before
+    #: routing / for the single-model engine).
+    bits: Optional[int] = None
+    #: Completion handle fulfilled by the executing worker (None in the
+    #: cooperative single-model engine, which returns results directly).
+    future: Optional[ResultFuture] = None
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one request after its batch executed."""
+
+    request_id: int
+    logits: np.ndarray
+    prediction: int
+    batch_id: int
+    batch_size: int
+    queue_seconds: float
+    compute_seconds: float
+    model: str = ""
+    bits: Optional[int] = None
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.queue_seconds + self.compute_seconds
+
+
+@dataclass
+class BatchRecord:
+    """Accounting for one dispatched batch."""
+
+    batch_id: int
+    size: int
+    compute_seconds: float
+    energy_pj: Optional[float] = None
+    device_seconds: Optional[float] = None
+    model: str = ""
+    bits: Optional[int] = None
+
+
+@dataclass
+class ServeStats:
+    """Aggregate view over everything a server / worker pool served so far."""
+
+    requests: int = 0
+    batches: int = 0
+    rejected: int = 0
+    wall_compute_seconds: float = 0.0
+    energy_pj: float = 0.0
+    device_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    requests_by_model: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second of plan compute (excludes queueing idle time)."""
+        if self.wall_compute_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_compute_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def record_batch(self, record: BatchRecord, latencies: List[float]) -> None:
+        """Fold one executed batch into the totals (caller handles locking)."""
+        self.requests += record.size
+        self.batches += 1
+        self.wall_compute_seconds += record.compute_seconds
+        if record.energy_pj is not None:
+            self.energy_pj += record.energy_pj
+        if record.device_seconds is not None:
+            self.device_seconds += record.device_seconds
+        self.latencies.extend(latencies)
+        if record.model:
+            self.requests_by_model[record.model] = (
+                self.requests_by_model.get(record.model, 0) + record.size
+            )
+
+
+class BatchAccountant:
+    """Analytic (modelled) energy / device-latency accounting for batches.
+
+    Wraps the :mod:`repro.hardware` models for one served model: given the
+    per-layer forward bitwidths of the plan a batch executed on, attaches
+    the estimated edge-device energy (pJ) and latency (s) to the batch
+    record.  Stateless apart from the models, so one accountant can be
+    shared by any number of workers.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[ModelProfile],
+        energy_model: Optional[EnergyModel] = None,
+        compute_profile: Optional[ComputeProfile] = None,
+    ) -> None:
+        self.profile = profile
+        self.energy_model = energy_model
+        self._latency_model = (
+            LatencyModel(profile, compute_profile)
+            if profile is not None and compute_profile is not None
+            else None
+        )
+
+    def annotate(self, record: BatchRecord, forward_bits: Dict[str, int]) -> None:
+        """Fill ``record.energy_pj`` / ``record.device_seconds`` if modelled."""
+        if self.profile is not None:
+            record.energy_pj = inference_energy_pj(
+                self.profile, forward_bits, record.size, self.energy_model
+            )
+        if self._latency_model is not None:
+            record.device_seconds = self._latency_model.inference_seconds(
+                record.size, forward_bits
+            )
+
+    def request_costs(self, forward_bits: Dict[str, int]) -> "VariantCost":
+        """Modelled per-request energy (pJ) and latency (s) at these bitwidths."""
+        energy = (
+            inference_energy_pj(self.profile, forward_bits, 1, self.energy_model)
+            if self.profile is not None
+            else None
+        )
+        latency = (
+            self._latency_model.inference_seconds(1, forward_bits)
+            if self._latency_model is not None
+            else None
+        )
+        return VariantCost(energy_pj=energy, device_seconds=latency)
+
+
+@dataclass(frozen=True)
+class VariantCost:
+    """Modelled per-request cost of serving one bitwidth variant."""
+
+    energy_pj: Optional[float]
+    device_seconds: Optional[float]
+
+    @property
+    def energy_uj(self) -> Optional[float]:
+        return None if self.energy_pj is None else self.energy_pj * 1e-6

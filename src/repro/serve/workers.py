@@ -1,0 +1,174 @@
+"""Thread pool executing scheduler batches through shared plans.
+
+Each worker thread owns one :class:`~repro.runtime.plan.ExecutionContext`
+per plan it has executed (its private buffer arena), so any number of
+workers execute the *same* immutable plan concurrently without sharing any
+mutable state.  The numpy kernels behind the hot steps (BLAS matmul, ufunc
+loops) release the GIL, so worker threads overlap on real cores even in
+CPython.
+
+The pool is deliberately dumb: it pulls ``(queue_key, batch)`` pairs from a
+:class:`~repro.serve.scheduler.Scheduler`, asks its :class:`BatchExecutor`
+to resolve the key to a plan, executes, and fulfils each request's future.
+Policy (routing, admission, accounting models) lives in the layers above.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.plan import ExecutionContext, ExecutionPlan
+from repro.serve.scheduler import Scheduler
+from repro.serve.types import (
+    BatchAccountant,
+    BatchRecord,
+    InferenceRequest,
+    InferenceResult,
+    ServeStats,
+)
+
+
+class BatchExecutor:
+    """Resolves a scheduler queue key to everything a worker needs.
+
+    One executor per serving stack; shared by all workers.  ``resolve`` must
+    be thread-safe and return the (immutable) plan, the per-layer forward
+    bitwidths for the cost models, the accountant to annotate records with
+    (or ``None`` to skip modelled accounting), and the ``(model, bits)``
+    labels for the result objects.
+    """
+
+    def resolve(
+        self, queue_key: str
+    ) -> Tuple[ExecutionPlan, Dict[str, int], Optional[BatchAccountant], str, Optional[int]]:
+        raise NotImplementedError
+
+
+class WorkerPool:
+    """N threads draining a scheduler through per-worker execution contexts."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        executor: BatchExecutor,
+        *,
+        workers: int = 1,
+        stats: Optional[ServeStats] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.scheduler = scheduler
+        self.executor = executor
+        self.workers = workers
+        self.clock = clock
+        self.stats = stats if stats is not None else ServeStats()
+        self.batch_records: List[BatchRecord] = []
+        self._stats_lock = threading.Lock()
+        self._batch_counter = 0
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("worker pool already started")
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop the scheduler and join the workers (they drain first)."""
+        self.scheduler.stop()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # The worker loop
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        # Per-worker buffer arenas, one per distinct plan this thread runs.
+        contexts: Dict[int, ExecutionContext] = {}
+        while True:
+            item = self.scheduler.get_batch()
+            if item is None:
+                return
+            queue_key, requests = item
+            try:
+                self._execute(queue_key, requests, contexts)
+            except BaseException as error:  # noqa: BLE001 - fulfil futures, keep serving
+                for request in requests:
+                    if request.future is not None and not request.future.done():
+                        request.future.set_exception(error)
+
+    def _context_for(self, plan: ExecutionPlan, contexts: Dict[int, ExecutionContext]):
+        ctx = contexts.get(id(plan))
+        if ctx is None:
+            ctx = plan.create_context()
+            contexts[id(plan)] = ctx
+        return ctx
+
+    def _execute(
+        self,
+        queue_key: str,
+        requests: List[InferenceRequest],
+        contexts: Dict[int, ExecutionContext],
+    ) -> None:
+        plan, forward_bits, accountant, model, bits = self.executor.resolve(queue_key)
+        batch = np.stack([request.x for request in requests])
+        started = self.clock()
+        logits = plan.run(batch, ctx=self._context_for(plan, contexts))
+        compute_seconds = self.clock() - started
+        predictions = np.argmax(logits, axis=-1)
+
+        with self._stats_lock:
+            batch_id = self._batch_counter
+            self._batch_counter += 1
+        record = BatchRecord(
+            batch_id=batch_id,
+            size=len(requests),
+            compute_seconds=compute_seconds,
+            model=model,
+            bits=bits,
+        )
+        if accountant is not None:
+            accountant.annotate(record, forward_bits)
+
+        latencies: List[float] = []
+        for index, request in enumerate(requests):
+            queue_seconds = started - request.enqueued_at
+            latencies.append(queue_seconds + compute_seconds)
+            result = InferenceResult(
+                request_id=request.request_id,
+                logits=logits[index],
+                prediction=int(predictions[index]),
+                batch_id=batch_id,
+                batch_size=len(requests),
+                queue_seconds=queue_seconds,
+                compute_seconds=compute_seconds,
+                model=model,
+                bits=bits,
+            )
+            if request.future is not None:
+                request.future.set_result(result)
+        with self._stats_lock:
+            self.batch_records.append(record)
+            self.stats.record_batch(record, latencies)

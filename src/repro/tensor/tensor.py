@@ -21,6 +21,7 @@ general-purpose framework.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -28,31 +29,43 @@ import numpy as np
 
 ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
 
-#: Running count of operation-result tensors created via :meth:`Tensor._make`.
-#: A compiled execution plan must not construct any graph nodes; the runtime
-#: test-suite asserts this counter stays flat across ``plan.run``.
-_GRAPH_NODES_CREATED = 0
+class _InstrumentationState(threading.local):
+    """Per-thread autograd instrumentation.
 
-#: Active operation trace (a list of :class:`OpRecord`) or ``None``.  Set by
-#: :func:`trace_ops`; consumed by the plan compiler in :mod:`repro.runtime`.
-_ACTIVE_TRACE: Optional[List["OpRecord"]] = None
+    ``grad_enabled``, the graph-node counter and the active operation trace
+    are all *thread-local*: concurrent plan execution (see
+    :mod:`repro.serve.workers`) must not race on the counter, and a
+    ``trace_ops`` block in one thread must not capture operations executed by
+    another.  The flip side is that tracing -- and therefore plan
+    *compilation* -- observes only its own thread: compile on one thread at a
+    time (``repro.runtime`` serialises this with a compile lock); executing
+    the compiled plans is then safe from any number of threads.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled: bool = True
+        self.graph_nodes_created: int = 0
+        self.active_trace: Optional[List["OpRecord"]] = None
+
+
+_STATE = _InstrumentationState()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is currently enabled (this thread)."""
+    return _STATE.grad_enabled
 
 
 def graph_nodes_created() -> int:
-    """Total operation-result tensors ever created (a monotonic counter).
+    """Operation-result tensors created *by this thread* (monotonic counter).
 
     Diff two readings around a code region to count how many autograd-graph
     nodes it built; a compiled :class:`~repro.runtime.plan.ExecutionPlan`
-    builds exactly zero.
+    builds exactly zero.  The counter is thread-local so concurrent plan
+    execution neither races on it nor pollutes another thread's reading.
     """
-    return _GRAPH_NODES_CREATED
+    return _STATE.graph_nodes_created
 
 
 @dataclass
@@ -67,40 +80,39 @@ class OpRecord:
 
 @contextlib.contextmanager
 def trace_ops():
-    """Record every tensor operation executed inside the block.
+    """Record every tensor operation executed inside the block (this thread).
 
     Yields the list the records are appended to.  Gradient recording is
     forced *on* for the duration so operations keep their parent links and no
     module takes a grad-free fast path that would hide ops from the trace;
-    nothing calls ``backward`` so no gradients are accumulated.
+    nothing calls ``backward`` so no gradients are accumulated.  The trace is
+    thread-local: operations executed by other threads are invisible to it.
     """
-    global _ACTIVE_TRACE, _GRAD_ENABLED
-    previous_trace = _ACTIVE_TRACE
-    previous_grad = _GRAD_ENABLED
+    previous_trace = _STATE.active_trace
+    previous_grad = _STATE.grad_enabled
     records: List[OpRecord] = []
-    _ACTIVE_TRACE = records
-    _GRAD_ENABLED = True
+    _STATE.active_trace = records
+    _STATE.grad_enabled = True
     try:
         yield records
     finally:
-        _ACTIVE_TRACE = previous_trace
-        _GRAD_ENABLED = previous_grad
+        _STATE.active_trace = previous_trace
+        _STATE.grad_enabled = previous_grad
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph recording.
+    """Context manager that disables graph recording (this thread).
 
     Used for evaluation passes and for the quantised weight-update step,
     which must not itself be differentiated.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _STATE.grad_enabled
+    _STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -156,10 +168,10 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _STATE.grad_enabled
         self.name = name
         self._backward: Optional[Callable[[np.ndarray], None]] = None
-        self._parents: Tuple[Tensor, ...] = tuple(_parents) if _GRAD_ENABLED else ()
+        self._parents: Tuple[Tensor, ...] = tuple(_parents) if _STATE.grad_enabled else ()
         self._op = _op
 
     # ------------------------------------------------------------------ #
@@ -224,14 +236,16 @@ class Tensor:
         for the benefit of an active :func:`trace_ops` block; it is not
         stored on the tensor.
         """
-        global _GRAPH_NODES_CREATED
-        _GRAPH_NODES_CREATED += 1
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        state = _STATE
+        state.graph_nodes_created += 1
+        requires = state.grad_enabled and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=requires, _parents=parents if requires else (), _op=op)
         if requires:
             out._backward = backward
-        if _ACTIVE_TRACE is not None:
-            _ACTIVE_TRACE.append(OpRecord(op=op, out=out, parents=tuple(parents), ctx=ctx or {}))
+        if state.active_trace is not None:
+            state.active_trace.append(
+                OpRecord(op=op, out=out, parents=tuple(parents), ctx=ctx or {})
+            )
         return out
 
     def _accumulate_grad(self, grad: np.ndarray) -> None:

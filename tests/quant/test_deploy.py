@@ -137,6 +137,71 @@ class TestSaveLoadExport:
         assert logits.shape == (2, 3)
 
 
+class TestFormatVersionAndHash:
+    def test_content_hash_is_deterministic_and_discriminating(self, model):
+        export_a = export_quantized_model(model, _weight_bits(model, 6))
+        export_b = export_quantized_model(model, _weight_bits(model, 6))
+        export_4bit = export_quantized_model(model, _weight_bits(model, 4))
+        assert export_a.content_hash() == export_b.content_hash()
+        assert export_a.content_hash() != export_4bit.content_hash()
+
+    def test_hash_survives_disk_round_trip(self, model, tmp_path):
+        export = export_quantized_model(model, _weight_bits(model, 6))
+        path = save_export(export, tmp_path / "model.npz")
+        assert load_export(path).content_hash() == export.content_hash()
+
+    def test_archive_carries_version_and_hash(self, model, tmp_path):
+        import json
+
+        path = save_export(export_quantized_model(model, _weight_bits(model)), tmp_path / "m.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        from repro.quant import EXPORT_FORMAT_VERSION
+
+        assert meta["format_version"] == EXPORT_FORMAT_VERSION
+        assert len(meta["content_hash"]) == 64
+
+    def test_unknown_version_rejected_with_clear_error(self, model, tmp_path):
+        import json
+
+        from repro.quant import ExportFormatError
+
+        path = save_export(export_quantized_model(model, _weight_bits(model)), tmp_path / "m.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps({"format_version": 99}).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(tmp_path / "future.npz", **arrays)
+        with pytest.raises(ExportFormatError, match="format version 99"):
+            load_export(tmp_path / "future.npz")
+
+    def test_corrupted_archive_fails_hash_check(self, model, tmp_path):
+        import json
+
+        from repro.quant import ExportFormatError
+
+        export = export_quantized_model(model, _weight_bits(model, 6))
+        path = save_export(export, tmp_path / "m.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        name = next(key for key in arrays if key.startswith("codes/"))
+        tampered = arrays[name].copy()
+        tampered.flat[0] += 1
+        arrays[name] = tampered
+        np.savez(tmp_path / "tampered.npz", **arrays)
+        with pytest.raises(ExportFormatError, match="content-hash"):
+            load_export(tmp_path / "tampered.npz")
+
+    def test_legacy_archive_without_meta_still_loads(self, model, tmp_path):
+        path = save_export(export_quantized_model(model, _weight_bits(model, 6)), tmp_path / "m.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files if key != "__meta__"}
+        np.savez(tmp_path / "legacy.npz", **arrays)
+        loaded = load_export(tmp_path / "legacy.npz")
+        assert set(loaded.quantized) == set(_weight_bits(model, 6))
+
+
 class TestSizeReport:
     def test_rows_and_savings(self, model):
         rows = export_size_report(model, _weight_bits(model, 4))

@@ -104,6 +104,21 @@ class TestBatchingPolicy:
         with pytest.raises(ValueError, match="max_queue_delay_s"):
             MicroBatchServer(plan, max_queue_delay_s=-1.0)
 
+    def test_bounded_depth_rejects_and_counts(self, served_model):
+        from repro.serve import QueueFullError
+
+        _, shape, plan = served_model
+        server = MicroBatchServer(
+            plan, max_batch_size=8, max_queue_delay_s=float("inf"), max_queue_depth=2
+        )
+        sample = np.zeros(shape)
+        server.submit(sample)
+        server.submit(sample)
+        with pytest.raises(QueueFullError):
+            server.submit(sample)
+        assert server.stats.rejected == 1
+        assert server.pending() == 2
+
 
 class TestResultsAndAccounting:
     def test_logits_match_module(self, served_model):

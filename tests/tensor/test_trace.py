@@ -1,5 +1,7 @@
 """Operation tracing and the graph-node counter."""
 
+import threading
+
 import numpy as np
 
 from repro.tensor import Tensor, graph_nodes_created, is_grad_enabled, no_grad, trace_ops
@@ -60,3 +62,61 @@ class TestTraceOps:
             _ = a - 1.0
         assert [r.op for r in inner] == ["mul"]
         assert [r.op for r in outer] == ["add", "sub"]
+
+
+class TestThreadIsolation:
+    """Instrumentation is thread-local: compilation traces on one thread
+    must not observe (or be corrupted by) execution on other threads."""
+
+    def test_graph_node_counter_is_per_thread(self):
+        a = Tensor(np.ones(3))
+        ready = threading.Event()
+        release = threading.Event()
+
+        def other_thread():
+            _ = a * 2.0  # creates nodes on ITS counter only
+            ready.set()
+            release.wait()
+
+        thread = threading.Thread(target=other_thread)
+        before = graph_nodes_created()
+        thread.start()
+        ready.wait()
+        assert graph_nodes_created() == before  # this thread saw nothing
+        release.set()
+        thread.join()
+
+    def test_trace_does_not_capture_other_threads(self):
+        a = Tensor(np.ones(2))
+        inside = threading.Event()
+        release = threading.Event()
+        done = []
+
+        def other_thread():
+            inside.wait()
+            _ = a * 5.0
+            done.append(True)
+            release.set()
+
+        thread = threading.Thread(target=other_thread)
+        thread.start()
+        with trace_ops() as records:
+            _ = a + 1.0
+            inside.set()
+            release.wait()
+            _ = a - 1.0
+        thread.join()
+        assert done
+        assert [r.op for r in records] == ["add", "sub"]
+
+    def test_no_grad_is_per_thread(self):
+        observed = {}
+
+        def other_thread():
+            observed["enabled"] = is_grad_enabled()
+
+        with no_grad():
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert observed["enabled"] is True  # fresh thread defaults to grad on

@@ -214,6 +214,67 @@ class TestServeBenchCommand:
         assert cli.run_serve_bench(self._argv("--export", str(path))) == 0
         assert "plan-5bit" in capsys.readouterr().out
 
+    def test_unknown_model_rejected(self, capsys):
+        assert cli.run_serve_bench(self._argv("--model", "ghost_net")) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestServeBenchScalingMode:
+    def _argv(self, *extra):
+        return [
+            "--model", "tiny_convnet", "--requests", "16", "--batch-size", "4",
+            "--repeats", "1", "--workers", "1,2", *extra,
+        ]
+
+    def test_scaling_mode_prints_worker_rows(self, capsys):
+        assert cli.run_serve_bench(self._argv()) == 0
+        out = capsys.readouterr().out
+        assert "serve-bench scaling" in out
+        assert "vs 1 wkr" in out
+        assert "variant=fp32" in out
+
+    def test_scaling_bits_selects_quantised_variant(self, capsys):
+        assert cli.run_serve_bench(self._argv("--scaling-bits", "8")) == 0
+        assert "variant=8bit" in capsys.readouterr().out
+
+    def test_multi_model_scaling(self, capsys):
+        argv = ["--model", "tiny_convnet,mlp", "--in-channels", "8", "--requests", "16",
+                "--batch-size", "4", "--repeats", "1", "--workers", "2"]
+        assert cli.run_serve_bench(argv) == 0
+        assert "models=tiny_convnet,mlp" in capsys.readouterr().out
+
+    def test_multi_model_without_workers_rejected(self, capsys):
+        argv = ["--model", "tiny_convnet,mlp", "--requests", "8", "--batch-size", "4"]
+        assert cli.run_serve_bench(argv) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_workers_and_bits_flags(self, capsys):
+        assert cli.run_serve_bench(self._argv()[:-2] + ["--workers", "two"]) == 2
+        assert cli.run_serve_bench(self._argv()[:-2] + ["--workers", "0"]) == 2
+        assert cli.run_serve_bench(self._argv("--scaling-bits", "wide")) == 2
+
+    def test_out_of_range_scaling_bits_fails_cleanly(self, capsys):
+        assert cli.run_serve_bench(self._argv("--scaling-bits", "0")) == 2
+        assert "serve-bench failed" in capsys.readouterr().err
+        assert cli.run_serve_bench(self._argv("--scaling-bits", "33")) == 2
+
+    def test_ignored_flags_warned_in_scaling_mode(self, capsys):
+        assert cli.run_serve_bench(self._argv("--bits", "4")) == 0
+        assert "ignored" in capsys.readouterr().err
+
+    def test_scaling_mode_rejects_export_and_checkpoint(self, capsys):
+        assert cli.run_serve_bench(self._argv("--export", "model.npz")) == 2
+        assert "not supported" in capsys.readouterr().err
+        assert cli.run_serve_bench(self._argv("--checkpoint", "ck.npz")) == 2
+
+    def test_scaling_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "scaling.json"
+        assert cli.run_serve_bench(self._argv("--json-out", str(out_path))) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert [row["workers"] for row in payload["rows"]] == [1, 2]
+
 
 class TestMainDispatch:
     def test_train_dispatch(self, capsys):
