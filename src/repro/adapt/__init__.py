@@ -1,0 +1,63 @@
+"""Online adaptation: APT fine-tuning jobs that hot-swap served models.
+
+The paper's point is that training happens *on the device that serves* --
+APT makes edge personalisation and drift adaptation affordable.  This
+package closes that loop over the serving stack:
+
+```
+  serve ──► observe drift ──► APT fine-tune ──► re-export ──► hot-swap
+    ▲   (feedback + triggers)  (resume from      (integer      (atomic,
+    │                           served export)    codes)        versioned)
+    └──────────────────────────────────────────────────────────────┘
+```
+
+* :class:`~repro.adapt.buffer.FeedbackBuffer` -- labelled samples reported
+  through ``InferenceService.record_feedback``.
+* :mod:`~repro.adapt.triggers` -- when to adapt:
+  :class:`~repro.adapt.triggers.AccuracyDropTrigger` (drift detected) and
+  :class:`~repro.adapt.triggers.StalenessTrigger` (age / traffic refresh).
+* :class:`~repro.adapt.job.AdaptationJob` /
+  :func:`~repro.adapt.job.run_adaptation_job` /
+  :class:`~repro.adapt.job.AdaptationWorker` -- resume APT from the served
+  export's weights *and* per-layer bitwidths, fine-tune through the shared
+  trainer, re-export, and atomically
+  :meth:`~repro.serve.repository.ModelRepository.swap` into serving.
+* :class:`~repro.adapt.manager.OnlineAdaptationManager` -- the control
+  loop composing all of the above over a running service.
+* :func:`~repro.adapt.bench.run_adapt_bench` -- swap latency and
+  serve-while-training throughput, behind ``repro.cli adapt-bench``.
+"""
+
+from repro.adapt.bench import AdaptBenchReport, run_adapt_bench
+from repro.adapt.buffer import FeedbackBuffer, FeedbackSample
+from repro.adapt.job import (
+    AdaptationJob,
+    AdaptationResult,
+    AdaptationWorker,
+    JobHandle,
+    run_adaptation_job,
+)
+from repro.adapt.manager import OnlineAdaptationManager
+from repro.adapt.triggers import (
+    AccuracyDropTrigger,
+    AdaptationTrigger,
+    StalenessTrigger,
+    TriggerDecision,
+)
+
+__all__ = [
+    "AdaptBenchReport",
+    "AccuracyDropTrigger",
+    "AdaptationJob",
+    "AdaptationResult",
+    "AdaptationTrigger",
+    "AdaptationWorker",
+    "FeedbackBuffer",
+    "FeedbackSample",
+    "JobHandle",
+    "OnlineAdaptationManager",
+    "StalenessTrigger",
+    "TriggerDecision",
+    "run_adapt_bench",
+    "run_adaptation_job",
+]

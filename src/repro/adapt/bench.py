@@ -1,0 +1,235 @@
+"""Serve-while-training benchmark behind ``repro.cli adapt-bench``.
+
+Measures the two costs of online adaptation the architecture promises to
+keep small:
+
+* **Swap latency** -- how long the atomic repository handoff takes (the
+  compile happens before the swap; the handoff itself is dictionary writes
+  plus a generation bump).
+* **Serving degradation** -- throughput of the worker pool while an APT
+  fine-tuning job trains on the same host, versus an idle baseline, plus a
+  post-swap wave proving the service is healthy on the new version.
+
+Every request's future is awaited, so the report also certifies the
+zero-dropped-requests property across the handoff.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.adapt.job import AdaptationJob, AdaptationWorker
+from repro.core.config import APTConfig
+from repro.data.drift import DriftSpec, drift_dataset
+from repro.data.synthetic import make_synthetic_digits
+from repro.models import build_model
+from repro.quant.deploy import export_quantized_model
+from repro.serve.repository import ModelRepository
+from repro.serve.scheduler import QueuePolicy
+from repro.serve.service import InferenceService
+
+
+@dataclass
+class AdaptBenchReport:
+    """Result of one adapt-bench run."""
+
+    model: str
+    bits: int
+    workers: int
+    epochs: int
+    train_samples: int
+    baseline_requests: int
+    contended_requests: int
+    post_swap_requests: int
+    baseline_rps: float
+    contended_rps: float
+    post_swap_rps: float
+    train_seconds: float
+    swap_seconds: float
+    accuracy_before: float
+    accuracy_after: float
+    generation_before: int
+    generation_after: int
+    failed_requests: int
+    status: str
+
+    @property
+    def degradation_pct(self) -> float:
+        """Throughput lost while the fine-tune job shared the host (%)."""
+        if self.baseline_rps <= 0:
+            return 0.0
+        return max(0.0, 100.0 * (1.0 - self.contended_rps / self.baseline_rps))
+
+    def format_rows(self) -> List[str]:
+        """The report as aligned text lines (phases, then the swap summary)."""
+        return [
+            f"{'phase':<22s} {'requests':>9s} {'req/s':>10s}",
+            "-" * 43,
+            f"{'baseline (idle host)':<22s} {self.baseline_requests:9d} {self.baseline_rps:10.0f}",
+            f"{'during fine-tune':<22s} {self.contended_requests:9d} {self.contended_rps:10.0f}",
+            f"{'after hot-swap':<22s} {self.post_swap_requests:9d} {self.post_swap_rps:10.0f}",
+            "",
+            f"throughput degradation while training: {self.degradation_pct:.1f}%",
+            f"fine-tune: {self.train_seconds:.2f}s over {self.epochs} epochs "
+            f"on {self.train_samples} samples ({self.status})",
+            f"hot-swap latency: {self.swap_seconds * 1e3:.3f} ms "
+            f"(generation {self.generation_before} -> {self.generation_after})",
+            f"accuracy before/after: {self.accuracy_before:.3f} -> {self.accuracy_after:.3f}",
+            f"failed/dropped requests: {self.failed_requests}",
+        ]
+
+
+def _pump(
+    service: InferenceService,
+    model: str,
+    samples: np.ndarray,
+    count: int,
+) -> Tuple[float, int]:
+    """Serve ``count`` requests round-robin from ``samples``; returns (s, failures)."""
+    started = time.perf_counter()
+    futures = [
+        service.submit(model, samples[index % len(samples)]) for index in range(count)
+    ]
+    failures = 0
+    for future in futures:
+        try:
+            future.result(timeout=60.0)
+        except Exception:  # noqa: BLE001 - the bench counts, not raises
+            failures += 1
+    return time.perf_counter() - started, failures
+
+
+def run_adapt_bench(
+    model_name: str = "tiny_convnet",
+    *,
+    bits: int = 8,
+    workers: int = 2,
+    requests: int = 256,
+    batch_size: int = 16,
+    epochs: int = 2,
+    train_samples: int = 256,
+    image_size: int = 12,
+    num_classes: int = 10,
+    config: Optional[APTConfig] = None,
+    seed: int = 0,
+) -> AdaptBenchReport:
+    """Serve one model while an APT fine-tune job retrains and hot-swaps it.
+
+    Args:
+        model_name: Registry model (an image model; data comes from
+            :func:`~repro.data.synthetic.make_synthetic_digits`).
+        bits: Uniform bitwidth of the served (and swapped) variant.
+        workers: Worker-pool threads serving requests.
+        requests: Requests per measured phase (baseline / contended waves /
+            post-swap).
+        batch_size: Micro-batch size of the variant's queue.
+        epochs: Fine-tune epochs (keep small; the bench measures overlap,
+            not convergence).
+        train_samples: Labelled samples the fine-tune job trains on
+            (drifted copies of the serving distribution).
+        image_size, num_classes: Workload geometry.
+        config: APT hyper-parameters for the session (default: paper's).
+        seed: Base RNG seed.
+
+    Returns:
+        An :class:`AdaptBenchReport`; ``failed_requests`` counts futures
+        that raised or timed out (the acceptance criterion is 0).
+    """
+    from repro.quant.affine import FLOAT_BITS_THRESHOLD, MIN_BITS
+
+    if not MIN_BITS <= bits < FLOAT_BITS_THRESHOLD:
+        raise ValueError(
+            f"bits must be in [{MIN_BITS}, {FLOAT_BITS_THRESHOLD - 1}] for a "
+            f"quantised serving variant, got {bits}"
+        )
+    rng = np.random.default_rng(seed)
+    model = build_model(model_name, num_classes=num_classes, in_channels=1, rng=rng)
+    input_shape = (1, image_size, image_size)
+    train_set, test_set = make_synthetic_digits(
+        train_samples=train_samples,
+        test_samples=max(64, train_samples // 4),
+        image_size=image_size,
+        seed=seed,
+    )
+
+    repo = ModelRepository()
+    repo.add_model(model_name, model, input_shape)
+    repo.add_export(
+        model_name,
+        export_quantized_model(model, {n: bits for n, _ in model.named_parameters()}),
+        bits=bits,
+    )
+    generation_before = repo.generation(model_name)
+
+    request_stream = np.stack([test_set[index][0] for index in range(len(test_set))])
+    service = InferenceService(
+        repo,
+        workers=workers,
+        queue_policy=QueuePolicy(max_batch_size=batch_size, max_queue_delay_s=0.0),
+    )
+    failures = 0
+    with service:
+        # Phase 1: idle-host baseline.
+        baseline_seconds, failed = _pump(service, model_name, request_stream, requests)
+        failures += failed
+
+        # Phase 2: keep serving while the fine-tune job trains on a drifted
+        # copy of the serving distribution (the motivating scenario).
+        drifted = drift_dataset(
+            train_set, DriftSpec(class_shift=0.4, scale_drift=0.1),
+            rng=np.random.default_rng(seed + 1),
+        )
+        job = AdaptationJob(
+            model=model_name,
+            bits=bits,
+            train_set=drifted,
+            config=config,
+            epochs=epochs,
+            batch_size=32,
+            seed=seed,
+        )
+        contended_requests = 0
+        contended_seconds = 0.0
+        with AdaptationWorker(repo) as adapt_worker:
+            handle = adapt_worker.submit(job)
+            while True:
+                elapsed, failed = _pump(service, model_name, request_stream, requests)
+                contended_seconds += elapsed
+                contended_requests += requests
+                failures += failed
+                if handle.done():
+                    break
+            result = handle.result()
+        generation_after = repo.generation(model_name)
+
+        # Phase 3: the service keeps serving on the swapped-in version.
+        post_seconds, failed = _pump(service, model_name, request_stream, requests)
+        failures += failed
+
+    return AdaptBenchReport(
+        model=model_name,
+        bits=bits,
+        workers=workers,
+        epochs=epochs,
+        train_samples=len(drifted),
+        baseline_requests=requests,
+        contended_requests=contended_requests,
+        post_swap_requests=requests,
+        baseline_rps=requests / baseline_seconds if baseline_seconds > 0 else 0.0,
+        contended_rps=(
+            contended_requests / contended_seconds if contended_seconds > 0 else 0.0
+        ),
+        post_swap_rps=requests / post_seconds if post_seconds > 0 else 0.0,
+        train_seconds=result.train_seconds,
+        swap_seconds=result.swap_seconds,
+        accuracy_before=result.accuracy_before,
+        accuracy_after=result.accuracy_after,
+        generation_before=generation_before,
+        generation_after=generation_after,
+        failed_requests=failures,
+        status=result.status,
+    )

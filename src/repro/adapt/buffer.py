@@ -1,0 +1,135 @@
+"""Bounded buffer of labelled feedback samples collected while serving.
+
+The adaptation loop needs training data from the *serving* distribution:
+every labelled sample a client reports back through
+:meth:`repro.serve.InferenceService.record_feedback` lands here.  The
+buffer is a thread-safe ring (oldest samples evicted at capacity), tracks
+the observed accuracy over samples that carried the service's prediction,
+and snapshots into an :class:`~repro.data.dataset.ArrayDataset` that an
+:class:`~repro.adapt.job.AdaptationJob` fine-tunes on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+
+@dataclass(frozen=True)
+class FeedbackSample:
+    """One served sample with its reported ground truth."""
+
+    x: np.ndarray
+    label: int
+    #: The class the service predicted, when the reporter kept the result.
+    prediction: Optional[int] = None
+
+    @property
+    def correct(self) -> Optional[bool]:
+        """Whether the prediction matched the label (None without one)."""
+        if self.prediction is None:
+            return None
+        return self.prediction == self.label
+
+
+class FeedbackBuffer:
+    """Thread-safe bounded ring of :class:`FeedbackSample` objects.
+
+    Args:
+        capacity: Maximum retained samples; adding beyond it evicts the
+            oldest (the buffer tracks the *recent* serving distribution,
+            which is exactly what drift adaptation wants to train on).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: Deque[FeedbackSample] = deque(maxlen=capacity)
+        #: Lifetime count, unaffected by eviction / clear.
+        self.total_added = 0
+
+    def add(self, x: np.ndarray, label: int, prediction: Optional[int] = None) -> None:
+        """Append one labelled sample (copies ``x``; evicts at capacity)."""
+        sample = FeedbackSample(
+            x=np.array(x, dtype=np.float64, copy=True),
+            label=int(label),
+            prediction=None if prediction is None else int(prediction),
+        )
+        with self._lock:
+            self._samples.append(sample)
+            self.total_added += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @staticmethod
+    def _windowed(samples, window: Optional[int]):
+        if window is None:
+            return samples
+        window = int(window)
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        return samples[-window:]
+
+    def judged(self, window: Optional[int] = None) -> int:
+        """How many of the newest ``window`` samples carry a prediction.
+
+        The denominator of :meth:`accuracy` -- triggers gate on this, not
+        on the raw sample count, so unjudged feedback cannot unlock an
+        accuracy decision built on one or two predictions.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        return sum(
+            1 for sample in self._windowed(samples, window) if sample.prediction is not None
+        )
+
+    def accuracy(self, window: Optional[int] = None) -> Optional[float]:
+        """Observed accuracy over the newest ``window`` samples with predictions.
+
+        Args:
+            window: Number of newest samples to consider (default: all;
+                must be at least 1 when given).
+
+        Returns:
+            Fraction correct, or ``None`` when no retained sample carried a
+            prediction.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        judged = [
+            sample.correct
+            for sample in self._windowed(samples, window)
+            if sample.correct is not None
+        ]
+        if not judged:
+            return None
+        return sum(judged) / len(judged)
+
+    def snapshot(self) -> ArrayDataset:
+        """The retained samples as a dataset (inputs stacked, labels array).
+
+        Raises:
+            ValueError: the buffer is empty.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
+            raise ValueError("feedback buffer is empty; nothing to snapshot")
+        inputs = np.stack([sample.x for sample in samples])
+        labels = np.array([sample.label for sample in samples], dtype=np.int64)
+        return ArrayDataset(inputs, labels)
+
+    def clear(self) -> None:
+        """Drop all retained samples (``total_added`` keeps counting)."""
+        with self._lock:
+            self._samples.clear()

@@ -1,0 +1,421 @@
+"""APT fine-tuning jobs that end in a hot-swap of the served export.
+
+This is the closing of the paper's loop: the model that *serves* is the
+model that *trains*.  An :class:`AdaptationJob` names a repository variant
+and brings labelled samples (typically a
+:meth:`~repro.adapt.buffer.FeedbackBuffer.snapshot` of serving feedback);
+:func:`run_adaptation_job` then
+
+1. clones the architecture and resumes from the **currently served
+   export** -- weights via :func:`~repro.quant.deploy.load_into_model`,
+   per-layer precision via the export's stored bitwidths
+   (:meth:`~repro.quant.deploy.QuantizedModelExport.bitwidths`), so the
+   APT controller continues from the adapted state rather than re-running
+   the warm-up;
+2. fine-tunes with the shared :class:`~repro.train.trainer.Trainer` under
+   an :class:`~repro.core.strategy.APTStrategy` (the exact training stack
+   the paper's experiments use, including analytic energy accounting);
+3. re-exports the fine-tuned model as integer codes and atomically
+   :meth:`~repro.serve.repository.ModelRepository.swap`\\ s it into
+   serving, recording how long the handoff took.
+
+:class:`AdaptationWorker` runs jobs on a background thread so serving and
+fine-tuning overlap -- the scenario the whole subsystem exists for.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.config import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.data.dataset import ArrayDataset
+from repro.data.loader import DataLoader
+from repro.hardware.accounting import EnergyMeter
+from repro.hardware.energy import EnergyModel
+from repro.optim.sgd import SGD
+from repro.quant.deploy import export_quantized_model, load_into_model
+from repro.serve.repository import ModelRepository, ModelVersion
+from repro.train.history import TrainingHistory
+from repro.train.serialization import save_checkpoint
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+@dataclass
+class AdaptationJob:
+    """One fine-tune-and-swap work item.
+
+    Attributes
+    ----------
+    model, bits:
+        The repository variant to adapt: training resumes from this
+        export, and the refreshed export is swapped back under the same
+        variant key (stable queue keys and routing while the model's
+        *content* moves on).
+    train_set:
+        Labelled samples from the serving distribution -- usually a
+        feedback-buffer snapshot.
+    eval_set:
+        Held-out labelled samples for the before/after accuracy check;
+        defaults to ``train_set`` when absent (fit quality only).
+    config:
+        APT hyper-parameters for the session.  The per-layer *starting*
+        bitwidths always come from the served export; this controls the
+        thresholds/clamps of the feedback loop during fine-tuning.
+    epochs, batch_size, learning_rate, momentum, weight_decay, seed:
+        The usual fine-tuning recipe (short and cheap by design).
+    min_improvement:
+        When set, the swap only happens if evaluated accuracy improved by
+        at least this much; otherwise the job completes with status
+        ``"skipped"`` and serving keeps the old version.
+    checkpoint_dir:
+        When set, the fine-tuned model is also written as a training
+        checkpoint (``repro.train.serialization.save_checkpoint``) before
+        the swap -- the durable artifact of the session.
+    tag:
+        Free-form label carried into the result (e.g. the trigger reason).
+    """
+
+    model: str
+    bits: int
+    train_set: ArrayDataset
+    eval_set: Optional[ArrayDataset] = None
+    config: Optional[APTConfig] = None
+    epochs: int = 2
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    seed: int = 0
+    min_improvement: Optional[float] = None
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be at least 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {self.batch_size}")
+
+
+@dataclass
+class AdaptationResult:
+    """Outcome of one adaptation job.
+
+    ``status`` is one of ``"swapped"`` (the new export is serving),
+    ``"skipped"`` (trained, but the improvement gate held the swap back)
+    or ``"failed"`` (``error`` carries the message; serving untouched).
+    """
+
+    job: AdaptationJob
+    status: str
+    version: Optional[ModelVersion] = None
+    accuracy_before: float = 0.0
+    accuracy_after: float = 0.0
+    train_seconds: float = 0.0
+    swap_seconds: float = 0.0
+    #: Analytic fine-tuning energy (pJ) from the repository's model profile.
+    energy_pj: float = 0.0
+    history: Optional[TrainingHistory] = None
+    checkpoint_path: Optional[Path] = None
+    error: str = ""
+
+    @property
+    def swapped(self) -> bool:
+        """Whether the refreshed export is now the served version."""
+        return self.status == "swapped"
+
+
+def run_adaptation_job(
+    repository: ModelRepository,
+    job: AdaptationJob,
+    *,
+    clock: Callable[[], float] = time.perf_counter,
+) -> AdaptationResult:
+    """Fine-tune one served variant and hot-swap the result into serving.
+
+    Args:
+        repository: The repository serving the variant (and receiving the
+            swap).
+        job: What to adapt and how.
+        clock: Injectable timer for the train/swap latency measurements.
+
+    Returns:
+        An :class:`AdaptationResult`; never raises for training/swap
+        problems (``status="failed"`` instead), so a worker thread survives
+        bad jobs.  Programming errors (unknown model/variant, invalid job)
+        do raise.
+
+    Raises:
+        KeyError: the repository has no such model/variant.
+    """
+    export = repository.export(job.model, job.bits)
+    model = repository.clone_model(job.model)
+    load_into_model(export, model)
+
+    strategy = APTStrategy(
+        job.config or APTConfig.paper_default(),
+        initial_bitwidths=export.bitwidths(),
+    )
+    train_loader = DataLoader(
+        job.train_set, batch_size=job.batch_size, rng=np.random.default_rng(job.seed)
+    )
+    eval_loader = DataLoader(
+        job.eval_set if job.eval_set is not None else job.train_set,
+        batch_size=max(job.batch_size, 64),
+        shuffle=False,
+    )
+    optimizer = SGD(
+        model.parameters(),
+        lr=job.learning_rate,
+        momentum=job.momentum,
+        weight_decay=job.weight_decay,
+    )
+    energy_meter = EnergyMeter(repository.profile(job.model), EnergyModel())
+    trainer = Trainer(
+        model=model,
+        optimizer=optimizer,
+        train_loader=train_loader,
+        test_loader=eval_loader,
+        strategy=strategy,
+        energy_meter=energy_meter,
+        config=TrainerConfig(epochs=job.epochs),
+    )
+
+    try:
+        accuracy_before = trainer.evaluate()
+        started = clock()
+        history = trainer.fit(job.epochs)
+        train_seconds = clock() - started
+        accuracy_after = history.final_test_accuracy
+    except Exception as error:  # noqa: BLE001 - surface, don't kill the worker
+        return AdaptationResult(
+            job=job, status="failed", error=f"fine-tuning failed: {error}"
+        )
+
+    result = AdaptationResult(
+        job=job,
+        status="skipped",
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+        train_seconds=train_seconds,
+        energy_pj=energy_meter.report.total_pj,
+        history=history,
+    )
+
+    try:
+        new_export = export_quantized_model(model, strategy.weight_bits())
+        if job.checkpoint_dir is not None:
+            result.checkpoint_path = save_checkpoint(
+                model,
+                Path(job.checkpoint_dir) / f"{job.model}-{job.bits}bit-adapted.npz",
+                bitwidths=strategy.weight_bits(),
+                metadata={
+                    "model": job.model,
+                    "bits": job.bits,
+                    "accuracy_before": accuracy_before,
+                    "accuracy_after": accuracy_after,
+                    "tag": job.tag,
+                },
+            )
+    except Exception as error:  # noqa: BLE001 - e.g. unwritable checkpoint_dir
+        result.status = "failed"
+        result.error = f"exporting the fine-tuned model failed: {error}"
+        return result
+
+    if (
+        job.min_improvement is not None
+        and accuracy_after - accuracy_before < job.min_improvement
+    ):
+        result.error = (
+            f"improvement {accuracy_after - accuracy_before:+.3f} below the "
+            f"gate of {job.min_improvement:+.3f}; keeping the served version"
+        )
+        return result
+
+    try:
+        # Pre-compile the refreshed plan through the shared cache so the
+        # timed swap below is the pure handoff (dictionary writes plus a
+        # generation bump), not a compile.  The fine-tuned clone carries
+        # the same architecture fingerprint as the registered module, so
+        # the cache key matches the one swap() will look up.
+        repository.plan_cache.get_or_compile(
+            model, new_export, repository.input_shape(job.model)
+        )
+        started = clock()
+        result.version = repository.swap(job.model, new_export, bits=job.bits)
+        result.swap_seconds = clock() - started
+        result.status = "swapped"
+    except Exception as error:  # noqa: BLE001
+        result.status = "failed"
+        result.error = f"hot-swap failed: {error}"
+    return result
+
+
+class JobHandle:
+    """Completion handle for a job submitted to an :class:`AdaptationWorker`."""
+
+    __slots__ = ("job", "_event", "_result")
+
+    def __init__(self, job: AdaptationJob) -> None:
+        self.job = job
+        self._event = threading.Event()
+        self._result: Optional[AdaptationResult] = None
+
+    def _fulfil(self, result: AdaptationResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        """Whether the job has finished (non-blocking)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> AdaptationResult:
+        """Block until the job finished.
+
+        Raises:
+            TimeoutError: the job did not finish within ``timeout``.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("adaptation job not finished within the timeout")
+        assert self._result is not None
+        return self._result
+
+
+class AdaptationWorker:
+    """Background thread running adaptation jobs while serving continues.
+
+    One worker serialises its jobs (fine-tuning is CPU-hungry; two
+    concurrent sessions would just thrash), but runs them *concurrently
+    with serving* -- the worker pool keeps draining batches on the current
+    plan, and each finished job hands over via the repository's atomic
+    swap.
+
+    Args:
+        repository: Target of every job's resume + swap.
+        clock: Injectable timer, forwarded to :func:`run_adaptation_job`.
+    """
+
+    def __init__(
+        self,
+        repository: ModelRepository,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.repository = repository
+        self.clock = clock
+        self.results: List[AdaptationResult] = []
+        self._results_lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[JobHandle]]" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        #: True between a timed-out stop() and its successful retry, so the
+        #: shutdown sentinel is only queued once.
+        self._stopping = False
+        #: Makes the stopping-check + enqueue atomic against stop(), so a
+        #: submit racing a stop cannot land its handle behind the shutdown
+        #: sentinel (where no thread would ever fulfil it).
+        self._submit_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "AdaptationWorker":
+        """Start the background thread (once; also via ``with``).
+
+        Raises:
+            RuntimeError: the worker was already started.
+        """
+        if self._thread is not None:
+            raise RuntimeError("adaptation worker already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="adapt-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Finish queued jobs, then stop the thread.
+
+        Raises:
+            RuntimeError: the thread did not stop within ``timeout`` (it
+                keeps draining; the worker still counts as started, so a
+                later ``stop`` can be retried).
+        """
+        if self._thread is None:
+            return
+        with self._submit_lock:
+            if not self._stopping:
+                self._queue.put(None)
+                self._stopping = True
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                "adaptation worker did not stop within the timeout "
+                "(a job is still running); retry stop() or wait longer"
+            )
+        self._thread = None
+        self._stopping = False
+
+    def __enter__(self) -> "AdaptationWorker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, job: AdaptationJob) -> JobHandle:
+        """Queue one job; returns its completion handle.
+
+        Raises:
+            RuntimeError: the worker was not started.
+        """
+        with self._submit_lock:
+            if self._thread is None:
+                raise RuntimeError("start() the adaptation worker before submitting jobs")
+            if self._stopping:
+                raise RuntimeError("adaptation worker is stopping; job not accepted")
+            handle = JobHandle(job)
+            self._queue.put(handle)
+        return handle
+
+    def run(self, job: AdaptationJob) -> AdaptationResult:
+        """Run one job synchronously on the calling thread (no queueing).
+
+        The deterministic path used by tests and the CLI bench when
+        overlap is not wanted; records the result like the thread does.
+        """
+        result = run_adaptation_job(self.repository, job, clock=self.clock)
+        with self._results_lock:
+            self.results.append(result)
+        return result
+
+    def pending(self) -> int:
+        """Jobs queued but not yet started or finished (approximate)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------ #
+    # The worker loop
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while True:
+            handle = self._queue.get()
+            if handle is None:
+                return
+            try:
+                result = run_adaptation_job(self.repository, handle.job, clock=self.clock)
+            except Exception as error:  # noqa: BLE001 - keep the worker alive
+                result = AdaptationResult(
+                    job=handle.job, status="failed", error=str(error)
+                )
+            with self._results_lock:
+                self.results.append(result)
+            handle._fulfil(result)

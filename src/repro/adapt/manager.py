@@ -1,0 +1,329 @@
+"""The control loop tying serving, feedback, triggers and fine-tuning together.
+
+:class:`OnlineAdaptationManager` watches one
+:class:`~repro.serve.service.InferenceService`:
+
+* it installs itself as the service's ``feedback_sink``, so every labelled
+  sample reported through ``service.record_feedback`` lands in the managed
+  model's :class:`~repro.adapt.buffer.FeedbackBuffer`;
+* on every :meth:`poll` it evaluates the model's
+  :class:`~repro.adapt.triggers.AdaptationTrigger` policies against the
+  service's live :class:`~repro.serve.types.ServeStats` and the buffer;
+* when a trigger fires it builds an :class:`~repro.adapt.job.AdaptationJob`
+  from the buffered feedback and either runs it inline (deterministic;
+  the default) or submits it to a background
+  :class:`~repro.adapt.job.AdaptationWorker` so fine-tuning overlaps with
+  serving;
+* after a completed swap it resets the triggers and clears the buffer, so
+  the next adaptation round measures the freshly served version.
+
+Everything time-related runs off an injectable clock, so the whole loop is
+unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.adapt.buffer import FeedbackBuffer
+from repro.adapt.job import (
+    AdaptationJob,
+    AdaptationResult,
+    AdaptationWorker,
+    JobHandle,
+    run_adaptation_job,
+)
+from repro.adapt.triggers import AdaptationTrigger
+from repro.core.config import APTConfig
+from repro.data.dataset import ArrayDataset
+from repro.serve.service import InferenceService
+
+
+@dataclass
+class _ManagedModel:
+    """Per-model adaptation policy and state."""
+
+    name: str
+    bits: int
+    triggers: List[AdaptationTrigger]
+    buffer: FeedbackBuffer
+    eval_set: Optional[ArrayDataset]
+    config: Optional[APTConfig]
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    seed: int
+    min_feedback: int
+    min_improvement: Optional[float]
+    checkpoint_dir: Optional[Union[str, Path]]
+    #: Handle of the in-flight background job, when one is running.
+    in_flight: Optional[JobHandle] = None
+    #: Completed results, oldest first.
+    results: List[AdaptationResult] = field(default_factory=list)
+    #: Jobs launched so far (used to vary the fine-tune seed per session).
+    sessions: int = 0
+    #: Serialises launch/harvest state transitions of this model, so
+    #: concurrent poll()/wait() callers cannot double-harvest one job or
+    #: launch two overlapping sessions.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class OnlineAdaptationManager:
+    """Drift-triggered APT fine-tuning with hot-swap for a running service.
+
+    Args:
+        service: The inference service to watch.  The manager installs
+            itself as the service's ``feedback_sink``.
+        worker: Optional started :class:`~repro.adapt.job.AdaptationWorker`.
+            With one, fired jobs run on its background thread and serving
+            overlaps with fine-tuning; without one, :meth:`poll` runs the
+            job inline and returns its result (deterministic -- the mode
+            tests and examples default to).
+        clock: Injectable time source for trigger age bookkeeping.
+    """
+
+    def __init__(
+        self,
+        service: InferenceService,
+        *,
+        worker: Optional[AdaptationWorker] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if service.feedback_sink is not None:
+            raise ValueError(
+                "the service already has a feedback_sink (another manager?); "
+                "one OnlineAdaptationManager per service -- manage() accepts "
+                "any number of models"
+            )
+        self.service = service
+        self.worker = worker
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._managed: Dict[str, _ManagedModel] = {}
+        service.feedback_sink = self._on_feedback
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def manage(
+        self,
+        model: str,
+        *,
+        bits: int,
+        triggers: Sequence[AdaptationTrigger],
+        capacity: int = 1024,
+        eval_set: Optional[ArrayDataset] = None,
+        config: Optional[APTConfig] = None,
+        epochs: int = 2,
+        batch_size: int = 32,
+        learning_rate: float = 0.05,
+        seed: int = 0,
+        min_feedback: int = 16,
+        min_improvement: Optional[float] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+    ) -> FeedbackBuffer:
+        """Put one served variant under adaptation management.
+
+        Args:
+            model: Repository model name (must be registered).
+            bits: The variant key adaptation jobs resume from and swap.
+            triggers: Drift/staleness policies; any one firing launches a
+                job.
+            capacity: Feedback-buffer size (oldest samples evicted).
+            eval_set: Held-out labelled set for before/after accuracy;
+                defaults to the job's own training snapshot.
+            config, epochs, batch_size, learning_rate, seed: Fine-tune
+                recipe forwarded into each :class:`AdaptationJob`; the seed
+                is advanced per session so repeated adaptations differ.
+            min_feedback: Minimum buffered samples before a fired trigger
+                may actually launch (a fine-tune on three samples helps
+                nobody).
+            min_improvement, checkpoint_dir: Forwarded to the job (swap
+                gate / durable checkpoint).
+
+        Returns:
+            The model's :class:`FeedbackBuffer` (for introspection).
+
+        Raises:
+            KeyError: the repository does not know ``model``.
+            ValueError: the model is already managed, or the variant does
+                not exist.
+        """
+        if min_feedback < 1:
+            # A fired trigger with an empty buffer would otherwise crash
+            # poll() on FeedbackBuffer.snapshot().
+            raise ValueError(f"min_feedback must be at least 1, got {min_feedback}")
+        self.service.repository.export(model, bits)  # validates model + variant
+        with self._lock:
+            if model in self._managed:
+                raise ValueError(f"model {model!r} is already managed")
+            self._managed[model] = _ManagedModel(
+                name=model,
+                bits=bits,
+                triggers=list(triggers),
+                buffer=FeedbackBuffer(capacity),
+                eval_set=eval_set,
+                config=config,
+                epochs=epochs,
+                batch_size=batch_size,
+                learning_rate=learning_rate,
+                seed=seed,
+                min_feedback=min_feedback,
+                min_improvement=min_improvement,
+                checkpoint_dir=checkpoint_dir,
+            )
+            return self._managed[model].buffer
+
+    def buffer(self, model: str) -> FeedbackBuffer:
+        """The managed model's feedback buffer.
+
+        Raises:
+            KeyError: the model is not managed.
+        """
+        with self._lock:
+            return self._managed_entry(model).buffer
+
+    def results(self, model: str) -> List[AdaptationResult]:
+        """Completed adaptation results of one model, oldest first."""
+        with self._lock:
+            return list(self._managed_entry(model).results)
+
+    def _managed_entry(self, model: str) -> _ManagedModel:
+        entry = self._managed.get(model)
+        if entry is None:
+            raise KeyError(
+                f"model {model!r} is not managed; managed: {sorted(self._managed)}"
+            )
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Feedback intake (the service's sink)
+    # ------------------------------------------------------------------ #
+    def _on_feedback(
+        self, model: str, x: np.ndarray, label: int, prediction: Optional[int]
+    ) -> None:
+        with self._lock:
+            entry = self._managed.get(model)
+        if entry is not None:
+            entry.buffer.add(x, label, prediction)
+
+    def record_feedback(
+        self, model: str, x: np.ndarray, label: int, prediction: Optional[int] = None
+    ) -> None:
+        """Convenience passthrough to ``service.record_feedback``."""
+        self.service.record_feedback(model, x, label, prediction=prediction)
+
+    # ------------------------------------------------------------------ #
+    # The adaptation loop
+    # ------------------------------------------------------------------ #
+    def poll(self, now: Optional[float] = None) -> List[AdaptationResult]:
+        """Evaluate triggers; launch / harvest jobs.
+
+        Call this periodically (or after batches of feedback).  Inline mode
+        (no worker) runs a fired job to completion and returns its result;
+        background mode submits it and returns results of jobs that
+        *finished* since the previous poll.  After every completed job the
+        model's triggers are reset and its buffer cleared, so the next
+        round observes the freshly served version.
+
+        Args:
+            now: Override the clock reading (tests).
+
+        Returns:
+            Results that completed during this poll, oldest first.
+        """
+        now = self.clock() if now is None else now
+        completed: List[AdaptationResult] = []
+        with self._lock:
+            entries = list(self._managed.values())
+        for entry in entries:
+            with entry.lock:
+                harvested = self._harvest_locked(entry, now)
+                if harvested is not None:
+                    completed.append(harvested)
+                if entry.in_flight is not None:
+                    continue  # one session at a time per model
+                decision = None
+                for trigger in entry.triggers:
+                    decision = trigger.evaluate(self.service.stats, entry.buffer, now)
+                    if decision.fire:
+                        break
+                if decision is None or not decision.fire:
+                    continue
+                if len(entry.buffer) < entry.min_feedback:
+                    continue  # fired, but not enough data to train on yet
+                job = self._build_job(entry, decision.reason)
+                if self.worker is not None:
+                    entry.in_flight = self.worker.submit(job)
+                else:
+                    result = run_adaptation_job(self.service.repository, job)
+                    self._finish(entry, result, now)
+                    completed.append(result)
+        return completed
+
+    def _build_job(self, entry: _ManagedModel, reason: str) -> AdaptationJob:
+        job = AdaptationJob(
+            model=entry.name,
+            bits=entry.bits,
+            train_set=entry.buffer.snapshot(),
+            eval_set=entry.eval_set,
+            config=entry.config,
+            epochs=entry.epochs,
+            batch_size=entry.batch_size,
+            learning_rate=entry.learning_rate,
+            seed=entry.seed + entry.sessions,
+            min_improvement=entry.min_improvement,
+            checkpoint_dir=entry.checkpoint_dir,
+            tag=reason,
+        )
+        entry.sessions += 1
+        return job
+
+    def _harvest_locked(self, entry: _ManagedModel, now: float) -> Optional[AdaptationResult]:
+        """Collect a finished background job, if any (caller holds entry.lock)."""
+        if entry.in_flight is None or not entry.in_flight.done():
+            return None
+        result = entry.in_flight.result()
+        entry.in_flight = None
+        self._finish(entry, result, now)
+        return result
+
+    def _finish(self, entry: _ManagedModel, result: AdaptationResult, now: float) -> None:
+        entry.results.append(result)
+        # Reset regardless of outcome: a skipped or failed session would
+        # otherwise re-fire on the very same buffer every poll, burning a
+        # full fine-tune each time with no new evidence.  Clearing means
+        # the next session only launches once fresh feedback re-arms a
+        # trigger.
+        entry.buffer.clear()
+        for trigger in entry.triggers:
+            trigger.reset(self.service.stats, now)
+
+    def wait(self, model: str, timeout: Optional[float] = None) -> Optional[AdaptationResult]:
+        """Block until the model's in-flight background job completes.
+
+        Returns ``None`` when no job is in flight; otherwise the job's
+        result (triggers reset / buffer cleared as in :meth:`poll`, unless
+        a concurrent poll harvested the job first).
+
+        Raises:
+            TimeoutError: the in-flight job did not finish in time.
+        """
+        with self._lock:
+            entry = self._managed_entry(model)
+        with entry.lock:
+            handle = entry.in_flight
+        if handle is None:
+            return None
+        result = handle.result(timeout)
+        with entry.lock:
+            if entry.in_flight is handle:  # a concurrent poll may have won
+                entry.in_flight = None
+                self._finish(entry, result, self.clock())
+        return result

@@ -1,0 +1,192 @@
+"""When to fine-tune: drift / staleness policies over serving signals.
+
+A trigger looks at what serving observed -- the aggregate
+:class:`~repro.serve.types.ServeStats` and the labelled
+:class:`~repro.adapt.buffer.FeedbackBuffer` -- and decides whether an
+adaptation job is warranted.  Triggers are deliberately cheap and
+deterministic (injectable clock, no hidden wall-time reads) so the policy
+layer is unit-testable; the
+:class:`~repro.adapt.manager.OnlineAdaptationManager` evaluates them on
+every poll and resets them after each swap.
+
+Two built-ins cover the paper's motivating cases:
+
+* :class:`AccuracyDropTrigger` -- the environment drifted: observed
+  feedback accuracy fell more than ``max_drop`` below the baseline.
+* :class:`StalenessTrigger` -- time- or traffic-based refresh: the served
+  export is older than ``max_age_s`` or has served ``max_requests``
+  requests since the last adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adapt.buffer import FeedbackBuffer
+from repro.serve.types import ServeStats
+
+
+@dataclass(frozen=True)
+class TriggerDecision:
+    """Outcome of one trigger evaluation."""
+
+    fire: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.fire
+
+
+#: The decision every trigger returns while its condition holds no.
+HOLD = TriggerDecision(fire=False, reason="")
+
+
+class AdaptationTrigger:
+    """Base class: decides when a served model needs fine-tuning.
+
+    Subclasses implement :meth:`evaluate`; :meth:`reset` is called by the
+    manager right after a swap so age/counter baselines restart from the
+    freshly served version.
+    """
+
+    def evaluate(
+        self, stats: ServeStats, feedback: FeedbackBuffer, now: float
+    ) -> TriggerDecision:
+        """Judge the current serving state.
+
+        Args:
+            stats: Aggregate serving statistics of the watched service.
+            feedback: Labelled feedback collected since the last reset.
+            now: Current time from the manager's injectable clock.
+
+        Returns:
+            A :class:`TriggerDecision`; ``fire=True`` requests adaptation.
+        """
+        raise NotImplementedError
+
+    def reset(self, stats: ServeStats, now: float) -> None:
+        """Re-baseline after a swap (default: nothing to re-baseline)."""
+
+
+class AccuracyDropTrigger(AdaptationTrigger):
+    """Fire when observed feedback accuracy drops below the baseline.
+
+    Args:
+        baseline_accuracy: Accuracy the deployed model achieved before
+            deployment (e.g. its training-time test accuracy).
+        max_drop: Tolerated absolute drop; observed accuracy below
+            ``baseline_accuracy - max_drop`` fires.
+        min_feedback: Minimum judged feedback samples before the trigger
+            may fire -- keeps a couple of early mistakes from triggering a
+            fine-tune on noise.
+        window: Evaluate accuracy over only the newest N samples (default:
+            every retained sample), so recovery after a swap is visible.
+    """
+
+    def __init__(
+        self,
+        baseline_accuracy: float,
+        max_drop: float = 0.1,
+        *,
+        min_feedback: int = 16,
+        window: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= baseline_accuracy <= 1.0:
+            raise ValueError(f"baseline_accuracy must be in [0, 1], got {baseline_accuracy}")
+        if max_drop <= 0:
+            raise ValueError(f"max_drop must be positive, got {max_drop}")
+        if min_feedback < 1:
+            raise ValueError(f"min_feedback must be at least 1, got {min_feedback}")
+        if window is not None and window < 1:
+            raise ValueError(f"window must be at least 1 or None, got {window}")
+        self.baseline_accuracy = baseline_accuracy
+        self.max_drop = max_drop
+        self.min_feedback = min_feedback
+        self.window = window
+
+    def evaluate(
+        self, stats: ServeStats, feedback: FeedbackBuffer, now: float
+    ) -> TriggerDecision:
+        # Gate on *judged* samples (those carrying a prediction): unjudged
+        # feedback must not unlock an accuracy verdict built on one or two
+        # predictions.
+        if feedback.judged(self.window) < self.min_feedback:
+            return HOLD
+        accuracy = feedback.accuracy(self.window)
+        if accuracy is None:
+            return HOLD
+        floor = self.baseline_accuracy - self.max_drop
+        if accuracy < floor:
+            return TriggerDecision(
+                fire=True,
+                reason=(
+                    f"observed accuracy {accuracy:.3f} fell below "
+                    f"{floor:.3f} (baseline {self.baseline_accuracy:.3f} "
+                    f"- tolerated drop {self.max_drop:.3f})"
+                ),
+            )
+        return HOLD
+
+
+class StalenessTrigger(AdaptationTrigger):
+    """Fire when the served version is too old or has served too much.
+
+    Args:
+        max_age_s: Fire once ``now - last_reset`` reaches this many seconds
+            (``None`` disables the age condition).
+        max_requests: Fire once the service has served this many requests
+            since the last reset (``None`` disables the traffic condition).
+
+    At least one condition must be given.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        if max_age_s is None and max_requests is None:
+            raise ValueError("give max_age_s and/or max_requests")
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError(f"max_age_s must be positive, got {max_age_s}")
+        if max_requests is not None and max_requests < 1:
+            raise ValueError(f"max_requests must be at least 1, got {max_requests}")
+        self.max_age_s = max_age_s
+        self.max_requests = max_requests
+        self._baseline_time: Optional[float] = None
+        self._baseline_requests = 0
+
+    def evaluate(
+        self, stats: ServeStats, feedback: FeedbackBuffer, now: float
+    ) -> TriggerDecision:
+        if self._baseline_time is None:
+            # First evaluation anchors both baselines: age runs from now,
+            # and only traffic served from here on counts toward
+            # max_requests (the service may have been running for a while
+            # before this trigger was attached).
+            self._baseline_time = now
+            self._baseline_requests = stats.requests
+        if self.max_age_s is not None and now - self._baseline_time >= self.max_age_s:
+            return TriggerDecision(
+                fire=True,
+                reason=(
+                    f"served version is {now - self._baseline_time:.1f}s old "
+                    f"(refresh every {self.max_age_s:.1f}s)"
+                ),
+            )
+        served = stats.requests - self._baseline_requests
+        if self.max_requests is not None and served >= self.max_requests:
+            return TriggerDecision(
+                fire=True,
+                reason=(
+                    f"served {served} requests since the last adaptation "
+                    f"(refresh every {self.max_requests})"
+                ),
+            )
+        return HOLD
+
+    def reset(self, stats: ServeStats, now: float) -> None:
+        self._baseline_time = now
+        self._baseline_requests = stats.requests

@@ -46,6 +46,17 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
         python -m repro.cli serve-bench --model tiny_convnet --workers 1,4
         python -m repro.cli serve-bench --model tiny_convnet,small_convnet \
             --workers 2 --scaling-bits 8
+
+``adapt-bench`` (``python -m repro.cli adapt-bench``)
+    Serve a model while an APT fine-tuning job retrains it on drifted data
+    and hot-swaps the refreshed export into the live service.  Reports the
+    swap latency, the serving-throughput degradation while training shares
+    the host, and that zero requests failed across the handoff.
+
+    .. code-block:: bash
+
+        python -m repro.cli adapt-bench --model tiny_convnet --bits 8
+        python -m repro.cli adapt-bench --workers 4 --epochs 3 --requests 512
 """
 
 from __future__ import annotations
@@ -570,8 +581,89 @@ def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# repro adapt-bench
+# --------------------------------------------------------------------------- #
+def build_adapt_bench_parser() -> argparse.ArgumentParser:
+    from repro.models import available_models
+
+    image_models = sorted(name for name in available_models() if name != "mlp")
+    parser = argparse.ArgumentParser(
+        prog="repro-adapt-bench",
+        description=(
+            "Serve a model while an APT fine-tuning job retrains it on "
+            "drifted data and hot-swaps the result; measure swap latency "
+            "and serving degradation."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="tiny_convnet",
+        choices=image_models,
+        help="registry image model to serve and adapt (default: tiny_convnet)",
+    )
+    parser.add_argument("--bits", type=int, default=8, help="served/swapped variant bitwidth")
+    parser.add_argument("--workers", type=_positive_int, default=2, help="serving worker threads")
+    parser.add_argument(
+        "--requests", type=_positive_int, default=256, help="requests per measured phase"
+    )
+    parser.add_argument("--batch-size", type=_positive_int, default=16, help="micro-batch size")
+    parser.add_argument("--epochs", type=_positive_int, default=2, help="fine-tune epochs")
+    parser.add_argument(
+        "--train-samples", type=_positive_int, default=256, help="fine-tune dataset size"
+    )
+    parser.add_argument("--image-size", type=int, default=12, help="input H=W")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json-out", default=None, help="also write the report as JSON here")
+    return parser
+
+
+def run_adapt_bench_cli(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.adapt import run_adapt_bench
+
+    args = build_adapt_bench_parser().parse_args(argv)
+    try:
+        report = run_adapt_bench(
+            args.model,
+            bits=args.bits,
+            workers=args.workers,
+            requests=args.requests,
+            batch_size=args.batch_size,
+            epochs=args.epochs,
+            train_samples=args.train_samples,
+            image_size=args.image_size,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        # e.g. --bits outside the quantiser's supported range.
+        print(f"adapt-bench failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"adapt-bench: {report.model} variant={report.bits}bit "
+        f"workers={report.workers} epochs={report.epochs}"
+    )
+    for line in report.format_rows():
+        print(line)
+    if args.json_out:
+        path = dump_json(vars(report), args.json_out)
+        print(f"\nreport written to {path}")
+    if report.failed_requests:
+        print(
+            f"adapt-bench: {report.failed_requests} requests failed during the handoff",
+            file=sys.stderr,
+        )
+        return 1
+    if report.status != "swapped":
+        # The feature under test (fine-tune -> re-export -> hot-swap) did
+        # not complete; serving on the old plan succeeding is not a pass.
+        print(f"adapt-bench: adaptation did not swap (status {report.status!r})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli {train,experiment,serve-bench} ...``."""
+    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench} ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -583,8 +675,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_experiment(rest)
     if command == "serve-bench":
         return run_serve_bench(rest)
+    if command == "adapt-bench":
+        return run_adapt_bench_cli(rest)
     print(
-        f"unknown command {command!r}; expected 'train', 'experiment' or 'serve-bench'",
+        f"unknown command {command!r}; expected 'train', 'experiment', "
+        f"'serve-bench' or 'adapt-bench'",
         file=sys.stderr,
     )
     return 2

@@ -80,7 +80,12 @@ class _QuantisedUpdateHook(UpdateHook):
 class APTController:
     """Owns and adapts the per-layer precision of a model."""
 
-    def __init__(self, model: Module, config: Optional[APTConfig] = None) -> None:
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[APTConfig] = None,
+        initial_bitwidths: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.model = model
         self.config = config or APTConfig.paper_default()
         self.policy = PrecisionPolicy(self.config)
@@ -88,6 +93,7 @@ class APTController:
         self._state_by_param: Dict[int, LayerPrecisionState] = {}
         self.epoch = 0
         self._decisions_log: List[List[PolicyDecision]] = []
+        self._initial_bitwidths = dict(initial_bitwidths) if initial_bitwidths else None
         self._register_layers()
         self._quantise_initial()
 
@@ -102,11 +108,18 @@ class APTController:
             if not param.quantisable and self.config.quantise_bias and param.size < 2:
                 # A single scalar cannot define a meaningful range.
                 continue
+            bits = self.config.initial_bits
+            if self._initial_bitwidths is not None and name in self._initial_bitwidths:
+                # Resume from previously adapted per-layer precision (e.g. a
+                # deployed export's stored bitwidths), clamped to the policy
+                # range so the feedback loop stays in its legal state space.
+                bits = max(self.config.min_bits, min(self.config.max_bits,
+                                                     int(self._initial_bitwidths[name])))
             state = LayerPrecisionState(
                 index=index,
                 name=name,
                 parameter=param,
-                bits=self.config.initial_bits,
+                bits=bits,
                 estimator=GavgEstimator(beta=self.config.ema_beta),
             )
             param.layer_id = index

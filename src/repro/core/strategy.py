@@ -24,13 +24,22 @@ class APTStrategy(PrecisionStrategy):
     name = "apt"
     keeps_master_copy = False
 
-    def __init__(self, config: Optional[APTConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[APTConfig] = None,
+        initial_bitwidths: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.config = config or APTConfig.paper_default()
+        #: Optional per-layer starting bitwidths (parameter name -> bits).
+        #: Overrides ``config.initial_bits`` for the named layers, so a
+        #: fine-tune session can resume from a deployed export's adapted
+        #: precision instead of re-running the warm-up from a uniform start.
+        self.initial_bitwidths = initial_bitwidths
         self.controller: Optional[APTController] = None
 
     def prepare(self, model: Module) -> None:
         super().prepare(model)
-        self.controller = APTController(model, self.config)
+        self.controller = APTController(model, self.config, self.initial_bitwidths)
 
     def _require_controller(self) -> APTController:
         if self.controller is None:

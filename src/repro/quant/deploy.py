@@ -66,6 +66,19 @@ class QuantizedModelExport:
     def parameter_names(self) -> List[str]:
         return sorted(list(self.quantized) + list(self.float_parameters))
 
+    def bitwidths(self) -> Dict[str, int]:
+        """Per-parameter stored bitwidths; float leftovers map to 32.
+
+        The inverse of the ``bitwidths`` mapping given to
+        :func:`export_quantized_model`, in the shape the training stack
+        consumes -- e.g. to resume APT fine-tuning from a deployed export
+        with each layer starting at its served precision.
+        """
+        bits = {name: tensor.bits for name, tensor in self.quantized.items()}
+        for name in self.float_parameters:
+            bits[name] = 32
+        return bits
+
     def content_hash(self) -> str:
         """Deterministic sha256 over everything that defines the export.
 
@@ -76,7 +89,15 @@ class QuantizedModelExport:
         architecture fingerprint when keying compiled plans.
         :func:`save_export` persists the hash so a reloaded archive keeps
         its identity and corruption is detected on load.
+
+        The hash is computed once and cached: an export is treated as
+        immutable after construction (the serving stack swaps whole
+        exports, never edits one in place), and hot-swaps consult the hash
+        several times on their latency-sensitive handoff path.
         """
+        cached = getattr(self, "_content_hash", None)
+        if cached is not None:
+            return cached
         digest = hashlib.sha256()
         for name in sorted(self.quantized):
             tensor = self.quantized[name]
@@ -99,7 +120,8 @@ class QuantizedModelExport:
                 array = np.ascontiguousarray(arrays[name])
                 digest.update(f"{section}/{name}:{array.dtype.str}:{array.shape}".encode("utf-8"))
                 digest.update(array.tobytes())
-        return digest.hexdigest()
+        self._content_hash = digest.hexdigest()
+        return self._content_hash
 
 
 def export_quantized_model(

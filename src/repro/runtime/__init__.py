@@ -22,6 +22,7 @@ from repro.runtime.plan import (
     ExecutionContext,
     ExecutionPlan,
     PlanCompileError,
+    compile_lock,
     compile_plan,
     compile_quantized_plan,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ExecutionPlan",
     "PlanCache",
     "PlanCompileError",
+    "compile_lock",
     "compile_plan",
     "compile_quantized_plan",
 ]

@@ -70,8 +70,13 @@ class PlanCache:
         self._lock = threading.Lock()
         self._plans: Dict[PlanKey, ExecutionPlan] = {}
         self._inflight: Dict[PlanKey, threading.Event] = {}
+        #: Keys invalidated while their compile was in flight: the landing
+        #: plan is handed to its requester but NOT cached, so a stale entry
+        #: cannot reappear after the invalidation.
+        self._doomed: set = set()
         self.hits = 0
         self.compiles = 0
+        self.invalidations = 0
 
     @staticmethod
     def key_for(
@@ -132,12 +137,46 @@ class PlanCache:
                 model, export, input_shape, fold_affine=fold_affine, validate=validate
             )
             with self._lock:
-                self._plans[key] = plan
+                if key in self._doomed:
+                    # Invalidated while compiling (the export was swapped
+                    # out): hand the plan to this requester but do not
+                    # cache the now-stale entry.
+                    self._doomed.discard(key)
+                else:
+                    self._plans[key] = plan
             return plan
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
+                self._doomed.discard(key)
             event.set()
+
+    def invalidate(self, key: PlanKey) -> bool:
+        """Drop one cached plan (e.g. after its export was hot-swapped out).
+
+        Returns ``True`` when an entry was actually removed or a compile of
+        the key was in flight (its result will be handed to the requester
+        but not cached), ``False`` when the key was absent.  Plans already
+        handed out keep working -- they are immutable -- so in-flight
+        batches drain on the old plan while new lookups miss and recompile.
+
+        The guarantee is ordering-based: a compile that *began before* the
+        invalidation can never re-insert its result afterwards.  A request
+        for the same key arriving *after* the invalidation (including a
+        waiter of the doomed compile retrying) is a fresh request and is
+        compiled and cached normally -- callers replacing an export should
+        simply stop requesting the old key, as the repository does.
+        """
+        with self._lock:
+            removed = self._plans.pop(key, None) is not None
+            if not removed and key in self._inflight:
+                # A compile of this key is racing the invalidation; doom
+                # its result so the stale plan cannot land after we return.
+                self._doomed.add(key)
+                removed = True
+            if removed:
+                self.invalidations += 1
+            return removed
 
     def clear(self) -> None:
         with self._lock:

@@ -68,6 +68,18 @@ Ref = Tuple[str, Union[int, np.ndarray]]  # ("slot", index) | ("const", array)
 _COMPILE_LOCK = threading.RLock()
 
 
+def compile_lock() -> threading.RLock:
+    """The process-wide compilation lock.
+
+    Public for callers that must snapshot shared model state consistently
+    with respect to in-progress compilations -- e.g. deep-copying a module
+    that a concurrent :func:`compile_quantized_plan` is temporarily loading
+    export values into.  Hold it only briefly; every compilation in the
+    process serialises behind it.
+    """
+    return _COMPILE_LOCK
+
+
 class PlanCompileError(RuntimeError):
     """Raised when a model cannot be lowered to a static plan."""
 

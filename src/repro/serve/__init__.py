@@ -22,7 +22,7 @@ Layered concurrent serving stack:
 """
 
 from repro.serve.engine import MicroBatchServer
-from repro.serve.repository import FLOAT_BITS, ModelRepository
+from repro.serve.repository import FLOAT_BITS, ModelRepository, ModelVersion, SwapListener
 from repro.serve.routing import (
     DEFAULT_SLO,
     NoVariantError,
@@ -54,6 +54,8 @@ from repro.serve.bench import (
 __all__ = [
     "MicroBatchServer",
     "ModelRepository",
+    "ModelVersion",
+    "SwapListener",
     "FLOAT_BITS",
     "InferenceService",
     "PrecisionRouter",

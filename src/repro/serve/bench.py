@@ -69,12 +69,14 @@ class ServeBenchReport:
     rows: List[ServeBenchRow] = field(default_factory=list)
 
     def row(self, variant: str) -> ServeBenchRow:
+        """The row named ``variant`` (raises ``KeyError`` when absent)."""
         for row in self.rows:
             if row.variant == variant:
                 return row
         raise KeyError(f"no benchmark row named {variant!r}")
 
     def format_rows(self) -> List[str]:
+        """The report as aligned text lines (header + one line per variant)."""
         header = (
             f"{'variant':<16s} {'bits':>4s} {'weights':>10s} {'req/s':>10s} "
             f"{'mean ms':>9s} {'p95 ms':>9s} {'uJ/req':>9s} {'vs module':>10s}"
@@ -308,12 +310,14 @@ class ScalingBenchReport:
     rows: List[ScalingBenchRow] = field(default_factory=list)
 
     def row(self, workers: int) -> ScalingBenchRow:
+        """The row for one pool size (raises ``KeyError`` when absent)."""
         for row in self.rows:
             if row.workers == workers:
                 return row
         raise KeyError(f"no scaling row for {workers} workers")
 
     def format_rows(self) -> List[str]:
+        """The report as aligned text lines (one per pool size)."""
         baseline = self.rows[0].workers if self.rows else 1
         header = (
             f"{'workers':>7s} {'seconds':>9s} {'req/s':>10s} "

@@ -107,10 +107,12 @@ class MicroBatchServer:
     # observable while making attempted runtime mutation fail loudly.
     @property
     def max_batch_size(self) -> int:
+        """Dispatch threshold: a batch is due at this many pending requests."""
         return self._policy.max_batch_size
 
     @property
     def max_queue_delay_s(self) -> float:
+        """Dispatch threshold: a batch is due once its oldest request waited this long."""
         return self._policy.max_queue_delay_s
 
     # ------------------------------------------------------------------ #
@@ -138,6 +140,7 @@ class MicroBatchServer:
         return request.request_id
 
     def pending(self) -> int:
+        """Requests queued but not yet served."""
         return self._scheduler.pending(_QUEUE)
 
     # ------------------------------------------------------------------ #

@@ -38,7 +38,12 @@ class NoVariantError(RuntimeError):
 
 @dataclass(frozen=True)
 class RequestSLO:
-    """Per-request service-level objective driving variant selection."""
+    """Per-request service-level objective driving variant selection.
+
+    Raises:
+        ValueError: ``prefer`` is neither ``"efficiency"`` nor
+            ``"quality"``.
+    """
 
     #: Quality floor: refuse variants stored below this many bits.
     min_bits: int = 0
@@ -91,13 +96,20 @@ class PrecisionRouter:
         self.compute_profile = compute_profile
         # Router state is touched from submit threads and worker threads;
         # costs are static per variant (profile × stored bitwidths), so they
-        # are memoised rather than re-priced on the submit hot path.
+        # are memoised rather than re-priced on the submit hot path.  A
+        # hot-swap can change a variant's per-layer widths, so each memo is
+        # tagged with the repository generation it was priced at and
+        # re-priced when the counter moves.
         self._lock = threading.Lock()
         self._accountants: Dict[str, BatchAccountant] = {}
-        self._costs: Dict[Tuple[str, int], VariantCost] = {}
+        self._costs: Dict[Tuple[str, int], Tuple[int, VariantCost]] = {}
 
     def accountant(self, model: str) -> BatchAccountant:
-        """The (memoised) cost accountant for one repository model."""
+        """The (memoised) cost accountant for one repository model.
+
+        Raises:
+            KeyError: the model is not registered.
+        """
         with self._lock:
             cached = self._accountants.get(model)
             if cached is None:
@@ -110,15 +122,35 @@ class PrecisionRouter:
             return cached
 
     def variant_cost(self, model: str, bits: int) -> VariantCost:
-        """Modelled per-request cost of serving ``model`` at ``bits`` (memoised)."""
+        """Modelled per-request cost of serving ``model`` at ``bits``.
+
+        Memoised per (model, bits, repository generation): a hot-swapped
+        variant is re-priced on its first routing decision after the swap.
+
+        Args:
+            model: Repository model name.
+            bits: Variant key to price.
+
+        Returns:
+            The (possibly ``None``-valued, when no device models were
+            configured) per-request :class:`~repro.serve.types.VariantCost`.
+
+        Raises:
+            KeyError: the model has no such variant.
+        """
+        return self._variant_cost(model, bits, self.repository.generation(model))
+
+    def _variant_cost(self, model: str, bits: int, generation: int) -> VariantCost:
+        """:meth:`variant_cost` with the generation already read -- ``route``
+        prices several variants per request and reads the counter once."""
         with self._lock:
             cached = self._costs.get((model, bits))
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         forward_bits = self.repository.forward_bits(model, bits)
         cost = self.accountant(model).request_costs(forward_bits)
         with self._lock:
-            self._costs[(model, bits)] = cost
+            self._costs[(model, bits)] = (generation, cost)
         return cost
 
     @staticmethod
@@ -132,7 +164,22 @@ class PrecisionRouter:
         return True
 
     def route(self, model: str, slo: RequestSLO = DEFAULT_SLO) -> RoutingDecision:
-        """Pick the serving variant for one request against its SLO."""
+        """Pick the serving variant for one request against its SLO.
+
+        Args:
+            model: Repository model name.
+            slo: The request's objective; see :class:`RequestSLO`.
+
+        Returns:
+            A :class:`RoutingDecision` naming the chosen bitwidth and its
+            modelled cost (``degraded=True`` when every in-budget variant
+            was unavailable and the cheapest admissible one was chosen).
+
+        Raises:
+            NoVariantError: no variant reaches the quality floor, or the
+                SLO is strict and no variant fits its budgets.
+            KeyError: the model is not registered.
+        """
         admissible = [
             bits for bits in self.repository.variants(model) if bits >= slo.min_bits
         ]
@@ -141,9 +188,10 @@ class PrecisionRouter:
                 f"model {model!r} has no variant at or above the quality floor "
                 f"of {slo.min_bits} bits (variants: {self.repository.variants(model)})"
             )
+        generation = self.repository.generation(model)
         order = admissible if slo.prefer == "efficiency" else list(reversed(admissible))
         for bits in order:
-            cost = self.variant_cost(model, bits)
+            cost = self._variant_cost(model, bits, generation)
             if self._within_budget(cost, slo):
                 return RoutingDecision(model=model, bits=bits, cost=cost)
         if slo.strict:
@@ -157,6 +205,6 @@ class PrecisionRouter:
         return RoutingDecision(
             model=model,
             bits=cheapest,
-            cost=self.variant_cost(model, cheapest),
+            cost=self._variant_cost(model, cheapest, generation),
             degraded=True,
         )

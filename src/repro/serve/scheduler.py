@@ -79,6 +79,17 @@ class Scheduler:
     # Registration / introspection
     # ------------------------------------------------------------------ #
     def register(self, model: str, policy: Optional[QueuePolicy] = None) -> None:
+        """Create one queue under key ``model`` (any string; serving stacks
+        use ``model@bits`` variant keys).
+
+        Args:
+            model: Queue key.
+            policy: Batching/admission parameters (default
+                :class:`QueuePolicy`).
+
+        Raises:
+            ValueError: the key is already registered.
+        """
         with self._cond:
             if model in self._queues:
                 raise ValueError(f"model {model!r} already registered with the scheduler")
@@ -86,10 +97,16 @@ class Scheduler:
             self._rotation.append(model)
 
     def models(self) -> List[str]:
+        """Registered queue keys, in current round-robin order."""
         with self._cond:
             return list(self._rotation)
 
     def pending(self, model: Optional[str] = None) -> int:
+        """Pending request count of one queue (or all queues summed).
+
+        Raises:
+            KeyError: ``model`` names an unregistered queue.
+        """
         with self._cond:
             if model is not None:
                 return len(self._queue_of(model).pending)
@@ -105,10 +122,19 @@ class Scheduler:
     # Producer side
     # ------------------------------------------------------------------ #
     def submit(self, model: str, request: InferenceRequest) -> None:
-        """Enqueue one request, or raise :class:`QueueFullError` at max depth.
+        """Enqueue one request.
 
-        Raises ``RuntimeError`` once the scheduler is stopped: consumers are
-        draining (or gone), so admitting the request would strand it.
+        Args:
+            model: Registered queue key.
+            request: The request to queue (its ``enqueued_at`` drives the
+                max-delay dispatch).
+
+        Raises:
+            QueueFullError: the queue is at its bounded ``max_depth``.
+            KeyError: the queue key is not registered.
+            RuntimeError: the scheduler is stopped -- consumers are
+                draining (or gone), so admitting the request would strand
+                it.
         """
         with self._cond:
             if self._stopped:
@@ -218,5 +244,6 @@ class Scheduler:
 
     @property
     def stopped(self) -> bool:
+        """Whether ``stop`` was called (consumers are draining)."""
         with self._cond:
             return self._stopped

@@ -54,24 +54,33 @@ def _queue_key(model: str, bits: int) -> str:
 class _RepositoryExecutor(BatchExecutor):
     """Resolve ``model@bits`` queue keys against the repository + router.
 
-    Resolutions are memoised per queue key: the plan, forward-bits mapping
-    and accountant of a variant are immutable, so workers only take the
-    repository / router locks on a variant's first batch.
+    Resolutions are memoised per queue key *alongside the repository's
+    generation counter* for the model: the plan, forward-bits mapping and
+    accountant of a variant are immutable, so workers only take the
+    repository / router locks on a variant's first batch.  The per-batch
+    generation check is a lock-free int read
+    (:meth:`~repro.serve.repository.ModelRepository.generation`); when a
+    hot-swap bumps the counter, the next batch re-resolves and picks up
+    the new plan.  Batches resolved before the bump drain on the old
+    (immutable) plan; no lock is ever held across a compile, because
+    :meth:`~repro.serve.repository.ModelRepository.swap` installs the
+    already-compiled plan before bumping the counter.
     """
 
     def __init__(self, service: "InferenceService") -> None:
         self.service = service
         self._lock = threading.Lock()
-        self._resolved: Dict[str, Tuple] = {}
+        self._resolved: Dict[str, Tuple[int, Tuple]] = {}
 
     def resolve(
         self, queue_key: str
     ) -> Tuple[ExecutionPlan, Dict[str, int], Optional[BatchAccountant], str, Optional[int]]:
+        model, _, bits_text = queue_key.rpartition("@")
+        generation = self.service.repository.generation(model)
         with self._lock:
             cached = self._resolved.get(queue_key)
-        if cached is not None:
-            return cached
-        model, _, bits_text = queue_key.rpartition("@")
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         bits = int(bits_text)
         service = self.service
         plan = service.repository.plan(model, bits)
@@ -79,7 +88,7 @@ class _RepositoryExecutor(BatchExecutor):
         accountant = service.router.accountant(model) if service.modelled_accounting else None
         resolved = (plan, forward_bits, accountant, model, bits)
         with self._lock:
-            self._resolved[queue_key] = resolved
+            self._resolved[queue_key] = (generation, resolved)
         return resolved
 
 
@@ -128,6 +137,10 @@ class InferenceService:
         self._request_ids = itertools.count()
         self._rejected_lock = threading.Lock()
         self._known_queues = set()
+        #: Optional callable ``(model, x, label, prediction)`` receiving
+        #: every :meth:`record_feedback` sample; set by the adaptation
+        #: manager that watches this service.
+        self.feedback_sink: Optional[Callable[[str, np.ndarray, int, Optional[int]], None]] = None
         for model in repository.models():
             for bits in repository.variants(model):
                 self.scheduler.register(_queue_key(model, bits), self._queue_policy)
@@ -146,11 +159,16 @@ class InferenceService:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "InferenceService":
+        """Start the worker pool; returns ``self`` (also via ``with``)."""
         self.pool.start()
         return self
 
     def stop(self, timeout: Optional[float] = None) -> None:
-        """Drain the queues and stop the workers."""
+        """Drain the queues and stop the workers.
+
+        Args:
+            timeout: Per-thread join timeout in seconds (``None`` waits).
+        """
         self.pool.stop(timeout)
 
     def __enter__(self) -> "InferenceService":
@@ -168,13 +186,25 @@ class InferenceService:
         x: np.ndarray,
         slo: RequestSLO = DEFAULT_SLO,
     ) -> ResultFuture:
-        """Route, admit and enqueue one request; returns its future.
+        """Route, admit and enqueue one request.
 
-        Raises :class:`~repro.serve.scheduler.QueueFullError` when the
-        routed variant's queue is at its bounded depth (counted in
-        ``stats.rejected``) and
-        :class:`~repro.serve.routing.NoVariantError` when no variant
-        satisfies a strict SLO.
+        Args:
+            model: Repository model name.
+            x: One sample in the model's per-sample input shape (copied).
+            slo: Routing objective (quality floor, energy/latency budgets).
+
+        Returns:
+            A :class:`~repro.serve.types.ResultFuture` fulfilled by the
+            worker that executes the request's batch.
+
+        Raises:
+            repro.serve.scheduler.QueueFullError: the routed variant's
+                queue is at its bounded depth (counted in
+                ``stats.rejected``).
+            repro.serve.routing.NoVariantError: no variant satisfies a
+                strict SLO.
+            ValueError: the sample's shape does not match the model.
+            KeyError: the model is not registered.
         """
         decision = self.route(model, slo)
         x = np.array(x, dtype=np.float64, copy=True)
@@ -217,13 +247,79 @@ class InferenceService:
         self._known_queues.add(key)
 
     def route(self, model: str, slo: RequestSLO = DEFAULT_SLO) -> RoutingDecision:
-        """The routing decision ``submit`` would make (without enqueueing)."""
+        """The routing decision ``submit`` would make (without enqueueing).
+
+        Args:
+            model: Repository model name.
+            slo: The request's service-level objective.
+
+        Returns:
+            The router's :class:`~repro.serve.routing.RoutingDecision`.
+
+        Raises:
+            repro.serve.routing.NoVariantError: no variant satisfies a
+                strict SLO (or the quality floor excludes every variant).
+        """
         return self.router.route(model, slo)
+
+    # ------------------------------------------------------------------ #
+    # Labelled feedback (drives online adaptation)
+    # ------------------------------------------------------------------ #
+    def record_feedback(
+        self,
+        model: str,
+        x: np.ndarray,
+        label: int,
+        *,
+        prediction: Optional[int] = None,
+    ) -> None:
+        """Report the ground-truth label of a previously served sample.
+
+        Feedback is the quality signal of the online-adaptation loop: it
+        feeds the service's aggregate ``stats`` (observed accuracy) and is
+        forwarded to the attached :attr:`feedback_sink` -- typically an
+        :class:`repro.adapt.OnlineAdaptationManager`, which buffers the
+        sample for fine-tuning and evaluates its drift triggers.
+
+        Args:
+            model: Repository model the sample was served from.
+            x: The sample, in the model's per-sample input shape.
+            label: Its ground-truth class.
+            prediction: The class the service predicted, if the caller kept
+                the :class:`~repro.serve.types.InferenceResult`; lets the
+                stats track observed accuracy.
+
+        Raises:
+            KeyError: ``model`` is not registered with the repository.
+            ValueError: the sample's shape does not match the model's
+                per-sample input shape.
+        """
+        expected = self.repository.input_shape(model)  # raises KeyError when unknown
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != expected:
+            raise ValueError(
+                f"feedback shape {x.shape} does not match model {model!r}'s "
+                f"per-sample input shape {expected}"
+            )
+        with self._rejected_lock:
+            self.stats.feedback += 1
+            if prediction is not None:
+                self.stats.feedback_predicted += 1
+                if int(prediction) == int(label):
+                    self.stats.feedback_correct += 1
+        sink = self.feedback_sink
+        if sink is not None:
+            sink(model, x, int(label), None if prediction is None else int(prediction))
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def pending(self, model: Optional[str] = None) -> int:
+        """Queued-but-unserved request count (one model, or the service).
+
+        Raises:
+            KeyError: ``model`` is not registered.
+        """
         if model is None:
             return self.scheduler.pending()
         return sum(
@@ -233,4 +329,5 @@ class InferenceService:
 
     @property
     def batch_records(self) -> List:
+        """Per-batch accounting records, in execution order."""
         return self.pool.batch_records

@@ -39,17 +39,26 @@ class ResultFuture:
         self._error: Optional[BaseException] = None
 
     def set_result(self, result: "InferenceResult") -> None:
+        """Fulfil the future (worker side)."""
         self._result = result
         self._event.set()
 
     def set_exception(self, error: BaseException) -> None:
+        """Fail the future; ``result()`` re-raises ``error`` (worker side)."""
         self._error = error
         self._event.set()
 
     def done(self) -> bool:
+        """Whether a result or error has been set (non-blocking)."""
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = None) -> "InferenceResult":
+        """Block until the request's batch executed.
+
+        Raises:
+            TimeoutError: nothing arrived within ``timeout`` seconds.
+            BaseException: whatever error the executing worker recorded.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError("inference result not ready within the timeout")
         if self._error is not None:
@@ -92,6 +101,7 @@ class InferenceResult:
 
     @property
     def latency_seconds(self) -> float:
+        """End-to-end request latency: queueing plus batch compute."""
         return self.queue_seconds + self.compute_seconds
 
 
@@ -115,6 +125,12 @@ class ServeStats:
     requests: int = 0
     batches: int = 0
     rejected: int = 0
+    #: Labelled feedback samples reported through ``record_feedback``.
+    feedback: int = 0
+    #: Feedback samples that carried the service's prediction alongside.
+    feedback_predicted: int = 0
+    #: Feedback samples whose reported prediction matched the label.
+    feedback_correct: int = 0
     wall_compute_seconds: float = 0.0
     energy_pj: float = 0.0
     device_seconds: float = 0.0
@@ -123,7 +139,15 @@ class ServeStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch."""
         return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def observed_accuracy(self) -> Optional[float]:
+        """Accuracy over feedback samples that carried a prediction (or None)."""
+        if not self.feedback_predicted:
+            return None
+        return self.feedback_correct / self.feedback_predicted
 
     @property
     def throughput_rps(self) -> float:
@@ -133,6 +157,7 @@ class ServeStats:
         return self.requests / self.wall_compute_seconds
 
     def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of per-request latency, in seconds."""
         if not self.latencies:
             return 0.0
         return float(np.percentile(np.asarray(self.latencies), q))
@@ -212,4 +237,5 @@ class VariantCost:
 
     @property
     def energy_uj(self) -> Optional[float]:
+        """The modelled energy in microjoules (the SLO budget's unit)."""
         return None if self.energy_pj is None else self.energy_pj * 1e-6

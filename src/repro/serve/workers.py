@@ -45,6 +45,7 @@ class BatchExecutor:
     def resolve(
         self, queue_key: str
     ) -> Tuple[ExecutionPlan, Dict[str, int], Optional[BatchAccountant], str, Optional[int]]:
+        """Resolve one queue key to ``(plan, forward_bits, accountant, model, bits)``."""
         raise NotImplementedError
 
 
@@ -77,6 +78,11 @@ class WorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
+        """Spawn the worker threads (once; also via ``with``).
+
+        Raises:
+            RuntimeError: the pool was already started.
+        """
         if self._started:
             raise RuntimeError("worker pool already started")
         self._started = True

@@ -1,0 +1,312 @@
+"""Adaptation jobs, the background worker, and the manager's control loop."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    AccuracyDropTrigger,
+    AdaptationJob,
+    AdaptationWorker,
+    OnlineAdaptationManager,
+    StalenessTrigger,
+    run_adaptation_job,
+)
+from repro.core import APTConfig
+from repro.core.strategy import APTStrategy
+from repro.data import make_synthetic_digits
+from repro.models import build_model
+from repro.quant import export_quantized_model
+from repro.serve import InferenceService, ModelRepository
+
+SHAPE = (1, 12, 12)
+MODEL = "digits"
+
+
+def _model(seed=0):
+    return build_model(
+        "tiny_convnet", num_classes=10, in_channels=1, rng=np.random.default_rng(seed)
+    )
+
+
+def _deployment(bits=8, seed=0):
+    model = _model(seed)
+    repo = ModelRepository()
+    repo.add_model(MODEL, model, SHAPE)
+    repo.add_export(
+        MODEL,
+        export_quantized_model(model, {n: bits for n, _ in model.named_parameters()}),
+        bits=bits,
+    )
+    return repo, model
+
+
+@pytest.fixture(scope="module")
+def digits():
+    return make_synthetic_digits(train_samples=160, test_samples=64, image_size=12)
+
+
+@pytest.fixture()
+def fast_config():
+    return APTConfig(initial_bits=6, t_min=6.0, metric_interval=2)
+
+
+class TestAPTResume:
+    def test_strategy_starts_from_export_bitwidths(self, fast_config):
+        model = _model()
+        bitwidths = {}
+        for index, (name, _) in enumerate(model.named_parameters()):
+            bitwidths[name] = 4 + (index % 3)
+        export = export_quantized_model(model, bitwidths)
+        strategy = APTStrategy(fast_config, initial_bitwidths=export.bitwidths())
+        strategy.prepare(model)
+        resumed = strategy.weight_bits()
+        for name, bits in resumed.items():
+            expected = export.bitwidths()[name]
+            assert bits == min(fast_config.max_bits, max(fast_config.min_bits, expected))
+
+    def test_clamps_out_of_range_bits(self):
+        model = _model()
+        config = APTConfig(initial_bits=6, min_bits=4, max_bits=8)
+        strategy = APTStrategy(
+            config,
+            initial_bitwidths={name: 2 for name, _ in model.named_parameters()},
+        )
+        strategy.prepare(model)
+        assert set(strategy.weight_bits().values()) == {4}
+
+    def test_export_bitwidths_mapping(self):
+        model = _model()
+        names = [name for name, _ in model.named_parameters()]
+        export = export_quantized_model(model, {names[0]: 8})
+        mapping = export.bitwidths()
+        assert mapping[names[0]] == 8
+        assert all(mapping[name] == 32 for name in names[1:])
+
+
+class TestRunAdaptationJob:
+    def test_fine_tunes_and_swaps(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, test_set = digits
+        job = AdaptationJob(
+            model=MODEL, bits=8, train_set=train_set, eval_set=test_set,
+            config=fast_config, epochs=1,
+        )
+        result = run_adaptation_job(repo, job)
+        assert result.status == "swapped" and result.swapped
+        assert result.version is not None and result.version.source == "swap"
+        assert repo.generation(MODEL) == 1
+        assert result.train_seconds > 0
+        assert result.swap_seconds >= 0
+        assert result.energy_pj > 0
+        assert result.history is not None and len(result.history) == 1
+        # The refreshed export is what the repository now serves.
+        assert repo.current_version(MODEL, 8).content_hash == (
+            repo.export(MODEL, 8).content_hash()
+        )
+
+    def test_min_improvement_gate_skips_swap(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, test_set = digits
+        job = AdaptationJob(
+            model=MODEL, bits=8, train_set=train_set, eval_set=test_set,
+            config=fast_config, epochs=1, min_improvement=1.1,
+        )
+        result = run_adaptation_job(repo, job)
+        assert result.status == "skipped" and not result.swapped
+        assert "gate" in result.error
+        assert repo.generation(MODEL) == 0
+
+    def test_checkpoint_written(self, digits, fast_config, tmp_path):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        job = AdaptationJob(
+            model=MODEL, bits=8, train_set=train_set, config=fast_config,
+            epochs=1, checkpoint_dir=tmp_path,
+        )
+        result = run_adaptation_job(repo, job)
+        assert result.checkpoint_path is not None
+        assert result.checkpoint_path.exists()
+
+    def test_unknown_variant_raises(self, digits):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        with pytest.raises(KeyError):
+            run_adaptation_job(
+                repo, AdaptationJob(model=MODEL, bits=4, train_set=train_set)
+            )
+
+    def test_invalid_job(self, digits):
+        train_set, _ = digits
+        with pytest.raises(ValueError):
+            AdaptationJob(model=MODEL, bits=8, train_set=train_set, epochs=0)
+
+    def test_served_model_object_is_untouched(self, digits, fast_config):
+        """Fine-tuning trains a clone; the registered module must not move."""
+        repo, model = _deployment()
+        before = {name: param.data.copy() for name, param in model.named_parameters()}
+        train_set, _ = digits
+        run_adaptation_job(
+            repo,
+            AdaptationJob(model=MODEL, bits=8, train_set=train_set,
+                          config=fast_config, epochs=1),
+        )
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+
+class TestAdaptationWorker:
+    def test_background_job_completes(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, test_set = digits
+        with AdaptationWorker(repo) as worker:
+            handle = worker.submit(
+                AdaptationJob(model=MODEL, bits=8, train_set=train_set,
+                              eval_set=test_set, config=fast_config, epochs=1)
+            )
+            result = handle.result(timeout=60.0)
+        assert result.swapped
+        assert worker.results == [result]
+        assert repo.generation(MODEL) == 1
+
+    def test_submit_requires_start(self, digits):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        worker = AdaptationWorker(repo)
+        with pytest.raises(RuntimeError, match="start"):
+            worker.submit(AdaptationJob(model=MODEL, bits=8, train_set=train_set))
+
+    def test_bad_job_does_not_kill_worker(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        with AdaptationWorker(repo) as worker:
+            bad = worker.submit(
+                AdaptationJob(model="ghost", bits=8, train_set=train_set)
+            )
+            assert bad.result(timeout=60.0).status == "failed"
+            good = worker.submit(
+                AdaptationJob(model=MODEL, bits=8, train_set=train_set,
+                              config=fast_config, epochs=1)
+            )
+            assert good.result(timeout=60.0).swapped
+
+
+class TestManager:
+    def _serve_feedback(self, service, dataset, count, correct=False):
+        for index in range(count):
+            x, y = dataset[index % len(dataset)]
+            result = service.submit(MODEL, x).result(timeout=30.0)
+            prediction = y if correct else (y + 1) % 10
+            del result  # the real prediction is irrelevant to the trigger
+            service.record_feedback(MODEL, x, y, prediction=prediction)
+
+    def test_inline_adaptation_on_accuracy_drop(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, test_set = digits
+        service = InferenceService(repo, workers=1)
+        manager = OnlineAdaptationManager(service)
+        buffer = manager.manage(
+            MODEL, bits=8,
+            triggers=[AccuracyDropTrigger(0.9, max_drop=0.1, min_feedback=8)],
+            config=fast_config, epochs=1, min_feedback=8, eval_set=test_set,
+        )
+        with service:
+            assert manager.poll() == []  # nothing buffered yet
+            self._serve_feedback(service, train_set, 16)
+            results = manager.poll()
+        assert len(results) == 1 and results[0].swapped
+        assert repo.generation(MODEL) == 1
+        assert len(buffer) == 0  # cleared after the swap
+        assert manager.results(MODEL) == results
+
+    def test_staleness_trigger_background_worker(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        service = InferenceService(repo, workers=1)
+        clock = iter(float(step) for step in range(0, 10_000, 50)).__next__
+        manager = OnlineAdaptationManager(
+            service, worker=AdaptationWorker(repo), clock=clock
+        )
+        manager.manage(
+            MODEL, bits=8, triggers=[StalenessTrigger(max_age_s=10.0)],
+            config=fast_config, epochs=1, min_feedback=4,
+        )
+        with service, manager.worker:
+            # Feedback without predictions still fuels the staleness refresh.
+            for index in range(4):
+                x, y = train_set[index]
+                service.record_feedback(MODEL, x, y)
+            assert manager.poll() == []  # anchors the age baseline
+            assert manager.poll() == []  # fires; job submitted, not yet harvested
+            result = manager.wait(MODEL, timeout=60.0)
+        assert result is not None and result.swapped
+        assert repo.generation(MODEL) == 1
+
+    def test_feedback_for_unmanaged_model_is_ignored(self, digits):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        service = InferenceService(repo, workers=1)
+        manager = OnlineAdaptationManager(service)
+        x, y = train_set[0]
+        service.record_feedback(MODEL, x, y, prediction=y)  # no buffer: no-op
+        assert service.stats.feedback == 1
+        with pytest.raises(KeyError):
+            manager.buffer(MODEL)
+
+    def test_second_manager_on_one_service_rejected(self):
+        """A second manager would silently steal the feedback sink."""
+        repo, _ = _deployment()
+        service = InferenceService(repo, workers=1)
+        OnlineAdaptationManager(service)
+        with pytest.raises(ValueError, match="feedback_sink"):
+            OnlineAdaptationManager(service)
+
+    def test_manage_validates(self, digits):
+        repo, _ = _deployment()
+        service = InferenceService(repo, workers=1)
+        manager = OnlineAdaptationManager(service)
+        with pytest.raises(KeyError):
+            manager.manage("ghost", bits=8, triggers=[])
+        with pytest.raises(KeyError):
+            manager.manage(MODEL, bits=4, triggers=[])
+        with pytest.raises(ValueError, match="min_feedback"):
+            manager.manage(MODEL, bits=8, triggers=[], min_feedback=0)
+        manager.manage(MODEL, bits=8, triggers=[])
+        with pytest.raises(ValueError, match="already managed"):
+            manager.manage(MODEL, bits=8, triggers=[])
+
+    def test_skipped_session_does_not_refire_on_stale_buffer(self, digits, fast_config):
+        """A gate-skipped job must not relaunch every poll on the same data."""
+        repo, _ = _deployment()
+        train_set, test_set = digits
+        service = InferenceService(repo, workers=1)
+        manager = OnlineAdaptationManager(service)
+        buffer = manager.manage(
+            MODEL, bits=8,
+            triggers=[AccuracyDropTrigger(0.9, max_drop=0.1, min_feedback=8)],
+            config=fast_config, epochs=1, min_feedback=8, eval_set=test_set,
+            min_improvement=1.1,  # unattainable: every session skips
+        )
+        with service:
+            self._serve_feedback(service, train_set, 16)
+            first = manager.poll()
+            assert len(first) == 1 and first[0].status == "skipped"
+            # Buffer cleared and triggers reset: the next poll is a no-op
+            # instead of another full fine-tune on the same stale samples.
+            assert len(buffer) == 0
+            assert manager.poll() == []
+        assert repo.generation(MODEL) == 0
+
+    def test_min_feedback_holds_fired_trigger(self, digits, fast_config):
+        repo, _ = _deployment()
+        train_set, _ = digits
+        service = InferenceService(repo, workers=1)
+        manager = OnlineAdaptationManager(service)
+        manager.manage(
+            MODEL, bits=8,
+            triggers=[AccuracyDropTrigger(0.9, max_drop=0.1, min_feedback=4)],
+            config=fast_config, epochs=1, min_feedback=64,
+        )
+        with service:
+            self._serve_feedback(service, train_set, 8)
+            assert manager.poll() == []  # trigger fired but data gate held
+        assert repo.generation(MODEL) == 0

@@ -1,0 +1,366 @@
+"""Hot-swap edge cases: atomicity, cache invalidation, rollback, corruption."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import COMPUTE_PROFILES
+from repro.models import build_model
+from repro.quant import export_quantized_model
+from repro.quant.deploy import ExportFormatError, save_export
+from repro.serve import (
+    InferenceService,
+    ModelRepository,
+    PrecisionRouter,
+    QueuePolicy,
+)
+
+SHAPE = (1, 12, 12)
+
+
+def _model(seed=0):
+    return build_model(
+        "tiny_convnet", num_classes=5, in_channels=1, rng=np.random.default_rng(seed)
+    )
+
+
+def _export(model, bits=8):
+    return export_quantized_model(model, {n: bits for n, _ in model.named_parameters()})
+
+
+def _repo(seed=0, bits=8):
+    model = _model(seed)
+    repo = ModelRepository()
+    repo.add_model("tiny", model, SHAPE)
+    repo.add_export("tiny", _export(model, bits), bits=bits)
+    return repo, model
+
+
+def _other_export(bits=8, seed=9):
+    return _export(_model(seed), bits)
+
+
+class TestSwap:
+    def test_swap_serves_new_plan(self):
+        repo, _ = _repo()
+        x = np.random.default_rng(3).normal(size=(4,) + SHAPE)
+        old = repo.plan("tiny", 8).run(x)
+        incoming = _other_export()
+        version = repo.swap("tiny", incoming, bits=8)
+        new = repo.plan("tiny", 8).run(x)
+        assert version.source == "swap"
+        assert not np.array_equal(old, new)
+        # The installed plan matches a direct compile of the incoming export.
+        assert repo.export("tiny", 8).content_hash() == incoming.content_hash()
+
+    def test_swap_bumps_generation_and_invalidates_cache_exactly_once(self):
+        repo, model = _repo()
+        repo.plan("tiny", 8)  # compile the original
+        original = repo.export("tiny", 8)
+        key = repo.plan_cache.key_for(model, original, SHAPE)
+        assert repo.generation("tiny") == 0
+        assert repo.plan_cache.invalidations == 0
+
+        repo.swap("tiny", _other_export(), bits=8)
+        assert repo.generation("tiny") == 1
+        assert repo.plan_cache.invalidations == 1
+        assert repo.plan_cache.get(key) is None
+        # Invalidating an absent key again is a no-op, not a double count.
+        assert not repo.plan_cache.invalidate(key)
+        assert repo.plan_cache.invalidations == 1
+
+    def test_swap_identical_export_keeps_cached_plan(self):
+        repo, model = _repo()
+        plan = repo.plan("tiny", 8)
+        original = repo.export("tiny", 8)
+        repo.swap("tiny", original, bits=8)
+        # Same content hash: the shared cache entry must survive the swap.
+        assert repo.plan_cache.invalidations == 0
+        assert repo.plan("tiny", 8) is plan
+        assert repo.generation("tiny") == 1
+
+    def test_swap_unknown_variant_or_model(self):
+        repo, _ = _repo()
+        with pytest.raises(KeyError, match="no 4-bit variant"):
+            repo.swap("tiny", _other_export(4), bits=4)
+        with pytest.raises(KeyError, match="not registered"):
+            repo.swap("ghost", _other_export(), bits=8)
+
+    def test_swap_fp32_variant_rejected(self):
+        repo, _ = _repo()
+        with pytest.raises(ValueError, match="fp32"):
+            repo.swap("tiny", _other_export(), bits=32)
+
+    def test_swap_listener_fires_outside_lock(self):
+        repo, _ = _repo()
+        events = []
+        repo.add_swap_listener(lambda name, bits, gen: events.append((name, bits, gen)))
+        repo.swap("tiny", _other_export(), bits=8)
+        repo.rollback("tiny", 8)
+        assert events == [("tiny", 8, 1), ("tiny", 8, 2)]
+
+
+class TestVersionHistory:
+    def test_add_and_swap_mint_versions(self):
+        repo, _ = _repo()
+        incoming = _other_export()
+        repo.swap("tiny", incoming, bits=8)
+        history = repo.version_history("tiny")
+        assert [record.source for record in history] == ["add", "swap"]
+        assert [record.version for record in history] == [1, 2]
+        current = repo.current_version("tiny", 8)
+        assert current.content_hash == incoming.content_hash()
+        assert current.generation == 1
+
+    def test_history_filters_by_bits(self):
+        repo, model = _repo()
+        repo.add_export("tiny", _export(model, 4), bits=4)
+        repo.swap("tiny", _other_export(8), bits=8)
+        assert [r.source for r in repo.version_history("tiny", bits=4)] == ["add"]
+        assert [r.source for r in repo.version_history("tiny", bits=8)] == ["add", "swap"]
+
+    def test_current_version_unknown_variant(self):
+        repo, _ = _repo()
+        with pytest.raises(KeyError):
+            repo.current_version("tiny", 4)
+
+
+class TestRollback:
+    def test_rollback_restores_previous_outputs(self):
+        repo, _ = _repo()
+        x = np.random.default_rng(3).normal(size=(4,) + SHAPE)
+        original_out = repo.plan("tiny", 8).run(x)
+        repo.swap("tiny", _other_export(), bits=8)
+        version = repo.rollback("tiny", 8)
+        assert version.source == "rollback"
+        assert repo.generation("tiny") == 2
+        assert np.array_equal(repo.plan("tiny", 8).run(x), original_out)
+
+    def test_rollback_without_history(self):
+        repo, _ = _repo()
+        with pytest.raises(KeyError, match="no earlier"):
+            repo.rollback("tiny", 8)
+
+    def test_history_depth_bounds_the_rollback_stack(self):
+        """Old exports are dropped beyond history_depth (no unbounded leak)."""
+        model = _model()
+        repo = ModelRepository(history_depth=2)
+        repo.add_model("tiny", model, SHAPE)
+        repo.add_export("tiny", _export(model, 8), bits=8)
+        x = np.random.default_rng(3).normal(size=(2,) + SHAPE)
+        outputs = [repo.plan("tiny", 8).run(x)]
+        for seed in (20, 21, 22, 23):
+            repo.swap("tiny", _other_export(seed=seed), bits=8)
+            outputs.append(repo.plan("tiny", 8).run(x))
+        # Only the 2 newest superseded exports are retained.
+        repo.rollback("tiny", 8)
+        assert np.array_equal(repo.plan("tiny", 8).run(x), outputs[-2])
+        repo.rollback("tiny", 8)
+        assert np.array_equal(repo.plan("tiny", 8).run(x), outputs[-3])
+        with pytest.raises(KeyError, match="no earlier"):
+            repo.rollback("tiny", 8)
+
+    def test_invalid_history_depth(self):
+        with pytest.raises(ValueError, match="history_depth"):
+            ModelRepository(history_depth=0)
+
+    def test_rollback_walks_back_through_multiple_swaps(self):
+        repo, _ = _repo()
+        x = np.random.default_rng(3).normal(size=(2,) + SHAPE)
+        out_v0 = repo.plan("tiny", 8).run(x)
+        repo.swap("tiny", _other_export(seed=9), bits=8)
+        out_v1 = repo.plan("tiny", 8).run(x)
+        repo.swap("tiny", _other_export(seed=10), bits=8)
+        repo.rollback("tiny", 8)
+        assert np.array_equal(repo.plan("tiny", 8).run(x), out_v1)
+        repo.rollback("tiny", 8)
+        assert np.array_equal(repo.plan("tiny", 8).run(x), out_v0)
+        with pytest.raises(KeyError):
+            repo.rollback("tiny", 8)
+
+
+class TestCorruptedSwap:
+    def test_swap_from_corrupted_file_raises_and_leaves_repo_untouched(self, tmp_path):
+        repo, _ = _repo()
+        generation = repo.generation("tiny")
+        served_hash = repo.export("tiny", 8).content_hash()
+
+        path = save_export(_other_export(), tmp_path / "update.npz")
+        # Corrupt one stored tensor while keeping the metadata's hash.
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        codes_key = next(key for key in arrays if key.startswith("codes/"))
+        arrays[codes_key] = arrays[codes_key].copy()
+        arrays[codes_key].flat[0] += 1
+        np.savez(path, **arrays)
+
+        with pytest.raises(ExportFormatError, match="content-hash"):
+            repo.swap_from_file("tiny", path, bits=8)
+        assert repo.generation("tiny") == generation
+        assert repo.export("tiny", 8).content_hash() == served_hash
+        assert [r.source for r in repo.version_history("tiny")] == ["add"]
+
+    def test_swap_from_unknown_format_version(self, tmp_path):
+        repo, _ = _repo()
+        path = save_export(_other_export(), tmp_path / "future.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode("utf-8"))
+        meta["format_version"] = 999
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ExportFormatError, match="format version"):
+            repo.swap_from_file("tiny", path, bits=8)
+        assert repo.generation("tiny") == 0
+
+
+class TestInvalidateDuringInflightCompile:
+    def test_stale_plan_cannot_land_after_invalidation(self, monkeypatch):
+        """invalidate() during a racing compile dooms the landing entry."""
+        import repro.runtime.cache as cache_module
+        from repro.runtime.cache import PlanCache
+
+        model = _model()
+        export = _export(model, 8)
+        cache = PlanCache()
+        key = cache.key_for(model, export, SHAPE)
+
+        real_compile = cache_module.compile_quantized_plan
+        compiling = threading.Event()
+        proceed = threading.Event()
+
+        def gated_compile(*args, **kwargs):
+            compiling.set()
+            assert proceed.wait(10.0)
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "compile_quantized_plan", gated_compile)
+        plans = []
+        thread = threading.Thread(
+            target=lambda: plans.append(cache.get_or_compile(model, export, SHAPE))
+        )
+        thread.start()
+        assert compiling.wait(10.0)
+        # The export is swapped out while its compile is still in flight.
+        assert cache.invalidate(key)
+        assert cache.invalidations == 1
+        proceed.set()
+        thread.join(10.0)
+
+        # The requester still got its plan, but the stale entry never landed.
+        assert plans and plans[0] is not None
+        assert cache.get(key) is None
+
+
+class _GateExecutor:
+    """Wraps the service's executor to pause one batch after resolution.
+
+    ``resolve`` returns the payload the batch will execute with; pausing
+    *after* it resolves and swapping mid-pause proves an in-flight batch
+    drains on the plan it resolved -- the old one.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.armed = threading.Event()
+        self.reached = threading.Event()
+        self.release = threading.Event()
+
+    def resolve(self, queue_key):
+        payload = self.inner.resolve(queue_key)
+        if self.armed.is_set():
+            self.armed.clear()
+            self.reached.set()
+            assert self.release.wait(10.0), "test never released the gated batch"
+        return payload
+
+
+class TestSwapDuringInflightBatch:
+    def test_inflight_batch_drains_on_old_plan(self):
+        repo, _ = _repo()
+        old_plan = repo.plan("tiny", 8)
+        incoming = _other_export()
+        x = np.random.default_rng(5).normal(size=SHAPE)
+
+        service = InferenceService(
+            repo, workers=1, queue_policy=QueuePolicy(max_batch_size=4)
+        )
+        gate = _GateExecutor(service.pool.executor)
+        service.pool.executor = gate
+        with service:
+            gate.armed.set()
+            inflight = service.submit("tiny", x)
+            assert gate.reached.wait(10.0), "worker never picked up the batch"
+            # The batch has resolved the old plan; swap while it is in flight.
+            repo.swap("tiny", incoming, bits=8)
+            new_plan = repo.plan("tiny", 8)
+            assert new_plan is not old_plan
+            gate.release.set()
+
+            before = inflight.result(timeout=10.0)
+            after = service.submit("tiny", x).result(timeout=10.0)
+
+        batch = x[np.newaxis]
+        assert np.array_equal(before.logits, old_plan.run(batch)[0])
+        assert np.array_equal(after.logits, new_plan.run(batch)[0])
+        assert not np.array_equal(before.logits, after.logits)
+
+    def test_swap_churn_drops_nothing(self):
+        repo, _ = _repo()
+        exports = [repo.export("tiny", 8), _other_export()]
+        x = np.random.default_rng(5).normal(size=SHAPE)
+        service = InferenceService(
+            repo, workers=2, queue_policy=QueuePolicy(max_batch_size=8)
+        )
+        errors = []
+        results = []
+
+        def hammer(count=120):
+            for _ in range(count):
+                try:
+                    results.append(service.submit("tiny", x).result(timeout=30.0))
+                except Exception as error:  # noqa: BLE001 - the test counts
+                    errors.append(error)
+
+        with service:
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            for swap_round in range(6):
+                repo.swap("tiny", exports[swap_round % 2], bits=8)
+            thread.join(60.0)
+            assert not thread.is_alive()
+
+        assert not errors
+        assert len(results) == 120
+        assert service.stats.requests == 120
+        assert service.stats.rejected == 0
+        # Every result matches one of the two deployed versions exactly.
+        batch = x[np.newaxis]
+        candidates = [
+            repo.plan_cache.get_or_compile(repo.clone_model("tiny"), export, SHAPE).run(batch)[0]
+            for export in exports
+        ]
+        for result in results:
+            assert any(np.array_equal(result.logits, logits) for logits in candidates)
+
+
+class TestRouterAfterSwap:
+    def test_variant_cost_reprices_after_swap(self):
+        repo, model = _repo(bits=8)
+        router = PrecisionRouter(
+            repo,
+            energy_model=EnergyModel(),
+            compute_profile=COMPUTE_PROFILES["smartphone_npu"],
+        )
+        cost_before = router.variant_cost("tiny", 8)
+        # Swap in an export whose *stored* widths are narrower (key stays 8).
+        repo.swap("tiny", _export(model, 4), bits=8)
+        cost_after = router.variant_cost("tiny", 8)
+        assert cost_after.energy_pj < cost_before.energy_pj
+        # Memoisation still works within a generation.
+        assert router.variant_cost("tiny", 8) == cost_after

@@ -276,6 +276,38 @@ class TestServeBenchScalingMode:
         assert [row["workers"] for row in payload["rows"]] == [1, 2]
 
 
+class TestAdaptBenchCommand:
+    def _argv(self, *extra):
+        return [
+            "--model", "tiny_convnet", "--requests", "24", "--batch-size", "8",
+            "--epochs", "1", "--train-samples", "64", *extra,
+        ]
+
+    def test_runs_and_reports_phases(self, capsys):
+        assert cli.run_adapt_bench_cli(self._argv()) == 0
+        out = capsys.readouterr().out
+        assert "baseline (idle host)" in out
+        assert "during fine-tune" in out
+        assert "after hot-swap" in out
+        assert "failed/dropped requests: 0" in out
+
+    def test_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "adapt.json"
+        assert cli.run_adapt_bench_cli(self._argv("--json-out", str(out_path))) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["failed_requests"] == 0
+        assert payload["status"] == "swapped"
+        assert payload["generation_after"] == payload["generation_before"] + 1
+
+    def test_bad_bits_rejected(self, capsys):
+        assert cli.run_adapt_bench_cli(self._argv("--bits", "99")) == 2
+        assert "adapt-bench failed" in capsys.readouterr().err
+
+    def test_mlp_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.run_adapt_bench_cli(self._argv("--model", "mlp"))
+
+
 class TestMainDispatch:
     def test_train_dispatch(self, capsys):
         assert cli.main(["train", "--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"]) == 0
@@ -288,6 +320,12 @@ class TestMainDispatch:
                 "--requests", "8", "--batch-size", "4", "--repeats", "1", "--bits", "8"]
         assert cli.main(argv) == 0
         assert "plan-8bit" in capsys.readouterr().out
+
+    def test_adapt_bench_dispatch(self, capsys):
+        argv = ["adapt-bench", "--requests", "16", "--batch-size", "8",
+                "--epochs", "1", "--train-samples", "48"]
+        assert cli.main(argv) == 0
+        assert "hot-swap latency" in capsys.readouterr().out
 
     def test_help(self, capsys):
         assert cli.main([]) == 0

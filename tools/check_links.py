@@ -1,0 +1,132 @@
+"""Markdown link checker for the repo's documentation (no dependencies).
+
+Walks the given files/directories for ``*.md``, extracts inline links and
+verifies that every **relative** target resolves to an existing file (and,
+for ``#fragment`` targets into markdown, that a matching heading exists,
+using GitHub's slug rules). External ``http(s)``/``mailto`` links are not
+fetched — CI must not depend on the network.
+
+    python tools/check_links.py README.md docs examples/README.md
+
+Exits 1 listing every broken link, 0 when all resolve.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links: [text](target). Images share the syntax; the
+#: leading ``!`` is irrelevant for resolution. Angle-bracketed targets and
+#: titles ("...") are stripped below.
+_LINK_RE = re.compile(r"\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Repository root for resolving GitHub-style root-relative (``/...``) links.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    slugs: List[str] = []
+    counts = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        if slug in counts:
+            counts[slug] += 1
+            slug = f"{slug}-{counts[slug]}"
+        else:
+            counts[slug] = 0
+        slugs.append(slug)
+    return slugs
+
+
+def iter_markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {argument}")
+    return files
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Broken links in one file as (target, why) pairs."""
+    broken: List[Tuple[str, str]] = []
+    text = path.read_text(encoding="utf-8")
+    # Ignore fenced code blocks: shell snippets legitimately contain (...) .
+    lines = text.splitlines()
+    kept = []
+    in_fence = False
+    for line in lines:
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        kept.append("" if in_fence else line)
+    for match in _LINK_RE.finditer("\n".join(kept)):
+        target = match.group(1).strip("<>")
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            file_part, fragment = "", target[1:]
+        else:
+            file_part, _, fragment = target.partition("#")
+        if file_part.startswith("/"):
+            # GitHub resolves leading-slash targets against the repo root,
+            # not the runner's filesystem root.
+            resolved = (_REPO_ROOT / file_part.lstrip("/")).resolve()
+        elif file_part:
+            resolved = (path.parent / file_part).resolve()
+        else:
+            resolved = path
+        if not resolved.exists():
+            broken.append((target, "file does not exist"))
+            continue
+        if fragment:
+            if resolved.suffix != ".md":
+                continue  # cannot verify anchors into non-markdown files
+            if fragment not in heading_slugs(resolved):
+                broken.append((target, f"no heading for anchor #{fragment}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        argv = ["README.md", "docs", "examples/README.md"]
+    failures = 0
+    files = iter_markdown_files(argv)
+    for path in files:
+        for target, why in check_file(path):
+            print(f"{path}: broken link {target!r} ({why})", file=sys.stderr)
+            failures += 1
+    print(f"checked {len(files)} markdown files: "
+          f"{'all links ok' if not failures else f'{failures} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
