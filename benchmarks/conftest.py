@@ -32,6 +32,27 @@ def bench_scale():
     return get_scale(name)
 
 
+@pytest.fixture(scope="session")
+def best_seconds():
+    """Best-of-``repeats`` mean seconds per call over ``inner`` calls.
+
+    Shared by the serve and runtime benchmarks so their throughput ratios
+    come from one timing methodology.
+    """
+    import time
+
+    def _best(fn, repeats=5, inner=30):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            best = min(best, (time.perf_counter() - started) / inner)
+        return best
+
+    return _best
+
+
 @pytest.fixture
 def report_rows(capsys):
     """Print experiment rows so they survive pytest's output capture."""

@@ -69,20 +69,7 @@ def test_serve_quantized_plan(benchmark, served):
     assert logits.shape == (_BATCH, 10)
 
 
-def _best_seconds(fn, repeats=5, inner=30):
-    """Best-of-``repeats`` mean seconds per call over ``inner`` calls."""
-    import time
-
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        for _ in range(inner):
-            fn()
-        best = min(best, (time.perf_counter() - started) / inner)
-    return best
-
-
-def test_plan_at_least_2x_module_forward_throughput(served, report_rows):
+def test_plan_at_least_2x_module_forward_throughput(served, report_rows, best_seconds):
     """Acceptance: plan inference >= 2x Module-forward throughput (TinyConvNet).
 
     Measures plan.run against the Module ``__call__`` (the pre-runtime
@@ -93,11 +80,11 @@ def test_plan_at_least_2x_module_forward_throughput(served, report_rows):
     model, batch = served["model"], served["batch"]
     float_plan, quantized_plan = served["float_plan"], served["quantized_plan"]
     best_float = best_quantized = 0.0
-    for _ in range(3):
-        module_seconds = _best_seconds(lambda: model(Tensor(batch)))
-        best_float = max(best_float, module_seconds / _best_seconds(lambda: float_plan.run(batch)))
+    for _ in range(5):
+        module_seconds = best_seconds(lambda: model(Tensor(batch)))
+        best_float = max(best_float, module_seconds / best_seconds(lambda: float_plan.run(batch)))
         best_quantized = max(
-            best_quantized, module_seconds / _best_seconds(lambda: quantized_plan.run(batch))
+            best_quantized, module_seconds / best_seconds(lambda: quantized_plan.run(batch))
         )
         if best_float >= 2.0 and best_quantized >= 2.0:
             break

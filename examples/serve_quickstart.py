@@ -4,8 +4,12 @@ The full deployment path this library now supports end to end:
 
 1. train a TinyConvNet with APT (the controller picks per-layer bitwidths),
 2. export the trained model as integer codes (`export_quantized_model`),
-3. compile the export into a quantised ExecutionPlan -- integer weights,
-   batch norm folded into the convolutions, zero autograd at run time,
+3. compile the export into a quantised ExecutionPlan -- the runtime traces
+   the model into a graph IR, runs the optimizing pass pipeline (constant
+   folding, affine fusion, elementwise-chain fusion, CSE, DCE), plans all
+   scratch buffers into one arena, and lowers to integer-weight kernel
+   steps with zero autograd at run time; `repro.cli plan-inspect` prints
+   the same pass-by-pass summary for any saved export,
 4. serve a batch of requests through the micro-batching engine and compare
    throughput / agreement with the training-stack Module forward,
 5. scale out: register the model's bitwidth variants in a ModelRepository
@@ -20,16 +24,19 @@ Runs in well under a minute on a laptop CPU:
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 
 import numpy as np
 
+from repro.cli import run_plan_inspect
 from repro.core import APTConfig, APTTrainer
 from repro.data import DataLoader, make_synthetic_digits
 from repro.hardware import EnergyModel, profile_model
 from repro.hardware.latency import COMPUTE_PROFILES
 from repro.models import build_model
-from repro.quant import export_quantized_model
+from repro.quant import export_quantized_model, save_export
 from repro.runtime import compile_quantized_plan
 from repro.serve import (
     InferenceService,
@@ -63,11 +70,23 @@ def main() -> None:
     print(f"export: {export.total_bytes() / 1024:.1f} KiB on flash "
           f"(fp32 would be {model.num_parameters() * 4 / 1024:.1f} KiB)")
 
-    # 3. Compile the export into a quantised execution plan.
+    # 3. Compile the export into a quantised execution plan and inspect
+    # what the optimizing pipeline did to it: the same summary is available
+    # for any saved export via `python -m repro.cli plan-inspect`.
     plan = compile_quantized_plan(model, export, (1, 12, 12))
     print(f"compiled plan: {plan.num_steps} steps, "
           f"{plan.weight_bytes() / 1024:.1f} KiB of baked weights")
     print(plan.describe())
+    print()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        export_path = save_export(export, os.path.join(tmpdir, "digits"))
+        run_plan_inspect([
+            str(export_path),
+            "--model", "tiny_convnet",
+            "--in-channels", "1",
+            "--image-size", "12",
+            "--batch", "32",
+        ])
 
     # 4. Serve the whole test set through the micro-batching engine.
     profile = profile_model(model, (1, 12, 12))

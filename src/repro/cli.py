@@ -47,6 +47,19 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
         python -m repro.cli serve-bench --model tiny_convnet,small_convnet \
             --workers 2 --scaling-bits 8
 
+``plan-inspect`` (``python -m repro.cli plan-inspect``)
+    Compile a saved quantised export into an execution plan and print the
+    optimizing pipeline's pass-by-pass graph summary: node counts around
+    every pass, how many ops were fused into kernels and elementwise
+    chains, and the memory planner's arena bytes against the per-step
+    scratch baseline.
+
+    .. code-block:: bash
+
+        python -m repro.cli plan-inspect model.npz --model tiny_convnet
+        python -m repro.cli plan-inspect model.npz --no-optimize --steps
+        python -m repro.cli plan-inspect model.npz --passes fold_constants,dce
+
 ``adapt-bench`` (``python -m repro.cli adapt-bench``)
     Serve a model while an APT fine-tuning job retrains it on drifted data
     and hot-swaps the refreshed export into the live service.  Reports the
@@ -237,6 +250,13 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return parsed
+
+
+def _model_input_shape(model_name: str, args: argparse.Namespace) -> tuple:
+    """Per-sample input shape for a registry model from the shared CLI flags."""
+    if model_name == "mlp":
+        return (args.in_channels,)
+    return (args.in_channels, args.image_size, args.image_size)
 
 
 def _progress_printer(event) -> None:
@@ -459,11 +479,7 @@ def _run_scaling_bench(args, model_names: List[str]) -> int:
             in_channels=args.in_channels,
             rng=np.random.default_rng(args.seed + index),
         )
-        if name == "mlp":
-            shape = (args.in_channels,)
-        else:
-            shape = (args.in_channels, args.image_size, args.image_size)
-        models[name] = (module, shape)
+        models[name] = (module, _model_input_shape(name, args))
 
     try:
         report = run_scaling_bench(
@@ -534,10 +550,7 @@ def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
         in_channels=args.in_channels,
         rng=rng,
     )
-    if model_names[0] == "mlp":
-        input_shape = (args.in_channels,)
-    else:
-        input_shape = (args.in_channels, args.image_size, args.image_size)
+    input_shape = _model_input_shape(model_names[0], args)
     try:
         if args.checkpoint:
             load_checkpoint(model, args.checkpoint)
@@ -578,6 +591,99 @@ def run_serve_bench(argv: Optional[Sequence[str]] = None) -> int:
     if args.json_out:
         path = dump_json({"rows": [vars(row) for row in report.rows]}, args.json_out)
         print(f"\nreport written to {path}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro plan-inspect
+# --------------------------------------------------------------------------- #
+def build_plan_inspect_parser() -> argparse.ArgumentParser:
+    from repro.models import available_models
+    from repro.runtime import available_passes
+
+    parser = argparse.ArgumentParser(
+        prog="repro-plan-inspect",
+        description=(
+            "Compile a saved quantised export into an execution plan and "
+            "print the optimizing pipeline's pass-by-pass graph summary "
+            "(node counts, fused ops, planned arena bytes)."
+        ),
+    )
+    parser.add_argument("export", help="QuantizedModelExport archive (.npz) to compile")
+    parser.add_argument(
+        "--model",
+        default="tiny_convnet",
+        choices=sorted(available_models()),
+        help="registry architecture the export was taken from (default: tiny_convnet)",
+    )
+    parser.add_argument("--num-classes", type=int, default=10)
+    parser.add_argument("--in-channels", type=int, default=1)
+    parser.add_argument("--image-size", type=int, default=12, help="input H=W (conv models)")
+    parser.add_argument(
+        "--width-multiplier", type=float, default=1.0, help="channel scaling factor"
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        help=(
+            "comma-separated pass pipeline to run instead of the default "
+            f"(known: {', '.join(available_passes())})"
+        ),
+    )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="disable every pass (inspect the raw traced graph)",
+    )
+    parser.add_argument(
+        "--batch", type=_positive_int, default=16, help="batch size for the arena-bytes report"
+    )
+    parser.add_argument(
+        "--steps", action="store_true", help="also print the lowered step listing"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def run_plan_inspect(argv: Optional[Sequence[str]] = None) -> int:
+    import numpy as np
+
+    from repro.models import build_model
+    from repro.quant.deploy import load_export
+    from repro.runtime import PlanCompileError, compile_quantized_plan
+
+    args = build_plan_inspect_parser().parse_args(argv)
+    model = build_model(
+        args.model,
+        num_classes=args.num_classes,
+        width_multiplier=args.width_multiplier,
+        in_channels=args.in_channels,
+        rng=np.random.default_rng(args.seed),
+    )
+    input_shape = _model_input_shape(args.model, args)
+    passes = None
+    if args.passes is not None:
+        passes = tuple(name.strip() for name in args.passes.split(",") if name.strip())
+    try:
+        export = load_export(args.export)
+        plan = compile_quantized_plan(
+            model,
+            export,
+            input_shape,
+            passes=passes,
+            optimize=not args.no_optimize,
+        )
+    except FileNotFoundError as error:
+        print(f"cannot read export: {error}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError, PlanCompileError) as error:
+        # Architecture mismatch, unknown pass name, unsupported archive.
+        print(f"plan-inspect failed: {error}", file=sys.stderr)
+        return 2
+    print(plan.describe_pipeline(batch_size=args.batch))
+    if args.steps:
+        print()
+        print(plan.describe())
     return 0
 
 
@@ -663,7 +769,7 @@ def run_adapt_bench_cli(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench} ...``."""
+    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench,plan-inspect} ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -677,9 +783,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve_bench(rest)
     if command == "adapt-bench":
         return run_adapt_bench_cli(rest)
+    if command == "plan-inspect":
+        return run_plan_inspect(rest)
     print(
         f"unknown command {command!r}; expected 'train', 'experiment', "
-        f"'serve-bench' or 'adapt-bench'",
+        f"'serve-bench', 'adapt-bench' or 'plan-inspect'",
         file=sys.stderr,
     )
     return 2

@@ -15,10 +15,13 @@ Layout convention matches the rest of the library: image tensors are NCHW.
 """
 
 from repro.kernels.conv import (
+    IM2COL_INDEX_CACHE_SIZE,
     as_pair,
     col2im,
     conv2d,
     im2col,
+    im2col_cache_clear,
+    im2col_cache_info,
     im2col_indices,
     matmul_cols,
 )
@@ -37,7 +40,10 @@ from repro.kernels.activations import (
 )
 
 __all__ = [
+    "IM2COL_INDEX_CACHE_SIZE",
     "as_pair",
+    "im2col_cache_clear",
+    "im2col_cache_info",
     "im2col_indices",
     "im2col",
     "col2im",

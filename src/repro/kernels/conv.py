@@ -16,10 +16,14 @@ import numpy as np
 
 IntPair = Union[int, Tuple[int, int]]
 
-#: Geometry combinations kept alive by the index cache.  128 distinct
-#: (channels, size, kernel, stride, padding) tuples covers every layer of
-#: every model in the registry simultaneously with room to spare.
-_INDEX_CACHE_SIZE = 128
+#: Explicit bound on the geometry combinations kept alive by the index
+#: cache.  128 distinct (channels, size, kernel, stride, padding) tuples
+#: covers every layer of every model in the registry simultaneously with
+#: room to spare, while keeping a long-running multi-model server's index
+#: memory bounded.  The key deliberately excludes the batch size: batches
+#: of any size share one entry per layer geometry (asserted in the
+#: test-suite via :func:`im2col_cache_info`).
+IM2COL_INDEX_CACHE_SIZE = 128
 
 
 def as_pair(value: IntPair) -> Tuple[int, int]:
@@ -29,7 +33,7 @@ def as_pair(value: IntPair) -> Tuple[int, int]:
     return (value, value)
 
 
-@functools.lru_cache(maxsize=_INDEX_CACHE_SIZE)
+@functools.lru_cache(maxsize=IM2COL_INDEX_CACHE_SIZE)
 def im2col_indices(
     channels: int,
     height: int,
@@ -69,6 +73,20 @@ def im2col_indices(
     for array in (k, i, j):
         array.setflags(write=False)
     return k, i, j, out_h, out_w
+
+
+def im2col_cache_info():
+    """Hit/miss statistics of the bounded im2col index cache.
+
+    The cache key is pure layer geometry -- no batch size -- so serving
+    the same model at varying batch sizes reuses one entry per layer.
+    """
+    return im2col_indices.cache_info()
+
+
+def im2col_cache_clear() -> None:
+    """Drop every memoised gather-index set (tests and benchmarks)."""
+    im2col_indices.cache_clear()
 
 
 def pad_nchw(array: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:

@@ -20,10 +20,12 @@ def batch_norm(
 
     ``view_shape`` broadcasts the per-feature vectors against ``x`` --
     ``(1, C, 1, 1)`` for NCHW feature maps, ``(1, C)`` for flat features.
-    The arithmetic mirrors the autograd path exactly:
-    ``(x - mean) / sqrt(var + eps) * weight + bias``.
+    Fixed statistics make eval-mode BN an affine layer, so the statistics
+    fold into a per-channel scale/shift and only two elementwise passes
+    touch the activation: ``x * (weight / sqrt(var + eps)) + (bias - mean *
+    scale)``.  The arithmetic mirrors the autograd eval path exactly (same
+    folded form, same operation order).
     """
-    mean = mean.reshape(view_shape)
-    var = var.reshape(view_shape)
-    normalised = (x - mean) / np.sqrt(var + eps)
-    return normalised * weight.reshape(view_shape) + bias.reshape(view_shape)
+    scale = weight / np.sqrt(var + eps)
+    shift = bias - mean * scale
+    return x * scale.reshape(view_shape) + shift.reshape(view_shape)

@@ -38,27 +38,37 @@ class _BatchNorm(Module):
             new_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
             self.update_buffer("running_mean", new_mean)
             self.update_buffer("running_var", new_var)
-        else:
-            if not is_grad_enabled():
-                # Evaluation under no_grad: skip the per-op Tensor wrappers and
-                # run the grad-free kernel (same arithmetic, same result).
-                return Tensor(
-                    kernels.batch_norm(
-                        x.data,
-                        self.running_mean,
-                        self.running_var,
-                        self.weight.data,
-                        self.bias.data,
-                        self.eps,
-                        view_shape,
-                    )
+            normalised = (x - mean) / (var + self.eps).sqrt()
+            scale = self.weight.reshape(view_shape)
+            shift = self.bias.reshape(view_shape)
+            return normalised * scale + shift
+        if not is_grad_enabled():
+            # Evaluation under no_grad: skip the per-op Tensor wrappers and
+            # run the grad-free kernel (same arithmetic, same result).
+            return Tensor(
+                kernels.batch_norm(
+                    x.data,
+                    self.running_mean,
+                    self.running_var,
+                    self.weight.data,
+                    self.bias.data,
+                    self.eps,
+                    view_shape,
                 )
-            mean = Tensor(self.running_mean.reshape(view_shape))
-            var = Tensor(self.running_var.reshape(view_shape))
-        normalised = (x - mean) / (var + self.eps).sqrt()
-        scale = self.weight.reshape(view_shape)
-        shift = self.bias.reshape(view_shape)
-        return normalised * scale + shift
+            )
+        # Eval-mode BN with fixed statistics is an affine layer: fold the
+        # running stats into a per-channel scale/shift so only two
+        # elementwise operations touch the (large) activation -- the same
+        # folded form every inference runtime lowers BN to, and the form
+        # the grad-free kernel above computes.  The per-channel arithmetic
+        # stays in autograd so gradients still reach weight and bias when
+        # fine-tuning against frozen statistics.
+        denom = Tensor(np.sqrt(self.running_var + self.eps).reshape(view_shape))
+        scale = self.weight.reshape(view_shape) / denom
+        shift = self.bias.reshape(view_shape) - Tensor(
+            self.running_mean.reshape(view_shape)
+        ) * scale
+        return x * scale + shift
 
 
 class BatchNorm2d(_BatchNorm):

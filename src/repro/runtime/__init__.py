@@ -1,38 +1,68 @@
-"""Compiled inference runtime.
+"""Compiled inference runtime: IR -> passes -> memory plan -> executor.
 
-Splits execution from autograd: :func:`compile_plan` lowers any
-:class:`~repro.nn.module.Module` into a static
-:class:`~repro.runtime.plan.ExecutionPlan` of grad-free kernel calls
-(constant-folded, batch-norm-fused), and :func:`compile_quantized_plan`
+Splits execution from autograd as a four-layer compiler pipeline:
+
+* :mod:`repro.runtime.ir` -- one traced forward pass becomes an explicit
+  :class:`~repro.runtime.ir.Graph` of typed values and nodes;
+* :mod:`repro.runtime.passes` -- a :class:`~repro.runtime.passes.PassManager`
+  runs named, individually toggleable optimisation passes (constant
+  folding, CSE, affine fusion, elementwise-chain fusion, dead-node
+  elimination), all byte-exact;
+* :mod:`repro.runtime.memory` -- liveness analysis and slot-reuse coloring
+  place every scratch buffer in one preallocated per-context arena
+  (:class:`~repro.runtime.memory.PlanMemoryStats` reports the savings);
+* :mod:`repro.runtime.executor` -- each node lowers to one grad-free kernel
+  step of an immutable :class:`~repro.runtime.executor.ExecutionPlan`.
+
+:func:`~repro.runtime.plan.compile_plan` lowers any
+:class:`~repro.nn.module.Module`; :func:`~repro.runtime.plan.compile_quantized_plan`
 builds the variant that executes a
 :class:`~repro.quant.deploy.QuantizedModelExport` directly from its integer
-codes.
-
-Plans are immutable compiled artifacts; all per-execution mutable state (the
-slot environment and reused scratch buffers) lives in an
-:class:`~repro.runtime.plan.ExecutionContext` arena that ``run`` borrows, so
+codes.  Plans are immutable compiled artifacts; all per-execution mutable
+state (the slot environment and the arena) lives in an
+:class:`~repro.runtime.executor.ExecutionContext` that ``run`` borrows, so
 one plan executes concurrently from any number of threads.  Compilation is
 serialised process-wide; :class:`~repro.runtime.cache.PlanCache` compiles
-each export (keyed by content hash) exactly once under concurrent lookups.
-The serving layer in :mod:`repro.serve` runs these plans.
+each export (keyed by content hash and pass configuration) exactly once
+under concurrent lookups, with optional LRU bounding.  The serving layer in
+:mod:`repro.serve` runs these plans.
 """
 
-from repro.runtime.cache import PlanCache
+from repro.runtime.cache import PlanCache, architecture_fingerprint
+from repro.runtime.executor import ExecutionContext, ExecutionPlan
+from repro.runtime.ir import Graph, Node, PlanCompileError, Value
+from repro.runtime.memory import MemoryPlan, PlanMemoryStats, plan_memory
+from repro.runtime.passes import (
+    DEFAULT_PASSES,
+    PassManager,
+    PipelineReport,
+    available_passes,
+    resolve_passes,
+)
 from repro.runtime.plan import (
-    ExecutionContext,
-    ExecutionPlan,
-    PlanCompileError,
     compile_lock,
     compile_plan,
     compile_quantized_plan,
 )
 
 __all__ = [
+    "DEFAULT_PASSES",
     "ExecutionContext",
     "ExecutionPlan",
+    "Graph",
+    "MemoryPlan",
+    "Node",
+    "PassManager",
+    "PipelineReport",
     "PlanCache",
     "PlanCompileError",
+    "PlanMemoryStats",
+    "Value",
+    "architecture_fingerprint",
+    "available_passes",
     "compile_lock",
     "compile_plan",
     "compile_quantized_plan",
+    "plan_memory",
+    "resolve_passes",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed cache of compiled quantised execution plans.
+"""Content-addressed, bounded cache of compiled quantised execution plans.
 
 Compiling a plan costs a traced forward pass plus lowering, and -- because
 tracing runs through the shared model object and thread-local instrumentation
@@ -12,24 +12,35 @@ of the :class:`~repro.quant.deploy.QuantizedModelExport`
 (:meth:`~repro.quant.deploy.QuantizedModelExport.content_hash`) together
 with an :func:`architecture fingerprint <architecture_fingerprint>` of the
 model (module tree + layer geometry -- the export hash covers values, not
-topology), the per-sample input shape and the ``fold_affine`` flag.  Two
-exports holding identical codes for the same architecture share one plan no
-matter how they were produced (built in process, reloaded from ``.npz``,
+topology), the per-sample input shape and the **resolved optimisation-pass
+pipeline** (two compilations of one export under different pass
+configurations are different plans and cache separately).  Two exports
+holding identical codes for the same architecture share one plan no matter
+how they were produced (built in process, reloaded from ``.npz``,
 deduplicated across model repositories).  Under concurrent lookups of the
 same key, exactly one thread compiles while the others wait for its result.
+
+The cache is optionally **bounded**: pass ``capacity`` to evict the
+least-recently-used plan once the bound is exceeded, so long-running
+adaptive serving (which keeps minting new exports) cannot grow the cache
+without limit.  Eviction only drops the cache's reference -- plans are
+immutable, so holders of an evicted plan keep executing it unaffected; a
+later lookup of the same key simply recompiles.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple
 
 from repro.nn.module import Module
 from repro.quant.deploy import QuantizedModelExport
+from repro.runtime.passes import resolve_passes
 from repro.runtime.plan import ExecutionPlan, compile_quantized_plan
 
-PlanKey = Tuple[str, str, Tuple[int, ...], bool]
+PlanKey = Tuple[str, str, Tuple[int, ...], Tuple[str, ...]]
 
 #: Geometry attributes that change how a module lowers without changing its
 #: parameter values (two convs with identical weights but different strides
@@ -57,26 +68,41 @@ def architecture_fingerprint(model: Module) -> str:
 
 
 class PlanCache:
-    """Compile-once cache of quantised plans, safe for concurrent lookups.
+    """Compile-once LRU cache of quantised plans, safe for concurrent lookups.
 
     The cache guarantees *exactly one* compilation per distinct key even
     when many threads request it simultaneously: the first requester marks
     the key in flight and compiles (under the global compile lock); the
     rest block on an event and pick up the shared plan.  A failed
     compilation clears the in-flight marker so a later request can retry.
+
+    With a ``capacity``, inserting beyond the bound evicts the
+    least-recently-used entry (every hit refreshes recency).  In-flight
+    compilations are never evicted, and plans already handed out stay
+    valid -- they are immutable; eviction only forgets the reference.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """Args:
+            capacity: Maximum cached plans; ``None`` (default) is unbounded.
+
+        Raises:
+            ValueError: ``capacity`` is not ``None`` and less than 1.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be at least 1 or None, got {capacity}")
         self._lock = threading.Lock()
-        self._plans: Dict[PlanKey, ExecutionPlan] = {}
-        self._inflight: Dict[PlanKey, threading.Event] = {}
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._inflight: dict = {}
         #: Keys invalidated while their compile was in flight: the landing
         #: plan is handed to its requester but NOT cached, so a stale entry
         #: cannot reappear after the invalidation.
         self._doomed: set = set()
+        self.capacity = capacity
         self.hits = 0
         self.compiles = 0
         self.invalidations = 0
+        self.evictions = 0
 
     @staticmethod
     def key_for(
@@ -84,12 +110,16 @@ class PlanCache:
         export: QuantizedModelExport,
         input_shape: Tuple[int, ...],
         fold_affine: bool = True,
+        *,
+        passes: Optional[Sequence[str]] = None,
+        optimize: bool = True,
     ) -> PlanKey:
+        """The cache key of one (architecture, export, shape, passes) combo."""
         return (
             architecture_fingerprint(model),
             export.content_hash(),
             tuple(input_shape),
-            bool(fold_affine),
+            resolve_passes(optimize, passes, fold_affine),
         )
 
     def __len__(self) -> int:
@@ -99,7 +129,10 @@ class PlanCache:
     def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
         """The cached plan for ``key``, or ``None`` (does not wait on in-flight)."""
         with self._lock:
-            return self._plans.get(key)
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+            return plan
 
     def get_or_compile(
         self,
@@ -108,6 +141,8 @@ class PlanCache:
         input_shape: Tuple[int, ...],
         *,
         fold_affine: bool = True,
+        passes: Optional[Sequence[str]] = None,
+        optimize: bool = True,
         validate: bool = True,
     ) -> ExecutionPlan:
         """The plan for ``export`` at ``input_shape``, compiling at most once.
@@ -115,13 +150,18 @@ class PlanCache:
         ``model`` supplies the architecture -- it is part of the cache key
         (structure fingerprint), compiles the plan on a miss, and is
         restored to its own state after tracing (see
-        :func:`~repro.runtime.plan.compile_quantized_plan`).
+        :func:`~repro.runtime.plan.compile_quantized_plan`).  The resolved
+        ``passes`` / ``optimize`` / ``fold_affine`` configuration is part
+        of the key.
         """
-        key = self.key_for(model, export, input_shape, fold_affine)
+        key = self.key_for(
+            model, export, input_shape, fold_affine, passes=passes, optimize=optimize
+        )
         while True:
             with self._lock:
                 plan = self._plans.get(key)
                 if plan is not None:
+                    self._plans.move_to_end(key)
                     self.hits += 1
                     return plan
                 event = self._inflight.get(key)
@@ -134,7 +174,13 @@ class PlanCache:
             event.wait()
         try:
             plan = compile_quantized_plan(
-                model, export, input_shape, fold_affine=fold_affine, validate=validate
+                model,
+                export,
+                input_shape,
+                fold_affine=fold_affine,
+                passes=passes,
+                optimize=optimize,
+                validate=validate,
             )
             with self._lock:
                 if key in self._doomed:
@@ -144,12 +190,22 @@ class PlanCache:
                     self._doomed.discard(key)
                 else:
                     self._plans[key] = plan
+                    self._plans.move_to_end(key)
+                    self._evict_over_capacity()
             return plan
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
                 self._doomed.discard(key)
             event.set()
+
+    def _evict_over_capacity(self) -> None:
+        """Drop LRU entries beyond ``capacity`` (caller holds the lock)."""
+        if self.capacity is None:
+            return
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
 
     def invalidate(self, key: PlanKey) -> bool:
         """Drop one cached plan (e.g. after its export was hot-swapped out).

@@ -1,0 +1,399 @@
+"""Optimizing passes over the runtime graph IR.
+
+A *pass* is a named graph-to-graph rewrite.  The :class:`PassManager` runs a
+configurable sequence of them and records a :class:`PipelineReport` (node
+counts and a one-line detail per pass) that compiled plans expose through
+``describe_pipeline()``.
+
+Every pass is **byte-exact**: it may remove, merge or fuse nodes, but the
+final executed arithmetic -- the ufunc sequence and its operands -- is
+unchanged.  Constant folding reuses the traced probe activations (computed
+by the very kernels the runtime replays), and the fusion passes carry the
+absorbed operations as ordered :class:`~repro.runtime.ir.ElemOp` micro-ops
+that the executor replays in place rather than collapsing them into a
+rescaled weight.  Disabling any subset of passes therefore changes plan
+*shape* (steps, buffers), never plan *output*; the test-suite asserts
+byte-identical logits across every single-pass-disabled configuration.
+
+Available passes (in default order):
+
+``fold_constants``
+    Replace every node whose inputs are all constants with a baked constant
+    (the batch-norm ``sqrt(var + eps)`` chain, parameter transposes, ...),
+    propagating parameter provenance through 2-D transposes so the
+    quantised lowering still finds its integer codes.
+``cse``
+    Common-subexpression elimination: merge pure nodes with identical
+    operation, operands and attributes.
+``fuse_affine``
+    Absorb per-channel affine elementwise chains (eval-mode batch norm,
+    bias adds, negation) and unary activation epilogues (ReLU, clamp,
+    sigmoid, ...) into the producing conv / matmul node whenever the
+    producer's result has exactly one consumer -- the classic
+    conv+BN+activation kernel fusion, replayed in place.
+``fuse_elementwise``
+    Fuse remaining single-consumer elementwise chains of equal shape into
+    one ``fused_elementwise`` node executing in a single arena buffer.
+``dce``
+    Dead-node elimination: drop nodes whose results are never read (e.g.
+    the dangling parameter transpose left by the linear-layer lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.ir import (
+    CHAIN,
+    ELEMENTWISE_OPS,
+    ElemOp,
+    Graph,
+    Node,
+    UNARY_ELEMENTWISE,
+    Value,
+)
+
+#: Elementwise operations the affine-fusion pass absorbs into producers:
+#: the affine family (eval-mode batch norm, bias adds, negation) plus the
+#: unary activations -- a sole-consumer ReLU / clamp / sigmoid after a
+#: conv or matmul becomes an in-place kernel epilogue, the classic
+#: conv+BN+activation fusion.
+AFFINE_OPS = frozenset({"add", "sub", "mul", "div"}) | frozenset(UNARY_ELEMENTWISE)
+
+#: Producers that accept absorbed post-ops (lowered to kernel steps with an
+#: in-place epilogue).
+_AFFINE_PRODUCERS = frozenset({"conv2d", "matmul"})
+
+
+# --------------------------------------------------------------------------- #
+# Individual passes.  Each mutates the graph and returns a one-line detail.
+# --------------------------------------------------------------------------- #
+def fold_constants(graph: Graph) -> str:
+    """Bake every node whose inputs are all constants into a constant."""
+    folded = 0
+    kept: List[Node] = []
+    for node in graph.nodes:
+        foldable = (
+            node.inputs
+            and not node.post
+            and not node.elem_ops
+            and all(value.kind == "const" for value in node.inputs)
+        )
+        if not foldable:
+            kept.append(node)
+            continue
+        out = node.output
+        out.kind = "const"
+        # Copy: traced outputs of reshape/transpose are views of live
+        # parameters, and baked constants must be snapshots.
+        out.data = np.array(out.traced, copy=True)
+        out.traced = out.data
+        out.batch_poly = False
+        if node.op == "transpose":
+            source = node.inputs[0]
+            axes = tuple(node.attrs.get("axes", ()))
+            if source.origin is not None and len(source.shape) == 2 and axes == (1, 0):
+                name, transposed = source.origin
+                out.origin = (name, not transposed)
+        folded += 1
+    graph.nodes = kept
+    return f"folded {folded} constant nodes"
+
+
+def _freeze(value) -> object:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(item)) for key, item in value.items()))
+    if isinstance(value, np.ndarray):  # pragma: no cover - attrs are scalars/tuples
+        return (value.shape, value.tobytes())
+    return value
+
+
+def common_subexpression_elimination(graph: Graph) -> str:
+    """Merge pure nodes with identical op, operand ids and attributes."""
+    seen: Dict[object, Node] = {}
+    replace: Dict[int, Value] = {}
+    kept: List[Node] = []
+    merged = 0
+    for node in graph.nodes:
+        node.inputs = [replace.get(value.vid, value) for value in node.inputs]
+        for elem in list(node.post) + list(node.elem_ops):
+            elem.inputs = tuple(
+                replace.get(op.vid, op) if isinstance(op, Value) else op
+                for op in elem.inputs
+            )
+        if node.post or node.elem_ops:
+            # Fused nodes are not deduplicated (their micro-op identity is
+            # not worth canonicalising; CSE runs before fusion by default).
+            kept.append(node)
+            continue
+        key = (node.op, tuple(value.vid for value in node.inputs), _freeze(node.attrs))
+        prior = seen.get(key)
+        if prior is not None:
+            replace[node.output.vid] = prior.output
+            merged += 1
+            continue
+        seen[key] = node
+        kept.append(node)
+    graph.nodes = kept
+    graph.output = replace.get(graph.output.vid, graph.output)
+    return f"merged {merged} duplicate nodes"
+
+
+def fuse_affine(graph: Graph) -> str:
+    """Absorb sole-consumer affine ops and activations into conv/matmul nodes."""
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        consumers = graph.consumers()
+        def_pos = {node.output.vid: index for index, node in enumerate(graph.nodes)}
+        for index, node in enumerate(graph.nodes):
+            if node.op not in _AFFINE_PRODUCERS:
+                continue
+            out = node.output
+            if out.vid == graph.output.vid:
+                continue
+            readers = consumers.get(out.vid, [])
+            if len(readers) != 1:
+                continue
+            consumer = readers[0]
+            if consumer.op not in AFFINE_OPS or consumer.post or consumer.elem_ops:
+                continue
+            if consumer.output.shape != out.shape:
+                continue
+            # The absorbed op executes at the producer's position: any
+            # runtime operand must already be defined there.
+            operands_ready = all(
+                value.kind != "node" or def_pos.get(value.vid, 1 << 30) < index
+                for value in consumer.inputs
+                if value.vid != out.vid
+            )
+            if not operands_ready:
+                continue
+            node.post.append(
+                ElemOp(
+                    op=consumer.op,
+                    inputs=tuple(
+                        CHAIN if value.vid == out.vid else value
+                        for value in consumer.inputs
+                    ),
+                    ctx=dict(consumer.attrs),
+                )
+            )
+            node.output = consumer.output
+            graph.nodes.remove(consumer)
+            fused += 1
+            changed = True
+            break
+    return f"absorbed {fused} affine ops into producers"
+
+
+def fuse_elementwise(graph: Graph) -> str:
+    """Fuse single-consumer elementwise chains into one node per chain.
+
+    A chain is a maximal run ``e1 -> e2 -> ... -> ek`` of elementwise nodes
+    where every intermediate result has exactly one consumer (the next
+    link), is not the graph output, and every link produces the same shape
+    -- so the whole chain executes in one arena buffer, each micro-op
+    writing in place over the previous result.
+    """
+    consumers = graph.consumers()
+    in_chain: set = set()
+    chains: List[List[Node]] = []
+    for node in graph.nodes:
+        if id(node) in in_chain or node.op not in ELEMENTWISE_OPS:
+            continue
+        if node.post or node.elem_ops:
+            continue
+        chain = [node]
+        current = node
+        while True:
+            if current.output.vid == graph.output.vid:
+                break
+            readers = consumers.get(current.output.vid, [])
+            if len(readers) != 1:
+                break
+            nxt = readers[0]
+            if (
+                id(nxt) in in_chain
+                or nxt.op not in ELEMENTWISE_OPS
+                or nxt.post
+                or nxt.elem_ops
+                or nxt.output.shape != node.output.shape
+            ):
+                break
+            chain.append(nxt)
+            current = nxt
+        if len(chain) >= 2:
+            in_chain.update(id(member) for member in chain)
+            chains.append(chain)
+
+    for chain in chains:
+        elem_ops: List[ElemOp] = []
+        external: List[Value] = []
+        previous_vid: Optional[int] = None
+        for member in chain:
+            elem_ops.append(
+                ElemOp(
+                    op=member.op,
+                    inputs=tuple(
+                        CHAIN if (previous_vid is not None and value.vid == previous_vid)
+                        else value
+                        for value in member.inputs
+                    ),
+                    ctx=dict(member.attrs),
+                )
+            )
+            external.extend(
+                value
+                for value in member.inputs
+                if not (previous_vid is not None and value.vid == previous_vid)
+            )
+            previous_vid = member.output.vid
+        fused_node = Node(
+            op="fused_elementwise",
+            inputs=external,
+            output=chain[-1].output,
+            elem_ops=elem_ops,
+        )
+        # The fused node executes where the chain ended, so every external
+        # operand of every link is already defined.
+        position = graph.nodes.index(chain[-1])
+        graph.nodes[position] = fused_node
+        for member in chain[:-1]:
+            graph.nodes.remove(member)
+    total_ops = sum(len(chain) for chain in chains)
+    return f"fused {len(chains)} chains ({total_ops} elementwise ops)"
+
+
+def dead_node_elimination(graph: Graph) -> str:
+    """Drop nodes whose results are never read (backwards reachability)."""
+    live = {graph.output.vid}
+    kept_reversed: List[Node] = []
+    removed = 0
+    for node in reversed(graph.nodes):
+        if node.output.vid in live:
+            kept_reversed.append(node)
+            for value in node.input_values():
+                live.add(value.vid)
+        else:
+            removed += 1
+    graph.nodes = kept_reversed[::-1]
+    return f"removed {removed} dead nodes"
+
+
+# --------------------------------------------------------------------------- #
+# Pass manager
+# --------------------------------------------------------------------------- #
+PASS_REGISTRY: Dict[str, Callable[[Graph], str]] = {
+    "fold_constants": fold_constants,
+    "cse": common_subexpression_elimination,
+    "fuse_affine": fuse_affine,
+    "fuse_elementwise": fuse_elementwise,
+    "dce": dead_node_elimination,
+}
+
+#: Default pipeline: fold first (so fusion sees baked per-channel
+#: constants), dedupe before fusing, sweep dead nodes last.
+DEFAULT_PASSES: Tuple[str, ...] = (
+    "fold_constants",
+    "cse",
+    "fuse_affine",
+    "fuse_elementwise",
+    "dce",
+)
+
+
+def available_passes() -> Tuple[str, ...]:
+    """Names accepted by :class:`PassManager` / ``compile_plan(passes=...)``."""
+    return tuple(PASS_REGISTRY)
+
+
+def resolve_passes(
+    optimize: bool = True,
+    passes: Optional[Sequence[str]] = None,
+    fold_affine: bool = True,
+) -> Tuple[str, ...]:
+    """Normalise the compile knobs into a concrete pass tuple.
+
+    ``optimize=False`` disables the whole pipeline (the unoptimised
+    reference interpreter).  An explicit ``passes`` sequence wins over the
+    default; ``fold_affine=False`` (the historical debugging knob) drops
+    ``fuse_affine`` from whichever pipeline was selected.  The resolved
+    tuple is part of the :class:`~repro.runtime.cache.PlanCache` key.
+    """
+    if not optimize:
+        return ()
+    selected = DEFAULT_PASSES if passes is None else tuple(passes)
+    unknown = [name for name in selected if name not in PASS_REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown pass(es) {unknown!r}; available: {sorted(PASS_REGISTRY)}"
+        )
+    if not fold_affine:
+        selected = tuple(name for name in selected if name != "fuse_affine")
+    return selected
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Outcome of one pass: node counts around it plus a one-line detail."""
+
+    name: str
+    nodes_before: int
+    nodes_after: int
+    detail: str
+
+
+@dataclass
+class PipelineReport:
+    """Pass-by-pass account of one compilation, attached to the plan."""
+
+    passes: List[PassRecord]
+    initial_nodes: int
+    final_nodes: int
+
+    def describe(self) -> str:
+        lines = [f"trace: {self.initial_nodes} nodes"]
+        for record in self.passes:
+            lines.append(
+                f"pass {record.name}: {record.nodes_before} -> "
+                f"{record.nodes_after} nodes ({record.detail})"
+            )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a named, individually-toggleable pass sequence over a graph."""
+
+    def __init__(self, passes: Sequence[str] = DEFAULT_PASSES) -> None:
+        unknown = [name for name in passes if name not in PASS_REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown pass(es) {unknown!r}; available: {sorted(PASS_REGISTRY)}"
+            )
+        self.passes: Tuple[str, ...] = tuple(passes)
+
+    def run(self, graph: Graph) -> PipelineReport:
+        """Run every configured pass in order, mutating ``graph``."""
+        records: List[PassRecord] = []
+        initial = graph.num_nodes()
+        for name in self.passes:
+            before = graph.num_nodes()
+            detail = PASS_REGISTRY[name](graph)
+            records.append(
+                PassRecord(
+                    name=name,
+                    nodes_before=before,
+                    nodes_after=graph.num_nodes(),
+                    detail=detail,
+                )
+            )
+        return PipelineReport(
+            passes=records, initial_nodes=initial, final_nodes=graph.num_nodes()
+        )

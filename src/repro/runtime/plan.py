@@ -1,28 +1,25 @@
 """Compile a :class:`~repro.nn.module.Module` into a static execution plan.
 
 Training needs a dynamic autograd graph; inference does not.  The compiler
-runs one traced forward pass through a model (via
-:func:`repro.tensor.trace_ops`), then translates the recorded operation
-sequence into an ordered list of grad-free kernel calls over numbered buffer
-slots:
+is a small pipeline over four layers, each in its own module:
 
-* **constant folding** -- every traced operation whose inputs are all
-  constants (parameters, batch-norm statistics, scalar wrappers) is folded
-  into a baked array at compile time, so e.g. the ``sqrt(var + eps)`` chain
-  of an eval-mode batch norm costs nothing at run time;
-* **affine fusion** -- chains of per-channel affine operations following a
-  convolution or linear layer (exactly what an eval-mode batch norm and a
-  bias add lower to) are folded into the producing step's output scale and
-  shift, so a conv+BN pair executes as a single matmul plus one fused
-  ``out * s + t``;
-* **quantised execution** -- :func:`compile_quantized_plan` consumes a
-  :class:`~repro.quant.deploy.QuantizedModelExport` directly: conv / linear
-  weights stay as centred integer codes in the smallest dtype that holds
-  them, and the affine scale is applied at the kernel boundary (folded into
-  the step's output scale), instead of dequantising the whole model back
-  into float training buffers;
-* **buffer reuse** -- convolution and elementwise steps write into reused
-  scratch buffers, so steady-state serving does not reallocate activations.
+1. **trace -> IR** (:mod:`repro.runtime.ir`) -- one traced forward pass
+   (:func:`repro.tensor.trace_ops`) becomes an explicit :class:`Graph` of
+   typed :class:`Value`/:class:`Node` objects;
+2. **optimizing passes** (:mod:`repro.runtime.passes`) -- a
+   :class:`~repro.runtime.passes.PassManager` runs named, individually
+   toggleable rewrites: constant folding, CSE, affine fusion into
+   conv/linear kernels, elementwise-chain fusion, dead-node elimination.
+   Every pass is byte-exact: optimised and unoptimised plans produce
+   bitwise-identical outputs;
+3. **memory planning** (:mod:`repro.runtime.memory`) -- liveness analysis
+   and slot-reuse coloring lay every scratch buffer out in one preallocated
+   per-context arena;
+4. **lowering** (:mod:`repro.runtime.executor`) -- each node becomes one
+   grad-free kernel step; :func:`compile_quantized_plan` substitutes a
+   :class:`~repro.quant.deploy.QuantizedModelExport`'s integer codes for
+   conv / linear weights with the affine scale applied at the kernel
+   boundary, so there is no dequantise round-trip.
 
 Plans are *snapshots*: weights are copied at compile time, and a plan is
 specialised to one per-sample input shape but polymorphic in the batch
@@ -30,35 +27,52 @@ dimension.  Executing a plan constructs zero autograd-graph nodes
 (asserted in the test-suite via :func:`repro.tensor.graph_nodes_created`).
 
 Plans are also *immutable once compiled*: all mutable execution state (the
-slot environment and the per-step scratch buffers) lives in an
-:class:`ExecutionContext` arena, not on the plan or its steps.  ``run``
-borrows one -- the calling thread's own by default, or an explicit arena
-handed in by a worker pool -- so a single compiled plan is safely shared
-across any number of threads (each with its own context), which is what
-:mod:`repro.serve.workers` relies on.  Compilation, by contrast, goes
-through thread-local tracing state in :mod:`repro.tensor` and must be
-serialised; :class:`repro.runtime.cache.PlanCache` takes care of that.
+slot environment and the arena buffers) lives in an
+:class:`~repro.runtime.executor.ExecutionContext`, not on the plan or its
+steps.  ``run`` borrows one -- the calling thread's own by default, or an
+explicit arena handed in by a worker pool -- so a single compiled plan is
+safely shared across any number of threads (each with its own context),
+which is what :mod:`repro.serve.workers` relies on.  Compilation, by
+contrast, goes through thread-local tracing state in :mod:`repro.tensor`
+and must be serialised; :class:`repro.runtime.cache.PlanCache` takes care
+of that.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import kernels
 from repro.nn.module import Module
 from repro.quant.deploy import QuantizedModelExport, load_into_model
+from repro.runtime.executor import (  # noqa: F401  (re-exported compiled surface)
+    AvgPoolStep,
+    ConvStep,
+    ElementwiseStep,
+    ExecutionContext,
+    ExecutionPlan,
+    FusedElementwiseStep,
+    LinearStep,
+    MatmulStep,
+    MaxPoolStep,
+    MaxReduceStep,
+    ReshapeStep,
+    Step,
+    SumStep,
+    TransposeStep,
+    lower_graph,
+)
+from repro.runtime.ir import PlanCompileError, build_graph  # noqa: F401
+from repro.runtime.memory import plan_memory
+from repro.runtime.passes import PassManager, resolve_passes
 from repro.tensor import Tensor, trace_ops
 
 #: Batch size of the probe input used for tracing.  Any batch size works at
-#: run time; reshape steps whose leading dimension equals the traced batch
-#: are detected as batch-preserving and re-targeted to the live batch.
+#: run time; batch-polymorphic values are detected by their traced leading
+#: dimension equalling the probe batch.
 _PROBE_BATCH = 2
-
-Ref = Tuple[str, Union[int, np.ndarray]]  # ("slot", index) | ("const", array)
 
 #: Compilation is serialised process-wide: tracing records operations into
 #: thread-local state, but :func:`compile_quantized_plan` temporarily loads
@@ -80,513 +94,14 @@ def compile_lock() -> threading.RLock:
     return _COMPILE_LOCK
 
 
-class PlanCompileError(RuntimeError):
-    """Raised when a model cannot be lowered to a static plan."""
-
-
-def _resolve(ref: Ref, env: List[Optional[np.ndarray]]) -> np.ndarray:
-    kind, value = ref
-    return env[value] if kind == "slot" else value  # type: ignore[index]
-
-
-def _smallest_int_dtype(low: int, high: int) -> np.dtype:
-    for dtype in (np.int8, np.int16, np.int32, np.int64):
-        info = np.iinfo(dtype)
-        if info.min <= low and high <= info.max:
-            return np.dtype(dtype)
-    raise ValueError(f"no integer dtype holds [{low}, {high}]")  # pragma: no cover
-
-
-# --------------------------------------------------------------------------- #
-# Execution state
-# --------------------------------------------------------------------------- #
-class ExecutionContext:
-    """Per-execution mutable state of one :class:`ExecutionPlan`.
-
-    Holds the slot environment the steps read and write, plus one scratch
-    buffer per step (the buffer arena).  The plan itself stays immutable, so
-    any number of contexts -- one per worker thread -- can execute the same
-    plan concurrently.  A context is *not* itself thread-safe: it belongs to
-    exactly one executing thread at a time.
-    """
-
-    __slots__ = ("plan", "env", "_scratch")
-
-    def __init__(self, plan: "ExecutionPlan") -> None:
-        self.plan = plan
-        self.env: List[Optional[np.ndarray]] = [None] * plan.num_slots
-        self._scratch: List[Optional[np.ndarray]] = [None] * len(plan.steps)
-
-    def scratch(self, step: "Step", shape: Tuple[int, ...]) -> np.ndarray:
-        """The reusable float64 output buffer owned by ``step`` in this arena."""
-        buf = self._scratch[step.index]
-        if buf is None or buf.shape != shape:
-            buf = np.empty(shape, dtype=np.float64)
-            self._scratch[step.index] = buf
-        return buf
-
-
-# --------------------------------------------------------------------------- #
-# Steps
-# --------------------------------------------------------------------------- #
-class Step:
-    """One kernel call: reads input slots / baked constants, writes ``out``.
-
-    Steps are immutable after compilation (``index`` is assigned once by the
-    owning plan); all scratch space comes from the borrowed
-    :class:`ExecutionContext`.
-    """
-
-    __slots__ = ("out", "index")
-
-    def __init__(self, out: int) -> None:
-        self.out = out
-        self.index = -1  # assigned by ExecutionPlan
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        raise NotImplementedError
-
-    def describe(self) -> str:  # pragma: no cover - debugging aid
-        return type(self).__name__
-
-
-class _AffineOutMixin:
-    """Shared output-affine handling for conv / linear steps.
-
-    The step's raw result ``raw`` is post-processed as ``raw * out_scale +
-    out_shift`` (either may be ``None``).  Quantised weight scales, biases
-    and folded batch-norm affines all land here.
-    """
-
-    __slots__ = ()
-
-    def _apply_affine(self, raw: np.ndarray) -> np.ndarray:
-        if self.out_scale is not None:
-            raw *= self.out_scale
-        if self.out_shift is not None:
-            raw += self.out_shift
-        return raw
-
-
-class ConvStep(Step, _AffineOutMixin):
-    """im2col convolution with an optional fused output affine."""
-
-    __slots__ = (
-        "x",
-        "weight_matrix",
-        "kernel_size",
-        "stride",
-        "padding",
-        "out_channels",
-        "out_scale",
-        "out_shift",
-        "bits",
-        "param_name",
-    )
-
-    def __init__(
-        self,
-        out: int,
-        x: int,
-        weight_matrix: np.ndarray,
-        kernel_size: Tuple[int, int],
-        stride: Tuple[int, int],
-        padding: Tuple[int, int],
-        out_scale: Optional[np.ndarray],
-        out_shift: Optional[np.ndarray],
-        bits: int,
-        param_name: str,
-    ) -> None:
-        super().__init__(out)
-        self.x = x
-        self.weight_matrix = weight_matrix
-        self.kernel_size = kernel_size
-        self.stride = stride
-        self.padding = padding
-        self.out_channels = int(weight_matrix.shape[0])
-        self.out_scale = out_scale
-        self.out_shift = out_shift
-        self.bits = bits
-        self.param_name = param_name
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        x = env[self.x]
-        cols, _, out_h, out_w = kernels.im2col(x, self.kernel_size, self.stride, self.padding)
-        shape = (x.shape[0], self.out_channels, out_h * out_w)
-        raw = kernels.matmul_cols(self.weight_matrix, cols, out=ctx.scratch(self, shape))
-        out = raw.reshape(x.shape[0], self.out_channels, out_h, out_w)
-        env[self.out] = self._apply_affine(out)
-
-    def describe(self) -> str:
-        tag = f"int{self.weight_matrix.dtype.itemsize * 8}" if self.bits < 32 else "fp"
-        fused = " +affine" if self.out_scale is not None or self.out_shift is not None else ""
-        return (
-            f"conv2d[{tag}] {self.param_name} stride={self.stride} "
-            f"pad={self.padding} bits={self.bits}{fused}"
-        )
-
-
-class LinearStep(Step, _AffineOutMixin):
-    """Dense matmul against a baked ``(in, out)`` weight matrix."""
-
-    __slots__ = ("x", "weight", "out_scale", "out_shift", "bits", "param_name")
-
-    def __init__(
-        self,
-        out: int,
-        x: int,
-        weight: np.ndarray,
-        out_scale: Optional[np.ndarray],
-        out_shift: Optional[np.ndarray],
-        bits: int,
-        param_name: str,
-    ) -> None:
-        super().__init__(out)
-        self.x = x
-        self.weight = weight
-        self.out_scale = out_scale
-        self.out_shift = out_shift
-        self.bits = bits
-        self.param_name = param_name
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        x = env[self.x]
-        if x.ndim == 2 and np.result_type(x, self.weight) == np.float64:
-            shape = (x.shape[0], self.weight.shape[1])
-            raw = np.matmul(x, self.weight, out=ctx.scratch(self, shape))
-        else:
-            raw = x @ self.weight
-        env[self.out] = self._apply_affine(raw)
-
-    def describe(self) -> str:
-        tag = f"int{self.weight.dtype.itemsize * 8}" if self.bits < 32 else "fp"
-        fused = " +affine" if self.out_scale is not None or self.out_shift is not None else ""
-        return f"linear[{tag}] {self.param_name} bits={self.bits}{fused}"
-
-
-class MatmulStep(Step):
-    """General matmul of two runtime values (neither is a baked weight)."""
-
-    __slots__ = ("lhs", "rhs")
-
-    def __init__(self, out: int, lhs: Ref, rhs: Ref) -> None:
-        super().__init__(out)
-        self.lhs = lhs
-        self.rhs = rhs
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = _resolve(self.lhs, env) @ _resolve(self.rhs, env)
-
-
-_BINARY_UFUNCS = {
-    "add": np.add,
-    "sub": np.subtract,
-    "mul": np.multiply,
-    "div": np.true_divide,
-}
-_UNARY_UFUNCS = {
-    "neg": np.negative,
-    "exp": np.exp,
-    "log": np.log,
-    "sqrt": np.sqrt,
-    "abs": np.abs,
-    "tanh": np.tanh,
-}
-
-
-class ElementwiseStep(Step):
-    """Broadcasted elementwise operation writing into arena scratch."""
-
-    __slots__ = ("op", "inputs", "ctx")
-
-    def __init__(self, out: int, op: str, inputs: Sequence[Ref], ctx: Dict[str, object]) -> None:
-        super().__init__(out)
-        self.op = op
-        self.inputs = tuple(inputs)
-        self.ctx = ctx
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        arrays = [_resolve(ref, env) for ref in self.inputs]
-        op = self.op
-        if op in _BINARY_UFUNCS:
-            a, b = arrays
-            out = ctx.scratch(self, np.broadcast_shapes(a.shape, b.shape))
-            env[self.out] = _BINARY_UFUNCS[op](a, b, out=out)
-            return
-        (x,) = arrays
-        if op == "relu":
-            env[self.out] = np.maximum(x, 0.0, out=ctx.scratch(self, x.shape))
-        elif op == "clamp":
-            low = self.ctx.get("min")
-            high = self.ctx.get("max")
-            env[self.out] = kernels.clamp(x, low, high, out=ctx.scratch(self, x.shape))
-        elif op == "pow":
-            env[self.out] = np.power(x, self.ctx["exponent"], out=ctx.scratch(self, x.shape))
-        elif op == "sigmoid":
-            env[self.out] = kernels.sigmoid(x, out=ctx.scratch(self, x.shape))
-        elif op in _UNARY_UFUNCS:
-            env[self.out] = _UNARY_UFUNCS[op](x, out=ctx.scratch(self, x.shape))
-        else:  # pragma: no cover - translation rejects unknown ops
-            raise PlanCompileError(f"unknown elementwise op {op!r}")
-
-    def describe(self) -> str:
-        return f"{self.op}({', '.join(k for k, _ in self.inputs)})"
-
-
-class MaxPoolStep(Step):
-    __slots__ = ("x", "kernel_size", "stride")
-
-    def __init__(self, out: int, x: int, kernel_size: Tuple[int, int], stride: Tuple[int, int]) -> None:
-        super().__init__(out)
-        self.x = x
-        self.kernel_size = kernel_size
-        self.stride = stride
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = kernels.max_pool2d(env[self.x], self.kernel_size, self.stride)
-
-    def describe(self) -> str:
-        return f"max_pool2d k={self.kernel_size} stride={self.stride}"
-
-
-class AvgPoolStep(Step):
-    __slots__ = ("x", "kernel_size", "stride")
-
-    def __init__(self, out: int, x: int, kernel_size: Tuple[int, int], stride: Tuple[int, int]) -> None:
-        super().__init__(out)
-        self.x = x
-        self.kernel_size = kernel_size
-        self.stride = stride
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = kernels.avg_pool2d(env[self.x], self.kernel_size, self.stride)
-
-    def describe(self) -> str:
-        return f"avg_pool2d k={self.kernel_size} stride={self.stride}"
-
-
-class SumStep(Step):
-    __slots__ = ("x", "axis", "keepdims")
-
-    def __init__(self, out: int, x: int, axis, keepdims: bool) -> None:
-        super().__init__(out)
-        self.x = x
-        self.axis = tuple(axis) if isinstance(axis, (list, tuple)) else axis
-        self.keepdims = keepdims
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = env[self.x].sum(axis=self.axis, keepdims=self.keepdims)
-
-    def describe(self) -> str:
-        return f"sum axis={self.axis}"
-
-
-class MaxReduceStep(Step):
-    __slots__ = ("x", "axis", "keepdims")
-
-    def __init__(self, out: int, x: int, axis, keepdims: bool) -> None:
-        super().__init__(out)
-        self.x = x
-        self.axis = tuple(axis) if isinstance(axis, (list, tuple)) else axis
-        self.keepdims = keepdims
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = env[self.x].max(axis=self.axis, keepdims=self.keepdims)
-
-    def describe(self) -> str:
-        return f"max axis={self.axis}"
-
-
-class ReshapeStep(Step):
-    __slots__ = ("x", "target", "batch_polymorphic")
-
-    def __init__(self, out: int, x: int, target: Tuple[int, ...], batch_polymorphic: bool) -> None:
-        super().__init__(out)
-        self.x = x
-        self.target = target
-        self.batch_polymorphic = batch_polymorphic
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        x = env[self.x]
-        shape = (x.shape[0],) + self.target[1:] if self.batch_polymorphic else self.target
-        env[self.out] = x.reshape(shape)
-
-    def describe(self) -> str:
-        tail = ("N",) + self.target[1:] if self.batch_polymorphic else self.target
-        return f"reshape {tail}"
-
-
-class TransposeStep(Step):
-    __slots__ = ("x", "axes")
-
-    def __init__(self, out: int, x: int, axes: Tuple[int, ...]) -> None:
-        super().__init__(out)
-        self.x = x
-        self.axes = tuple(axes)
-
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = env[self.x].transpose(self.axes)
-
-    def describe(self) -> str:
-        return f"transpose {self.axes}"
-
-
-# --------------------------------------------------------------------------- #
-# The plan
-# --------------------------------------------------------------------------- #
-class ExecutionPlan:
-    """An ordered sequence of kernel steps compiled from one model.
-
-    ``run`` accepts a batch of shape ``(N,) + input_shape`` (or one sample of
-    ``input_shape``) and returns the model's output.  Execution is pure
-    numpy: no :class:`~repro.tensor.tensor.Tensor` objects, no autograd
-    graph, reused arena buffers.
-
-    The plan is an immutable compiled artifact: steps, baked weights and
-    topology never change after construction.  All mutable execution state
-    lives in an :class:`ExecutionContext`; ``run`` borrows the calling
-    thread's implicit context unless a worker passes its own, so one plan
-    instance serves any number of threads concurrently.
-    """
-
-    def __init__(
-        self,
-        steps: List[Step],
-        num_slots: int,
-        output_slot: int,
-        input_shape: Tuple[int, ...],
-        source: str,
-        quantized: bool,
-    ) -> None:
-        self.steps = steps
-        for index, step in enumerate(steps):
-            step.index = index
-        self.num_slots = num_slots
-        self.output_slot = output_slot
-        self.input_shape = tuple(input_shape)
-        self.source = source
-        self.quantized = quantized
-        self._thread_contexts = threading.local()
-
-    # -- execution state ------------------------------------------------- #
-    def create_context(self) -> ExecutionContext:
-        """A fresh buffer arena for this plan (one per worker thread)."""
-        return ExecutionContext(self)
-
-    def _implicit_context(self) -> ExecutionContext:
-        """The calling thread's own lazily-created context."""
-        ctx = getattr(self._thread_contexts, "ctx", None)
-        if ctx is None:
-            ctx = ExecutionContext(self)
-            self._thread_contexts.ctx = ctx
-        return ctx
-
-    # -- execution ------------------------------------------------------- #
-    def run(
-        self,
-        x: np.ndarray,
-        *,
-        ctx: Optional[ExecutionContext] = None,
-        out: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """Execute the plan on ``x``.
-
-        Parameters
-        ----------
-        x:
-            One sample of ``input_shape`` or a batch ``(N,) + input_shape``.
-        ctx:
-            Execution context (buffer arena) to borrow.  Defaults to a
-            context owned by the calling thread, so plain ``run`` calls are
-            already thread-safe; worker pools pass their own per-worker
-            arena explicitly to avoid the thread-local lookup and to control
-            buffer lifetime.
-        out:
-            Optional pre-allocated output buffer with the result's exact
-            shape.  When given, the result is written into it (no allocation
-            on the hot path) and ``out`` is returned.
-        """
-        x = np.asarray(x, dtype=np.float64)
-        single = x.shape == self.input_shape
-        if single:
-            x = x[None]
-        if x.shape[1:] != self.input_shape:
-            raise ValueError(
-                f"plan compiled for per-sample shape {self.input_shape}, "
-                f"got input of shape {x.shape}"
-            )
-        if ctx is None:
-            ctx = self._implicit_context()
-        elif ctx.plan is not self:
-            raise ValueError("execution context belongs to a different plan")
-        env = ctx.env
-        env[0] = x
-        for step in self.steps:
-            step.run(env, ctx)
-        result = env[self.output_slot]
-        # Arena buffers are reused by the next call; hand back owned memory.
-        # A single sample is sliced *before* the copy so only its own bytes
-        # move (no copy of the batch-of-one array followed by a slice).
-        source = result[0] if single else result
-        if out is not None:
-            if out.shape != source.shape:
-                raise ValueError(
-                    f"out buffer has shape {out.shape}, result has {source.shape}"
-                )
-            np.copyto(out, source)
-            result = out
-        else:
-            result = np.array(source, copy=True)
-        # Drop slot references so the context does not pin the caller's
-        # input batch and non-scratch intermediates between calls (contexts
-        # live as long as their worker; every slot is re-written before it
-        # is read on the next run).
-        env[:] = [None] * self.num_slots
-        return result
-
-    __call__ = run
-
-    # -- introspection --------------------------------------------------- #
-    @property
-    def num_steps(self) -> int:
-        return len(self.steps)
-
-    def describe(self) -> str:
-        """Human-readable step listing (one line per step)."""
-        header = f"ExecutionPlan({self.source}, input={self.input_shape}, " \
-                 f"{'quantised' if self.quantized else 'float'})"
-        lines = [header] + [
-            f"  {index:3d}: {step.describe()}" for index, step in enumerate(self.steps)
-        ]
-        return "\n".join(lines)
-
-    def bits_by_layer(self) -> Dict[str, int]:
-        """Stored weight bitwidth of every conv / linear step, keyed like
-        :func:`~repro.hardware.profile.profile_model` layer names."""
-        return {
-            step.param_name: step.bits
-            for step in self.steps
-            if isinstance(step, (ConvStep, LinearStep))
-        }
-
-    def weight_bytes(self) -> int:
-        """Bytes held by baked conv / linear weights (codes stay integer)."""
-        return sum(
-            step.weight_matrix.nbytes if isinstance(step, ConvStep) else step.weight.nbytes
-            for step in self.steps
-            if isinstance(step, (ConvStep, LinearStep))
-        )
-
-
-# --------------------------------------------------------------------------- #
-# Compilation
-# --------------------------------------------------------------------------- #
 def compile_plan(
     model: Module,
     input_shape: Tuple[int, ...],
     *,
     fold_affine: bool = True,
     validate: bool = True,
+    passes: Optional[Sequence[str]] = None,
+    optimize: bool = True,
 ) -> ExecutionPlan:
     """Compile ``model`` (eval-mode semantics) into a float execution plan.
 
@@ -599,12 +114,23 @@ def compile_plan(
         Per-sample input shape, e.g. ``(3, 32, 32)`` or ``(features,)``.
     fold_affine:
         Fuse per-channel affine chains (batch norm, bias) into the preceding
-        conv / linear step.  Disable only for debugging.
+        conv / linear step.  Disable only for debugging; shorthand for
+        dropping ``"fuse_affine"`` from the pass pipeline.
     validate:
         Re-run the compiled plan on the probe input and check it against the
         traced module output.
+    passes:
+        Explicit pass pipeline (names from
+        :func:`repro.runtime.passes.available_passes`); default is the full
+        :data:`~repro.runtime.passes.DEFAULT_PASSES` pipeline.  Any subset
+        produces byte-identical outputs -- passes change plan shape, never
+        plan results.
+    optimize:
+        ``False`` disables every pass: the plan interprets the raw trace
+        (the reference the optimised plans are tested against).
     """
-    return _compile(model, None, input_shape, fold_affine, validate)
+    return _compile(model, None, input_shape, validate,
+                    resolve_passes(optimize, passes, fold_affine))
 
 
 def compile_quantized_plan(
@@ -614,6 +140,8 @@ def compile_quantized_plan(
     *,
     fold_affine: bool = True,
     validate: bool = True,
+    passes: Optional[Sequence[str]] = None,
+    optimize: bool = True,
 ) -> ExecutionPlan:
     """Compile a plan that executes a quantised export directly.
 
@@ -623,13 +151,15 @@ def compile_quantized_plan(
     integer codes are kept as centred integer matrices in the plan, with
     their affine scale applied at the kernel boundary as the step's output
     scale.  There is no model-wide dequantise round-trip and no autograd
-    involvement at execution time.
+    involvement at execution time.  The ``passes`` / ``optimize`` knobs
+    work exactly as in :func:`compile_plan`.
     """
     with _COMPILE_LOCK:
         state = model.state_dict()
         try:
             load_into_model(export, model)
-            return _compile(model, export, input_shape, fold_affine, validate)
+            return _compile(model, export, input_shape, validate,
+                            resolve_passes(optimize, passes, fold_affine))
         finally:
             model.load_state_dict(state)
 
@@ -638,19 +168,19 @@ def _compile(
     model: Module,
     export: Optional[QuantizedModelExport],
     input_shape: Tuple[int, ...],
-    fold_affine: bool,
     validate: bool,
+    passes: Tuple[str, ...],
 ) -> ExecutionPlan:
     with _COMPILE_LOCK:
-        return _compile_locked(model, export, input_shape, fold_affine, validate)
+        return _compile_locked(model, export, input_shape, validate, passes)
 
 
 def _compile_locked(
     model: Module,
     export: Optional[QuantizedModelExport],
     input_shape: Tuple[int, ...],
-    fold_affine: bool,
     validate: bool,
+    passes: Tuple[str, ...],
 ) -> ExecutionPlan:
     probe = np.random.default_rng(0).normal(size=(_PROBE_BATCH,) + tuple(input_shape))
     param_names = {id(param): name for name, param in model.named_parameters()}
@@ -663,104 +193,21 @@ def _compile_locked(
             traced_out = model(probe_tensor)
     finally:
         model.train(was_training)
-    if not records:
-        raise PlanCompileError("model forward recorded no operations")
 
-    const_value: Dict[int, np.ndarray] = {}
-    # Provenance of constants that are (transposes of) parameters, so the
-    # quantised compiler can substitute integer codes for linear weights.
-    param_origin: Dict[int, Tuple[str, bool]] = {}
-    slot_of: Dict[int, int] = {id(probe_tensor): 0}
-    steps: List[Step] = []
-    num_slots = 1
-
-    def as_ref(tensor: Tensor) -> Ref:
-        tid = id(tensor)
-        if tid in slot_of:
-            return ("slot", slot_of[tid])
-        if tid not in const_value:
-            # First sight of a leaf: a parameter or an anonymous constant.
-            if tid in param_names:
-                param_origin[tid] = (param_names[tid], False)
-            const_value[tid] = np.array(tensor.data, copy=True)
-        return ("const", const_value[tid])
-
-    def new_slot(tensor: Tensor) -> int:
-        nonlocal num_slots
-        slot = num_slots
-        num_slots += 1
-        slot_of[id(tensor)] = slot
-        return slot
-
-    for record in records:
-        refs = [as_ref(parent) for parent in record.parents]
-        if all(kind == "const" for kind, _ in refs):
-            # Constant folding: the traced output *is* the folded value.
-            # Copy it -- reshape/transpose outputs are views of live
-            # parameters, and baked constants must be snapshots.
-            const_value[id(record.out)] = np.array(record.out.data, copy=True)
-            if record.op == "transpose" and id(record.parents[0]) in param_origin:
-                name, transposed = param_origin[id(record.parents[0])]
-                axes = tuple(record.ctx["axes"])
-                if record.parents[0].data.ndim == 2 and axes == (1, 0):
-                    param_origin[id(record.out)] = (name, not transposed)
-            continue
-
-        op = record.op
-        if op == "conv2d":
-            steps.append(_make_conv_step(record, refs, new_slot(record.out), param_names, export))
-        elif op == "matmul":
-            steps.append(_make_matmul_step(record, refs, new_slot(record.out), param_origin, export))
-        elif op in ("max_pool2d", "avg_pool2d"):
-            cls = MaxPoolStep if op == "max_pool2d" else AvgPoolStep
-            steps.append(
-                cls(new_slot(record.out), refs[0][1], record.ctx["kernel_size"], record.ctx["stride"])
-            )
-        elif op == "sum":
-            steps.append(
-                SumStep(new_slot(record.out), refs[0][1], record.ctx["axis"], record.ctx["keepdims"])
-            )
-        elif op == "max":
-            steps.append(
-                MaxReduceStep(
-                    new_slot(record.out), refs[0][1], record.ctx["axis"], record.ctx["keepdims"]
-                )
-            )
-        elif op == "reshape":
-            in_shape = record.parents[0].data.shape
-            out_shape = record.out.data.shape
-            polymorphic = (
-                len(in_shape) > 0
-                and len(out_shape) > 0
-                and in_shape[0] == _PROBE_BATCH
-                and out_shape[0] == _PROBE_BATCH
-            )
-            steps.append(ReshapeStep(new_slot(record.out), refs[0][1], out_shape, polymorphic))
-        elif op == "transpose":
-            steps.append(TransposeStep(new_slot(record.out), refs[0][1], record.ctx["axes"]))
-        elif op in _BINARY_UFUNCS or op in _UNARY_UFUNCS or op in ("relu", "clamp", "pow", "sigmoid"):
-            steps.append(ElementwiseStep(new_slot(record.out), op, refs, record.ctx))
-        else:
-            raise PlanCompileError(
-                f"cannot lower op {op!r} to a static plan (add a Step kind "
-                f"to repro.runtime.plan to support it)"
-            )
-
-    output_id = id(traced_out)
-    if output_id not in slot_of:
+    graph = build_graph(
+        records, probe_tensor, traced_out, param_names, source=type(model).__name__
+    )
+    pipeline = PassManager(passes).run(graph)
+    if graph.output.kind == "const":
         raise PlanCompileError("model output does not depend on the input")
-    output_slot = slot_of[output_id]
-
-    if fold_affine:
-        steps, output_slot = _fuse_affine_chains(steps, output_slot)
-
-    plan = ExecutionPlan(
-        steps=steps,
-        num_slots=num_slots,
-        output_slot=output_slot,
+    memory = plan_memory(graph)
+    plan = lower_graph(
+        graph,
+        export=export,
+        memory=memory,
+        pipeline=pipeline,
+        passes=passes,
         input_shape=tuple(input_shape),
-        source=type(model).__name__,
-        quantized=export is not None,
     )
     if validate:
         produced = plan.run(probe)
@@ -770,226 +217,3 @@ def _compile_locked(
                 f"compiled plan diverges from the traced module (max abs err {worst:.3e})"
             )
     return plan
-
-
-def _weight_codes(export: Optional[QuantizedModelExport], name: Optional[str]):
-    if export is None or name is None:
-        return None
-    return export.quantized.get(name)
-
-
-def _centred_codes(qt) -> np.ndarray:
-    centred = qt.codes.astype(np.int64) - qt.qparams.zero_point
-    dtype = _smallest_int_dtype(int(centred.min(initial=0)), int(centred.max(initial=0)))
-    return centred.astype(dtype)
-
-
-def _make_conv_step(record, refs, out_slot, param_names, export) -> ConvStep:
-    x_kind, x_value = refs[0]
-    if x_kind != "slot":
-        raise PlanCompileError("conv2d over a constant input should have been folded")
-    weight_tensor = record.parents[1]
-    name = param_names.get(id(weight_tensor))
-    if name is None:
-        raise PlanCompileError("conv2d weight is not a model parameter")
-    out_channels = weight_tensor.data.shape[0]
-    bias = record.parents[2].data if len(record.parents) == 3 else None
-
-    qt = _weight_codes(export, name)
-    if qt is not None:
-        weight_matrix = np.ascontiguousarray(_centred_codes(qt).reshape(out_channels, -1))
-        out_scale: Optional[np.ndarray] = np.float64(qt.qparams.scale)
-        bits = qt.bits
-    else:
-        weight_matrix = weight_tensor.data.reshape(out_channels, -1).copy()
-        out_scale = None
-        bits = 32
-    out_shift = bias.reshape(1, -1, 1, 1).copy() if bias is not None else None
-    return ConvStep(
-        out=out_slot,
-        x=x_value,
-        weight_matrix=weight_matrix,
-        kernel_size=tuple(weight_tensor.data.shape[2:]),
-        stride=record.ctx["stride"],
-        padding=record.ctx["padding"],
-        out_scale=out_scale,
-        out_shift=out_shift,
-        bits=bits,
-        param_name=name,
-    )
-
-
-def _make_matmul_step(record, refs, out_slot, param_origin, export) -> Step:
-    (lhs_kind, lhs_value), (rhs_kind, rhs_value) = refs
-    if lhs_kind == "slot" and rhs_kind == "const":
-        origin = param_origin.get(id(record.parents[1]))
-        qt = _weight_codes(export, origin[0]) if origin else None
-        if qt is not None:
-            name, transposed = origin
-            centred = _centred_codes(qt)
-            if transposed:
-                centred = centred.T
-            return LinearStep(
-                out=out_slot,
-                x=lhs_value,
-                weight=np.ascontiguousarray(centred),
-                out_scale=np.float64(qt.qparams.scale),
-                out_shift=None,
-                bits=qt.bits,
-                param_name=name,
-            )
-        return LinearStep(
-            out=out_slot,
-            x=lhs_value,
-            weight=np.ascontiguousarray(rhs_value),
-            out_scale=None,
-            out_shift=None,
-            bits=32,
-            param_name=origin[0] if origin else "<matmul>",
-        )
-    return MatmulStep(out_slot, refs[0], refs[1])
-
-
-# --------------------------------------------------------------------------- #
-# Affine fusion
-# --------------------------------------------------------------------------- #
-def _per_channel(const: np.ndarray, ndim: int, channels: int) -> Optional[np.ndarray]:
-    """Return ``const`` broadcast to the per-channel shape, or ``None``."""
-    target = (1, channels) + (1,) * (ndim - 2)
-    try:
-        return np.broadcast_to(np.asarray(const, dtype=np.float64), target)
-    except ValueError:
-        return None
-
-
-def _fuse_affine_chains(steps: List[Step], output_slot: int) -> Tuple[List[Step], int]:
-    """Fold per-channel affine elementwise chains into conv / linear steps.
-
-    An eval-mode batch norm lowers to ``sub, div, mul, add`` against baked
-    per-channel constants; a bias add lowers to one ``add``.  Whenever such
-    an operation is the *sole* consumer of a conv / linear result, it is
-    absorbed into that step's output scale and shift.
-    """
-    slot_consumers: Counter = Counter()
-    for step in steps:
-        for slot in _input_slots(step):
-            slot_consumers[slot] += 1
-    slot_consumers[output_slot] += 1
-
-    steps = list(steps)
-    changed = True
-    while changed:
-        changed = False
-        for index, step in enumerate(steps):
-            if not isinstance(step, (ConvStep, LinearStep)):
-                continue
-            if slot_consumers[step.out] != 1:
-                continue
-            consumer_index = _sole_consumer_index(steps, index, step.out)
-            if consumer_index is None:
-                continue
-            consumer = steps[consumer_index]
-            folded = _try_fold(step, consumer)
-            if not folded:
-                continue
-            # The consumer's output is now produced by the fused step.
-            slot_consumers[step.out] -= 1
-            step.out = consumer.out
-            del steps[consumer_index]
-            changed = True
-            break
-    for step in steps:
-        if isinstance(step, (ConvStep, LinearStep)):
-            _bake_scale_into_weights(step)
-    return steps, output_slot
-
-
-def _bake_scale_into_weights(step) -> None:
-    """Fold a float step's output scale into its weight matrix.
-
-    ``(W * s) @ x`` equals ``s * (W @ x)`` per output channel, so float
-    plans can drop the per-call scale pass entirely.  Integer (quantised)
-    weight matrices keep the scale at the kernel boundary by design.
-    """
-    if step.out_scale is None or step.bits < 32:
-        return
-    if isinstance(step, ConvStep):
-        channels = step.out_channels
-        scale = np.broadcast_to(step.out_scale, (1, channels, 1, 1)).reshape(channels, 1)
-        step.weight_matrix = step.weight_matrix * scale
-    else:
-        channels = step.weight.shape[1]
-        scale = np.broadcast_to(step.out_scale, (1, channels))
-        step.weight = step.weight * scale
-    step.out_scale = None
-
-
-def _input_slots(step: Step) -> List[int]:
-    if isinstance(step, (ConvStep, MaxPoolStep, AvgPoolStep, SumStep, MaxReduceStep,
-                         ReshapeStep, TransposeStep, LinearStep)):
-        return [step.x]
-    if isinstance(step, ElementwiseStep):
-        return [value for kind, value in step.inputs if kind == "slot"]
-    if isinstance(step, MatmulStep):
-        return [value for kind, value in (step.lhs, step.rhs) if kind == "slot"]
-    raise TypeError(f"unknown step type {type(step).__name__}")  # pragma: no cover
-
-
-def _sole_consumer_index(steps: List[Step], producer_index: int, slot: int) -> Optional[int]:
-    for index in range(producer_index + 1, len(steps)):
-        if slot in _input_slots(steps[index]):
-            return index
-    return None
-
-
-def _try_fold(step, consumer) -> bool:
-    """Fold ``consumer`` (an eligible elementwise op) into ``step``'s affine."""
-    if not isinstance(consumer, ElementwiseStep):
-        return False
-    op = consumer.op
-    ndim = 4 if isinstance(step, ConvStep) else 2
-    channels = step.out_channels if isinstance(step, ConvStep) else step.weight.shape[1]
-
-    if op == "neg":
-        _scale_affine(step, -1.0)
-        return True
-    if op not in ("add", "sub", "mul", "div"):
-        return False
-    kinds = [kind for kind, _ in consumer.inputs]
-    if kinds.count("const") != 1:
-        return False
-    const_first = kinds[0] == "const"
-    const = consumer.inputs[0][1] if const_first else consumer.inputs[1][1]
-    channel_const = _per_channel(const, ndim, channels)
-    if channel_const is None:
-        return False
-
-    if op == "add":
-        step.out_shift = _add(step.out_shift, channel_const)
-    elif op == "mul":
-        _scale_affine(step, channel_const)
-    elif op == "sub":
-        if const_first:  # const - y
-            _scale_affine(step, -1.0)
-            step.out_shift = _add(step.out_shift, channel_const)
-        else:  # y - const
-            step.out_shift = _add(step.out_shift, -channel_const)
-    elif op == "div":
-        if const_first:  # const / y: not affine in y
-            return False
-        _scale_affine(step, 1.0 / channel_const)
-    return True
-
-
-def _add(current: Optional[np.ndarray], delta: np.ndarray) -> np.ndarray:
-    return np.array(delta, dtype=np.float64) if current is None else current + delta
-
-
-def _scale_affine(step, factor) -> None:
-    step.out_scale = (
-        np.asarray(factor, dtype=np.float64)
-        if step.out_scale is None
-        else step.out_scale * factor
-    )
-    if step.out_shift is not None:
-        step.out_shift = step.out_shift * factor

@@ -96,7 +96,9 @@ class MicroBatchServer:
         )
         self._scheduler = Scheduler(clock=clock)
         self._scheduler.register(_QUEUE, self._policy)
-        self._ctx = plan.create_context()
+        # One arena, preallocated by the plan's memory planner at the
+        # largest batch the engine will ever dispatch.
+        self._ctx = plan.create_context(batch_size=max_batch_size)
         self._request_ids = itertools.count()
         self._next_batch_id = 0
         self.stats = ServeStats()

@@ -118,6 +118,18 @@ class Scheduler:
             raise KeyError(f"model {model!r} is not registered with the scheduler")
         return queue
 
+    def policy(self, model: str) -> QueuePolicy:
+        """The batching policy of one queue.
+
+        Worker pools read ``max_batch_size`` from it to preallocate their
+        execution arenas at the largest batch the queue can dispatch.
+
+        Raises:
+            KeyError: ``model`` names an unregistered queue.
+        """
+        with self._cond:
+            return self._queue_of(model).policy
+
     # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #

@@ -125,10 +125,22 @@ class WorkerPool:
                     if request.future is not None and not request.future.done():
                         request.future.set_exception(error)
 
-    def _context_for(self, plan: ExecutionPlan, contexts: Dict[int, ExecutionContext]):
+    def _context_for(
+        self,
+        plan: ExecutionPlan,
+        contexts: Dict[int, ExecutionContext],
+        queue_key: str,
+    ):
         ctx = contexts.get(id(plan))
         if ctx is None:
-            ctx = plan.create_context()
+            # Size the worker's arena from the plan's memory planner at the
+            # queue's maximum batch, so the whole buffer block is committed
+            # once up front instead of growing scratch lazily per step.
+            try:
+                batch_hint = self.scheduler.policy(queue_key).max_batch_size
+            except KeyError:  # pragma: no cover - executor resolved an unknown key
+                batch_hint = None
+            ctx = plan.create_context(batch_size=batch_hint)
             contexts[id(plan)] = ctx
         return ctx
 
@@ -141,7 +153,7 @@ class WorkerPool:
         plan, forward_bits, accountant, model, bits = self.executor.resolve(queue_key)
         batch = np.stack([request.x for request in requests])
         started = self.clock()
-        logits = plan.run(batch, ctx=self._context_for(plan, contexts))
+        logits = plan.run(batch, ctx=self._context_for(plan, contexts, queue_key))
         compute_seconds = self.clock() - started
         predictions = np.argmax(logits, axis=-1)
 

@@ -57,6 +57,32 @@ class TestIm2colIndexCache:
         b = im2col_indices(1, 6, 6, (3, 3), (1, 1), (0, 0))
         assert a[0].shape != b[0].shape
 
+    def test_cache_is_explicitly_bounded(self):
+        from repro.kernels.conv import IM2COL_INDEX_CACHE_SIZE, im2col_cache_info
+
+        info = im2col_cache_info()
+        assert info.maxsize == IM2COL_INDEX_CACHE_SIZE
+        assert IM2COL_INDEX_CACHE_SIZE >= 64  # enough for every registry model
+
+    def test_cache_reuse_survives_batch_size_changes(self):
+        # The cache key is pure layer geometry: serving the same conv at
+        # batch 2, 7 and 16 must hit one entry, not mint three.
+        from repro.kernels.conv import im2col_cache_clear, im2col_cache_info
+
+        im2col_cache_clear()
+        weight = np.random.default_rng(0).normal(size=(4, 3, 3, 3))
+        outputs = {}
+        for batch in (2, 7, 16):
+            x = np.random.default_rng(batch).normal(size=(batch, 3, 9, 9))
+            outputs[batch] = kernels.conv2d(x, weight, stride=1, padding=1)
+        info = im2col_cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+        assert info.currsize == 1
+        # And the shared indices computed the right thing at every batch.
+        for batch, out in outputs.items():
+            assert out.shape == (batch, 4, 9, 9)
+
 
 class TestPoolKernels:
     @pytest.mark.parametrize("kernel,stride", [(2, 2), (2, None), (3, 2), ((2, 3), (2, 3))])

@@ -1,0 +1,162 @@
+"""Graph IR construction: values, nodes, provenance, helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.runtime.ir import (
+    ELEMENTWISE_OPS,
+    Graph,
+    PlanCompileError,
+    build_graph,
+    matmul_linear_info,
+)
+from repro.tensor import Tensor, trace_ops
+from zoo import build
+
+
+def _trace(model, shape, batch=2, seed=0):
+    probe = Tensor(np.random.default_rng(seed).normal(size=(batch,) + shape))
+    model.eval()
+    with trace_ops() as records:
+        out = model(probe)
+    names = {id(param): name for name, param in model.named_parameters()}
+    return records, probe, out, names
+
+
+def _graph(model, shape):
+    records, probe, out, names = _trace(model, shape)
+    return build_graph(records, probe, out, names, source=type(model).__name__)
+
+
+class TestBuildGraph:
+    def test_one_node_per_traced_record(self):
+        model, shape = build("tiny_convnet")
+        records, probe, out, names = _trace(model, shape)
+        graph = build_graph(records, probe, out, names)
+        assert graph.num_nodes() == len(records)
+        # Node order preserves trace order.
+        assert [node.op for node in graph.nodes] == [record.op for record in records]
+
+    def test_values_carry_shapes_and_dtypes(self):
+        model, shape = build("tiny_convnet")
+        records, probe, out, names = _trace(model, shape)
+        graph = build_graph(records, probe, out, names)
+        assert graph.input.shape == (2,) + shape
+        assert graph.input.kind == "input"
+        for node, record in zip(graph.nodes, records):
+            assert node.output.shape == record.out.data.shape
+            assert node.output.dtype == record.out.data.dtype
+        assert graph.output.shape == out.data.shape
+
+    def test_parameters_become_consts_with_origin(self):
+        model, shape = build("mlp")
+        graph = _graph(model, shape)
+        param_names = {name for name, _ in model.named_parameters()}
+        origins = {
+            value.origin[0]
+            for node in graph.nodes
+            for value in node.inputs
+            if value.kind == "const" and value.origin is not None
+        }
+        assert origins == param_names
+
+    def test_const_payloads_are_snapshots(self):
+        model, shape = build("mlp")
+        graph = _graph(model, shape)
+        consts = [
+            value
+            for node in graph.nodes
+            for value in node.inputs
+            if value.kind == "const" and value.origin is not None
+        ]
+        assert consts
+        for value in consts:
+            assert value.data.base is None or not np.shares_memory(
+                value.data, next(iter(model.parameters())).data
+            )
+
+    def test_batch_polymorphism_detection(self):
+        model, shape = build("tiny_convnet")
+        graph = _graph(model, shape)
+        # Activations are batch-polymorphic, parameters are not.
+        assert graph.input.batch_poly
+        assert graph.output.batch_poly
+        assert all(
+            not value.batch_poly
+            for node in graph.nodes
+            for value in node.inputs
+            if value.kind == "const"
+        )
+
+    def test_empty_trace_raises(self):
+        model, shape = build("mlp")
+        probe = Tensor(np.zeros((2,) + shape))
+        with pytest.raises(PlanCompileError, match="no operations"):
+            build_graph([], probe, probe, {})
+
+    def test_output_must_depend_on_input(self):
+        class Constant(nn.Module):
+            def forward(self, x):
+                x * 2.0  # traced, but the result is discarded
+                return Tensor(np.ones(3))
+
+        model = Constant()
+        records, probe, out, names = _trace(model, (3,))
+        with pytest.raises(PlanCompileError, match="does not depend"):
+            build_graph(records, probe, out, names)
+
+
+class TestGraphHelpers:
+    def test_producers_and_consumers(self):
+        model, shape = build("mlp")
+        graph = _graph(model, shape)
+        producers = graph.producers()
+        consumers = graph.consumers()
+        for node in graph.nodes:
+            assert producers[node.output.vid] is node
+            for value in node.inputs:
+                assert node in consumers[value.vid]
+
+    def test_op_histogram_counts_every_node(self):
+        model, shape = build("tiny_convnet")
+        graph = _graph(model, shape)
+        histogram = graph.op_histogram()
+        assert sum(histogram.values()) == graph.num_nodes()
+        assert histogram["conv2d"] == 2
+
+    def test_elementwise_vocabulary_is_closed(self):
+        # Every op the elementwise step executes is classified elementwise.
+        from repro.runtime.executor import _BINARY_UFUNCS, _UNARY_UFUNCS
+
+        executable = set(_BINARY_UFUNCS) | set(_UNARY_UFUNCS) | {
+            "relu", "clamp", "pow", "sigmoid"
+        }
+        assert executable == set(ELEMENTWISE_OPS)
+
+
+class TestMatmulLinearInfo:
+    def test_detects_transposed_parameter(self):
+        model, shape = build("mlp")
+        graph = _graph(model, shape)
+        producers = graph.producers()
+        matmuls = [node for node in graph.nodes if node.op == "matmul"]
+        assert matmuls
+        for node in matmuls:
+            info = matmul_linear_info(node, producers)
+            assert info is not None
+            weight, pre_transposed = info
+            assert weight.kind == "const"
+            assert pre_transposed  # unfolded: rhs comes through a transpose node
+            assert weight.origin is not None and not weight.origin[1]
+
+    def test_general_matmul_is_not_linear(self):
+        class Bilinear(nn.Module):
+            def forward(self, x):
+                return x.matmul(x.transpose(1, 0))
+
+        model = Bilinear()
+        graph = _graph(model, (4,))
+        producers = graph.producers()
+        matmul = next(node for node in graph.nodes if node.op == "matmul")
+        assert matmul_linear_info(matmul, producers) is None

@@ -1,0 +1,220 @@
+"""Optimizing-pass pipeline: byte-exactness, per-pass behaviour, manager.
+
+The acceptance bar: every pass (and every subset of passes) changes plan
+*shape* only.  For each registry model -- float and quantised -- the plan
+compiled with any single pass disabled, and the fully optimised plan,
+produce **byte-identical** logits to the unoptimised reference interpreter
+(``optimize=False``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.quant import export_quantized_model
+from repro.runtime import (
+    DEFAULT_PASSES,
+    PassManager,
+    available_passes,
+    compile_plan,
+    compile_quantized_plan,
+    resolve_passes,
+)
+from repro.runtime.executor import ConvStep, FusedElementwiseStep, LinearStep
+from zoo import MODEL_CONFIGS, build
+
+#: Every configuration the byte-identity sweep compiles: the full default
+#: pipeline plus each pass individually disabled.
+PASS_CONFIGS = [("all", DEFAULT_PASSES)] + [
+    (f"no_{name}", tuple(p for p in DEFAULT_PASSES if p != name))
+    for name in DEFAULT_PASSES
+]
+
+
+def _batch(shape, seed=3, batch=4):
+    return np.random.default_rng(seed).normal(size=(batch,) + shape)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_CONFIGS))
+def test_float_passes_are_byte_exact(name):
+    model, shape = build(name)
+    x = _batch(shape)
+    reference = compile_plan(model, shape, optimize=False).run(x)
+    for label, passes in PASS_CONFIGS:
+        plan = compile_plan(model, shape, passes=passes)
+        np.testing.assert_array_equal(
+            plan.run(x), reference,
+            err_msg=f"{name}: pass config {label!r} changed the output bytes",
+        )
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_CONFIGS))
+def test_quantized_passes_are_byte_exact(name):
+    model, shape = build(name)
+    export = export_quantized_model(model, {n: 6 for n, _ in model.named_parameters()})
+    x = _batch(shape, seed=5)
+    reference = compile_quantized_plan(model, export, shape, optimize=False).run(x)
+    for label, passes in PASS_CONFIGS:
+        plan = compile_quantized_plan(model, export, shape, passes=passes)
+        np.testing.assert_array_equal(
+            plan.run(x), reference,
+            err_msg=f"{name}: pass config {label!r} changed the output bytes",
+        )
+
+
+class TestFoldConstants:
+    def test_folds_batch_norm_statistics(self):
+        model, shape = build("tiny_convnet")
+        folded = compile_plan(model, shape, passes=("fold_constants",))
+        raw = compile_plan(model, shape, optimize=False)
+        # The BN sqrt(var+eps) chain and the linear weight transpose fold
+        # away; only ops over runtime values remain.
+        assert folded.num_steps < raw.num_steps
+        record = folded.pipeline.passes[0]
+        assert record.name == "fold_constants"
+        assert record.nodes_before - record.nodes_after >= 3
+
+    def test_quantized_codes_survive_without_folding(self):
+        # Integer-code substitution is a lowering concern, not a pass: the
+        # unoptimised quantised plan still executes integer weights.
+        model, shape = build("mlp")
+        export = export_quantized_model(model, {n: 8 for n, _ in model.named_parameters()})
+        plan = compile_quantized_plan(model, export, shape, optimize=False)
+        kernel_steps = [s for s in plan.steps if isinstance(s, LinearStep)]
+        assert kernel_steps
+        assert all(np.issubdtype(s.weight.dtype, np.integer) for s in kernel_steps)
+
+
+class TestCSE:
+    def test_merges_duplicate_subexpressions(self):
+        class Doubled(nn.Module):
+            def forward(self, x):
+                return x.exp() + x.exp()
+
+        plan = compile_plan(Doubled(), (6,), passes=("cse",))
+        merged = next(r for r in plan.pipeline.passes if r.name == "cse")
+        assert merged.nodes_before - merged.nodes_after == 1
+
+    def test_keeps_distinct_attributes_apart(self):
+        class TwoClamps(nn.Module):
+            def forward(self, x):
+                return x.clamp(0.0, 1.0) + x.clamp(0.0, 2.0)
+
+        plan = compile_plan(TwoClamps(), (6,), passes=("cse",))
+        merged = next(r for r in plan.pipeline.passes if r.name == "cse")
+        assert merged.nodes_before == merged.nodes_after
+
+
+class TestFuseAffine:
+    def test_bias_and_batch_norm_absorbed(self):
+        model, shape = build("tiny_convnet")
+        plan = compile_plan(model, shape)
+        conv_steps = [s for s in plan.steps if isinstance(s, ConvStep)]
+        assert conv_steps
+        # Eval-mode BN folds to a per-channel affine, absorbed into the
+        # conv as in-place mul/add micro-ops; the trailing ReLU rides
+        # along as the kernel's activation epilogue.
+        for step in conv_steps:
+            assert [op for op, _, _ in step.post] == ["mul", "add", "relu"]
+
+    def test_linear_bias_absorbed(self):
+        model, shape = build("mlp")
+        plan = compile_plan(model, shape)
+        linear_steps = [s for s in plan.steps if isinstance(s, LinearStep)]
+        assert linear_steps
+        assert all(step.post and step.post[0][0] == "add" for step in linear_steps)
+
+    def test_disabled_by_fold_affine_flag(self):
+        model, shape = build("tiny_convnet")
+        plan = compile_plan(model, shape, fold_affine=False)
+        assert "fuse_affine" not in plan.passes
+        assert all(not s.post for s in plan.steps if isinstance(s, ConvStep))
+
+
+class TestFuseElementwise:
+    def test_chain_becomes_single_step(self):
+        class Chain(nn.Module):
+            def forward(self, x):
+                return x.relu().clamp(0.0, 1.0).sigmoid()
+
+        plan = compile_plan(Chain(), (8,))
+        fused = [s for s in plan.steps if isinstance(s, FusedElementwiseStep)]
+        assert len(fused) == 1
+        assert [op for op, _, _ in fused[0].ops] == ["relu", "clamp", "sigmoid"]
+        assert plan.num_steps == 1
+
+    def test_unfolded_batch_norm_chain_fuses(self):
+        # With constant folding disabled the BN arithmetic stays in the
+        # graph; the chain pass packs the per-feature ops into fused steps.
+        model, shape = build("tiny_convnet")
+        passes = tuple(p for p in DEFAULT_PASSES if p != "fold_constants")
+        plan = compile_plan(model, shape, passes=passes)
+        fused = [s for s in plan.steps if isinstance(s, FusedElementwiseStep)]
+        assert fused
+
+    def test_branching_consumer_breaks_chain(self):
+        class Branch(nn.Module):
+            def forward(self, x):
+                y = x.relu()
+                return y.sigmoid() + y.exp()
+
+        plan = compile_plan(Branch(), (8,))
+        # relu feeds two consumers: no chain may absorb it (the sigmoid's
+        # own tail, sigmoid -> add, is still free to fuse).
+        fused = [s for s in plan.steps if isinstance(s, FusedElementwiseStep)]
+        assert all("relu" not in [op for op, _, _ in s.ops] for s in fused)
+        assert any(s.describe().startswith("relu") for s in plan.steps)
+
+
+class TestDeadNodeElimination:
+    def test_removes_unused_results(self):
+        class Dead(nn.Module):
+            def forward(self, x):
+                x.exp()  # traced, never used
+                return x.relu()
+
+        plan = compile_plan(Dead(), (8,))
+        removed = next(r for r in plan.pipeline.passes if r.name == "dce")
+        assert removed.nodes_before - removed.nodes_after == 1
+
+    def test_weight_transposes_fold_out_of_the_default_pipeline(self):
+        # Unoptimised plans still execute the traced parameter transposes
+        # (cheap const views); the default pipeline folds them away.
+        from repro.runtime.executor import TransposeStep
+
+        model, shape = build("mlp")
+        unoptimised = compile_plan(model, shape, optimize=False)
+        optimised = compile_plan(model, shape)
+        assert any(isinstance(s, TransposeStep) for s in unoptimised.steps)
+        assert not any(isinstance(s, TransposeStep) for s in optimised.steps)
+
+
+class TestPassManager:
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            PassManager(("fold_constants", "loop_unrolling"))
+        with pytest.raises(ValueError, match="unknown pass"):
+            resolve_passes(passes=("loop_unrolling",))
+
+    def test_available_passes_cover_default(self):
+        assert set(DEFAULT_PASSES) <= set(available_passes())
+
+    def test_resolve_passes_knobs(self):
+        assert resolve_passes(optimize=False) == ()
+        assert resolve_passes() == DEFAULT_PASSES
+        assert "fuse_affine" not in resolve_passes(fold_affine=False)
+        assert resolve_passes(passes=("dce",)) == ("dce",)
+
+    def test_report_records_every_pass(self):
+        model, shape = build("mlp")
+        plan = compile_plan(model, shape)
+        assert [r.name for r in plan.pipeline.passes] == list(DEFAULT_PASSES)
+        assert plan.pipeline.initial_nodes >= plan.pipeline.final_nodes
+        assert plan.pipeline.final_nodes == plan.num_steps
+
+    def test_describe_pipeline_mentions_passes_and_memory(self):
+        model, shape = build("tiny_convnet")
+        text = compile_plan(model, shape).describe_pipeline(batch_size=8)
+        for name in DEFAULT_PASSES:
+            assert f"pass {name}:" in text
+        assert "arena" in text and "steps:" in text

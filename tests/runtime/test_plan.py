@@ -14,33 +14,12 @@ The acceptance bar for the runtime layer:
 import numpy as np
 import pytest
 
-from repro.models import build_model
 from repro.models.registry import available_models
 from repro.quant import export_quantized_model, load_into_model
 from repro.runtime import ExecutionPlan, PlanCompileError, compile_plan, compile_quantized_plan
 from repro.runtime.plan import ConvStep, ElementwiseStep, LinearStep
 from repro.tensor import Tensor, graph_nodes_created, no_grad
-
-#: Per-model (input_shape, width_multiplier) small enough for fast tests.
-MODEL_CONFIGS = {
-    "mlp": ((16,), 1.0),
-    "tiny_convnet": ((1, 12, 12), 1.0),
-    "small_convnet": ((3, 10, 10), 0.5),
-    "cifarnet": ((3, 32, 32), 0.25),
-    "vgg_like": ((3, 12, 12), 0.25),
-    "resnet20": ((3, 10, 10), 0.5),
-    "resnet110": ((3, 8, 8), 0.25),
-    "mobilenetv2": ((3, 8, 8), 0.25),
-}
-
-
-def _build(name, seed=0):
-    shape, width = MODEL_CONFIGS[name]
-    model = build_model(
-        name, num_classes=5, width_multiplier=width, in_channels=shape[0],
-        rng=np.random.default_rng(seed),
-    )
-    return model, shape
+from zoo import MODEL_CONFIGS, build as _build
 
 
 def test_every_registry_model_has_a_config():
@@ -110,11 +89,12 @@ class TestPlanStructure:
         fused = compile_plan(model, shape)
         unfused = compile_plan(model, shape, fold_affine=False)
         assert fused.num_steps < unfused.num_steps
-        # Folding BN leaves no sub/div/mul-by-constant steps after convs.
+        # Folding BN absorbs its affine chain into the conv as in-place
+        # post-ops (replayed byte-exactly, not collapsed into the weights).
         conv_steps = [s for s in fused.steps if isinstance(s, ConvStep)]
-        assert all(s.out_shift is not None for s in conv_steps)
+        assert all(s.post for s in conv_steps)
         x = np.random.default_rng(3).normal(size=(2,) + shape)
-        np.testing.assert_allclose(fused.run(x), unfused.run(x), rtol=1e-6, atol=1e-8)
+        np.testing.assert_array_equal(fused.run(x), unfused.run(x))
 
     def test_quantized_weights_stay_integer(self):
         model, shape = _build("tiny_convnet")

@@ -1,0 +1,32 @@
+"""Shared registry-model configurations for the runtime test modules.
+
+Per-model (input_shape, width_multiplier) pairs small enough that every
+registry architecture -- including resnet110 and mobilenetv2 -- compiles
+and executes in test time.  ``test_every_registry_model_has_a_config`` in
+``test_plan.py`` keeps this table in sync with the registry.
+"""
+
+import numpy as np
+
+from repro.models import build_model
+
+MODEL_CONFIGS = {
+    "mlp": ((16,), 1.0),
+    "tiny_convnet": ((1, 12, 12), 1.0),
+    "small_convnet": ((3, 10, 10), 0.5),
+    "cifarnet": ((3, 32, 32), 0.25),
+    "vgg_like": ((3, 12, 12), 0.25),
+    "resnet20": ((3, 10, 10), 0.5),
+    "resnet110": ((3, 8, 8), 0.25),
+    "mobilenetv2": ((3, 8, 8), 0.25),
+}
+
+
+def build(name, seed=0):
+    """One registry model at its test-sized configuration."""
+    shape, width = MODEL_CONFIGS[name]
+    model = build_model(
+        name, num_classes=5, width_multiplier=width, in_channels=shape[0],
+        rng=np.random.default_rng(seed),
+    )
+    return model, shape

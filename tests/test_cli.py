@@ -308,6 +308,69 @@ class TestAdaptBenchCommand:
             cli.run_adapt_bench_cli(self._argv("--model", "mlp"))
 
 
+class TestPlanInspectCommand:
+    @pytest.fixture()
+    def export_path(self, tmp_path):
+        import numpy as np
+
+        from repro.models import build_model
+        from repro.quant import export_quantized_model, save_export
+
+        model = build_model(
+            "tiny_convnet", num_classes=10, in_channels=1, rng=np.random.default_rng(0)
+        )
+        export = export_quantized_model(
+            model, {n: 8 for n, _ in model.named_parameters()}
+        )
+        return str(save_export(export, tmp_path / "tiny"))
+
+    def _argv(self, export_path, *extra):
+        return [export_path, "--model", "tiny_convnet", "--in-channels", "1",
+                "--image-size", "12", *extra]
+
+    def test_prints_pass_by_pass_summary(self, export_path, capsys):
+        assert cli.run_plan_inspect(self._argv(export_path)) == 0
+        out = capsys.readouterr().out
+        for name in ("fold_constants", "cse", "fuse_affine", "fuse_elementwise", "dce"):
+            assert f"pass {name}:" in out
+        assert "trace:" in out and "arena" in out and "steps:" in out
+
+    def test_steps_flag_lists_lowered_steps(self, export_path, capsys):
+        assert cli.run_plan_inspect(self._argv(export_path, "--steps")) == 0
+        out = capsys.readouterr().out
+        assert "conv2d[int" in out and "linear[int" in out
+
+    def test_no_optimize_shows_raw_trace(self, export_path, capsys):
+        assert cli.run_plan_inspect(self._argv(export_path, "--no-optimize")) == 0
+        assert "passes=[]" in capsys.readouterr().out
+
+    def test_explicit_pass_subset(self, export_path, capsys):
+        argv = self._argv(export_path, "--passes", "fold_constants,dce")
+        assert cli.run_plan_inspect(argv) == 0
+        out = capsys.readouterr().out
+        assert "pass fold_constants:" in out and "pass cse:" not in out
+
+    def test_pass_names_tolerate_whitespace(self, export_path, capsys):
+        argv = self._argv(export_path, "--passes", "fold_constants, dce")
+        assert cli.run_plan_inspect(argv) == 0
+        assert "pass dce:" in capsys.readouterr().out
+
+    def test_unknown_pass_rejected(self, export_path, capsys):
+        argv = self._argv(export_path, "--passes", "loop_unrolling")
+        assert cli.run_plan_inspect(argv) == 2
+        assert "plan-inspect failed" in capsys.readouterr().err
+
+    def test_missing_export_rejected(self, tmp_path, capsys):
+        argv = self._argv(str(tmp_path / "absent.npz"))
+        assert cli.run_plan_inspect(argv) == 2
+        assert "cannot read export" in capsys.readouterr().err
+
+    def test_architecture_mismatch_fails_cleanly(self, export_path, capsys):
+        argv = [export_path, "--model", "mlp", "--in-channels", "16"]
+        assert cli.run_plan_inspect(argv) == 2
+        assert "plan-inspect failed" in capsys.readouterr().err
+
+
 class TestMainDispatch:
     def test_train_dispatch(self, capsys):
         assert cli.main(["train", "--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"]) == 0
@@ -330,6 +393,22 @@ class TestMainDispatch:
     def test_help(self, capsys):
         assert cli.main([]) == 0
         assert "repro-train" in capsys.readouterr().out
+
+    def test_plan_inspect_dispatch(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.models import build_model
+        from repro.quant import export_quantized_model, save_export
+
+        model = build_model(
+            "tiny_convnet", num_classes=10, in_channels=1, rng=np.random.default_rng(0)
+        )
+        export = export_quantized_model(model, {n: 8 for n, _ in model.named_parameters()})
+        path = str(save_export(export, tmp_path / "tiny"))
+        argv = ["plan-inspect", path, "--model", "tiny_convnet",
+                "--in-channels", "1", "--image-size", "12"]
+        assert cli.main(argv) == 0
+        assert "pass fold_constants:" in capsys.readouterr().out
 
     def test_unknown_command(self, capsys):
         assert cli.main(["deploy"]) == 2
