@@ -15,7 +15,11 @@ The full deployment path this library now supports end to end:
 5. scale out: register the model's bitwidth variants in a ModelRepository
    and serve the same test set through the concurrent InferenceService --
    a worker-pool of threads sharing one immutable plan per variant, with
-   per-request precision-aware SLO routing.
+   per-request precision-aware SLO routing,
+6. observe: read back the metrics registry the whole stack reported into
+   (phase histograms, queue/routing counters, plan-cache hits) and the
+   per-request trace spans; `python -m repro.cli metrics --json` dumps
+   the same registry for a synthetic load.
 
 Runs in well under a minute on a laptop CPU:
 
@@ -157,6 +161,21 @@ def main() -> None:
           f"(APT export stores {apt_bits} bits max)")
     print(f"accuracy through the service: {(predictions == labels).mean():.3f}   "
           f"p95 latency {stats.latency_percentile(95) * 1e3:.2f} ms")
+
+    # 6. Observe: every layer above reported into the service's metrics
+    # registry, and each result carries its trace -- contiguous spans
+    # covering the request from enqueue to response.
+    snapshot = service.metrics_snapshot()
+    queue_wait = snapshot.histogram_value("serve_queue_wait_seconds", model="digits")
+    kernel = snapshot.histogram_value("serve_kernel_seconds", model="digits")
+    print(f"\nobservability: queue-wait histogram holds {queue_wait.count} requests "
+          f"(mean {queue_wait.mean * 1e3:.2f} ms), kernel histogram {kernel.count} batches")
+    print(f"plan cache: {snapshot.counter_value('plan_cache_hits_total'):.0f} hits / "
+          f"{snapshot.counter_value('plan_cache_misses_total'):.0f} compiles")
+    spans = " + ".join(
+        f"{span.name} {span.duration * 1e3:.2f} ms" for span in routed[0].trace.spans
+    )
+    print(f"first request trace: {spans}")
 
 
 if __name__ == "__main__":

@@ -106,6 +106,16 @@ class OnlineAdaptationManager:
         self.clock = clock
         self._lock = threading.Lock()
         self._managed: Dict[str, _ManagedModel] = {}
+        self._fired_counter = service.metrics.counter(
+            "adapt_trigger_fired_total",
+            "Adaptation jobs launched, by model and firing trigger kind.",
+            labels=("model", "trigger"),
+        )
+        self._jobs_counter = service.metrics.counter(
+            "adapt_jobs_total",
+            "Completed adaptation jobs, by model and outcome status.",
+            labels=("model", "status"),
+        )
         service.feedback_sink = self._on_feedback
 
     # ------------------------------------------------------------------ #
@@ -258,6 +268,19 @@ class OnlineAdaptationManager:
                     continue
                 if len(entry.buffer) < entry.min_feedback:
                     continue  # fired, but not enough data to train on yet
+                self._fired_counter.labels(
+                    model=entry.name, trigger=decision.trigger or "unknown"
+                ).inc()
+                self.service._emit(
+                    {
+                        "kind": "adaptation_triggered",
+                        "model": entry.name,
+                        "bits": entry.bits,
+                        "trigger": decision.trigger or "unknown",
+                        "reason": decision.reason,
+                        "at": now,
+                    }
+                )
                 job = self._build_job(entry, decision.reason)
                 if self.worker is not None:
                     entry.in_flight = self.worker.submit(job)
@@ -296,6 +319,17 @@ class OnlineAdaptationManager:
 
     def _finish(self, entry: _ManagedModel, result: AdaptationResult, now: float) -> None:
         entry.results.append(result)
+        self._jobs_counter.labels(model=entry.name, status=result.status).inc()
+        self.service._emit(
+            {
+                "kind": "adaptation_completed",
+                "model": entry.name,
+                "bits": entry.bits,
+                "status": result.status,
+                "reason": result.job.tag,
+                "at": now,
+            }
+        )
         # Reset regardless of outcome: a skipped or failed session would
         # otherwise re-fire on the very same buffer every poll, burning a
         # full fine-tune each time with no new evidence.  Clearing means

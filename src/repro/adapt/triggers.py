@@ -33,6 +33,9 @@ class TriggerDecision:
 
     fire: bool
     reason: str = ""
+    #: Which trigger kind fired (``"accuracy_drop"`` / ``"staleness"``);
+    #: labels the adaptation metrics and audit events.
+    trigger: str = ""
 
     def __bool__(self) -> bool:
         return self.fire
@@ -125,6 +128,7 @@ class AccuracyDropTrigger(AdaptationTrigger):
                     f"{floor:.3f} (baseline {self.baseline_accuracy:.3f} "
                     f"- tolerated drop {self.max_drop:.3f})"
                 ),
+                trigger="accuracy_drop",
             )
         return HOLD
 
@@ -175,6 +179,7 @@ class StalenessTrigger(AdaptationTrigger):
                     f"served version is {now - self._baseline_time:.1f}s old "
                     f"(refresh every {self.max_age_s:.1f}s)"
                 ),
+                trigger="staleness",
             )
         served = stats.requests - self._baseline_requests
         if self.max_requests is not None and served >= self.max_requests:
@@ -184,6 +189,7 @@ class StalenessTrigger(AdaptationTrigger):
                     f"served {served} requests since the last adaptation "
                     f"(refresh every {self.max_requests})"
                 ),
+                trigger="staleness",
             )
         return HOLD
 

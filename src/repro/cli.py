@@ -70,6 +70,18 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
 
         python -m repro.cli adapt-bench --model tiny_convnet --bits 8
         python -m repro.cli adapt-bench --workers 4 --epochs 3 --requests 512
+
+``metrics`` (``python -m repro.cli metrics``)
+    Run a short instrumented serving session through the concurrent
+    :class:`~repro.serve.service.InferenceService` and dump every metric
+    the observability layer collected -- request/queue/kernel histograms,
+    routing decisions, plan-cache hits and misses, SLO burn evaluations --
+    in Prometheus-style text or as JSON.
+
+    .. code-block:: bash
+
+        python -m repro.cli metrics --model tiny_convnet --requests 64
+        python -m repro.cli metrics --json
 """
 
 from __future__ import annotations
@@ -768,8 +780,151 @@ def run_adapt_bench_cli(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# repro metrics
+# --------------------------------------------------------------------------- #
+def build_metrics_parser() -> argparse.ArgumentParser:
+    from repro.models import available_models
+
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description=(
+            "Run a short instrumented serving session and dump the "
+            "observability layer's metrics (histograms, counters, SLO burn)."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="tiny_convnet",
+        choices=sorted(available_models()),
+        help="registry model to serve (default: tiny_convnet)",
+    )
+    parser.add_argument("--num-classes", type=int, default=10)
+    parser.add_argument("--in-channels", type=int, default=1)
+    parser.add_argument("--image-size", type=int, default=12, help="input H=W (conv models)")
+    parser.add_argument(
+        "--bits", default="8,4", help="comma-separated uniform weight bitwidths to serve"
+    )
+    parser.add_argument("--workers", type=_positive_int, default=2, help="serving worker threads")
+    parser.add_argument(
+        "--requests", type=_positive_int, default=64, help="synthetic requests to serve"
+    )
+    parser.add_argument("--batch-size", type=_positive_int, default=16, help="micro-batch size")
+    parser.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=None,
+        help="per-request latency SLO budget in milliseconds (default: none)",
+    )
+    from repro.hardware.latency import COMPUTE_PROFILES
+
+    parser.add_argument(
+        "--device",
+        default="smartphone_npu",
+        choices=sorted(COMPUTE_PROFILES) + ["none"],
+        help="edge profile for analytic energy/latency models ('none' to skip)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    parser.add_argument("--json-out", default=None, help="also write the snapshot JSON here")
+    return parser
+
+
+def run_metrics(argv: Optional[Sequence[str]] = None) -> int:
+    import numpy as np
+
+    from repro.hardware.energy import EnergyModel
+    from repro.hardware.latency import COMPUTE_PROFILES
+    from repro.models import build_model
+    from repro.quant import export_quantized_model
+    from repro.serve import InferenceService, ModelRepository, QueuePolicy, RequestSLO
+
+    args = build_metrics_parser().parse_args(argv)
+    try:
+        bits_list = [int(bits) for bits in args.bits.split(",") if bits.strip()]
+    except ValueError:
+        print(f"--bits must be a comma-separated list of integers, got {args.bits!r}",
+              file=sys.stderr)
+        return 2
+    if not bits_list:
+        print(f"--bits must name at least one bitwidth, got {args.bits!r}", file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    model = build_model(
+        args.model, num_classes=args.num_classes, in_channels=args.in_channels, rng=rng
+    )
+    input_shape = _model_input_shape(args.model, args)
+    repository = ModelRepository()
+    repository.add_model(args.model, model, input_shape)
+    # A replica of the same architecture sharing the same exports: its
+    # warm-up resolves every plan from the content-addressed cache, so the
+    # dump demonstrates plan_cache hits alongside the compile misses.
+    replica = build_model(
+        args.model,
+        num_classes=args.num_classes,
+        in_channels=args.in_channels,
+        rng=np.random.default_rng(args.seed),
+    )
+    replica_name = f"{args.model}-replica"
+    repository.add_model(replica_name, replica, input_shape)
+    try:
+        for width in bits_list:
+            export = export_quantized_model(
+                model, {name: width for name, _ in model.named_parameters()}
+            )
+            repository.add_export(args.model, export)
+            repository.add_export(replica_name, export)
+    except ValueError as error:
+        # e.g. a bitwidth outside the quantiser's supported range.
+        print(f"metrics run failed: {error}", file=sys.stderr)
+        return 2
+
+    slo = RequestSLO(
+        max_latency_s=None if args.max_latency_ms is None else args.max_latency_ms / 1000.0
+    )
+    device = None if args.device == "none" else args.device
+    service = InferenceService(
+        repository,
+        workers=args.workers,
+        queue_policy=QueuePolicy(max_batch_size=args.batch_size),
+        compute_profile=COMPUTE_PROFILES[device] if device else None,
+        energy_model=EnergyModel() if device else None,
+    )
+    sample_rng = np.random.default_rng(args.seed + 1)
+    with service:
+        futures = [
+            service.submit(
+                args.model if index % 2 == 0 else replica_name,
+                sample_rng.normal(size=input_shape),
+                slo,
+            )
+            for index in range(args.requests)
+        ]
+        for future in futures:
+            future.result(timeout=60.0)
+    snapshot = service.metrics_snapshot()
+
+    if args.json:
+        import json
+
+        print(json.dumps(snapshot.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"metrics: {args.model} bits={','.join(map(str, bits_list))} "
+            f"workers={args.workers} requests={args.requests}"
+        )
+        print()
+        print(snapshot.render_text())
+    if args.json_out:
+        path = dump_json(snapshot.as_dict(), args.json_out)
+        if not args.json:
+            print(f"\nsnapshot written to {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench,plan-inspect} ...``."""
+    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench,plan-inspect,metrics} ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -785,9 +940,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_adapt_bench_cli(rest)
     if command == "plan-inspect":
         return run_plan_inspect(rest)
+    if command == "metrics":
+        return run_metrics(rest)
     print(
         f"unknown command {command!r}; expected 'train', 'experiment', "
-        f"'serve-bench', 'adapt-bench' or 'plan-inspect'",
+        f"'serve-bench', 'adapt-bench', 'plan-inspect' or 'metrics'",
         file=sys.stderr,
     )
     return 2

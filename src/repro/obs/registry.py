@@ -1,0 +1,681 @@
+"""Zero-dependency, thread-safe metrics registry.
+
+The registry is the single sink every serving-stack counter flows into:
+Prometheus-shaped :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+instruments, grouped into labelled families, owned by one
+:class:`MetricRegistry` per serving stack.
+
+Design points:
+
+* **Labelled families.**  ``registry.counter("serve_requests_total",
+  labels=("model",))`` returns a :class:`CounterFamily`; ``.labels(
+  model="tiny")`` returns the per-series :class:`Counter`.  A family
+  declared without labels proxies its single series directly, so
+  unlabelled call sites read naturally (``family.inc()``).
+* **Cardinality guard.**  Each family caps its distinct label sets
+  (default 256); crossing the cap raises :class:`CardinalityError`
+  instead of silently growing without bound -- a mislabelled hot path
+  (e.g. a request id used as a label value) fails loudly in tests.
+* **Snapshot / reset.**  :meth:`MetricRegistry.snapshot` returns an
+  immutable, point-in-time :class:`MetricsSnapshot` -- later mutation or
+  :meth:`MetricRegistry.reset` cannot change an already-taken snapshot.
+* **Thread safety.**  Every instrument serialises its own mutations with
+  a leaf lock; no instrument lock is ever held while taking another, so
+  callers may update metrics while holding their own locks.
+* **Zero dependencies.**  Pure stdlib; renders to Prometheus-style text
+  and to JSON-ready dicts without importing anything heavier than
+  ``json``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricRegistry",
+    "MetricsSnapshot",
+    "MetricSnapshot",
+    "SeriesSnapshot",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_BATCH_SIZE_BUCKETS",
+]
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Fixed bucket upper bounds (seconds) for serving-latency histograms:
+#: 100 µs up to 2.5 s, roughly logarithmic, chosen to resolve both the
+#: sub-millisecond kernel times of the tiny paper models and the tens of
+#: milliseconds a loaded queue adds.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Fixed bucket upper bounds for batch-size histograms (powers of two up
+#: to the largest batch any built-in policy dispatches).
+DEFAULT_BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class CardinalityError(RuntimeError):
+    """A metric family exceeded its bound on distinct label sets."""
+
+
+# --------------------------------------------------------------------------- #
+# Instruments (one per label set)
+# --------------------------------------------------------------------------- #
+class Counter:
+    """A monotonically increasing count (one series of a family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) atomically.
+
+        Raises:
+            ValueError: ``amount`` is negative (counters only go up).
+        """
+        if amount < 0:
+            raise ValueError(f"counters only increase; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def _force(self, value: float) -> None:
+        """Set the count absolutely (registry reset / compatibility views)."""
+        with self._lock:
+            self._value = float(value)
+
+    def _reset(self) -> None:
+        self._force(0.0)
+
+
+class Gauge:
+    """A value that can go up and down (one series of a family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value atomically."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) atomically."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` atomically."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        self.set(0.0)
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """Immutable point-in-time state of one histogram series.
+
+    ``counts`` has one entry per bucket plus a final overflow entry:
+    ``counts[i]`` is the number of observations ``v`` with
+    ``boundaries[i-1] < v <= boundaries[i]`` (Prometheus ``le``
+    semantics -- an observation exactly on a boundary lands in that
+    boundary's bucket); ``counts[-1]`` counts ``v > boundaries[-1]``.
+    """
+
+    boundaries: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    sum: float
+    count: int
+
+    def cumulative(self) -> Tuple[int, ...]:
+        """Cumulative ``le`` counts per boundary (Prometheus bucket form)."""
+        total = 0
+        out: List[int] = []
+        for bucket in self.counts[:-1]:
+            total += bucket
+            out.append(total)
+        return tuple(out)
+
+    def bucket_count(self, le: float) -> int:
+        """Observations at or below boundary ``le``.
+
+        Raises:
+            KeyError: ``le`` is not one of this histogram's boundaries.
+        """
+        try:
+            index = self.boundaries.index(float(le))
+        except ValueError:
+            raise KeyError(f"{le} is not a bucket boundary of {self.boundaries}") from None
+        return self.cumulative()[index]
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [
+                {"le": boundary, "count": count}
+                for boundary, count in zip(self.boundaries, self.cumulative())
+            ],
+            "overflow": self.counts[-1],
+        }
+
+
+class Histogram:
+    """Fixed-boundary distribution of observations (one series of a family)."""
+
+    __slots__ = ("_lock", "boundaries", "_counts", "_sum", "_count")
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket boundaries must strictly increase, got {bounds}")
+        self._lock = threading.Lock()
+        self.boundaries = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation atomically."""
+        value = float(value)
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def value(self) -> HistogramValue:
+        """An immutable snapshot of the series."""
+        with self._lock:
+            return HistogramValue(
+                boundaries=self.boundaries,
+                counts=tuple(self._counts),
+                sum=self._sum,
+                count=self._count,
+            )
+
+    @property
+    def count(self) -> int:
+        """Total observations so far."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations so far."""
+        with self._lock:
+            return self._sum
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self._counts)
+            self._sum = 0.0
+            self._count = 0
+
+
+# --------------------------------------------------------------------------- #
+# Families (one per metric name, many label sets)
+# --------------------------------------------------------------------------- #
+class _MetricFamily:
+    """Base: a named metric with one instrument per distinct label set."""
+
+    kind = ""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        factory: Callable[[], Union[Counter, Gauge, Histogram]],
+        max_series: int,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._factory = factory
+        self._max_series = max_series
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, ...], Union[Counter, Gauge, Histogram]] = {}
+
+    def labels(self, **labels: str):
+        """The instrument for one label set, created on first use.
+
+        Raises:
+            ValueError: the label names do not match the family's
+                declaration exactly.
+            CardinalityError: this label set would be the family's
+                ``max_series + 1``-th distinct series.
+        """
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} is declared with labels "
+                f"{self.label_names}, got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                if len(self._series) >= self._max_series:
+                    raise CardinalityError(
+                        f"metric {self.name!r} is at its bound of "
+                        f"{self._max_series} label sets; refusing to create "
+                        f"{dict(zip(self.label_names, key))} (unbounded label "
+                        f"values -- ids, hashes -- do not belong in labels)"
+                    )
+                series = self._factory()
+                self._series[key] = series
+        return series
+
+    def _default(self):
+        """The single series of an unlabelled family."""
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is declared with labels "
+                f"{self.label_names}; use .labels(...)"
+            )
+        return self.labels()
+
+    def series(self) -> List[Tuple[Dict[str, str], Union[Counter, Gauge, Histogram]]]:
+        """Every live ``(labels, instrument)`` pair, in creation order."""
+        with self._lock:
+            return [
+                (dict(zip(self.label_names, key)), instrument)
+                for key, instrument in self._series.items()
+            ]
+
+    def _reset(self) -> None:
+        for _, instrument in self.series():
+            instrument._reset()
+
+
+class CounterFamily(_MetricFamily):
+    """A named counter; unlabelled families proxy ``inc`` / ``value``."""
+
+    kind = "counter"
+
+    def labels(self, **labels: str) -> Counter:
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """``inc`` on the single series of an unlabelled family."""
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """The single series' count (unlabelled families only)."""
+        return self._default().value
+
+    def total(self) -> float:
+        """Sum over every label set's count."""
+        return sum(instrument.value for _, instrument in self.series())
+
+
+class GaugeFamily(_MetricFamily):
+    """A named gauge; unlabelled families proxy ``set`` / ``inc`` / ``value``."""
+
+    kind = "gauge"
+
+    def labels(self, **labels: str) -> Gauge:
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def set(self, value: float) -> None:
+        """``set`` on the single series of an unlabelled family."""
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """``inc`` on the single series of an unlabelled family."""
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """``dec`` on the single series of an unlabelled family."""
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """The single series' value (unlabelled families only)."""
+        return self._default().value
+
+
+class HistogramFamily(_MetricFamily):
+    """A named histogram; unlabelled families proxy ``observe`` / ``value``."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, label_names, boundaries, max_series):
+        self.boundaries = tuple(float(b) for b in boundaries)
+        if not self.boundaries:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        if any(a >= b for a, b in zip(self.boundaries, self.boundaries[1:])):
+            raise ValueError(
+                f"bucket boundaries must strictly increase, got {self.boundaries}"
+            )
+        super().__init__(
+            name, help, label_names, lambda: Histogram(self.boundaries), max_series
+        )
+
+    def labels(self, **labels: str) -> Histogram:
+        return super().labels(**labels)  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        """``observe`` on the single series of an unlabelled family."""
+        self._default().observe(value)
+
+    @property
+    def value(self) -> HistogramValue:
+        """The single series' snapshot (unlabelled families only)."""
+        return self._default().value
+
+
+# --------------------------------------------------------------------------- #
+# Snapshots
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SeriesSnapshot:
+    """One label set's value at snapshot time."""
+
+    labels: Tuple[Tuple[str, str], ...]
+    value: Union[float, HistogramValue]
+
+    def labels_dict(self) -> Dict[str, str]:
+        """The label set as a plain dict."""
+        return dict(self.labels)
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """One metric family's complete state at snapshot time."""
+
+    name: str
+    kind: str
+    help: str
+    label_names: Tuple[str, ...]
+    series: Tuple[SeriesSnapshot, ...]
+
+    def value(self, **labels: str) -> Union[float, HistogramValue]:
+        """The value of one label set (no arguments for unlabelled metrics).
+
+        Raises:
+            KeyError: no series with this exact label set exists.
+        """
+        key = tuple((name, str(labels[name])) for name in self.label_names if name in labels)
+        if set(labels) != set(self.label_names):
+            raise KeyError(
+                f"metric {self.name!r} has labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        for entry in self.series:
+            if entry.labels == key:
+                return entry.value
+        raise KeyError(f"metric {self.name!r} has no series {dict(key)}")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time, immutable copy of a whole registry.
+
+    Later registry mutation or reset cannot alter an already-taken
+    snapshot (isolation is by construction: every contained value is a
+    frozen dataclass, tuple or float).
+    """
+
+    metrics: Tuple[MetricSnapshot, ...]
+
+    def __iter__(self):
+        return iter(self.metrics)
+
+    def get(self, name: str) -> Optional[MetricSnapshot]:
+        """The named family's snapshot, or ``None``."""
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        return None
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """A counter/gauge series' value; 0.0 when the series never fired.
+
+        Raises:
+            KeyError: the metric name itself was never registered.
+        """
+        metric = self.get(name)
+        if metric is None:
+            raise KeyError(f"no metric named {name!r} in this snapshot")
+        try:
+            value = metric.value(**labels)
+        except KeyError:
+            return 0.0
+        assert isinstance(value, float)
+        return value
+
+    def histogram_value(self, name: str, **labels: str) -> HistogramValue:
+        """A histogram series' :class:`HistogramValue` (empty if never fired).
+
+        Raises:
+            KeyError: the metric name itself was never registered.
+        """
+        metric = self.get(name)
+        if metric is None:
+            raise KeyError(f"no metric named {name!r} in this snapshot")
+        try:
+            value = metric.value(**labels)
+        except KeyError:
+            return HistogramValue(boundaries=(float("inf"),), counts=(0, 0), sum=0.0, count=0)
+        assert isinstance(value, HistogramValue)
+        return value
+
+    def as_dict(self) -> dict:
+        """JSON-ready nested dict: ``{name: {kind, help, series: [...]}}``."""
+        out: Dict[str, dict] = {}
+        for metric in self.metrics:
+            series = []
+            for entry in metric.series:
+                payload: dict = {"labels": entry.labels_dict()}
+                if isinstance(entry.value, HistogramValue):
+                    payload.update(entry.value.as_dict())
+                else:
+                    payload["value"] = entry.value
+                series.append(payload)
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+                "series": series,
+            }
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition text (for the CLI / quick eyeballs)."""
+        lines: List[str] = []
+        for metric in self.metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for entry in metric.series:
+                label_text = _render_labels(entry.labels)
+                if isinstance(entry.value, HistogramValue):
+                    value = entry.value
+                    for boundary, count in zip(value.boundaries, value.cumulative()):
+                        bucket_labels = entry.labels + (("le", _format_number(boundary)),)
+                        lines.append(
+                            f"{metric.name}_bucket{_render_labels(bucket_labels)} {count}"
+                        )
+                    inf_labels = entry.labels + (("le", "+Inf"),)
+                    lines.append(
+                        f"{metric.name}_bucket{_render_labels(inf_labels)} {value.count}"
+                    )
+                    lines.append(
+                        f"{metric.name}_sum{label_text} {_format_number(value.sum)}"
+                    )
+                    lines.append(f"{metric.name}_count{label_text} {value.count}")
+                else:
+                    lines.append(f"{metric.name}{label_text} {_format_number(entry.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_number(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+# --------------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------------- #
+class MetricRegistry:
+    """Owns every metric family of one serving stack.
+
+    Registration is idempotent: asking for an existing name with the same
+    kind and label declaration returns the existing family (so independent
+    components -- scheduler, worker pool, stats view -- can declare shared
+    metrics without coordination), while a conflicting re-declaration
+    raises.
+
+    Args:
+        max_series_per_metric: Cardinality bound applied to every family
+            (see :class:`CardinalityError`).
+    """
+
+    def __init__(self, *, max_series_per_metric: int = 256) -> None:
+        if max_series_per_metric < 1:
+            raise ValueError(
+                f"max_series_per_metric must be at least 1, got {max_series_per_metric}"
+            )
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _MetricFamily]" = {}
+        self._max_series = max_series_per_metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> CounterFamily:
+        """Declare (or fetch) a counter family."""
+        return self._register(
+            name, CounterFamily, lambda: CounterFamily(
+                name, help, tuple(labels), Counter, self._max_series
+            ), tuple(labels),
+        )
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> GaugeFamily:
+        """Declare (or fetch) a gauge family."""
+        return self._register(
+            name, GaugeFamily, lambda: GaugeFamily(
+                name, help, tuple(labels), Gauge, self._max_series
+            ), tuple(labels),
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> HistogramFamily:
+        """Declare (or fetch) a histogram family with fixed ``buckets``."""
+        return self._register(
+            name, HistogramFamily, lambda: HistogramFamily(
+                name, help, tuple(labels), buckets, self._max_series
+            ), tuple(labels),
+        )
+
+    def _register(self, name, family_type, factory, label_names):
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not family_type or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            family = factory()
+            self._families[name] = family
+            return family
+
+    def families(self) -> List[_MetricFamily]:
+        """Every registered family, in registration order."""
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable point-in-time copy of every family."""
+        metrics: List[MetricSnapshot] = []
+        for family in self.families():
+            series = tuple(
+                SeriesSnapshot(
+                    labels=tuple((name, labels[name]) for name in family.label_names),
+                    value=instrument.value,
+                )
+                for labels, instrument in family.series()
+            )
+            metrics.append(
+                MetricSnapshot(
+                    name=family.name,
+                    kind=family.kind,
+                    help=family.help,
+                    label_names=family.label_names,
+                    series=series,
+                )
+            )
+        return MetricsSnapshot(metrics=tuple(metrics))
+
+    def reset(self) -> None:
+        """Zero every series (registrations and label sets are kept)."""
+        for family in self.families():
+            family._reset()
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (a fresh snapshot's :meth:`MetricsSnapshot.as_dict`)."""
+        return self.snapshot().as_dict()
+
+    def render_text(self) -> str:
+        """Prometheus-style text (a fresh snapshot's render)."""
+        return self.snapshot().render_text()

@@ -1,0 +1,272 @@
+"""SLO burn-rate monitoring over per-request latency / energy budgets.
+
+The serving stack's :class:`~repro.serve.routing.RequestSLO` carries
+per-request budgets (``max_latency_s``, ``max_energy_uj``).  The
+:class:`SLOMonitor` turns those into fleet-level alerting: every served
+request is compared against its own budgets, violations accumulate in a
+rolling window per (model, objective), and :meth:`SLOMonitor.evaluate`
+computes the **burn rate** -- the observed violation fraction divided by
+the error-budget fraction.  A burn rate of 1.0 means the service is
+consuming its error budget exactly as fast as it is allotted; sustained
+burn above the threshold emits a structured :class:`SLOAlert` record.
+
+The monitor is intentionally decoupled from the serve package: budgets
+arrive as plain floats (duck-typed off any SLO-shaped object via
+:meth:`SLOMonitor.observe_request`), so ``repro.obs`` stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
+from repro.obs.registry import MetricRegistry
+
+__all__ = ["SLOAlert", "SLOMonitor"]
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """Structured record of one burn-rate threshold crossing."""
+
+    model: str
+    #: ``"latency"`` or ``"energy"``.
+    objective: str
+    #: Violation fraction over the window divided by the budget fraction.
+    burn_rate: float
+    violations: int
+    observations: int
+    #: The tolerated violation fraction (the error budget).
+    budget_fraction: float
+    #: The burn rate at or above which this alert fired.
+    threshold: float
+    #: Clock reading at evaluation time.
+    at: float
+
+    @property
+    def message(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"SLO burn alert: model={self.model or '<default>'} "
+            f"objective={self.objective} burn_rate={self.burn_rate:.2f} "
+            f"({self.violations}/{self.observations} over budget "
+            f"{self.budget_fraction:.3f})"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready structured record (``kind: "slo_alert"``)."""
+        return {
+            "kind": "slo_alert",
+            "model": self.model,
+            "objective": self.objective,
+            "burn_rate": self.burn_rate,
+            "violations": self.violations,
+            "observations": self.observations,
+            "budget_fraction": self.budget_fraction,
+            "threshold": self.threshold,
+            "at": self.at,
+        }
+
+
+class _Window:
+    __slots__ = ("outcomes", "violations")
+
+    def __init__(self, size: int) -> None:
+        self.outcomes: Deque[bool] = deque(maxlen=size)
+        self.violations = 0
+
+    def push(self, violated: bool) -> None:
+        if len(self.outcomes) == self.outcomes.maxlen and self.outcomes[0]:
+            self.violations -= 1
+        self.outcomes.append(violated)
+        if violated:
+            self.violations += 1
+
+
+class SLOMonitor:
+    """Rolling burn-rate evaluation of per-request SLO budgets.
+
+    Args:
+        metrics: Registry the monitor publishes into (violation counters,
+            burn-rate gauges, evaluation / alert counters); ``None`` keeps
+            the monitor standalone.
+        clock: Injectable time source stamped onto alerts.
+        window: Rolling window length, in observations per
+            (model, objective).  Count-based on purpose: deterministic
+            under an injected clock.
+        budget_fraction: The error budget -- the violation fraction the
+            SLO tolerates (default 5%).
+        burn_threshold: Burn rate at or above which :meth:`evaluate`
+            emits an alert (default 1.0: budget consumed at or above the
+            sustainable rate).
+        min_observations: Evaluations over fewer observations than this
+            never alert (one early violation is not an incident).
+        sink: Optional callable receiving every emitted :class:`SLOAlert`.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricRegistry] = None,
+        *,
+        clock: Clock = MONOTONIC_CLOCK,
+        window: int = 256,
+        budget_fraction: float = 0.05,
+        burn_threshold: float = 1.0,
+        min_observations: int = 16,
+        sink: Optional[Callable[[SLOAlert], None]] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+        if min_observations < 1:
+            raise ValueError(f"min_observations must be at least 1, got {min_observations}")
+        self.clock = clock
+        self.window = window
+        self.budget_fraction = budget_fraction
+        self.burn_threshold = burn_threshold
+        self.min_observations = min_observations
+        self.sink = sink
+        self._lock = threading.Lock()
+        self._windows: Dict[Tuple[str, str], _Window] = {}
+        self.alerts: List[SLOAlert] = []
+        if metrics is not None:
+            self._observations = metrics.counter(
+                "slo_observations_total",
+                "Requests checked against an SLO budget.",
+                labels=("model", "objective"),
+            )
+            self._violations = metrics.counter(
+                "slo_violations_total",
+                "Requests that exceeded their SLO budget.",
+                labels=("model", "objective"),
+            )
+            self._evaluations = metrics.counter(
+                "slo_evaluations_total",
+                "Burn-rate evaluations performed.",
+                labels=("model", "objective"),
+            )
+            self._alerts_total = metrics.counter(
+                "slo_alerts_total",
+                "Burn-rate alerts emitted.",
+                labels=("model", "objective"),
+            )
+            self._burn_rate = metrics.gauge(
+                "slo_burn_rate",
+                "Latest burn rate: violation fraction / error budget.",
+                labels=("model", "objective"),
+            )
+        else:
+            self._observations = self._violations = None
+            self._evaluations = self._alerts_total = self._burn_rate = None
+
+    # ------------------------------------------------------------------ #
+    # Observation side
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        model: str,
+        objective: str,
+        value: Optional[float],
+        budget: Optional[float],
+    ) -> None:
+        """Record one request against one budget (no-op without a budget)."""
+        if budget is None or value is None:
+            return
+        violated = value > budget
+        key = (model, objective)
+        with self._lock:
+            window = self._windows.get(key)
+            if window is None:
+                window = self._windows[key] = _Window(self.window)
+            window.push(violated)
+        if self._observations is not None:
+            self._observations.labels(model=model, objective=objective).inc()
+            if violated:
+                self._violations.labels(model=model, objective=objective).inc()
+
+    def observe_request(
+        self,
+        model: str,
+        slo,
+        *,
+        latency_s: Optional[float] = None,
+        energy_uj: Optional[float] = None,
+    ) -> None:
+        """Check one served request against its SLO's budgets.
+
+        ``slo`` is duck-typed: anything with ``max_latency_s`` /
+        ``max_energy_uj`` attributes (e.g.
+        :class:`~repro.serve.routing.RequestSLO`) works; absent budgets
+        are skipped.
+        """
+        self.observe(model, "latency", latency_s, getattr(slo, "max_latency_s", None))
+        self.observe(model, "energy", energy_uj, getattr(slo, "max_energy_uj", None))
+
+    # ------------------------------------------------------------------ #
+    # Evaluation side
+    # ------------------------------------------------------------------ #
+    def burn_rate(self, model: str, objective: str) -> float:
+        """The current burn rate of one (model, objective) window (0.0 if idle)."""
+        with self._lock:
+            window = self._windows.get((model, objective))
+            if window is None or not window.outcomes:
+                return 0.0
+            fraction = window.violations / len(window.outcomes)
+        return fraction / self.budget_fraction
+
+    def evaluate(self, now: Optional[float] = None) -> List[SLOAlert]:
+        """Evaluate every tracked (model, objective) window once.
+
+        Publishes the burn-rate gauges, counts the evaluation, and emits
+        (returns, records, forwards to ``sink``, counts) an
+        :class:`SLOAlert` for every window at or above the threshold with
+        enough observations.
+
+        Args:
+            now: Override the clock reading stamped onto alerts (tests).
+
+        Returns:
+            The alerts emitted by *this* evaluation, possibly empty.
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            states = [
+                (model, objective, window.violations, len(window.outcomes))
+                for (model, objective), window in self._windows.items()
+            ]
+        emitted: List[SLOAlert] = []
+        for model, objective, violations, observations in states:
+            fraction = violations / observations if observations else 0.0
+            burn = fraction / self.budget_fraction
+            if self._evaluations is not None:
+                self._evaluations.labels(model=model, objective=objective).inc()
+                self._burn_rate.labels(model=model, objective=objective).set(burn)
+            if observations >= self.min_observations and burn >= self.burn_threshold:
+                alert = SLOAlert(
+                    model=model,
+                    objective=objective,
+                    burn_rate=burn,
+                    violations=violations,
+                    observations=observations,
+                    budget_fraction=self.budget_fraction,
+                    threshold=self.burn_threshold,
+                    at=now,
+                )
+                emitted.append(alert)
+                with self._lock:
+                    self.alerts.append(alert)
+                if self._alerts_total is not None:
+                    self._alerts_total.labels(model=model, objective=objective).inc()
+                if self.sink is not None:
+                    self.sink(alert)
+        return emitted
+
+    def reset(self) -> None:
+        """Drop every window and retained alert (counters are untouched)."""
+        with self._lock:
+            self._windows.clear()
+            self.alerts.clear()

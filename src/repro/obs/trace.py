@@ -1,0 +1,161 @@
+"""Per-request tracing: contiguous spans from submit to result.
+
+A :class:`Trace` is a tiny span recorder attached to one inference
+request.  The serving stack marks phase transitions on it -- queue-wait,
+batch-assembly, kernel, post -- and each :meth:`Trace.mark` closes the
+current span *at the same timestamp* that opens the next, so the spans
+tile the request's lifetime exactly: their durations sum to the trace's
+total with zero gap or overlap, whatever clock is injected.
+
+Completed traces land in a bounded, thread-safe :class:`TraceLog` ring so
+a long-running service keeps the most recent N request timelines for
+inspection without growing memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.obs.clock import MONOTONIC_CLOCK, Clock
+
+__all__ = ["Span", "Trace", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed phase of a request's lifetime."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the span's open and close marks."""
+        return self.end - self.start
+
+
+class Trace:
+    """Span recorder for one request.
+
+    The trace opens at construction (``started_at`` or a clock reading);
+    every :meth:`mark` closes the currently open span under the given
+    name and opens the next one at the identical timestamp.  Marks must
+    be monotonic; out-of-order timestamps raise rather than recording a
+    negative span.
+
+    Thread-compatible rather than thread-safe: a request's trace is only
+    ever touched by one thread at a time (the submitter until it is
+    queued, then the single worker that executes its batch), matching the
+    request's own hand-off discipline.
+    """
+
+    __slots__ = ("request_id", "model", "spans", "_clock", "_cursor")
+
+    def __init__(
+        self,
+        request_id: int,
+        *,
+        clock: Clock = MONOTONIC_CLOCK,
+        model: str = "",
+        started_at: Optional[float] = None,
+    ) -> None:
+        self.request_id = request_id
+        self.model = model
+        self.spans: List[Span] = []
+        self._clock = clock
+        self._cursor = clock() if started_at is None else float(started_at)
+
+    def mark(self, name: str, at: Optional[float] = None) -> Span:
+        """Close the open span as ``name``; the next span opens at its end.
+
+        Args:
+            name: Phase name of the span being closed.
+            at: Timestamp to close at (default: a clock reading).  Batch
+                executors pass one shared reading for every request in a
+                batch, so per-request cost stays one clock read per phase.
+
+        Returns:
+            The closed :class:`Span`.
+
+        Raises:
+            ValueError: ``at`` precedes the previous mark.
+        """
+        stamp = self._clock() if at is None else float(at)
+        if stamp < self._cursor:
+            raise ValueError(
+                f"span {name!r} would close at {stamp} before its start "
+                f"{self._cursor}; marks must be monotonic"
+            )
+        span = Span(name=name, start=self._cursor, end=stamp)
+        self.spans.append(span)
+        self._cursor = stamp
+        return span
+
+    def span(self, name: str) -> Optional[Span]:
+        """The first recorded span named ``name``, or ``None``."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def started_at(self) -> float:
+        """Timestamp the trace opened at."""
+        return self.spans[0].start if self.spans else self._cursor
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end duration: last mark minus the trace's open."""
+        if not self.spans:
+            return 0.0
+        return self.spans[-1].end - self.spans[0].start
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "request_id": self.request_id,
+            "model": self.model,
+            "started_at": self.started_at,
+            "total_seconds": self.total_seconds,
+            "spans": [
+                {"name": span.name, "start": span.start, "end": span.end}
+                for span in self.spans
+            ],
+        }
+
+
+class TraceLog:
+    """Bounded, thread-safe ring of the most recent completed traces."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: Deque[Trace] = deque(maxlen=capacity)
+        self._appended = 0
+
+    def append(self, trace: Trace) -> None:
+        """Record one completed trace (oldest evicted beyond capacity)."""
+        with self._lock:
+            self._traces.append(trace)
+            self._appended += 1
+
+    def snapshot(self) -> List[Trace]:
+        """The retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    @property
+    def appended(self) -> int:
+        """Traces ever appended (including those since evicted)."""
+        with self._lock:
+            return self._appended
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

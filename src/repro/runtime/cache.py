@@ -36,6 +36,7 @@ from collections import OrderedDict
 from typing import Optional, Sequence, Tuple
 
 from repro.nn.module import Module
+from repro.obs.registry import MetricRegistry
 from repro.quant.deploy import QuantizedModelExport
 from repro.runtime.passes import resolve_passes
 from repro.runtime.plan import ExecutionPlan, compile_quantized_plan
@@ -82,9 +83,13 @@ class PlanCache:
     valid -- they are immutable; eviction only forgets the reference.
     """
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self, capacity: Optional[int] = None, *, metrics: Optional[MetricRegistry] = None
+    ) -> None:
         """Args:
             capacity: Maximum cached plans; ``None`` (default) is unbounded.
+            metrics: Registry to mirror the hit / miss / eviction /
+                invalidation counters into (also via :meth:`bind_metrics`).
 
         Raises:
             ValueError: ``capacity`` is not ``None`` and less than 1.
@@ -103,6 +108,45 @@ class PlanCache:
         self.compiles = 0
         self.invalidations = 0
         self.evictions = 0
+        self._metric_counters: Optional[dict] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: MetricRegistry) -> None:
+        """Mirror the cache's counters into a metrics registry.
+
+        The plain-int attributes (``hits``, ``compiles``, ...) remain the
+        source of truth; the registry counters ``plan_cache_hits_total``,
+        ``plan_cache_misses_total`` (a miss is a compile),
+        ``plan_cache_evictions_total`` and
+        ``plan_cache_invalidations_total`` are synchronised to the current
+        totals on bind and track every subsequent event.  Re-binding
+        switches registries (last bind wins).
+        """
+        counters = {
+            "hits": metrics.counter(
+                "plan_cache_hits_total", "Plan-cache lookups served from cache."
+            ),
+            "compiles": metrics.counter(
+                "plan_cache_misses_total", "Plan-cache misses (fresh compilations)."
+            ),
+            "evictions": metrics.counter(
+                "plan_cache_evictions_total", "Plans evicted by the LRU capacity bound."
+            ),
+            "invalidations": metrics.counter(
+                "plan_cache_invalidations_total", "Plans dropped by explicit invalidation."
+            ),
+        }
+        with self._lock:
+            for attribute, counter in counters.items():
+                counter._default()._force(getattr(self, attribute))
+            self._metric_counters = counters
+
+    def _count(self, event: str) -> None:
+        """Bump one mirrored registry counter (caller holds the lock and
+        has already bumped the plain-int attribute)."""
+        if self._metric_counters is not None:
+            self._metric_counters[event].inc()
 
     @staticmethod
     def key_for(
@@ -163,12 +207,14 @@ class PlanCache:
                 if plan is not None:
                     self._plans.move_to_end(key)
                     self.hits += 1
+                    self._count("hits")
                     return plan
                 event = self._inflight.get(key)
                 if event is None:
                     event = threading.Event()
                     self._inflight[key] = event
                     self.compiles += 1
+                    self._count("compiles")
                     break
             # Another thread is compiling this key; wait and re-check.
             event.wait()
@@ -206,6 +252,7 @@ class PlanCache:
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
             self.evictions += 1
+            self._count("evictions")
 
     def invalidate(self, key: PlanKey) -> bool:
         """Drop one cached plan (e.g. after its export was hot-swapped out).
@@ -232,6 +279,7 @@ class PlanCache:
                 removed = True
             if removed:
                 self.invalidations += 1
+                self._count("invalidations")
             return removed
 
     def clear(self) -> None:

@@ -33,6 +33,7 @@ import numpy as np
 from repro.hardware.energy import EnergyModel
 from repro.hardware.latency import ComputeProfile
 from repro.hardware.profile import ModelProfile
+from repro.obs.registry import MetricRegistry
 from repro.runtime.plan import ExecutionPlan
 from repro.serve.scheduler import QueueFullError, QueuePolicy, Scheduler
 from repro.serve.types import (
@@ -69,6 +70,9 @@ class MicroBatchServer:
         ``compute_profile`` is also given) at the plan's stored bitwidths.
     clock:
         Time source; injectable for deterministic tests.
+    metrics:
+        Registry the engine's queue counters and stats report into;
+        ``None`` keeps a private one inside :class:`ServeStats`.
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class MicroBatchServer:
         energy_model: Optional[EnergyModel] = None,
         compute_profile: Optional[ComputeProfile] = None,
         clock: Callable[[], float] = time.perf_counter,
+        metrics: Optional[MetricRegistry] = None,
     ) -> None:
         self.plan = plan
         self.profile = profile
@@ -94,14 +99,14 @@ class MicroBatchServer:
             max_queue_delay_s=max_queue_delay_s,
             max_depth=max_queue_depth,
         )
-        self._scheduler = Scheduler(clock=clock)
+        self._scheduler = Scheduler(clock=clock, metrics=metrics)
         self._scheduler.register(_QUEUE, self._policy)
         # One arena, preallocated by the plan's memory planner at the
         # largest batch the engine will ever dispatch.
         self._ctx = plan.create_context(batch_size=max_batch_size)
         self._request_ids = itertools.count()
         self._next_batch_id = 0
-        self.stats = ServeStats()
+        self.stats = ServeStats(metrics)
         self.batch_records: List[BatchRecord] = []
 
     # The batching policy is frozen into the scheduler queue at
@@ -137,7 +142,7 @@ class MicroBatchServer:
         try:
             self._scheduler.submit(_QUEUE, request)
         except QueueFullError:
-            self.stats.rejected += 1
+            self.stats.record_rejected()
             raise
         return request.request_id
 

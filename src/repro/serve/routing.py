@@ -28,6 +28,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.hardware.energy import EnergyModel
 from repro.hardware.latency import ComputeProfile
+from repro.obs.registry import MetricRegistry
 from repro.serve.repository import ModelRepository
 from repro.serve.types import BatchAccountant, VariantCost
 
@@ -90,10 +91,29 @@ class PrecisionRouter:
         *,
         energy_model: Optional[EnergyModel] = None,
         compute_profile: Optional[ComputeProfile] = None,
+        metrics: Optional[MetricRegistry] = None,
     ) -> None:
         self.repository = repository
         self.energy_model = energy_model
         self.compute_profile = compute_profile
+        if metrics is not None:
+            self._routed_counter = metrics.counter(
+                "serve_routed_total",
+                "Routing decisions per (model, chosen bitwidth).",
+                labels=("model", "bits"),
+            )
+            self._degraded_counter = metrics.counter(
+                "serve_routing_degraded_total",
+                "Decisions that fell back to the cheapest variant over budget.",
+                labels=("model",),
+            )
+            self._noroute_counter = metrics.counter(
+                "serve_routing_rejected_total",
+                "Requests rejected because no variant satisfied a strict SLO.",
+                labels=("model",),
+            )
+        else:
+            self._routed_counter = self._degraded_counter = self._noroute_counter = None
         # Router state is touched from submit threads and worker threads;
         # costs are static per variant (profile × stored bitwidths), so they
         # are memoised rather than re-priced on the submit hot path.  A
@@ -184,6 +204,7 @@ class PrecisionRouter:
             bits for bits in self.repository.variants(model) if bits >= slo.min_bits
         ]
         if not admissible:
+            self._count_rejected(model)
             raise NoVariantError(
                 f"model {model!r} has no variant at or above the quality floor "
                 f"of {slo.min_bits} bits (variants: {self.repository.variants(model)})"
@@ -193,8 +214,10 @@ class PrecisionRouter:
         for bits in order:
             cost = self._variant_cost(model, bits, generation)
             if self._within_budget(cost, slo):
+                self._count_decision(model, bits, degraded=False)
                 return RoutingDecision(model=model, bits=bits, cost=cost)
         if slo.strict:
+            self._count_rejected(model)
             raise NoVariantError(
                 f"no variant of model {model!r} meets the strict SLO "
                 f"(min_bits={slo.min_bits}, max_energy_uj={slo.max_energy_uj}, "
@@ -202,9 +225,20 @@ class PrecisionRouter:
             )
         # Degrade: serve the cheapest quality-admissible variant anyway.
         cheapest = admissible[0]
+        self._count_decision(model, cheapest, degraded=True)
         return RoutingDecision(
             model=model,
             bits=cheapest,
             cost=self._variant_cost(model, cheapest, generation),
             degraded=True,
         )
+
+    def _count_decision(self, model: str, bits: int, *, degraded: bool) -> None:
+        if self._routed_counter is not None:
+            self._routed_counter.labels(model=model, bits=str(bits)).inc()
+            if degraded:
+                self._degraded_counter.labels(model=model).inc()
+
+    def _count_rejected(self, model: str) -> None:
+        if self._noroute_counter is not None:
+            self._noroute_counter.labels(model=model).inc()

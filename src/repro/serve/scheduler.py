@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from threading import Condition
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.obs.registry import MetricRegistry
 from repro.serve.types import InferenceRequest
 
 
@@ -67,13 +68,46 @@ class _ModelQueue:
 class Scheduler:
     """Thread-safe per-model request queues with max-delay batch dispatch."""
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        *,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        """Args:
+            clock: Injectable time source for the max-delay dispatch.
+            metrics: Registry for per-queue submitted / dispatched
+                counters and the live depth gauge; ``None`` skips them.
+        """
         self.clock = clock
         self._cond = Condition()
         self._queues: Dict[str, _ModelQueue] = {}
         #: Round-robin cursor so one busy model cannot starve the others.
         self._rotation: List[str] = []
         self._stopped = False
+        if metrics is not None:
+            self._submitted_counter = metrics.counter(
+                "serve_queue_submitted_total",
+                "Requests admitted per scheduler queue.",
+                labels=("queue",),
+            )
+            self._full_counter = metrics.counter(
+                "serve_queue_full_total",
+                "Requests refused by depth backpressure per queue.",
+                labels=("queue",),
+            )
+            self._dispatched_counter = metrics.counter(
+                "serve_queue_batches_total",
+                "Batches dispatched per scheduler queue.",
+                labels=("queue",),
+            )
+            self._depth_gauge = metrics.gauge(
+                "serve_queue_depth", "Live pending-request depth per queue.",
+                labels=("queue",),
+            )
+        else:
+            self._submitted_counter = self._full_counter = None
+            self._dispatched_counter = self._depth_gauge = None
 
     # ------------------------------------------------------------------ #
     # Registration / introspection
@@ -154,11 +188,16 @@ class Scheduler:
             queue = self._queue_of(model)
             depth = queue.policy.max_depth
             if depth is not None and len(queue.pending) >= depth:
+                if self._full_counter is not None:
+                    self._full_counter.labels(queue=model).inc()
                 raise QueueFullError(
                     f"queue for model {model!r} is at its bounded depth ({depth}); "
                     f"retry later or route elsewhere"
                 )
             queue.pending.append(request)
+            if self._submitted_counter is not None:
+                self._submitted_counter.labels(queue=model).inc()
+                self._depth_gauge.labels(queue=model).set(len(queue.pending))
             self._cond.notify()
 
     # ------------------------------------------------------------------ #
@@ -182,7 +221,11 @@ class Scheduler:
     def _pop_batch_locked(self, model: str) -> List[InferenceRequest]:
         queue = self._queues[model]
         size = min(len(queue.pending), queue.policy.max_batch_size)
-        return [queue.pending.popleft() for _ in range(size)]
+        batch = [queue.pending.popleft() for _ in range(size)]
+        if self._dispatched_counter is not None:
+            self._dispatched_counter.labels(queue=model).inc()
+            self._depth_gauge.labels(queue=model).set(len(queue.pending))
+        return batch
 
     def pop_due(self) -> Optional[Tuple[str, List[InferenceRequest]]]:
         """Non-blocking: the next due ``(model, batch)``, or ``None``."""

@@ -34,6 +34,9 @@ import numpy as np
 
 from repro.hardware.energy import EnergyModel
 from repro.hardware.latency import ComputeProfile
+from repro.obs.registry import MetricRegistry, MetricsSnapshot
+from repro.obs.slo import SLOMonitor
+from repro.obs.trace import Trace, TraceLog
 from repro.runtime.plan import ExecutionPlan
 from repro.serve.repository import ModelRepository
 from repro.serve.routing import DEFAULT_SLO, PrecisionRouter, RequestSLO, RoutingDecision
@@ -112,6 +115,20 @@ class InferenceService:
         batches carry wall-clock accounting only).
     clock:
         Injectable time source (tests).
+    metrics:
+        The :class:`~repro.obs.registry.MetricRegistry` every layer of
+        this service reports into (scheduler queues, router decisions,
+        worker phase histograms, the stats view, the plan cache, the SLO
+        monitor).  ``None`` creates a private registry.
+    tracing:
+        Open a per-request :class:`~repro.obs.trace.Trace` at submit time
+        (spans marked by the executing worker, completed traces attached
+        to results and retained in :attr:`traces`).
+    slo_monitor:
+        Override the service's :class:`~repro.obs.slo.SLOMonitor`
+        (default: one on this registry / clock with default windowing).
+    trace_capacity:
+        Completed traces retained in the :attr:`traces` ring.
     """
 
     def __init__(
@@ -124,23 +141,52 @@ class InferenceService:
         energy_model: Optional[EnergyModel] = None,
         warm: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        metrics: Optional[MetricRegistry] = None,
+        tracing: bool = True,
+        slo_monitor: Optional[SLOMonitor] = None,
+        trace_capacity: int = 256,
     ) -> None:
         self.repository = repository
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.tracing = tracing
+        #: Optional callable receiving every structured observability
+        #: record the service emits -- SLO alert dicts (``kind:
+        #: "slo_alert"``) and model swap / rollback audit events (``kind:
+        #: "model_swap"`` / ``"model_rollback"``).
+        self.metrics_sink: Optional[Callable[[dict], None]] = None
         self.router = PrecisionRouter(
-            repository, energy_model=energy_model, compute_profile=compute_profile
+            repository,
+            energy_model=energy_model,
+            compute_profile=compute_profile,
+            metrics=self.metrics,
         )
         self.modelled_accounting = compute_profile is not None or energy_model is not None
         self.clock = clock
-        self.stats = ServeStats()
-        self.scheduler = Scheduler(clock=clock)
+        self.stats = ServeStats(self.metrics)
+        self.scheduler = Scheduler(clock=clock, metrics=self.metrics)
+        self.traces = TraceLog(trace_capacity)
+        self.slo = (
+            slo_monitor
+            if slo_monitor is not None
+            else SLOMonitor(self.metrics, clock=clock, sink=self._on_slo_alert)
+        )
         self._queue_policy = queue_policy or QueuePolicy()
         self._request_ids = itertools.count()
-        self._rejected_lock = threading.Lock()
         self._known_queues = set()
         #: Optional callable ``(model, x, label, prediction)`` receiving
         #: every :meth:`record_feedback` sample; set by the adaptation
         #: manager that watches this service.
         self.feedback_sink: Optional[Callable[[str, np.ndarray, int, Optional[int]], None]] = None
+        if repository.plan_cache._metric_counters is None:
+            # Surface compile / hit / eviction counts alongside the serving
+            # metrics; an explicitly pre-bound cache keeps its registry.
+            repository.plan_cache.bind_metrics(self.metrics)
+        self._swap_counter = self.metrics.counter(
+            "repo_swaps_total",
+            "Hot swaps / rollbacks installed, by model and kind.",
+            labels=("model", "kind"),
+        )
+        repository.add_swap_listener(self._on_swap)
         for model in repository.models():
             for bits in repository.variants(model):
                 self.scheduler.register(_queue_key(model, bits), self._queue_policy)
@@ -153,6 +199,9 @@ class InferenceService:
             workers=workers,
             stats=self.stats,
             clock=clock,
+            metrics=self.metrics,
+            trace_log=self.traces,
+            slo_monitor=self.slo,
         )
 
     # ------------------------------------------------------------------ #
@@ -164,12 +213,13 @@ class InferenceService:
         return self
 
     def stop(self, timeout: Optional[float] = None) -> None:
-        """Drain the queues and stop the workers.
+        """Drain the queues, stop the workers, run a final SLO evaluation.
 
         Args:
             timeout: Per-thread join timeout in seconds (``None`` waits).
         """
         self.pool.stop(timeout)
+        self.slo.evaluate()
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -215,21 +265,29 @@ class InferenceService:
                 f"per-sample input shape {expected}"
             )
         future = ResultFuture()
+        request_id = next(self._request_ids)
+        enqueued_at = self.clock()
+        trace = (
+            Trace(request_id, clock=self.clock, model=model, started_at=enqueued_at)
+            if self.tracing
+            else None
+        )
         request = InferenceRequest(
-            request_id=next(self._request_ids),
+            request_id=request_id,
             x=x,
-            enqueued_at=self.clock(),
+            enqueued_at=enqueued_at,
             model=model,
             bits=decision.bits,
             future=future,
+            trace=trace,
+            slo=slo,
         )
         key = _queue_key(model, decision.bits)
         self._ensure_queue(key)
         try:
             self.scheduler.submit(key, request)
         except QueueFullError:
-            with self._rejected_lock:
-                self.stats.rejected += 1
+            self.stats.record_rejected()
             raise
         return future
 
@@ -301,12 +359,10 @@ class InferenceService:
                 f"feedback shape {x.shape} does not match model {model!r}'s "
                 f"per-sample input shape {expected}"
             )
-        with self._rejected_lock:
-            self.stats.feedback += 1
-            if prediction is not None:
-                self.stats.feedback_predicted += 1
-                if int(prediction) == int(label):
-                    self.stats.feedback_correct += 1
+        # Registry-backed counters are individually atomic, so concurrent
+        # feedback reporters and batch-recording workers can no longer
+        # lose updates against each other (the historical ServeStats race).
+        self.stats.record_feedback(int(label), prediction)
         sink = self.feedback_sink
         if sink is not None:
             sink(model, x, int(label), None if prediction is None else int(prediction))
@@ -331,3 +387,43 @@ class InferenceService:
     def batch_records(self) -> List:
         """Per-batch accounting records, in execution order."""
         return self.pool.batch_records
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """A point-in-time, immutable snapshot of every service metric."""
+        return self.metrics.snapshot()
+
+    def evaluate_slo(self) -> List:
+        """Run one SLO burn evaluation now; returns the alerts raised
+        (each is also forwarded to :attr:`metrics_sink`)."""
+        return self.slo.evaluate()
+
+    # ------------------------------------------------------------------ #
+    # Observability hooks
+    # ------------------------------------------------------------------ #
+    def _emit(self, record: dict) -> None:
+        """Forward one structured observability record to the sink."""
+        sink = self.metrics_sink
+        if sink is not None:
+            sink(record)
+
+    def _on_slo_alert(self, alert) -> None:
+        self._emit(alert.as_dict())
+
+    def _on_swap(self, model: str, bits: int, generation: int) -> None:
+        """Repository swap listener: count the install and emit an audit
+        record distinguishing forward swaps from rollbacks."""
+        try:
+            source = self.repository.current_version(model, bits).source
+        except KeyError:  # pragma: no cover - variant vanished mid-notify
+            source = "swap"
+        kind = "rollback" if source == "rollback" else "swap"
+        self._swap_counter.labels(model=model, kind=kind).inc()
+        self._emit(
+            {
+                "kind": f"model_{kind}",
+                "model": model,
+                "bits": bits,
+                "generation": generation,
+                "at": self.clock(),
+            }
+        )

@@ -12,7 +12,7 @@ one implementation.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -21,6 +21,7 @@ from repro.hardware.accounting import inference_energy_pj
 from repro.hardware.energy import EnergyModel
 from repro.hardware.latency import ComputeProfile, LatencyModel
 from repro.hardware.profile import ModelProfile
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricRegistry
 
 
 class ResultFuture:
@@ -83,6 +84,14 @@ class InferenceRequest:
     #: Completion handle fulfilled by the executing worker (None in the
     #: cooperative single-model engine, which returns results directly).
     future: Optional[ResultFuture] = None
+    #: Per-request span recorder (:class:`repro.obs.Trace`); opened by the
+    #: service at submit time, marked by the executing worker, attached to
+    #: the result.  ``None`` when tracing is disabled.
+    trace: Optional[object] = None
+    #: The :class:`~repro.serve.routing.RequestSLO` this request was routed
+    #: under, carried along so the worker can check the served latency /
+    #: energy against its budgets (``None``: no SLO accounting).
+    slo: Optional[object] = None
 
 
 @dataclass
@@ -98,6 +107,9 @@ class InferenceResult:
     compute_seconds: float
     model: str = ""
     bits: Optional[int] = None
+    #: The request's completed :class:`repro.obs.Trace` (queue-wait /
+    #: batch-assembly / kernel / post spans), when tracing was enabled.
+    trace: Optional[object] = None
 
     @property
     def latency_seconds(self) -> float:
@@ -118,64 +130,236 @@ class BatchRecord:
     bits: Optional[int] = None
 
 
-@dataclass
 class ServeStats:
-    """Aggregate view over everything a server / worker pool served so far."""
+    """Aggregate view over everything a server / worker pool served so far.
 
-    requests: int = 0
-    batches: int = 0
-    rejected: int = 0
-    #: Labelled feedback samples reported through ``record_feedback``.
-    feedback: int = 0
-    #: Feedback samples that carried the service's prediction alongside.
-    feedback_predicted: int = 0
-    #: Feedback samples whose reported prediction matched the label.
-    feedback_correct: int = 0
-    wall_compute_seconds: float = 0.0
-    energy_pj: float = 0.0
-    device_seconds: float = 0.0
-    latencies: List[float] = field(default_factory=list)
-    requests_by_model: Dict[str, int] = field(default_factory=dict)
+    Since the observability refactor this is a **thin view over a
+    :class:`repro.obs.MetricRegistry`**: every total lives in a registry
+    counter / histogram (shared with dashboards, the ``repro.cli metrics``
+    command and the SLO monitor), and the historical attribute surface --
+    ``stats.requests``, ``stats.rejected`` and friends -- reads straight
+    through to it.  Mutation goes through the atomic recorders
+    (:meth:`record_batch`, :meth:`record_rejected`,
+    :meth:`record_feedback`); the property setters remain for tests and
+    compatibility but replace the stored total wholesale, so concurrent
+    writers must use the recorders (this is what fixed the historical
+    feedback-vs-batch-counter race under multi-worker load).
+
+    Args:
+        registry: Registry to publish into; ``None`` creates a private
+            one.  Two stats views sharing one registry share totals.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._requests = self.registry.counter(
+            "serve_requests_total", "Requests served, by model.", labels=("model",)
+        )
+        self._batches = self.registry.counter(
+            "serve_batches_total", "Batches dispatched and executed."
+        )
+        self._rejected = self.registry.counter(
+            "serve_rejected_total", "Requests rejected by queue backpressure."
+        )
+        self._feedback = self.registry.counter(
+            "serve_feedback_total", "Labelled feedback samples reported."
+        )
+        self._feedback_predicted = self.registry.counter(
+            "serve_feedback_predicted_total",
+            "Feedback samples that carried the service's prediction.",
+        )
+        self._feedback_correct = self.registry.counter(
+            "serve_feedback_correct_total",
+            "Feedback samples whose prediction matched the label.",
+        )
+        self._wall_compute = self.registry.counter(
+            "serve_compute_seconds_total", "Wall-clock seconds spent in plan compute."
+        )
+        self._energy = self.registry.counter(
+            "serve_energy_pj_total", "Modelled device energy of every batch, in pJ."
+        )
+        self._device_seconds = self.registry.counter(
+            "serve_device_seconds_total", "Modelled device latency of every batch."
+        )
+        self._latency_hist = self.registry.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end request latency (queueing + batch compute).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        # Raw latencies are kept alongside the histogram so
+        # latency_percentile stays exact (the histogram's buckets are for
+        # dashboards, not for the bench reports' p50/p99 numbers).
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+
+    # -- reads (the historical attribute surface) ----------------------- #
+    @property
+    def requests(self) -> int:
+        """Requests served so far (all models)."""
+        return int(self._requests.total())
+
+    @requests.setter
+    def requests(self, value: int) -> None:
+        self._replace_by_model(self._requests, value)
+
+    @property
+    def requests_by_model(self) -> Dict[str, int]:
+        """Requests served per repository model (engine traffic excluded)."""
+        return {
+            labels["model"]: int(counter.value)
+            for labels, counter in self._requests.series()
+            if labels["model"] and counter.value
+        }
+
+    @property
+    def batches(self) -> int:
+        """Batches executed so far."""
+        return int(self._batches.value)
+
+    @batches.setter
+    def batches(self, value: int) -> None:
+        self._batches._default()._force(value)
+
+    @property
+    def rejected(self) -> int:
+        """Requests rejected by queue backpressure."""
+        return int(self._rejected.value)
+
+    @rejected.setter
+    def rejected(self, value: int) -> None:
+        self._rejected._default()._force(value)
+
+    @property
+    def feedback(self) -> int:
+        """Labelled feedback samples reported through ``record_feedback``."""
+        return int(self._feedback.value)
+
+    @feedback.setter
+    def feedback(self, value: int) -> None:
+        self._feedback._default()._force(value)
+
+    @property
+    def feedback_predicted(self) -> int:
+        """Feedback samples that carried the service's prediction alongside."""
+        return int(self._feedback_predicted.value)
+
+    @feedback_predicted.setter
+    def feedback_predicted(self, value: int) -> None:
+        self._feedback_predicted._default()._force(value)
+
+    @property
+    def feedback_correct(self) -> int:
+        """Feedback samples whose reported prediction matched the label."""
+        return int(self._feedback_correct.value)
+
+    @feedback_correct.setter
+    def feedback_correct(self, value: int) -> None:
+        self._feedback_correct._default()._force(value)
+
+    @property
+    def wall_compute_seconds(self) -> float:
+        """Wall-clock seconds spent inside plan compute."""
+        return self._wall_compute.value
+
+    @wall_compute_seconds.setter
+    def wall_compute_seconds(self, value: float) -> None:
+        self._wall_compute._default()._force(value)
+
+    @property
+    def energy_pj(self) -> float:
+        """Modelled device energy across every batch, in picojoules."""
+        return self._energy.value
+
+    @energy_pj.setter
+    def energy_pj(self, value: float) -> None:
+        self._energy._default()._force(value)
+
+    @property
+    def device_seconds(self) -> float:
+        """Modelled device latency summed across every batch."""
+        return self._device_seconds.value
+
+    @device_seconds.setter
+    def device_seconds(self, value: float) -> None:
+        self._device_seconds._default()._force(value)
+
+    @property
+    def latencies(self) -> List[float]:
+        """Per-request end-to-end latencies, in execution order (a copy)."""
+        with self._lock:
+            return list(self._latencies)
+
+    @staticmethod
+    def _replace_by_model(family, value) -> None:
+        """Setter support: replace a labelled counter's whole total."""
+        for _, counter in family.series():
+            counter._force(0.0)
+        family.labels(model="")._force(value)
 
     @property
     def mean_batch_size(self) -> float:
         """Average requests per dispatched batch."""
-        return self.requests / self.batches if self.batches else 0.0
+        batches = self.batches
+        return self.requests / batches if batches else 0.0
 
     @property
     def observed_accuracy(self) -> Optional[float]:
         """Accuracy over feedback samples that carried a prediction (or None)."""
-        if not self.feedback_predicted:
+        predicted = self.feedback_predicted
+        if not predicted:
             return None
-        return self.feedback_correct / self.feedback_predicted
+        return self.feedback_correct / predicted
 
     @property
     def throughput_rps(self) -> float:
         """Requests per second of plan compute (excludes queueing idle time)."""
-        if self.wall_compute_seconds <= 0:
+        seconds = self.wall_compute_seconds
+        if seconds <= 0:
             return 0.0
-        return self.requests / self.wall_compute_seconds
+        return self.requests / seconds
 
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) of per-request latency, in seconds."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies), q))
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            values = np.asarray(self._latencies)
+        return float(np.percentile(values, q))
 
+    # -- atomic recorders ----------------------------------------------- #
     def record_batch(self, record: BatchRecord, latencies: List[float]) -> None:
-        """Fold one executed batch into the totals (caller handles locking)."""
-        self.requests += record.size
-        self.batches += 1
-        self.wall_compute_seconds += record.compute_seconds
+        """Fold one executed batch into the totals (atomic)."""
+        self._requests.labels(model=record.model).inc(record.size)
+        self._batches.inc()
+        self._wall_compute.inc(record.compute_seconds)
         if record.energy_pj is not None:
-            self.energy_pj += record.energy_pj
+            self._energy.inc(record.energy_pj)
         if record.device_seconds is not None:
-            self.device_seconds += record.device_seconds
-        self.latencies.extend(latencies)
-        if record.model:
-            self.requests_by_model[record.model] = (
-                self.requests_by_model.get(record.model, 0) + record.size
-            )
+            self._device_seconds.inc(record.device_seconds)
+        hist = self._latency_hist._default()
+        for latency in latencies:
+            hist.observe(latency)
+        with self._lock:
+            self._latencies.extend(latencies)
+
+    def record_rejected(self) -> None:
+        """Count one request rejected by backpressure (atomic)."""
+        self._rejected.inc()
+
+    def record_feedback(
+        self, label: int, prediction: Optional[int] = None
+    ) -> None:
+        """Count one labelled feedback sample (atomic).
+
+        Each underlying counter update is atomic, so feedback totals are
+        never lost under concurrent reporters -- the historical
+        read-modify-write on plain ints was.
+        """
+        self._feedback.inc()
+        if prediction is not None:
+            self._feedback_predicted.inc()
+            if int(prediction) == int(label):
+                self._feedback_correct.inc()
 
 
 class BatchAccountant:

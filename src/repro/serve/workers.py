@@ -21,6 +21,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.registry import (
+    DEFAULT_BATCH_SIZE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricRegistry,
+)
+from repro.obs.slo import SLOMonitor
+from repro.obs.trace import TraceLog
 from repro.runtime.plan import ExecutionContext, ExecutionPlan
 from repro.serve.scheduler import Scheduler
 from repro.serve.types import (
@@ -60,7 +67,19 @@ class WorkerPool:
         workers: int = 1,
         stats: Optional[ServeStats] = None,
         clock: Callable[[], float] = time.perf_counter,
+        metrics: Optional[MetricRegistry] = None,
+        trace_log: Optional[TraceLog] = None,
+        slo_monitor: Optional[SLOMonitor] = None,
     ) -> None:
+        """Args:
+            scheduler, executor, workers, stats, clock: As before.
+            metrics: Registry for the per-phase span histograms
+                (queue-wait / batch-assembly / kernel / post) and the
+                batch-size histogram; ``None`` skips them.
+            trace_log: Ring the completed per-request traces land in.
+            slo_monitor: Checks each served request's latency / energy
+                against the budgets of the SLO it was routed under.
+        """
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         self.scheduler = scheduler
@@ -69,10 +88,46 @@ class WorkerPool:
         self.clock = clock
         self.stats = stats if stats is not None else ServeStats()
         self.batch_records: List[BatchRecord] = []
+        self.trace_log = trace_log
+        self.slo_monitor = slo_monitor
         self._stats_lock = threading.Lock()
         self._batch_counter = 0
         self._threads: List[threading.Thread] = []
         self._started = False
+        if metrics is not None:
+            self._queue_wait_hist = metrics.histogram(
+                "serve_queue_wait_seconds",
+                "Per-request wait between submit and batch dispatch.",
+                labels=("model",),
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
+            self._assembly_hist = metrics.histogram(
+                "serve_batch_assembly_seconds",
+                "Per-batch plan resolution + input stacking time.",
+                labels=("model",),
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
+            self._kernel_hist = metrics.histogram(
+                "serve_kernel_seconds",
+                "Per-batch plan execution (kernel) time.",
+                labels=("model",),
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
+            self._post_hist = metrics.histogram(
+                "serve_post_seconds",
+                "Per-batch post-processing (argmax, accounting) time.",
+                labels=("model",),
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
+            self._batch_size_hist = metrics.histogram(
+                "serve_batch_size",
+                "Requests per dispatched batch.",
+                labels=("model",),
+                buckets=DEFAULT_BATCH_SIZE_BUCKETS,
+            )
+        else:
+            self._queue_wait_hist = self._assembly_hist = None
+            self._kernel_hist = self._post_hist = self._batch_size_hist = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -150,11 +205,19 @@ class WorkerPool:
         requests: List[InferenceRequest],
         contexts: Dict[int, ExecutionContext],
     ) -> None:
+        # One clock reading per phase transition, shared by every request
+        # in the batch: queue-wait ends here, batch assembly (plan
+        # resolution + input stacking) ends at `started`, the kernel at
+        # `ended`, post-processing at `post_stamp`.  Traces mark at these
+        # shared stamps, so their spans tile each request's lifetime
+        # exactly whatever clock is injected.
+        dispatched = self.clock()
         plan, forward_bits, accountant, model, bits = self.executor.resolve(queue_key)
         batch = np.stack([request.x for request in requests])
         started = self.clock()
         logits = plan.run(batch, ctx=self._context_for(plan, contexts, queue_key))
-        compute_seconds = self.clock() - started
+        ended = self.clock()
+        compute_seconds = ended - started
         predictions = np.argmax(logits, axis=-1)
 
         with self._stats_lock:
@@ -169,11 +232,40 @@ class WorkerPool:
         )
         if accountant is not None:
             accountant.annotate(record, forward_bits)
+        post_stamp = self.clock()
+
+        if self._kernel_hist is not None:
+            self._assembly_hist.labels(model=model).observe(started - dispatched)
+            self._kernel_hist.labels(model=model).observe(compute_seconds)
+            self._post_hist.labels(model=model).observe(post_stamp - ended)
+            self._batch_size_hist.labels(model=model).observe(len(requests))
+        energy_uj = (
+            record.energy_pj / record.size * 1e-6 if record.energy_pj is not None else None
+        )
 
         latencies: List[float] = []
         for index, request in enumerate(requests):
             queue_seconds = started - request.enqueued_at
-            latencies.append(queue_seconds + compute_seconds)
+            latency = queue_seconds + compute_seconds
+            latencies.append(latency)
+            if self._queue_wait_hist is not None:
+                self._queue_wait_hist.labels(model=model).observe(
+                    dispatched - request.enqueued_at
+                )
+            trace = request.trace
+            if trace is not None:
+                trace.mark("queue_wait", at=dispatched)
+                trace.mark("batch_assembly", at=started)
+                trace.mark("kernel", at=ended)
+                trace.mark("post", at=post_stamp)
+                if self.trace_log is not None:
+                    self.trace_log.append(trace)
+            if self.slo_monitor is not None and request.slo is not None:
+                # Latency is checked as observed (queueing + kernel);
+                # energy as the modelled per-request share of the batch.
+                self.slo_monitor.observe_request(
+                    model, request.slo, latency_s=latency, energy_uj=energy_uj
+                )
             result = InferenceResult(
                 request_id=request.request_id,
                 logits=logits[index],
@@ -184,9 +276,10 @@ class WorkerPool:
                 compute_seconds=compute_seconds,
                 model=model,
                 bits=bits,
+                trace=trace,
             )
             if request.future is not None:
                 request.future.set_result(result)
+        self.stats.record_batch(record, latencies)
         with self._stats_lock:
             self.batch_records.append(record)
-            self.stats.record_batch(record, latencies)

@@ -180,3 +180,27 @@ class TestStalenessTrigger:
         trigger.reset(ServeStats(), now=8.0)
         assert not trigger.evaluate(ServeStats(), buffer, now=12.0)
         assert trigger.evaluate(ServeStats(), buffer, now=18.0).fire
+
+    def test_age_fires_on_injected_clock(self, fake_clock):
+        # The trigger's whole timeline runs off the deterministic test
+        # clock: no wall-time read, no sleeping, exact firing point.
+        trigger = StalenessTrigger(max_age_s=10.0)
+        buffer = FeedbackBuffer()
+        assert not trigger.evaluate(ServeStats(), buffer, now=fake_clock())
+        fake_clock.advance(9.999)
+        assert not trigger.evaluate(ServeStats(), buffer, now=fake_clock())
+        fake_clock.advance(0.001)
+        decision = trigger.evaluate(ServeStats(), buffer, now=fake_clock())
+        assert decision.fire
+        assert decision.trigger == "staleness"
+
+    def test_decisions_name_their_trigger_kind(self):
+        staleness = StalenessTrigger(max_requests=1)
+        buffer = FeedbackBuffer()
+        stats = ServeStats()
+        staleness.evaluate(stats, buffer, now=0.0)
+        stats.requests = 10
+        assert staleness.evaluate(stats, buffer, now=0.0).trigger == "staleness"
+        drop = AccuracyDropTrigger(baseline_accuracy=1.0, max_drop=0.1, min_feedback=4)
+        _fill(buffer, 8, correct=False)
+        assert drop.evaluate(stats, buffer, now=0.0).trigger == "accuracy_drop"

@@ -7,6 +7,7 @@ import pytest
 
 from repro.data import ArrayDataset, DataLoader, make_blobs
 from repro.models import MLP
+from repro.obs import ManualClock
 from repro.tensor import Tensor
 
 
@@ -14,6 +15,16 @@ from repro.tensor import Tensor
 def rng() -> np.random.Generator:
     """Deterministic random generator for a test."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fake_clock() -> ManualClock:
+    """Deterministic injectable clock: advances only via ``advance()``.
+
+    Inject wherever a component takes a ``clock=`` callable, so tests
+    assert on exact durations instead of sleeping real wall-clock time.
+    """
+    return ManualClock()
 
 
 @pytest.fixture

@@ -1,0 +1,52 @@
+"""The deterministic test clock."""
+
+import threading
+
+import pytest
+
+from repro.obs import MONOTONIC_CLOCK, ManualClock
+
+
+class TestManualClock:
+    def test_starts_where_told_and_advances(self):
+        clock = ManualClock(start=5.0)
+        assert clock() == 5.0
+        clock.advance(2.5)
+        assert clock() == 7.5
+        assert clock.peek() == 7.5
+
+    def test_negative_advance_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError, match="advance"):
+            clock.advance(-1.0)
+
+    def test_tick_auto_advances_per_reading(self):
+        clock = ManualClock(start=0.0, tick=0.5)
+        assert clock() == 0.0
+        assert clock() == 0.5
+        assert clock() == 1.0
+        # peek does not consume a tick
+        assert clock.peek() == 1.5
+
+    def test_threaded_readings_are_unique_with_tick(self):
+        clock = ManualClock(tick=1.0)
+        readings = []
+        lock = threading.Lock()
+
+        def read():
+            for _ in range(200):
+                value = clock()
+                with lock:
+                    readings.append(value)
+
+        threads = [threading.Thread(target=read) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(readings)) == len(readings) == 800
+
+    def test_monotonic_clock_is_callable_and_monotonic(self):
+        first = MONOTONIC_CLOCK()
+        second = MONOTONIC_CLOCK()
+        assert second >= first

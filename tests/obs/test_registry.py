@@ -1,0 +1,193 @@
+"""The metrics registry: instruments, families, snapshots, thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    CardinalityError,
+    HistogramValue,
+    MetricRegistry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricRegistry()
+        counter = registry.counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == 3
+
+    def test_registration_is_idempotent_but_kind_mismatch_raises(self):
+        registry = MetricRegistry()
+        first = registry.counter("events_total", "Events.")
+        again = registry.counter("events_total", "Events.")
+        assert again is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("events_total", "Not a counter.")
+        with pytest.raises(ValueError, match="label"):
+            registry.counter("events_total", "Events.", labels=("kind",))
+
+    def test_invalid_metric_names_rejected(self):
+        registry = MetricRegistry()
+        for bad in ("", "9lives", "has-dash", "has space"):
+            with pytest.raises(ValueError, match="metric name"):
+                registry.counter(bad, "Bad.")
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_boundary_bucket(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", "Latency.", buckets=(0.1, 0.5, 1.0))
+        # Exactly on a boundary counts as <= that boundary (Prometheus `le`).
+        hist.observe(0.1)
+        hist.observe(0.5)
+        hist.observe(1.0)
+        value = hist.value
+        assert value.counts == (1, 1, 1, 0)
+        assert value.cumulative() == (1, 2, 3)
+        assert value.bucket_count(0.5) == 2
+
+    def test_below_first_and_overflow(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", "Latency.", buckets=(1.0, 2.0))
+        hist.observe(0.0)       # first bucket
+        hist.observe(1.5)       # second bucket
+        hist.observe(100.0)     # overflow (+Inf)
+        value = hist.value
+        assert value.counts == (1, 1, 1)
+        assert value.count == 3
+        assert value.sum == pytest.approx(101.5)
+        assert value.mean == pytest.approx(101.5 / 3)
+
+    def test_epsilon_above_boundary_spills_to_next_bucket(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat", "Latency.", buckets=(0.1, 0.2))
+        hist.observe(0.1 + 1e-12)
+        assert hist.value.counts == (0, 1, 0)
+
+    def test_boundaries_must_be_strictly_increasing_and_nonempty(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("h1", "Bad.", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("h2", "Bad.", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("h3", "Bad.", buckets=())
+
+    def test_bucket_count_rejects_unknown_boundary(self):
+        value = HistogramValue(boundaries=(1.0, 2.0), counts=(1, 0, 0), sum=0.5, count=1)
+        with pytest.raises(KeyError):
+            value.bucket_count(1.5)
+
+    def test_default_latency_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+class TestLabelledFamilies:
+    def test_series_are_independent_per_label_set(self):
+        registry = MetricRegistry()
+        family = registry.counter("served_total", "Served.", labels=("model", "bits"))
+        family.labels(model="a", bits="8").inc(2)
+        family.labels(model="a", bits="4").inc(3)
+        assert family.labels(model="a", bits="8").value == 2
+        assert family.labels(model="a", bits="4").value == 3
+        assert family.total() == 5
+
+    def test_label_names_must_match_declaration(self):
+        registry = MetricRegistry()
+        family = registry.counter("served_total", "Served.", labels=("model",))
+        with pytest.raises(ValueError, match="label"):
+            family.labels(bits="8")
+        with pytest.raises(ValueError, match="label"):
+            family.labels(model="a", bits="8")
+
+    def test_cardinality_guard_caps_series_count(self):
+        registry = MetricRegistry(max_series_per_metric=3)
+        family = registry.counter("c_total", "C.", labels=("who",))
+        for index in range(3):
+            family.labels(who=str(index)).inc()
+        # A known series stays reachable at the cap; a new one raises.
+        family.labels(who="0").inc()
+        with pytest.raises(CardinalityError, match="label sets"):
+            family.labels(who="brand-new")
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_isolated_from_later_updates(self):
+        registry = MetricRegistry()
+        counter = registry.counter("events_total", "Events.")
+        hist = registry.histogram("lat", "Latency.", buckets=(1.0,))
+        counter.inc(5)
+        hist.observe(0.5)
+        frozen = registry.snapshot()
+        counter.inc(100)
+        hist.observe(0.5)
+        assert frozen.counter_value("events_total") == 5
+        assert frozen.histogram_value("lat").count == 1
+        assert registry.snapshot().counter_value("events_total") == 105
+
+    def test_reset_zeroes_values_but_keeps_registrations(self):
+        registry = MetricRegistry()
+        family = registry.counter("events_total", "Events.", labels=("kind",))
+        family.labels(kind="x").inc(7)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap.counter_value("events_total", kind="x") == 0
+        # Same family object still registered and usable.
+        family.labels(kind="x").inc()
+        assert registry.snapshot().counter_value("events_total", kind="x") == 1
+
+    def test_missing_metric_vs_missing_series(self):
+        registry = MetricRegistry()
+        registry.counter("known_total", "Known.", labels=("kind",))
+        snap = registry.snapshot()
+        assert snap.counter_value("known_total", kind="never-observed") == 0.0
+        with pytest.raises(KeyError):
+            snap.counter_value("unknown_total")
+
+    def test_render_text_includes_buckets_sum_count(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        text = registry.snapshot().render_text()
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricRegistry()
+        counter = registry.counter("hammer_total", "Hammered.")
+        family = registry.counter("labelled_total", "Hammered.", labels=("worker",))
+        hist = registry.histogram("obs", "Observed.", buckets=(0.5,))
+        per_thread, threads = 2000, 8
+
+        def hammer(worker: int) -> None:
+            mine = family.labels(worker=str(worker))
+            for _ in range(per_thread):
+                counter.inc()
+                mine.inc()
+                hist.observe(0.25)
+
+        pool = [threading.Thread(target=hammer, args=(index,)) for index in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == per_thread * threads
+        assert family.total() == per_thread * threads
+        assert hist.value.count == per_thread * threads

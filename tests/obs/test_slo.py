@@ -1,0 +1,117 @@
+"""SLO burn-rate monitoring: windows, thresholds, alerts, metrics."""
+
+import pytest
+
+from repro.obs import ManualClock, MetricRegistry, SLOMonitor
+
+
+class _SLO:
+    """Duck-typed stand-in for repro.serve.routing.RequestSLO."""
+
+    def __init__(self, max_latency_s=None, max_energy_uj=None):
+        self.max_latency_s = max_latency_s
+        self.max_energy_uj = max_energy_uj
+
+
+def _monitor(**kwargs):
+    defaults = dict(
+        clock=ManualClock(), budget_fraction=0.1, min_observations=4, window=8
+    )
+    defaults.update(kwargs)
+    return SLOMonitor(**defaults)
+
+
+class TestObservation:
+    def test_burn_rate_is_violation_fraction_over_budget(self):
+        monitor = _monitor()
+        for latency in (0.01, 0.01, 0.5, 0.5):  # 2/4 violations, budget 0.1
+            monitor.observe("m", "latency", latency, 0.1)
+        assert monitor.burn_rate("m", "latency") == pytest.approx(0.5 / 0.1)
+
+    def test_missing_budget_or_value_is_a_noop(self):
+        monitor = _monitor()
+        monitor.observe("m", "latency", 5.0, None)
+        monitor.observe("m", "latency", None, 0.1)
+        assert monitor.burn_rate("m", "latency") == 0.0
+
+    def test_window_rolls_old_outcomes_out(self):
+        monitor = _monitor(window=4)
+        for _ in range(4):
+            monitor.observe("m", "latency", 1.0, 0.1)  # all violations
+        assert monitor.burn_rate("m", "latency") == pytest.approx(1.0 / 0.1)
+        for _ in range(4):
+            monitor.observe("m", "latency", 0.01, 0.1)  # all fine, push them out
+        assert monitor.burn_rate("m", "latency") == 0.0
+
+    def test_observe_request_checks_both_objectives(self):
+        monitor = _monitor()
+        slo = _SLO(max_latency_s=0.1, max_energy_uj=10.0)
+        monitor.observe_request("m", slo, latency_s=0.2, energy_uj=5.0)
+        assert monitor.burn_rate("m", "latency") > 0
+        assert monitor.burn_rate("m", "energy") == 0.0
+
+
+class TestEvaluation:
+    def test_alert_fires_at_threshold_with_enough_observations(self):
+        clock = ManualClock(start=100.0)
+        sunk = []
+        monitor = _monitor(clock=clock, sink=sunk.append)
+        for _ in range(4):
+            monitor.observe("m", "latency", 1.0, 0.1)
+        alerts = monitor.evaluate()
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.model == "m" and alert.objective == "latency"
+        assert alert.burn_rate == pytest.approx(1.0 / 0.1)
+        assert alert.violations == 4 and alert.observations == 4
+        assert alert.at == 100.0
+        assert sunk == alerts and monitor.alerts == alerts
+        assert alert.as_dict()["kind"] == "slo_alert"
+        assert "burn" in alert.message
+
+    def test_too_few_observations_never_alert(self):
+        monitor = _monitor(min_observations=10)
+        for _ in range(5):
+            monitor.observe("m", "latency", 1.0, 0.1)
+        assert monitor.evaluate() == []
+
+    def test_burn_below_threshold_does_not_alert(self):
+        monitor = _monitor(budget_fraction=0.5)  # tolerate half
+        monitor.observe("m", "latency", 1.0, 0.1)       # one violation...
+        for _ in range(7):
+            monitor.observe("m", "latency", 0.01, 0.1)  # ...seven fine
+        assert monitor.burn_rate("m", "latency") == pytest.approx(0.25)
+        assert monitor.evaluate() == []
+
+    def test_metrics_published_into_registry(self):
+        registry = MetricRegistry()
+        monitor = _monitor(metrics=registry)
+        for _ in range(4):
+            monitor.observe("m", "latency", 1.0, 0.1)
+        monitor.evaluate(now=1.0)
+        snap = registry.snapshot()
+        assert snap.counter_value("slo_observations_total", model="m", objective="latency") == 4
+        assert snap.counter_value("slo_violations_total", model="m", objective="latency") == 4
+        assert snap.counter_value("slo_evaluations_total", model="m", objective="latency") == 1
+        assert snap.counter_value("slo_alerts_total", model="m", objective="latency") == 1
+        assert snap.counter_value("slo_burn_rate", model="m", objective="latency") == (
+            pytest.approx(1.0 / 0.1)
+        )
+
+    def test_reset_drops_windows_and_alerts(self):
+        monitor = _monitor()
+        for _ in range(4):
+            monitor.observe("m", "latency", 1.0, 0.1)
+        monitor.evaluate()
+        monitor.reset()
+        assert monitor.burn_rate("m", "latency") == 0.0
+        assert monitor.alerts == []
+        assert monitor.evaluate() == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            SLOMonitor(window=0)
+        with pytest.raises(ValueError, match="budget_fraction"):
+            SLOMonitor(budget_fraction=0.0)
+        with pytest.raises(ValueError, match="min_observations"):
+            SLOMonitor(min_observations=0)

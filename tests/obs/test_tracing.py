@@ -1,0 +1,71 @@
+"""Per-request traces: contiguous spans, monotonic marks, the ring log."""
+
+import pytest
+
+from repro.obs import ManualClock, Trace, TraceLog
+
+
+class TestTrace:
+    def test_spans_tile_the_lifetime_exactly(self, fake_clock):
+        trace = Trace(7, clock=fake_clock, model="tiny")
+        fake_clock.advance(0.010)
+        trace.mark("queue_wait")
+        fake_clock.advance(0.002)
+        trace.mark("kernel")
+        fake_clock.advance(0.001)
+        trace.mark("post")
+        assert [span.name for span in trace.spans] == ["queue_wait", "kernel", "post"]
+        assert trace.total_seconds == pytest.approx(0.013)
+        assert sum(span.duration for span in trace.spans) == pytest.approx(
+            trace.total_seconds
+        )
+        # Each span opens exactly where the previous one closed.
+        for before, after in zip(trace.spans, trace.spans[1:]):
+            assert after.start == before.end
+
+    def test_explicit_timestamps_and_span_lookup(self):
+        trace = Trace(1, clock=ManualClock(), started_at=10.0)
+        trace.mark("queue_wait", at=10.5)
+        trace.mark("kernel", at=10.75)
+        assert trace.started_at == 10.0
+        assert trace.span("queue_wait").duration == pytest.approx(0.5)
+        assert trace.span("kernel").start == 10.5
+        assert trace.span("missing") is None
+
+    def test_zero_duration_span_is_allowed(self):
+        trace = Trace(1, clock=ManualClock(), started_at=5.0)
+        span = trace.mark("instant", at=5.0)
+        assert span.duration == 0.0
+
+    def test_backwards_mark_raises(self):
+        trace = Trace(1, clock=ManualClock(), started_at=10.0)
+        trace.mark("first", at=11.0)
+        with pytest.raises(ValueError, match="monotonic"):
+            trace.mark("second", at=10.0)
+
+    def test_empty_trace_totals(self):
+        trace = Trace(1, clock=ManualClock(), started_at=3.0)
+        assert trace.total_seconds == 0.0
+        assert trace.started_at == 3.0
+
+    def test_as_dict_round_trips_span_data(self):
+        trace = Trace(42, clock=ManualClock(), model="m", started_at=0.0)
+        trace.mark("a", at=1.0)
+        payload = trace.as_dict()
+        assert payload["request_id"] == 42
+        assert payload["model"] == "m"
+        assert payload["spans"] == [{"name": "a", "start": 0.0, "end": 1.0}]
+
+
+class TestTraceLog:
+    def test_ring_keeps_most_recent(self):
+        log = TraceLog(capacity=2)
+        for index in range(5):
+            log.append(Trace(index, clock=ManualClock()))
+        assert len(log) == 2
+        assert log.appended == 5
+        assert [trace.request_id for trace in log.snapshot()] == [3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceLog(capacity=0)

@@ -7,21 +7,9 @@ from repro.hardware import EnergyModel, profile_model
 from repro.hardware.latency import COMPUTE_PROFILES
 from repro.models import build_model
 from repro.runtime import compile_plan
+from repro.obs import ManualClock as FakeClock
 from repro.serve import MicroBatchServer, run_serve_bench
 from repro.tensor import Tensor, no_grad
-
-
-class FakeClock:
-    """Manually advanced time source for deterministic latency tests."""
-
-    def __init__(self):
-        self.now = 0.0
-
-    def advance(self, seconds):
-        self.now += seconds
-
-    def __call__(self):
-        return self.now
 
 
 @pytest.fixture

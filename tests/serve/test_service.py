@@ -48,15 +48,7 @@ def _request(request_id=0, enqueued_at=0.0):
     return InferenceRequest(request_id, np.zeros(SHAPE), enqueued_at)
 
 
-class FakeClock:
-    def __init__(self):
-        self.now = 0.0
-
-    def advance(self, seconds):
-        self.now += seconds
-
-    def __call__(self):
-        return self.now
+from repro.obs import ManualClock as FakeClock  # noqa: E402 - shared test clock
 
 
 class TestScheduler:
@@ -115,6 +107,7 @@ class TestScheduler:
         scheduler = Scheduler()
         scheduler.register("m", QueuePolicy(max_batch_size=1))
         got = []
+        served = threading.Event()
 
         def consumer():
             while True:
@@ -122,13 +115,12 @@ class TestScheduler:
                 if item is None:
                     return
                 got.append(item[1][0].request_id)
+                served.set()
 
         thread = threading.Thread(target=consumer)
         thread.start()
         scheduler.submit("m", _request(7, time.perf_counter()))
-        deadline = time.time() + 5.0
-        while not got and time.time() < deadline:
-            time.sleep(0.005)
+        assert served.wait(timeout=5.0), "consumer never received the batch"
         scheduler.stop()
         thread.join(timeout=5.0)
         assert not thread.is_alive()

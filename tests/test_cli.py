@@ -371,6 +371,50 @@ class TestPlanInspectCommand:
         assert "plan-inspect failed" in capsys.readouterr().err
 
 
+class TestMetricsCommand:
+    def _argv(self, *extra):
+        return [
+            "--model", "tiny_convnet", "--requests", "16", "--batch-size", "8",
+            "--workers", "1", "--bits", "8,4", *extra,
+        ]
+
+    def test_text_dump_renders_families(self, capsys):
+        assert cli.run_metrics(self._argv()) == 0
+        out = capsys.readouterr().out
+        assert "metrics: tiny_convnet" in out
+        assert "# TYPE serve_queue_wait_seconds histogram" in out
+        assert "plan_cache_misses_total" in out
+
+    def test_json_dump_has_nonzero_serving_series(self, capsys):
+        assert cli.run_metrics(self._argv("--json", "--max-latency-ms", "50")) == 0
+        payload = json.loads(capsys.readouterr().out)
+
+        def total(name):
+            return sum(
+                series.get("count", series.get("value", 0))
+                for series in payload[name]["series"]
+            )
+
+        assert total("serve_queue_wait_seconds") == 16
+        assert total("serve_kernel_seconds") > 0
+        # Two bitwidths compile once each; the replica resolves both from cache.
+        assert total("plan_cache_misses_total") == 2
+        assert total("plan_cache_hits_total") == 2
+        assert total("slo_evaluations_total") >= 1
+
+    def test_json_out_writes_snapshot(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        assert cli.run_metrics(self._argv("--json-out", str(out_path))) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["serve_requests_total"]["kind"] == "counter"
+
+    def test_bad_bits_rejected(self, capsys):
+        assert cli.run_metrics(self._argv("--bits", "8,oops")) == 2
+        assert "--bits" in capsys.readouterr().err
+        assert cli.run_metrics(self._argv("--bits", "99")) == 2
+        assert "metrics run failed" in capsys.readouterr().err
+
+
 class TestMainDispatch:
     def test_train_dispatch(self, capsys):
         assert cli.main(["train", "--scale", "smoke", "--strategy", "fp32", "--epochs", "1", "--quiet"]) == 0
@@ -409,6 +453,12 @@ class TestMainDispatch:
                 "--in-channels", "1", "--image-size", "12"]
         assert cli.main(argv) == 0
         assert "pass fold_constants:" in capsys.readouterr().out
+
+    def test_metrics_dispatch(self, capsys):
+        argv = ["metrics", "--requests", "8", "--batch-size", "4",
+                "--workers", "1", "--bits", "8"]
+        assert cli.main(argv) == 0
+        assert "# TYPE serve_requests_total counter" in capsys.readouterr().out
 
     def test_unknown_command(self, capsys):
         assert cli.main(["deploy"]) == 2
