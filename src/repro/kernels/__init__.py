@@ -19,15 +19,28 @@ from repro.kernels.conv import (
     as_pair,
     col2im,
     conv2d,
+    conv_output_hw,
     im2col,
     im2col_cache_clear,
     im2col_cache_info,
     im2col_indices,
     matmul_cols,
+    pack_weight_matrix,
+    pad_nchw,
 )
 from repro.kernels.linear import linear
 from repro.kernels.norm import batch_norm
-from repro.kernels.pool import avg_pool2d, avg_pool2d_cols, max_pool2d, max_pool2d_cols
+from repro.kernels.pool import (
+    avg_pool2d,
+    avg_pool2d_cols,
+    avg_pool2d_gather,
+    avg_pool2d_tiled,
+    max_pool2d,
+    max_pool2d_cols,
+    max_pool2d_gather,
+    max_pool2d_tiled,
+    pool_tiled_applicable,
+)
 from repro.kernels.activations import (
     clamp,
     leaky_relu,
@@ -47,14 +60,22 @@ __all__ = [
     "im2col_indices",
     "im2col",
     "col2im",
+    "conv_output_hw",
     "matmul_cols",
+    "pack_weight_matrix",
+    "pad_nchw",
     "conv2d",
     "linear",
     "batch_norm",
     "max_pool2d",
     "max_pool2d_cols",
+    "max_pool2d_gather",
+    "max_pool2d_tiled",
     "avg_pool2d",
     "avg_pool2d_cols",
+    "avg_pool2d_gather",
+    "avg_pool2d_tiled",
+    "pool_tiled_applicable",
     "relu",
     "relu6",
     "leaky_relu",

@@ -89,6 +89,33 @@ def im2col_cache_clear() -> None:
     im2col_indices.cache_clear()
 
 
+def conv_output_hw(
+    height: int,
+    width: int,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution, without building any indices."""
+    out_h = (height + 2 * padding[0] - kernel_size[0]) // stride[0] + 1
+    out_w = (width + 2 * padding[1] - kernel_size[1]) // stride[1] + 1
+    return out_h, out_w
+
+
+def pack_weight_matrix(weight_matrix: np.ndarray) -> np.ndarray:
+    """Pre-pack a filter matrix into the layout the GEMM actually consumes.
+
+    Integer code matrices (quantised plans) are cast to ``float64`` once,
+    here, instead of on every ``matmul`` call; any matrix is made
+    C-contiguous.  Integer codes convert to ``float64`` exactly, so a GEMM
+    over the packed matrix is bitwise-identical to one over the raw codes.
+    Returns the input unchanged when it is already packed (no copy).
+    """
+    if weight_matrix.dtype == np.float64 and weight_matrix.flags["C_CONTIGUOUS"]:
+        return weight_matrix
+    return np.ascontiguousarray(weight_matrix, dtype=np.float64)
+
+
 def pad_nchw(array: np.ndarray, pad_h: int, pad_w: int) -> np.ndarray:
     """Zero-pad the spatial dims of an NCHW array.
 

@@ -64,6 +64,53 @@ def _tiled_reduce(
     return out
 
 
+def pool_tiled_applicable(
+    input_hw: Tuple[int, int], kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> bool:
+    """Whether the non-overlapping tiled fast path applies to this geometry."""
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    height, width = input_hw
+    return (
+        stride_pair == kernel
+        and height % kernel[0] == 0
+        and width % kernel[1] == 0
+    )
+
+
+def max_pool2d_tiled(
+    x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> np.ndarray:
+    """Non-overlapping max pooling via the tiled strided-slice reduction.
+
+    Only valid when :func:`pool_tiled_applicable` holds for the geometry.
+    """
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    out = _tiled_reduce(x, kernel, stride_pair, np.maximum)
+    if out is None:
+        raise ValueError(
+            f"tiled max pooling needs stride == kernel {kernel} evenly dividing "
+            f"the input {x.shape[2:]}; got stride {stride_pair}"
+        )
+    return out
+
+
+def max_pool2d_gather(
+    x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> np.ndarray:
+    """General max pooling through the im2col gather (any geometry).
+
+    Max is exact under any evaluation order, so this produces bitwise the
+    same result as :func:`max_pool2d_tiled` wherever both apply.
+    """
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    batch, channels = x.shape[:2]
+    cols, _, _, out_h, out_w = _pool_cols(x, kernel, stride_pair)
+    return cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+
+
 def max_pool2d(x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None) -> np.ndarray:
     """Max pooling over an NCHW input (forward only, no argmax bookkeeping)."""
     kernel = as_pair(kernel_size)
@@ -71,9 +118,7 @@ def max_pool2d(x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = 
     out = _tiled_reduce(x, kernel, stride_pair, np.maximum)
     if out is not None:
         return out
-    batch, channels = x.shape[:2]
-    cols, _, _, out_h, out_w = _pool_cols(x, kernel, stride_pair)
-    return cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+    return max_pool2d_gather(x, kernel, stride_pair)
 
 
 def avg_pool2d_cols(
@@ -88,12 +133,41 @@ def avg_pool2d_cols(
     return out, cols, indices, reshaped_shape
 
 
+def avg_pool2d_tiled(
+    x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> np.ndarray:
+    """Non-overlapping average pooling via the tiled reduction.
+
+    Only valid when :func:`pool_tiled_applicable` holds.  Note the tiled
+    sum-then-scale is *not* bitwise-identical to the gather path's
+    ``mean`` for kernels whose area is not a power of two, which is why
+    the two average-pooling variants have disjoint applicability.
+    """
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    out = _tiled_reduce(x, kernel, stride_pair, np.add)
+    if out is None:
+        raise ValueError(
+            f"tiled average pooling needs stride == kernel {kernel} evenly "
+            f"dividing the input {x.shape[2:]}; got stride {stride_pair}"
+        )
+    # Not in-place: integer inputs must still produce a float mean.
+    return out * (1.0 / (kernel[0] * kernel[1]))
+
+
+def avg_pool2d_gather(
+    x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None
+) -> np.ndarray:
+    """General average pooling through the im2col gather (any geometry)."""
+    kernel = as_pair(kernel_size)
+    stride_pair = as_pair(stride) if stride is not None else kernel
+    return avg_pool2d_cols(x, kernel, stride_pair)[0]
+
+
 def avg_pool2d(x: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None) -> np.ndarray:
     """Average pooling over an NCHW input (forward only)."""
     kernel = as_pair(kernel_size)
     stride_pair = as_pair(stride) if stride is not None else kernel
-    out = _tiled_reduce(x, kernel, stride_pair, np.add)
-    if out is not None:
-        # Not in-place: integer inputs must still produce a float mean.
-        return out * (1.0 / (kernel[0] * kernel[1]))
-    return avg_pool2d_cols(x, kernel, stride_pair)[0]
+    if pool_tiled_applicable(x.shape[2:], kernel, stride_pair):
+        return avg_pool2d_tiled(x, kernel, stride_pair)
+    return avg_pool2d_gather(x, kernel, stride_pair)

@@ -7,7 +7,11 @@ Splits execution from autograd as a four-layer compiler pipeline:
 * :mod:`repro.runtime.passes` -- a :class:`~repro.runtime.passes.PassManager`
   runs named, individually toggleable optimisation passes (constant
   folding, CSE, affine fusion, elementwise-chain fusion, dead-node
-  elimination), all byte-exact;
+  elimination, kernel-variant selection), all byte-exact;
+* :mod:`repro.runtime.variants` / :mod:`repro.runtime.tuning` -- a registry
+  of byte-exact kernel implementations per op and the micro-benchmark
+  autotuner (with a persistent :class:`~repro.runtime.tuning.TuningCache`)
+  the ``select_kernels`` pass consults to choose between them;
 * :mod:`repro.runtime.memory` -- liveness analysis and slot-reuse coloring
   place every scratch buffer in one preallocated per-context arena
   (:class:`~repro.runtime.memory.PlanMemoryStats` reports the savings);
@@ -44,12 +48,22 @@ from repro.runtime.plan import (
     compile_plan,
     compile_quantized_plan,
 )
+from repro.runtime.tuning import Autotuner, TuningCache, TuningConfig
+from repro.runtime.variants import (
+    KernelDesc,
+    KernelVariant,
+    available_variants,
+    register_variant,
+)
 
 __all__ = [
+    "Autotuner",
     "DEFAULT_PASSES",
     "ExecutionContext",
     "ExecutionPlan",
     "Graph",
+    "KernelDesc",
+    "KernelVariant",
     "MemoryPlan",
     "Node",
     "PassManager",
@@ -57,12 +71,16 @@ __all__ = [
     "PlanCache",
     "PlanCompileError",
     "PlanMemoryStats",
+    "TuningCache",
+    "TuningConfig",
     "Value",
     "architecture_fingerprint",
     "available_passes",
+    "available_variants",
     "compile_lock",
     "compile_plan",
     "compile_quantized_plan",
     "plan_memory",
+    "register_variant",
     "resolve_passes",
 ]

@@ -40,8 +40,9 @@ from repro.obs.registry import MetricRegistry
 from repro.quant.deploy import QuantizedModelExport
 from repro.runtime.passes import resolve_passes
 from repro.runtime.plan import ExecutionPlan, compile_quantized_plan
+from repro.runtime.tuning import tuning_fingerprint
 
-PlanKey = Tuple[str, str, Tuple[int, ...], Tuple[str, ...]]
+PlanKey = Tuple[str, str, Tuple[int, ...], Tuple[str, ...], str]
 
 #: Geometry attributes that change how a module lowers without changing its
 #: parameter values (two convs with identical weights but different strides
@@ -157,13 +158,20 @@ class PlanCache:
         *,
         passes: Optional[Sequence[str]] = None,
         optimize: bool = True,
+        tuning=None,
     ) -> PlanKey:
-        """The cache key of one (architecture, export, shape, passes) combo."""
+        """The cache key of one (architecture, export, shape, passes, tuning)
+        combo.  The tuning component is the *setup's* fingerprint
+        (``"heuristic"``, or the tuning cache's path-derived identity):
+        heuristic and autotuned compilations of one export select different
+        kernel variants and must cache separately.
+        """
         return (
             architecture_fingerprint(model),
             export.content_hash(),
             tuple(input_shape),
             resolve_passes(optimize, passes, fold_affine),
+            tuning_fingerprint(tuning),
         )
 
     def __len__(self) -> int:
@@ -188,6 +196,7 @@ class PlanCache:
         passes: Optional[Sequence[str]] = None,
         optimize: bool = True,
         validate: bool = True,
+        tuning=None,
     ) -> ExecutionPlan:
         """The plan for ``export`` at ``input_shape``, compiling at most once.
 
@@ -195,11 +204,12 @@ class PlanCache:
         (structure fingerprint), compiles the plan on a miss, and is
         restored to its own state after tracing (see
         :func:`~repro.runtime.plan.compile_quantized_plan`).  The resolved
-        ``passes`` / ``optimize`` / ``fold_affine`` configuration is part
-        of the key.
+        ``passes`` / ``optimize`` / ``fold_affine`` configuration and the
+        tuning setup's fingerprint are part of the key.
         """
         key = self.key_for(
-            model, export, input_shape, fold_affine, passes=passes, optimize=optimize
+            model, export, input_shape, fold_affine, passes=passes,
+            optimize=optimize, tuning=tuning,
         )
         while True:
             with self._lock:
@@ -227,6 +237,7 @@ class PlanCache:
                 passes=passes,
                 optimize=optimize,
                 validate=validate,
+                tuning=tuning,
             )
             with self._lock:
                 if key in self._doomed:

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import kernels
+from repro.runtime import variants as kernel_variants
 from repro.runtime.ir import (
     BINARY_ELEMENTWISE,
     CHAIN,
@@ -63,12 +64,9 @@ def _resolve(ref: Ref, env: List[Optional[np.ndarray]]) -> np.ndarray:
     return env[value] if kind == "slot" else value  # type: ignore[index]
 
 
-def _smallest_int_dtype(low: int, high: int) -> np.dtype:
-    for dtype in (np.int8, np.int16, np.int32, np.int64):
-        info = np.iinfo(dtype)
-        if info.min <= low and high <= info.max:
-            return np.dtype(dtype)
-    raise ValueError(f"no integer dtype holds [{low}, {high}]")  # pragma: no cover
+# Shared with the select_kernels pass, which previews the baked weight to
+# describe each call site before lowering happens.
+_smallest_int_dtype = kernel_variants.smallest_int_dtype
 
 
 def _apply_elem(
@@ -232,7 +230,15 @@ class _EpilogueMixin:
 
 
 class ConvStep(Step, _EpilogueMixin):
-    """im2col convolution with an optional fused in-place epilogue."""
+    """Convolution lowered through its selected variant, with an optional
+    fused in-place epilogue.
+
+    ``weight_matrix`` is the canonical baked filter matrix (integer codes
+    for quantised plans); ``_weight_exec`` is its execution-time form
+    prepared once for the selected variant (e.g. pre-packed to contiguous
+    float64).  Every variant writes the same ``(N, C_out, oh*ow)`` scratch
+    shape, so the memory plan is variant-independent.
+    """
 
     __slots__ = (
         "x",
@@ -246,6 +252,9 @@ class ConvStep(Step, _EpilogueMixin):
         "post",
         "bits",
         "param_name",
+        "variant",
+        "provenance",
+        "_weight_exec",
     )
 
     def __init__(
@@ -261,6 +270,8 @@ class ConvStep(Step, _EpilogueMixin):
         bits: int,
         param_name: str,
         post: Tuple[LoweredElemOp, ...] = (),
+        variant: str = "im2col",
+        provenance: str = "heuristic",
     ) -> None:
         super().__init__(out)
         self.x = x
@@ -274,12 +285,20 @@ class ConvStep(Step, _EpilogueMixin):
         self.post = tuple(post)
         self.bits = bits
         self.param_name = param_name
+        self.variant = variant
+        self.provenance = provenance
+        self._weight_exec = kernel_variants.prepare_conv_weight(variant, weight_matrix)
 
     def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         x = env[self.x]
-        cols, _, out_h, out_w = kernels.im2col(x, self.kernel_size, self.stride, self.padding)
+        out_h, out_w = kernels.conv_output_hw(
+            x.shape[2], x.shape[3], self.kernel_size, self.stride, self.padding
+        )
         shape = (x.shape[0], self.out_channels, out_h * out_w)
-        raw = kernels.matmul_cols(self.weight_matrix, cols, out=ctx.scratch(self, shape))
+        raw = kernel_variants.run_conv(
+            self.variant, x, self._weight_exec, self.kernel_size, self.stride,
+            self.padding, out=ctx.scratch(self, shape),
+        )
         out = raw.reshape(x.shape[0], self.out_channels, out_h, out_w)
         env[self.out] = self._apply_epilogue(out, env)
 
@@ -287,14 +306,23 @@ class ConvStep(Step, _EpilogueMixin):
         tag = f"int{self.weight_matrix.dtype.itemsize * 8}" if self.bits < 32 else "fp"
         return (
             f"conv2d[{tag}] {self.param_name} stride={self.stride} "
-            f"pad={self.padding} bits={self.bits}{self._epilogue_tag()}"
+            f"pad={self.padding} bits={self.bits} "
+            f"variant={self.variant}({self.provenance}){self._epilogue_tag()}"
         )
 
 
 class LinearStep(Step, _EpilogueMixin):
-    """Dense matmul against a baked ``(in, out)`` weight matrix."""
+    """Dense matmul against a baked ``(in, out)`` weight matrix.
 
-    __slots__ = ("x", "weight", "out_scale", "out_shift", "post", "bits", "param_name")
+    ``weight`` is the canonical stored matrix; ``_weight_exec`` is the
+    selected variant's execution-time form (identical for the reference
+    ``matmul`` variant, pre-packed float64 for ``packed``).
+    """
+
+    __slots__ = (
+        "x", "weight", "out_scale", "out_shift", "post", "bits", "param_name",
+        "variant", "provenance", "_weight_exec",
+    )
 
     def __init__(
         self,
@@ -306,6 +334,8 @@ class LinearStep(Step, _EpilogueMixin):
         bits: int,
         param_name: str,
         post: Tuple[LoweredElemOp, ...] = (),
+        variant: str = "matmul",
+        provenance: str = "heuristic",
     ) -> None:
         super().__init__(out)
         self.x = x
@@ -315,19 +345,24 @@ class LinearStep(Step, _EpilogueMixin):
         self.post = tuple(post)
         self.bits = bits
         self.param_name = param_name
+        self.variant = variant
+        self.provenance = provenance
+        self._weight_exec = kernel_variants.prepare_linear_weight(variant, weight)
 
     def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         x = env[self.x]
-        if x.ndim == 2 and np.result_type(x, self.weight) == np.float64:
-            shape = (x.shape[0], self.weight.shape[1])
-            raw = np.matmul(x, self.weight, out=ctx.scratch(self, shape))
-        else:
-            raw = x @ self.weight
+        out = None
+        if x.ndim == 2 and np.result_type(x, self._weight_exec) == np.float64:
+            out = ctx.scratch(self, (x.shape[0], self._weight_exec.shape[1]))
+        raw = kernel_variants.run_linear(self.variant, x, self._weight_exec, out=out)
         env[self.out] = self._apply_epilogue(raw, env)
 
     def describe(self) -> str:
         tag = f"int{self.weight.dtype.itemsize * 8}" if self.bits < 32 else "fp"
-        return f"linear[{tag}] {self.param_name} bits={self.bits}{self._epilogue_tag()}"
+        return (
+            f"linear[{tag}] {self.param_name} bits={self.bits} "
+            f"variant={self.variant}({self.provenance}){self._epilogue_tag()}"
+        )
 
 
 class MatmulStep(Step, _EpilogueMixin):
@@ -406,36 +441,48 @@ class FusedElementwiseStep(Step):
         return "fused[" + "->".join(op for op, _, _ in self.ops) + "]"
 
 
-class MaxPoolStep(Step):
-    __slots__ = ("x", "kernel_size", "stride")
+class _PoolStep(Step):
+    """Pooling through the selected variant (``auto`` = reference dispatch)."""
 
-    def __init__(self, out: int, x: Ref, kernel_size: Tuple[int, int], stride: Tuple[int, int]) -> None:
+    __slots__ = ("x", "kernel_size", "stride", "variant", "provenance")
+    op = ""
+
+    def __init__(
+        self,
+        out: int,
+        x: Ref,
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int],
+        variant: str = "auto",
+        provenance: str = "heuristic",
+    ) -> None:
         super().__init__(out)
         self.x = x
         self.kernel_size = kernel_size
         self.stride = stride
+        self.variant = variant
+        self.provenance = provenance
 
     def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = kernels.max_pool2d(_resolve(self.x, env), self.kernel_size, self.stride)
+        env[self.out] = kernel_variants.run_pool(
+            self.op, self.variant, _resolve(self.x, env), self.kernel_size, self.stride
+        )
 
     def describe(self) -> str:
-        return f"max_pool2d k={self.kernel_size} stride={self.stride}"
+        return (
+            f"{self.op} k={self.kernel_size} stride={self.stride} "
+            f"variant={self.variant}({self.provenance})"
+        )
 
 
-class AvgPoolStep(Step):
-    __slots__ = ("x", "kernel_size", "stride")
+class MaxPoolStep(_PoolStep):
+    __slots__ = ()
+    op = "max_pool2d"
 
-    def __init__(self, out: int, x: Ref, kernel_size: Tuple[int, int], stride: Tuple[int, int]) -> None:
-        super().__init__(out)
-        self.x = x
-        self.kernel_size = kernel_size
-        self.stride = stride
 
-    def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
-        env[self.out] = kernels.avg_pool2d(_resolve(self.x, env), self.kernel_size, self.stride)
-
-    def describe(self) -> str:
-        return f"avg_pool2d k={self.kernel_size} stride={self.stride}"
+class AvgPoolStep(_PoolStep):
+    __slots__ = ()
+    op = "avg_pool2d"
 
 
 class SumStep(Step):
@@ -671,8 +718,34 @@ class ExecutionPlan:
             f"  fused: {absorbed} ops absorbed into kernels, "
             f"{fused_ops} ops in fused elementwise chains"
         )
+        chosen = self.kernel_variants()
+        if chosen:
+            variant_counts = Counter(variant for variant, _ in chosen.values())
+            provenance_counts = Counter(prov for _, prov in chosen.values())
+            variants_text = ", ".join(
+                f"{name}x{count}" for name, count in sorted(variant_counts.items())
+            )
+            provenance_text = ", ".join(
+                f"{count} {name}" for name, count in sorted(provenance_counts.items())
+            )
+            lines.append(f"  variants: {variants_text} ({provenance_text})")
         lines.append("  " + self.memory.stats.describe(batch_size))
         return "\n".join(lines)
+
+    def kernel_variants(self) -> Dict[str, Tuple[str, str]]:
+        """Selected ``(variant, provenance)`` per variant-dispatched step.
+
+        Keys are ``"<index>:<label>"`` (the label is the parameter name for
+        conv / linear steps, the op for pooling steps) so repeated layers
+        stay distinct.
+        """
+        chosen: Dict[str, Tuple[str, str]] = {}
+        for index, step in enumerate(self.steps):
+            if isinstance(step, (ConvStep, LinearStep)):
+                chosen[f"{index}:{step.param_name}"] = (step.variant, step.provenance)
+            elif isinstance(step, _PoolStep):
+                chosen[f"{index}:{step.op}"] = (step.variant, step.provenance)
+        return chosen
 
     def bits_by_layer(self) -> Dict[str, int]:
         """Stored weight bitwidth of every conv / linear step, keyed like
@@ -701,10 +774,8 @@ def _weight_codes(export, name: Optional[str]):
     return export.quantized.get(name)
 
 
-def _centred_codes(qt) -> np.ndarray:
-    centred = qt.codes.astype(np.int64) - qt.qparams.zero_point
-    dtype = _smallest_int_dtype(int(centred.min(initial=0)), int(centred.max(initial=0)))
-    return centred.astype(dtype)
+# Shared with the select_kernels pass (identical preview and lowering).
+_centred_codes = kernel_variants.centred_codes
 
 
 def lower_graph(
@@ -757,7 +828,14 @@ def lower_graph(
         elif op in ("max_pool2d", "avg_pool2d"):
             cls = MaxPoolStep if op == "max_pool2d" else AvgPoolStep
             steps.append(
-                cls(out_slot, refs[0], node.attrs["kernel_size"], node.attrs["stride"])
+                cls(
+                    out_slot,
+                    refs[0],
+                    node.attrs["kernel_size"],
+                    node.attrs["stride"],
+                    variant=node.attrs.get("kernel_variant", "auto"),
+                    provenance=node.attrs.get("kernel_variant_provenance", "heuristic"),
+                )
             )
         elif op == "sum":
             steps.append(SumStep(out_slot, refs[0], node.attrs["axis"], node.attrs["keepdims"]))
@@ -827,6 +905,8 @@ def _lower_conv(node: Node, refs, out_slot: int, export, post) -> ConvStep:
         bits=bits,
         param_name=name,
         post=post,
+        variant=node.attrs.get("kernel_variant", "im2col"),
+        provenance=node.attrs.get("kernel_variant_provenance", "heuristic"),
     )
 
 
@@ -854,6 +934,8 @@ def _lower_matmul(node: Node, refs, out_slot: int, producers, export, post) -> S
                     bits=qt.bits,
                     param_name=name,
                     post=post,
+                    variant=node.attrs.get("kernel_variant", "matmul"),
+                    provenance=node.attrs.get("kernel_variant_provenance", "heuristic"),
                 )
         weight = weight_value.data.T if pre_transposed else weight_value.data
         return LinearStep(
@@ -865,5 +947,7 @@ def _lower_matmul(node: Node, refs, out_slot: int, producers, export, post) -> S
             bits=32,
             param_name=origin[0] if origin is not None else "<matmul>",
             post=post,
+            variant=node.attrs.get("kernel_variant", "matmul"),
+            provenance=node.attrs.get("kernel_variant_provenance", "heuristic"),
         )
     return MatmulStep(out_slot, refs[0], refs[1], post=post)

@@ -37,6 +37,14 @@ Available passes (in default order):
 ``dce``
     Dead-node elimination: drop nodes whose results are never read (e.g.
     the dangling parameter transpose left by the linear-layer lowering).
+``select_kernels``
+    Annotate every conv / linear / pool node with the kernel variant the
+    executor should lower it to (``attrs["kernel_variant"]``), chosen from
+    the byte-exact implementations in :mod:`repro.runtime.variants` --
+    autotuned when a :mod:`~repro.runtime.tuning` tuner is in scope,
+    ranked heuristic otherwise.  Runs after the fusion passes (so the
+    final kernel call sites are known) and before memory planning (which
+    is unaffected: every variant writes the same scratch shape).
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime import variants as kernel_variants
 from repro.runtime.ir import (
     CHAIN,
     ELEMENTWISE_OPS,
@@ -54,7 +63,10 @@ from repro.runtime.ir import (
     Node,
     UNARY_ELEMENTWISE,
     Value,
+    matmul_linear_info,
 )
+from repro.runtime.tuning import active_tuning
+from repro.runtime.variants import KernelDesc
 
 #: Elementwise operations the affine-fusion pass absorbs into producers:
 #: the affine family (eval-mode batch norm, bias adds, negation) plus the
@@ -288,6 +300,183 @@ def dead_node_elimination(graph: Graph) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Kernel selection
+# --------------------------------------------------------------------------- #
+def _quantized_weight(export, name: Optional[str]):
+    if export is None or name is None:
+        return None
+    return export.quantized.get(name)
+
+
+def _conv_site(node: Node, export):
+    """(desc, baked weight matrix) of a conv node, or ``None``."""
+    if len(node.inputs) < 2 or node.inputs[0].kind == "const":
+        return None
+    weight_value = node.inputs[1]
+    if weight_value.kind != "const":
+        return None
+    out_channels = int(weight_value.shape[0])
+    name = weight_value.origin[0] if weight_value.origin is not None else None
+    qt = _quantized_weight(export, name)
+    if qt is not None:
+        matrix = kernel_variants.centred_codes(qt).reshape(out_channels, -1)
+        bits = qt.bits
+    else:
+        matrix = weight_value.data.reshape(out_channels, -1)
+        bits = 32
+    desc = KernelDesc(
+        op="conv2d",
+        x_shape=tuple(node.inputs[0].shape[1:]),
+        kernel_size=tuple(weight_value.shape[2:]),
+        stride=tuple(node.attrs["stride"]),
+        padding=tuple(node.attrs["padding"]),
+        out_channels=out_channels,
+        weight_dtype=str(matrix.dtype),
+        bits=bits,
+    )
+    return desc, matrix
+
+
+def _linear_site(node: Node, producers: Dict[int, Node], export):
+    """(desc, baked (in, out) weight) of a linear-lowered matmul, or ``None``."""
+    info = matmul_linear_info(node, producers)
+    if info is None or node.inputs[0].kind == "const":
+        return None
+    weight_value, pre_transposed = info
+    qt = None
+    if weight_value.origin is not None:
+        name, origin_transposed = weight_value.origin
+        qt = _quantized_weight(export, name)
+    if qt is not None:
+        weight = kernel_variants.centred_codes(qt)
+        if origin_transposed != pre_transposed:
+            weight = weight.T
+        bits = qt.bits
+    else:
+        weight = weight_value.data.T if pre_transposed else weight_value.data
+        bits = 32
+    desc = KernelDesc(
+        op="linear",
+        x_shape=tuple(node.inputs[0].shape[1:]),
+        out_channels=int(weight.shape[1]),
+        weight_dtype=str(weight.dtype),
+        bits=bits,
+    )
+    return desc, weight
+
+
+def _pool_site(node: Node):
+    """Descriptor of a pooling node, or ``None``."""
+    if node.inputs[0].kind == "const" or len(node.inputs[0].shape) != 4:
+        return None
+    return KernelDesc(
+        op=node.op,
+        x_shape=tuple(node.inputs[0].shape[1:]),
+        kernel_size=tuple(node.attrs["kernel_size"]),
+        stride=tuple(node.attrs["stride"]),
+    )
+
+
+def _conv_runner_factory(node: Node, desc: KernelDesc, matrix: np.ndarray):
+    x = node.inputs[0].traced
+    out_h, out_w = _conv_output_hw(desc)
+    scratch = np.empty(
+        (x.shape[0], desc.out_channels, out_h * out_w), dtype=np.float64
+    )
+
+    def make_runner(name: str):
+        weight_exec = kernel_variants.prepare_conv_weight(name, matrix)
+        return lambda: kernel_variants.run_conv(
+            name, x, weight_exec, desc.kernel_size, desc.stride, desc.padding,
+            out=scratch,
+        )
+
+    return make_runner
+
+
+def _conv_output_hw(desc: KernelDesc):
+    from repro.kernels import conv_output_hw
+
+    return conv_output_hw(
+        desc.x_shape[1], desc.x_shape[2], desc.kernel_size, desc.stride, desc.padding
+    )
+
+
+def _linear_runner_factory(node: Node, desc: KernelDesc, weight: np.ndarray):
+    x = node.inputs[0].traced
+    scratch = np.empty((x.shape[0], weight.shape[1]), dtype=np.float64) \
+        if x.ndim == 2 else None
+
+    def make_runner(name: str):
+        weight_exec = kernel_variants.prepare_linear_weight(name, weight)
+        return lambda: kernel_variants.run_linear(name, x, weight_exec, out=scratch)
+
+    return make_runner
+
+
+def _pool_runner_factory(node: Node, desc: KernelDesc):
+    x = node.inputs[0].traced
+
+    def make_runner(name: str):
+        return lambda: kernel_variants.run_pool(
+            desc.op, name, x, desc.kernel_size, desc.stride
+        )
+
+    return make_runner
+
+
+def select_kernels(graph: Graph) -> str:
+    """Annotate conv / linear / pool nodes with their chosen kernel variant.
+
+    Every candidate is byte-exact against the reference lowering (the
+    admission rule of :mod:`repro.runtime.variants`), so this pass -- like
+    every other -- changes plan *speed*, never plan *output*.  With a
+    tuner in scope (see :func:`repro.runtime.tuning.tuning_scope`) choices
+    are micro-benchmarked on the traced probe activations and persisted;
+    without one, the ranked heuristic costs only a predicate sweep.
+    """
+    tuner, export = active_tuning()
+    producers = graph.producers()
+    outcome_counts: Dict[str, int] = {"tuned": 0, "cached": 0, "heuristic": 0}
+    annotated = 0
+    for node in graph.nodes:
+        site = None
+        if node.op == "conv2d":
+            conv = _conv_site(node, export)
+            if conv is not None:
+                desc, matrix = conv
+                site = (desc, lambda: _conv_runner_factory(node, desc, matrix))
+        elif node.op == "matmul":
+            lin = _linear_site(node, producers, export)
+            if lin is not None:
+                desc, weight = lin
+                site = (desc, lambda: _linear_runner_factory(node, desc, weight))
+        elif node.op in ("max_pool2d", "avg_pool2d"):
+            desc = _pool_site(node)
+            if desc is not None:
+                site = (desc, lambda: _pool_runner_factory(node, desc))
+        if site is None:
+            continue
+        desc, factory = site
+        candidates = [v.name for v in kernel_variants.applicable_variants(desc)]
+        if tuner is None or len(candidates) == 1:
+            name = kernel_variants.heuristic_choice(desc)
+            provenance = "heuristic"
+        else:
+            name, provenance = tuner.select(desc, candidates, factory())
+        node.attrs["kernel_variant"] = name
+        node.attrs["kernel_variant_provenance"] = provenance
+        outcome_counts[provenance] += 1
+        annotated += 1
+    if tuner is not None and tuner.config.cache is not None:
+        tuner.config.cache.save()
+    detail = ", ".join(
+        f"{count} {kind}" for kind, count in outcome_counts.items() if count
+    )
+    return f"selected variants for {annotated} nodes ({detail or 'none'})"
+
+
+# --------------------------------------------------------------------------- #
 # Pass manager
 # --------------------------------------------------------------------------- #
 PASS_REGISTRY: Dict[str, Callable[[Graph], str]] = {
@@ -296,16 +485,19 @@ PASS_REGISTRY: Dict[str, Callable[[Graph], str]] = {
     "fuse_affine": fuse_affine,
     "fuse_elementwise": fuse_elementwise,
     "dce": dead_node_elimination,
+    "select_kernels": select_kernels,
 }
 
 #: Default pipeline: fold first (so fusion sees baked per-channel
-#: constants), dedupe before fusing, sweep dead nodes last.
+#: constants), dedupe before fusing, sweep dead nodes last, then pick a
+#: kernel variant for every surviving call site.
 DEFAULT_PASSES: Tuple[str, ...] = (
     "fold_constants",
     "cse",
     "fuse_affine",
     "fuse_elementwise",
     "dce",
+    "select_kernels",
 )
 
 

@@ -67,6 +67,7 @@ from repro.runtime.executor import (  # noqa: F401  (re-exported compiled surfac
 from repro.runtime.ir import PlanCompileError, build_graph  # noqa: F401
 from repro.runtime.memory import plan_memory
 from repro.runtime.passes import PassManager, resolve_passes
+from repro.runtime.tuning import coerce_tuner, tuning_scope
 from repro.tensor import Tensor, trace_ops
 
 #: Batch size of the probe input used for tracing.  Any batch size works at
@@ -102,6 +103,7 @@ def compile_plan(
     validate: bool = True,
     passes: Optional[Sequence[str]] = None,
     optimize: bool = True,
+    tuning=None,
 ) -> ExecutionPlan:
     """Compile ``model`` (eval-mode semantics) into a float execution plan.
 
@@ -128,9 +130,19 @@ def compile_plan(
     optimize:
         ``False`` disables every pass: the plan interprets the raw trace
         (the reference the optimised plans are tested against).
+    tuning:
+        How the ``select_kernels`` pass picks kernel variants: ``None``
+        (ranked heuristic, zero cost), a
+        :class:`~repro.runtime.tuning.TuningConfig` (micro-benchmark
+        candidates, optionally against a persistent
+        :class:`~repro.runtime.tuning.TuningCache`) or an existing
+        :class:`~repro.runtime.tuning.Autotuner` (shared budget across
+        several compiles).  Tuning changes plan *speed* only; every
+        variant is byte-exact against the reference lowering.
     """
     return _compile(model, None, input_shape, validate,
-                    resolve_passes(optimize, passes, fold_affine))
+                    resolve_passes(optimize, passes, fold_affine),
+                    tuning=tuning)
 
 
 def compile_quantized_plan(
@@ -142,6 +154,7 @@ def compile_quantized_plan(
     validate: bool = True,
     passes: Optional[Sequence[str]] = None,
     optimize: bool = True,
+    tuning=None,
 ) -> ExecutionPlan:
     """Compile a plan that executes a quantised export directly.
 
@@ -151,15 +164,16 @@ def compile_quantized_plan(
     integer codes are kept as centred integer matrices in the plan, with
     their affine scale applied at the kernel boundary as the step's output
     scale.  There is no model-wide dequantise round-trip and no autograd
-    involvement at execution time.  The ``passes`` / ``optimize`` knobs
-    work exactly as in :func:`compile_plan`.
+    involvement at execution time.  The ``passes`` / ``optimize`` /
+    ``tuning`` knobs work exactly as in :func:`compile_plan`.
     """
     with _COMPILE_LOCK:
         state = model.state_dict()
         try:
             load_into_model(export, model)
             return _compile(model, export, input_shape, validate,
-                            resolve_passes(optimize, passes, fold_affine))
+                            resolve_passes(optimize, passes, fold_affine),
+                            tuning=tuning)
         finally:
             model.load_state_dict(state)
 
@@ -170,9 +184,11 @@ def _compile(
     input_shape: Tuple[int, ...],
     validate: bool,
     passes: Tuple[str, ...],
+    tuning=None,
 ) -> ExecutionPlan:
     with _COMPILE_LOCK:
-        return _compile_locked(model, export, input_shape, validate, passes)
+        return _compile_locked(model, export, input_shape, validate, passes,
+                               tuning=tuning)
 
 
 def _compile_locked(
@@ -181,6 +197,7 @@ def _compile_locked(
     input_shape: Tuple[int, ...],
     validate: bool,
     passes: Tuple[str, ...],
+    tuning=None,
 ) -> ExecutionPlan:
     probe = np.random.default_rng(0).normal(size=(_PROBE_BATCH,) + tuple(input_shape))
     param_names = {id(param): name for name, param in model.named_parameters()}
@@ -197,7 +214,11 @@ def _compile_locked(
     graph = build_graph(
         records, probe_tensor, traced_out, param_names, source=type(model).__name__
     )
-    pipeline = PassManager(passes).run(graph)
+    # The pass pipeline has a fixed Graph -> detail signature, so the tuner
+    # (and the export whose integer codes select_kernels previews) travel
+    # through a compile-scoped context the pass reads back out.
+    with tuning_scope(coerce_tuner(tuning), export):
+        pipeline = PassManager(passes).run(graph)
     if graph.output.kind == "const":
         raise PlanCompileError("model output does not depend on the input")
     memory = plan_memory(graph)

@@ -1,0 +1,514 @@
+"""Kernel variant registry: multiple byte-exact implementations per op.
+
+The executor historically lowered every conv / linear / pool node to one
+generic implementation (im2col gather + dense GEMM, auto-dispatched
+pooling) regardless of shape, dtype or layout.  This module registers the
+alternatives the :func:`~repro.runtime.passes.select_kernels` pass chooses
+between:
+
+``conv2d``
+    * ``im2col`` -- the reference gather + GEMM lowering;
+    * ``im2col_packed`` -- same gather, but the filter matrix is pre-packed
+      to contiguous ``float64`` at compile time (quantised plans stop
+      casting their integer codes on every call);
+    * ``im2col_slices`` -- build the column matrix with ``kh*kw`` strided
+      slice copies into a C-contiguous buffer instead of one fancy-index
+      gather (which produces a batch-innermost layout the GEMM then has
+      to repack); the column *values* are exact copies, so the GEMM is
+      handed identical operands and the result is unchanged -- but both
+      the gather and the GEMM run substantially faster;
+    * ``gemm_1x1`` -- a 1x1 / stride-1 / pad-0 convolution is a plain GEMM
+      over the channel dimension: skip the im2col gather copy entirely;
+    * ``blocked`` -- batch-chunked im2col for large per-sample column
+      matrices: the columns are gathered and multiplied a few samples at
+      a time so the working set stays bounded instead of materialising
+      one huge ``(N, C*kh*kw, out_h*out_w)`` array.
+``linear``
+    * ``matmul`` -- the reference dense matmul;
+    * ``packed`` -- pre-packed contiguous ``float64`` weight (again, the
+      win is for quantised integer-code matrices).
+``max_pool2d`` / ``avg_pool2d``
+    * ``auto`` -- the reference kernel's own dispatch;
+    * ``tiled`` -- force the non-overlapping strided-slice reduction;
+    * ``gather`` -- force the general im2col gather path.
+
+**Byte-exactness is the admission rule**: a variant's ``applies``
+predicate may only accept geometries where its output is bitwise-identical
+to the reference implementation (the PR-5 pass discipline).  That is why
+``avg_pool2d.gather`` excludes geometries the tiled path covers (tiled
+sum-then-scale differs in the last ulp from ``mean`` for non-power-of-two
+kernel areas) while ``max_pool2d.gather`` accepts everything (max is exact
+under any evaluation order), and why the packed variants are admissible at
+all (integer codes convert to ``float64`` exactly, and the GEMM then runs
+over identical operand values).  The test-suite sweeps every registered
+variant against the reference kernels, bit for bit.
+
+Selection is recorded on the IR node (``attrs["kernel_variant"]``) by the
+``select_kernels`` pass -- driven by the :mod:`~repro.runtime.tuning`
+autotuner when one is active, by the zero-cost heuristic ranking otherwise
+-- and the executor's lowering dispatches on it.  A plan compiled without
+the pass lowers every node to the reference variant, unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import kernels
+
+__all__ = [
+    "KernelDesc",
+    "KernelVariant",
+    "available_variants",
+    "heuristic_choice",
+    "reference_variant",
+    "register_variant",
+    "variants_for",
+]
+
+#: Ops that have registered variants (everything else lowers one way).
+VARIED_OPS = ("conv2d", "linear", "max_pool2d", "avg_pool2d")
+
+#: Live column-matrix target for the blocked conv (bytes per gathered
+#: batch chunk); the full-batch column matrix is never materialised.
+_BLOCK_TARGET_BYTES = 256 * 1024
+
+#: Minimum per-sample column-matrix size (bytes) before blocking can pay:
+#: below this the whole matrix already fits the cache and blocking only
+#: adds loop overhead.
+_BLOCK_MIN_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class KernelDesc:
+    """Static description of one lowered kernel call site.
+
+    This is what variant applicability predicates and the autotuner's
+    cache key see: the op, the per-sample input/output geometry, and the
+    baked weight's storage dtype and logical bitwidth.  Two nodes in two
+    different models with the same descriptor are the same tuning problem
+    -- which is exactly why tuned winners persist and transfer.
+    """
+
+    op: str
+    x_shape: Tuple[int, ...]  # per-sample input shape, e.g. (C, H, W)
+    kernel_size: Tuple[int, int] = (0, 0)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+    out_channels: int = 0
+    weight_dtype: str = ""
+    bits: int = 32
+
+    def signature(self) -> str:
+        """Stable string key for the persistent tuning cache."""
+        parts = [
+            self.op,
+            "x=" + "x".join(str(dim) for dim in self.x_shape),
+        ]
+        if self.op == "conv2d" or self.op.endswith("pool2d"):
+            parts.append(f"k={self.kernel_size[0]}x{self.kernel_size[1]}")
+            parts.append(f"s={self.stride[0]}x{self.stride[1]}")
+        if self.op == "conv2d":
+            parts.append(f"p={self.padding[0]}x{self.padding[1]}")
+        if self.op in ("conv2d", "linear"):
+            parts.append(f"co={self.out_channels}")
+            parts.append(f"w={self.weight_dtype}")
+            parts.append(f"b={self.bits}")
+        return "|".join(parts)
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One registered implementation of an op.
+
+    ``applies`` admits only geometries where the variant is
+    bitwise-identical to the reference; ``rank`` orders the zero-cost
+    heuristic (higher wins among applicable variants; the reference is
+    rank 0).
+    """
+
+    op: str
+    name: str
+    applies: Callable[[KernelDesc], bool]
+    rank: int
+    description: str
+
+
+_REGISTRY: Dict[str, "List[KernelVariant]"] = {op: [] for op in VARIED_OPS}
+
+
+def register_variant(variant: KernelVariant) -> KernelVariant:
+    """Add a variant to the registry (first registration per op = reference).
+
+    Raises:
+        ValueError: the op is unknown or the name is already taken.
+    """
+    if variant.op not in _REGISTRY:
+        raise ValueError(
+            f"unknown op {variant.op!r}; variants exist for {sorted(_REGISTRY)}"
+        )
+    if any(existing.name == variant.name for existing in _REGISTRY[variant.op]):
+        raise ValueError(f"variant {variant.op}.{variant.name} already registered")
+    _REGISTRY[variant.op].append(variant)
+    return variant
+
+
+def variants_for(op: str) -> Tuple[KernelVariant, ...]:
+    """Every registered variant of ``op`` (reference first), or ()."""
+    return tuple(_REGISTRY.get(op, ()))
+
+
+def reference_variant(op: str) -> str:
+    """Name of the reference (first-registered) variant of ``op``."""
+    return _REGISTRY[op][0].name
+
+
+def available_variants() -> Dict[str, Tuple[str, ...]]:
+    """Registered variant names per op (documentation / CLI surface)."""
+    return {op: tuple(v.name for v in entries) for op, entries in _REGISTRY.items()}
+
+
+def applicable_variants(desc: KernelDesc) -> Tuple[KernelVariant, ...]:
+    """The variants admissible at ``desc`` (always includes one)."""
+    return tuple(v for v in variants_for(desc.op) if v.applies(desc))
+
+
+def heuristic_choice(desc: KernelDesc) -> str:
+    """Zero-cost selection: the highest-ranked applicable variant."""
+    candidates = applicable_variants(desc)
+    if not candidates:
+        return reference_variant(desc.op)
+    return max(candidates, key=lambda v: v.rank).name
+
+
+# --------------------------------------------------------------------------- #
+# Quantised-weight helpers (shared with the executor's lowering)
+# --------------------------------------------------------------------------- #
+def smallest_int_dtype(low: int, high: int) -> np.dtype:
+    """The narrowest numpy integer dtype holding ``[low, high]``."""
+    for dtype in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= low and high <= info.max:
+            return np.dtype(dtype)
+    raise ValueError(f"no integer dtype holds [{low}, {high}]")  # pragma: no cover
+
+
+def centred_codes(qt) -> np.ndarray:
+    """Zero-point-centred integer codes of a quantised tensor, narrowed."""
+    centred = qt.codes.astype(np.int64) - qt.qparams.zero_point
+    dtype = smallest_int_dtype(int(centred.min(initial=0)), int(centred.max(initial=0)))
+    return centred.astype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Convolution variants
+# --------------------------------------------------------------------------- #
+def _conv_cols_bytes(desc: KernelDesc) -> int:
+    """Per-sample size of the full im2col column matrix, in bytes."""
+    channels = desc.x_shape[0]
+    out_h, out_w = kernels.conv_output_hw(
+        desc.x_shape[1], desc.x_shape[2], desc.kernel_size, desc.stride, desc.padding
+    )
+    k_rows = channels * desc.kernel_size[0] * desc.kernel_size[1]
+    return 8 * k_rows * out_h * out_w
+
+
+def prepare_conv_weight(variant: str, weight_matrix: np.ndarray) -> np.ndarray:
+    """The execution-time form of a conv filter matrix under ``variant``.
+
+    The reference ``im2col`` variant keeps the baked matrix as stored
+    (integer codes for quantised plans); every other variant pre-packs it
+    (see :func:`repro.kernels.pack_weight_matrix`).
+    """
+    if variant == "im2col":
+        return weight_matrix
+    return kernels.pack_weight_matrix(weight_matrix)
+
+
+def run_conv(
+    variant: str,
+    x: np.ndarray,
+    weight_exec: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run one convolution variant; returns ``(N, C_out, out_h*out_w)``.
+
+    ``weight_exec`` must come from :func:`prepare_conv_weight` for the same
+    variant.  ``out`` (when given) receives the result for variants that
+    can write in place; the returned array is authoritative either way.
+    """
+    if variant in ("im2col", "im2col_packed"):
+        cols, _, _, _ = kernels.im2col(x, kernel_size, stride, padding)
+        return kernels.matmul_cols(weight_exec, cols, out=out)
+    if variant == "gemm_1x1":
+        batch, channels = x.shape[:2]
+        flat = x.reshape(batch, channels, x.shape[2] * x.shape[3])
+        if out is not None and out.dtype == np.result_type(weight_exec, flat):
+            return np.matmul(weight_exec, flat, out=out)
+        return np.matmul(weight_exec, flat)  # pragma: no cover - non-f64 input
+    if variant == "im2col_slices":
+        return _run_conv_slices(x, weight_exec, kernel_size, stride, padding, out)
+    if variant == "blocked":
+        return _run_conv_blocked(x, weight_exec, kernel_size, stride, padding, out)
+    raise ValueError(f"unknown conv2d variant {variant!r}")
+
+
+def _run_conv_slices(
+    x: np.ndarray,
+    weight_exec: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """Slice-copied im2col: contiguous columns without the index gather.
+
+    The reference gathers columns with one fancy-index read, which walks a
+    ``C*kh*kw x out_h*out_w`` index table per sample and leaves the batch
+    axis innermost -- a layout the GEMM must repack before it can run.
+    Here the same column matrix is assembled with ``kh*kw`` strided slice
+    copies straight into a C-contiguous buffer.  Every element is an exact
+    copy of the same input value the reference gathers, and the GEMM then
+    receives operands of identical values, shape and dtype, so the result
+    is bitwise identical -- the variant only changes how the bytes got
+    there (and how fast).
+    """
+    padded = kernels.pad_nchw(x, padding[0], padding[1])
+    batch, channels, height, width = x.shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    out_h, out_w = kernels.conv_output_hw(height, width, kernel_size, stride, padding)
+    cols = np.empty(
+        (batch, channels * kernel_h * kernel_w, out_h * out_w), dtype=padded.dtype
+    )
+    view = cols.reshape(batch, channels, kernel_h, kernel_w, out_h, out_w)
+    for di in range(kernel_h):
+        for dj in range(kernel_w):
+            view[:, :, di, dj] = padded[
+                :, :,
+                di : di + (out_h - 1) * stride_h + 1 : stride_h,
+                dj : dj + (out_w - 1) * stride_w + 1 : stride_w,
+            ]
+    return kernels.matmul_cols(weight_exec, cols, out=out)
+
+
+def _run_conv_blocked(
+    x: np.ndarray,
+    weight_exec: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """Batch-chunked im2col: gather + GEMM a few samples at a time.
+
+    The reference materialises the whole batch's column matrix at once;
+    this variant pads once, then gathers and multiplies one batch chunk at
+    a time, bounding the live column matrix to roughly
+    :data:`_BLOCK_TARGET_BYTES`.  Chunking over the *batch* dimension is
+    what keeps it admissible: ``np.matmul`` broadcasts the weight over the
+    batch and runs one independent, identically-shaped GEMM per sample, so
+    each sample's result is computed by exactly the same code path as the
+    reference -- bitwise identical by construction.  (Blocking over output
+    *columns* would not be: BLAS kernels accumulate differently for
+    different matrix widths, which shows up in the last ulp.)
+    """
+    padded = kernels.pad_nchw(x, padding[0], padding[1])
+    batch, channels, height, width = x.shape
+    k, i, j, out_h, out_w = kernels.im2col_indices(
+        channels, height, width, kernel_size, stride, padding
+    )
+    k_rows = channels * kernel_size[0] * kernel_size[1]
+    positions = out_h * out_w
+    per_sample = 8 * k_rows * positions
+    chunk = max(1, _BLOCK_TARGET_BYTES // per_sample)
+    if out is None or out.dtype != np.result_type(weight_exec, padded):
+        out = np.empty(  # pragma: no cover - non-f64 input
+            (batch, weight_exec.shape[0], positions), dtype=np.float64
+        )
+    for start in range(0, batch, chunk):
+        stop = min(start + chunk, batch)
+        cols = padded[start:stop, k, i, j]
+        np.matmul(weight_exec, cols, out=out[start:stop])
+    return out
+
+
+register_variant(KernelVariant(
+    op="conv2d",
+    name="im2col",
+    applies=lambda desc: True,
+    rank=0,
+    description="reference im2col gather + dense GEMM",
+))
+register_variant(KernelVariant(
+    op="conv2d",
+    name="im2col_packed",
+    # Packing only changes anything when the stored matrix is integer
+    # codes (quantised plans); float weights are already packed.
+    applies=lambda desc: desc.bits < 32,
+    rank=10,
+    description="im2col over a pre-packed float64 filter matrix",
+))
+register_variant(KernelVariant(
+    op="conv2d",
+    name="im2col_slices",
+    # For a 1x1 / stride-1 / pad-0 conv the "slices" are one full copy
+    # that gemm_1x1 skips outright, so the variant stands aside there.
+    applies=lambda desc: not (
+        desc.kernel_size == (1, 1)
+        and desc.stride == (1, 1)
+        and desc.padding == (0, 0)
+    ),
+    rank=25,
+    description="slice-copied contiguous columns (no fancy-index gather)",
+))
+register_variant(KernelVariant(
+    op="conv2d",
+    name="gemm_1x1",
+    applies=lambda desc: (
+        desc.kernel_size == (1, 1)
+        and desc.stride == (1, 1)
+        and desc.padding == (0, 0)
+    ),
+    rank=30,
+    description="1x1 convolution as a plain channel GEMM (no gather)",
+))
+register_variant(KernelVariant(
+    op="conv2d",
+    name="blocked",
+    applies=lambda desc: _conv_cols_bytes(desc) >= _BLOCK_MIN_BYTES,
+    rank=20,
+    description="batch-chunked im2col (bounded column working set)",
+))
+
+
+# --------------------------------------------------------------------------- #
+# Linear variants
+# --------------------------------------------------------------------------- #
+def prepare_linear_weight(variant: str, weight: np.ndarray) -> np.ndarray:
+    """The execution-time form of a dense weight under ``variant``."""
+    if variant == "matmul":
+        return weight
+    return kernels.pack_weight_matrix(weight)
+
+
+def run_linear(
+    variant: str,
+    x: np.ndarray,
+    weight_exec: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run one dense-matmul variant against a baked ``(in, out)`` weight."""
+    if variant not in ("matmul", "packed"):
+        raise ValueError(f"unknown linear variant {variant!r}")
+    if (
+        x.ndim == 2
+        and np.result_type(x, weight_exec) == np.float64
+        and out is not None
+    ):
+        return np.matmul(x, weight_exec, out=out)
+    return x @ weight_exec
+
+
+register_variant(KernelVariant(
+    op="linear",
+    name="matmul",
+    applies=lambda desc: True,
+    rank=0,
+    description="reference dense matmul against the stored weight",
+))
+register_variant(KernelVariant(
+    op="linear",
+    name="packed",
+    applies=lambda desc: desc.bits < 32,
+    rank=10,
+    description="dense matmul over a pre-packed float64 weight",
+))
+
+
+# --------------------------------------------------------------------------- #
+# Pooling variants
+# --------------------------------------------------------------------------- #
+def _pool_tiled_ok(desc: KernelDesc) -> bool:
+    return kernels.pool_tiled_applicable(
+        desc.x_shape[1:], desc.kernel_size, desc.stride
+    )
+
+
+def run_pool(
+    op: str,
+    variant: str,
+    x: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> np.ndarray:
+    """Run one pooling variant (``op`` is ``max_pool2d`` or ``avg_pool2d``)."""
+    table = _POOL_IMPLS.get((op, variant))
+    if table is None:
+        raise ValueError(f"unknown pooling variant {op}.{variant!r}")
+    return table(x, kernel_size, stride)
+
+
+_POOL_IMPLS = {
+    ("max_pool2d", "auto"): kernels.max_pool2d,
+    ("max_pool2d", "tiled"): kernels.max_pool2d_tiled,
+    ("max_pool2d", "gather"): kernels.max_pool2d_gather,
+    ("avg_pool2d", "auto"): kernels.avg_pool2d,
+    ("avg_pool2d", "tiled"): kernels.avg_pool2d_tiled,
+    ("avg_pool2d", "gather"): kernels.avg_pool2d_gather,
+}
+
+register_variant(KernelVariant(
+    op="max_pool2d",
+    name="auto",
+    applies=lambda desc: True,
+    rank=0,
+    description="reference kernel with its own tiled/gather dispatch",
+))
+register_variant(KernelVariant(
+    op="max_pool2d",
+    name="tiled",
+    applies=_pool_tiled_ok,
+    rank=10,
+    description="non-overlapping strided-slice max reduction",
+))
+register_variant(KernelVariant(
+    op="max_pool2d",
+    # Max is exact under any evaluation order, so the gather path is
+    # admissible everywhere -- a real two-way tuning choice on
+    # non-overlapping geometries.
+    name="gather",
+    applies=lambda desc: True,
+    rank=1,
+    description="im2col gather max (general geometry)",
+))
+register_variant(KernelVariant(
+    op="avg_pool2d",
+    name="auto",
+    applies=lambda desc: True,
+    rank=0,
+    description="reference kernel with its own tiled/gather dispatch",
+))
+register_variant(KernelVariant(
+    op="avg_pool2d",
+    name="tiled",
+    applies=_pool_tiled_ok,
+    rank=10,
+    description="non-overlapping strided-slice sum-and-scale",
+))
+register_variant(KernelVariant(
+    op="avg_pool2d",
+    # Sum-then-scale vs mean differ in the last ulp for non-power-of-two
+    # kernel areas, so the gather variant only admits geometries the
+    # tiled fast path (which the reference dispatch would take) rejects.
+    name="gather",
+    applies=lambda desc: not _pool_tiled_ok(desc),
+    rank=1,
+    description="im2col gather mean (overlapping / ragged geometry)",
+))

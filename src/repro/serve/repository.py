@@ -126,6 +126,7 @@ class ModelRepository:
         plan_cache: Optional[PlanCache] = None,
         *,
         history_depth: int = 4,
+        tuning=None,
     ) -> None:
         """Args:
             plan_cache: Shared compile cache (default: a private one).
@@ -133,6 +134,12 @@ class ModelRepository:
                 :meth:`rollback`.  Each retained export holds a full copy
                 of the model's weights, so the long-running adaptation
                 loop needs a bound; the oldest is dropped beyond it.
+            tuning: Optional :class:`~repro.runtime.tuning.TuningConfig`
+                applied to every compilation the repository triggers (the
+                ``select_kernels`` pass then micro-benchmarks kernel
+                variants instead of using the free heuristic).  Part of
+                every plan-cache key the repository produces, so tuned and
+                heuristic deployments never share plans.
         """
         if history_depth < 1:
             raise ValueError(f"history_depth must be at least 1, got {history_depth}")
@@ -141,6 +148,7 @@ class ModelRepository:
         self._swap_listeners: List[SwapListener] = []
         self.history_depth = history_depth
         self.plan_cache = plan_cache or PlanCache()
+        self.tuning = tuning
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -359,7 +367,8 @@ class ModelRepository:
             # the entry's own lock makes the fp32 compile exactly-once.
             with entry.float_compile_lock:
                 if entry.float_plan is None:
-                    plan = compile_plan(entry.model, entry.input_shape)
+                    plan = compile_plan(entry.model, entry.input_shape,
+                                        tuning=self.tuning)
                     with self._lock:
                         entry.float_plan = plan
                 return entry.float_plan
@@ -379,7 +388,9 @@ class ModelRepository:
             # Compile outside the repository lock: the plan cache provides
             # its own exactly-once guarantee, and holding our lock across a
             # compile would serialise unrelated repository lookups behind it.
-            plan = self.plan_cache.get_or_compile(model, export, input_shape)
+            plan = self.plan_cache.get_or_compile(
+            model, export, input_shape, tuning=self.tuning
+        )
             with self._lock:
                 entry = self._entry(name)
                 if entry.exports.get(bits) is export:
@@ -391,7 +402,7 @@ class ModelRepository:
             # version on the next pass -- swap() pre-populated its plan.
             if current is None or current.content_hash() != export.content_hash():
                 self.plan_cache.invalidate(
-                    self.plan_cache.key_for(model, export, input_shape)
+                    self.plan_cache.key_for(model, export, input_shape, tuning=self.tuning)
                 )
 
     def memory_stats(self, name: str, bits: int = FLOAT_BITS):
@@ -532,7 +543,9 @@ class ModelRepository:
             model, input_shape = entry.model, entry.input_shape
         # Compile outside every lock: the plan cache serialises duplicate
         # compiles itself, and serving keeps resolving the old plan.
-        plan = self.plan_cache.get_or_compile(model, export, input_shape)
+        plan = self.plan_cache.get_or_compile(
+            model, export, input_shape, tuning=self.tuning
+        )
         with self._lock:
             entry = self._entry(name)
             old = entry.exports.get(key)
@@ -602,7 +615,9 @@ class ModelRepository:
             target = stack[-1]
             discarded = entry.exports[key]
             model, input_shape = entry.model, entry.input_shape
-        plan = self.plan_cache.get_or_compile(model, target, input_shape)
+        plan = self.plan_cache.get_or_compile(
+            model, target, input_shape, tuning=self.tuning
+        )
         with self._lock:
             entry = self._entry(name)
             stack = entry.previous.get(key)
@@ -638,7 +653,9 @@ class ModelRepository:
         """
         if replaced.content_hash() == installed.content_hash():
             return
-        self.plan_cache.invalidate(self.plan_cache.key_for(model, replaced, input_shape))
+        self.plan_cache.invalidate(
+            self.plan_cache.key_for(model, replaced, input_shape, tuning=self.tuning)
+        )
 
     # ------------------------------------------------------------------ #
     # Model access for adaptation

@@ -181,6 +181,10 @@ class InferenceService:
             # Surface compile / hit / eviction counts alongside the serving
             # metrics; an explicitly pre-bound cache keeps its registry.
             repository.plan_cache.bind_metrics(self.metrics)
+        tuning_cache = getattr(repository.tuning, "cache", None)
+        if tuning_cache is not None and tuning_cache._metric_counters is None:
+            # Same contract for the autotuner's persistent winner store.
+            tuning_cache.bind_metrics(self.metrics)
         self._swap_counter = self.metrics.counter(
             "repo_swaps_total",
             "Hot swaps / rollbacks installed, by model and kind.",

@@ -462,3 +462,79 @@ class TestMainDispatch:
 
     def test_unknown_command(self, capsys):
         assert cli.main(["deploy"]) == 2
+
+
+class TestPlanInspectTuning:
+    @pytest.fixture()
+    def export_path(self, tmp_path):
+        import numpy as np
+
+        from repro.models import build_model
+        from repro.quant import export_quantized_model, save_export
+
+        model = build_model(
+            "tiny_convnet", num_classes=10, in_channels=1, rng=np.random.default_rng(0)
+        )
+        export = export_quantized_model(
+            model, {n: 8 for n, _ in model.named_parameters()}
+        )
+        return str(save_export(export, tmp_path / "tiny"))
+
+    def _argv(self, export_path, *extra):
+        return [export_path, "--model", "tiny_convnet", "--in-channels", "1",
+                "--image-size", "12", *extra]
+
+    def test_default_run_lists_heuristic_variants(self, export_path, capsys):
+        assert cli.run_plan_inspect(self._argv(export_path)) == 0
+        out = capsys.readouterr().out
+        assert "kernel variants:" in out
+        assert "(heuristic)" in out
+        assert "tuning:" not in out
+
+    def test_tune_flag_reports_tuner_summary(self, export_path, capsys):
+        assert cli.run_plan_inspect(self._argv(export_path, "--tune", "2.0")) == 0
+        out = capsys.readouterr().out
+        assert "(tuned)" in out or "(cached)" in out or "(heuristic)" in out
+        assert "tuning:" in out and "measurements" in out
+
+    def test_tuning_cache_persists_across_invocations(self, export_path, tmp_path, capsys):
+        cache = str(tmp_path / "tuning.json")
+        argv = self._argv(export_path, "--tune", "2.0", "--tuning-cache", cache)
+        assert cli.run_plan_inspect(argv) == 0
+        capsys.readouterr()
+        assert cli.run_plan_inspect(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 measurements" in out  # second run answered from disk
+
+
+class TestAutotuneCommand:
+    def test_cold_then_warm_run(self, tmp_path, capsys):
+        cache = str(tmp_path / "tuning.json")
+        argv = ["--model", "tiny_convnet", "--cache", cache,
+                "--budget", "2.0", "--bits", "8", "--verify"]
+        assert cli.run_autotune(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[fp32]" in cold and "[int8]" in cold
+        assert "verify: tuned output bitwise-identical" in cold
+        assert "measurements: 0" not in cold
+
+        assert cli.run_autotune(argv) == 0
+        warm = capsys.readouterr().out
+        assert "measurements: 0" in warm  # every selection came from disk
+        assert "retunes=0" in warm
+
+    def test_bad_bits_rejected(self, tmp_path, capsys):
+        argv = ["--cache", str(tmp_path / "t.json"), "--bits", "eight"]
+        assert cli.run_autotune(argv) == 2
+        assert "--bits must be" in capsys.readouterr().err
+
+    def test_unsupported_bitwidth_fails_cleanly(self, tmp_path, capsys):
+        argv = ["--cache", str(tmp_path / "t.json"), "--bits", "1"]
+        assert cli.run_autotune(argv) == 2
+        assert "autotune failed" in capsys.readouterr().err
+
+    def test_main_dispatch(self, tmp_path, capsys):
+        argv = ["autotune", "--model", "tiny_convnet",
+                "--cache", str(tmp_path / "t.json"), "--budget", "1.0"]
+        assert cli.main(argv) == 0
+        assert "autotune: tiny_convnet" in capsys.readouterr().out
