@@ -1,0 +1,106 @@
+"""Merging metric dumps from multiple processes into one view.
+
+The process-sharded worker pool (:class:`repro.serve.workers.ProcessWorkerPool`)
+gives every spawned worker its own private :class:`~repro.obs.registry.MetricRegistry`
+-- cross-process metric mutation would need locks in shared memory, and the
+registries are tiny.  Workers ship their registries to the parent as the
+JSON-ready nested dicts of :meth:`~repro.obs.registry.MetricRegistry.as_dict`
+over the stats mailbox; this module folds those dumps into a single
+dictionary in the same shape, tagging every series with the shard it came
+from so same-named series from different workers stay distinguishable.
+
+The merged dict is *reporting* output (CLI, bench JSON artifacts), not a
+live registry: values are a snapshot of each worker at collection time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+def merge_registry_dumps(
+    dumps: Mapping[str, dict], *, label: str = "shard"
+) -> Dict[str, dict]:
+    """Fold per-process registry dumps into one labelled dump.
+
+    Args:
+        dumps: ``{shard_id: registry.as_dict()}`` -- the mapping returned
+            by :meth:`repro.serve.workers.ProcessWorkerPool.worker_metrics`.
+        label: Label name carrying the source shard id on every merged
+            series (must not collide with an existing label of any metric).
+
+    Returns:
+        One dict in the ``MetricRegistry.as_dict`` shape: each metric
+        family appears once, with ``label`` appended to its label names
+        and every series tagged with its source shard id.
+
+    Raises:
+        ValueError: two dumps declare the same metric name with different
+            kinds or label sets, or a metric already uses ``label``.
+    """
+    merged: Dict[str, dict] = {}
+    for shard_id in sorted(dumps):
+        dump = dumps[shard_id]
+        for name, family in dump.items():
+            labels = list(family.get("labels", []))
+            if label in labels:
+                raise ValueError(
+                    f"metric {name!r} already has a {label!r} label; "
+                    f"pick a different merge label"
+                )
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "kind": family["kind"],
+                    "help": family.get("help", ""),
+                    "labels": labels + [label],
+                    "series": [],
+                }
+                merged[name] = target
+            else:
+                if target["kind"] != family["kind"]:
+                    raise ValueError(
+                        f"metric {name!r} is a {family['kind']} in shard "
+                        f"{shard_id} but a {target['kind']} in an earlier dump"
+                    )
+                if target["labels"] != labels + [label]:
+                    raise ValueError(
+                        f"metric {name!r} has labels {labels} in shard "
+                        f"{shard_id} but {target['labels'][:-1]} in an "
+                        f"earlier dump"
+                    )
+            for entry in family.get("series", []):
+                tagged = dict(entry)
+                tagged["labels"] = {**entry.get("labels", {}), label: str(shard_id)}
+                target["series"].append(tagged)
+    return merged
+
+
+def total_counter(merged: Mapping[str, dict], name: str, **labels: str) -> float:
+    """Sum one counter/gauge family's series across shards.
+
+    Series are filtered to those matching every given label (the merge
+    label itself is usually omitted, summing over shards).
+
+    Args:
+        merged: Output of :func:`merge_registry_dumps`.
+        name: Metric family name.
+        **labels: Label filters; a series must match all of them.
+
+    Returns:
+        The sum of matching series values (0.0 when nothing matches).
+
+    Raises:
+        KeyError: the family does not exist in the merged dump.
+        ValueError: the family is a histogram (sum its ``sum``/``count``
+            fields explicitly instead).
+    """
+    family = merged[name]
+    if family["kind"] == "histogram":
+        raise ValueError(f"metric {name!r} is a histogram; total_counter sums scalars")
+    total = 0.0
+    for entry in family["series"]:
+        entry_labels = entry.get("labels", {})
+        if all(entry_labels.get(key) == value for key, value in labels.items()):
+            total += float(entry["value"])
+    return total

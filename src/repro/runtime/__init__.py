@@ -44,6 +44,7 @@ from repro.runtime.passes import (
     resolve_passes,
 )
 from repro.runtime.plan import (
+    PlanSpec,
     compile_lock,
     compile_plan,
     compile_quantized_plan,
@@ -71,6 +72,7 @@ __all__ = [
     "PlanCache",
     "PlanCompileError",
     "PlanMemoryStats",
+    "PlanSpec",
     "TuningCache",
     "TuningConfig",
     "Value",

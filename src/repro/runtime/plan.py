@@ -41,6 +41,7 @@ of that.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -238,3 +239,67 @@ def _compile_locked(
                 f"compiled plan diverges from the traced module (max abs err {worst:.3e})"
             )
     return plan
+
+# --------------------------------------------------------------------------- #
+# Pickle-safe compile specs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PlanSpec:
+    """A picklable description of one plan compilation.
+
+    Compiled :class:`ExecutionPlan` objects are deliberately *not*
+    pickled across process boundaries -- their steps hold baked kernel
+    buffers, fused closures and tuner-selected variants that are cheap to
+    rebuild but awkward to serialise faithfully.  A ``PlanSpec`` is the
+    stable contract instead: the complete set of compile *inputs* (shape
+    and pass configuration -- the model and export travel separately, as
+    a pickled module and an arena-mapped export).  Compiling the same
+    spec against byte-identical model/export state produces byte-identical
+    plan outputs in any process, which is what the process serving
+    backend's cross-worker determinism rests on.
+    """
+
+    input_shape: Tuple[int, ...]
+    fold_affine: bool = True
+    validate: bool = True
+    passes: Optional[Tuple[str, ...]] = None
+    optimize: bool = True
+
+    def __post_init__(self) -> None:
+        # Normalise to hashable/picklable tuples whatever iterables came in.
+        object.__setattr__(self, "input_shape", tuple(self.input_shape))
+        if self.passes is not None:
+            object.__setattr__(self, "passes", tuple(self.passes))
+
+    def resolved_passes(self) -> Tuple[str, ...]:
+        """The pass pipeline this spec resolves to (cache-key component)."""
+        return resolve_passes(self.optimize, self.passes, self.fold_affine)
+
+    def compile(
+        self,
+        model: Module,
+        export: Optional[QuantizedModelExport] = None,
+        *,
+        tuning=None,
+    ) -> ExecutionPlan:
+        """Compile the spec: float plan without ``export``, quantised with."""
+        if export is None:
+            return compile_plan(
+                model,
+                self.input_shape,
+                fold_affine=self.fold_affine,
+                validate=self.validate,
+                passes=self.passes,
+                optimize=self.optimize,
+                tuning=tuning,
+            )
+        return compile_quantized_plan(
+            model,
+            export,
+            self.input_shape,
+            fold_affine=self.fold_affine,
+            validate=self.validate,
+            passes=self.passes,
+            optimize=self.optimize,
+            tuning=tuning,
+        )

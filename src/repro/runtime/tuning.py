@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import threading
 import time
 from contextlib import contextmanager
@@ -138,7 +139,15 @@ class TuningCache:
                 continue
 
     def save(self) -> bool:
-        """Atomically write the cache to disk; returns ``False`` if clean."""
+        """Atomically write the cache to disk; returns ``False`` if clean.
+
+        The tempfile is created *in the cache's own directory* (never the
+        system temp dir, which may live on another filesystem where
+        ``os.replace`` cannot rename atomically) with a per-call unique
+        name, so concurrent savers -- e.g. several shard worker processes
+        sharing one cache path -- cannot trample each other's half-written
+        tempfile; last rename wins, and each renamed file is complete.
+        """
         with self._lock:
             if not self._dirty:
                 return False
@@ -152,10 +161,19 @@ class TuningCache:
             self._dirty = False
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-        os.replace(tmp_path, self.path)
+        handle_fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(self.path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except FileNotFoundError:
+                pass
+            raise
         return True
 
     # -- metrics ---------------------------------------------------------- #

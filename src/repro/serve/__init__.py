@@ -12,6 +12,11 @@ Layered concurrent serving stack:
   serving time).
 * :class:`~repro.serve.workers.WorkerPool` -- threads executing shared
   plans concurrently, one buffer arena per worker.
+* :class:`~repro.serve.workers.ProcessWorkerPool` -- spawned worker
+  processes (one per :class:`~repro.serve.shards.ShardRouter` shard)
+  executing plans against exports in ``multiprocessing.shared_memory``
+  arenas, batches crossing over a
+  :class:`~repro.serve.shards.SlabRing` of preallocated slabs.
 * :class:`~repro.serve.service.InferenceService` -- the composition:
   ``submit(model, x, slo) -> ResultFuture``.
 * :class:`~repro.serve.engine.MicroBatchServer` -- the cooperative
@@ -41,12 +46,27 @@ from repro.serve.types import (
     ServeStats,
     VariantCost,
 )
-from repro.serve.workers import BatchExecutor, WorkerPool
+from repro.serve.shards import (
+    ArenaManifest,
+    ArenaTensorSpec,
+    ExportManifest,
+    ShardRouter,
+    ShardWorkerConfig,
+    SlabRing,
+    attach_exports,
+    attach_segment,
+    pack_exports,
+    variant_key,
+)
+from repro.serve.workers import BatchExecutor, ProcessWorkerPool, WorkerPool
 from repro.serve.bench import (
+    BackendBenchReport,
+    BackendBenchRow,
     ScalingBenchReport,
     ScalingBenchRow,
     ServeBenchReport,
     ServeBenchRow,
+    run_backend_bench,
     run_scaling_bench,
     run_serve_bench,
 )
@@ -67,7 +87,18 @@ __all__ = [
     "QueuePolicy",
     "QueueFullError",
     "WorkerPool",
+    "ProcessWorkerPool",
     "BatchExecutor",
+    "ShardRouter",
+    "SlabRing",
+    "ShardWorkerConfig",
+    "ArenaManifest",
+    "ArenaTensorSpec",
+    "ExportManifest",
+    "pack_exports",
+    "attach_exports",
+    "attach_segment",
+    "variant_key",
     "InferenceRequest",
     "InferenceResult",
     "ResultFuture",
@@ -79,6 +110,9 @@ __all__ = [
     "ServeBenchRow",
     "ScalingBenchReport",
     "ScalingBenchRow",
+    "BackendBenchReport",
+    "BackendBenchRow",
     "run_serve_bench",
     "run_scaling_bench",
+    "run_backend_bench",
 ]

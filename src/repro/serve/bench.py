@@ -19,6 +19,12 @@ InferenceService` at several worker-pool sizes and reports how throughput
 scales over the single-worker baseline (possible because one compiled plan
 is shared across worker threads, each with its own buffer arena, and the
 numpy kernels release the GIL).
+
+:func:`run_backend_bench` compares the thread and process serving
+backends on one identical request stream: same models, same samples, same
+batching policy, so the logits must come back bitwise identical (the
+report records whether they did) while the process backend escapes the
+GIL entirely.
 """
 
 from __future__ import annotations
@@ -426,4 +432,211 @@ def run_scaling_bench(
     baseline = report.rows[0].throughput_rps
     for row in report.rows:
         row.speedup_vs_baseline = row.throughput_rps / baseline if baseline > 0 else 0.0
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Thread vs process backend benchmark
+# --------------------------------------------------------------------------- #
+@dataclass
+class BackendBenchRow:
+    """Throughput of one serving backend on the shared request stream."""
+
+    backend: str
+    #: Worker threads (thread backend) or shard processes (process backend).
+    workers: int
+    seconds: float
+    throughput_rps: float
+    #: Relative to the thread row (the report's baseline backend).
+    speedup_vs_thread: float
+    mean_batch_size: float
+
+
+@dataclass
+class BackendBenchReport:
+    """Result of one thread-vs-process backend comparison."""
+
+    models: List[str]
+    bits: Optional[int]
+    batch_size: int
+    requests: int
+    shards: int
+    #: Whether both backends returned bitwise-identical logits for every
+    #: request (same plans, same batch composition -- they must).
+    identical: bool = True
+    rows: List[BackendBenchRow] = field(default_factory=list)
+
+    def row(self, backend: str) -> BackendBenchRow:
+        """The row for one backend (raises ``KeyError`` when absent)."""
+        for row in self.rows:
+            if row.backend == backend:
+                return row
+        raise KeyError(f"no backend row named {backend!r}")
+
+    def format_rows(self) -> List[str]:
+        """The report as aligned text lines (one per backend)."""
+        header = (
+            f"{'backend':<8s} {'workers':>7s} {'seconds':>9s} {'req/s':>10s} "
+            f"{'vs thread':>9s} {'mean batch':>11s}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.backend:<8s} {row.workers:7d} {row.seconds:9.3f} "
+                f"{row.throughput_rps:10.0f} {row.speedup_vs_thread:8.2f}x "
+                f"{row.mean_batch_size:11.1f}"
+            )
+        lines.append(
+            "responses bitwise-identical across backends: "
+            + ("yes" if self.identical else "NO")
+        )
+        return lines
+
+
+def _serve_stream(
+    repository: ModelRepository,
+    names: Sequence[str],
+    streams: Mapping[str, np.ndarray],
+    requests: int,
+    policy: QueuePolicy,
+    *,
+    backend: str,
+    workers: int,
+    shards: Optional[int],
+) -> Tuple[float, List[np.ndarray], float]:
+    """Serve the stream once; returns (seconds, per-request logits, mean batch).
+
+    Requests are submitted from this single thread in a fixed order; with
+    an infinite queue delay a batch dispatches exactly when it is full, so
+    batch composition -- and therefore the BLAS reduction order inside each
+    batch -- is identical for every backend, making the returned logits
+    comparable bit-for-bit.
+    """
+    service = InferenceService(
+        repository,
+        workers=workers,
+        queue_policy=policy,
+        warm=True,
+        backend=backend,
+        shards=shards,
+    )
+    futures = []
+    with service:
+        # Timing starts after start-up (worker spawn, arena packing, plan
+        # compilation): both backends are measured warm, on serving alone.
+        started = time.perf_counter()
+        for index in range(requests):
+            name = names[index % len(names)]
+            sample = streams[name][index // len(names)]
+            futures.append(service.submit(name, sample))
+        service.stop()
+        results = [future.result(timeout=120.0) for future in futures]
+        seconds = time.perf_counter() - started
+    logits = [np.array(result.logits, copy=True) for result in results]
+    return seconds, logits, service.stats.mean_batch_size
+
+
+def run_backend_bench(
+    models: Mapping[str, Tuple[Module, Tuple[int, ...]]],
+    *,
+    bits: Optional[int] = None,
+    workers: int = 2,
+    shards: Optional[int] = None,
+    batch_size: int = 16,
+    requests: int = 128,
+    repeats: int = 1,
+    seed: int = 0,
+) -> BackendBenchReport:
+    """Serve one request stream through both backends and compare.
+
+    Parameters
+    ----------
+    models:
+        ``name -> (module, per_sample_input_shape)``.  Requests alternate
+        round-robin over the named models (the multi-model case is where
+        process sharding pays: each shard compiles and serves only its
+        own models).
+    bits:
+        Serve every model's uniform ``bits``-bit quantised export, or
+        (default) the compiled fp32 plan.
+    workers:
+        Thread count for the thread backend.
+    shards:
+        Shard (process) count for the process backend; defaults to
+        ``workers`` so both backends get the same parallelism budget.
+    batch_size, requests, repeats, seed:
+        As in :func:`run_scaling_bench`.  The identity check always uses
+        the first repeat of each backend (identical streams).
+    """
+    if not models:
+        raise ValueError("models mapping must not be empty")
+    if bits is not None and not 2 <= bits < FLOAT_BITS_THRESHOLD:
+        raise ValueError(
+            f"bits must be in [2, {FLOAT_BITS_THRESHOLD - 1}] or None for fp32, got {bits}"
+        )
+    if requests < 1:
+        raise ValueError(f"requests must be at least 1, got {requests}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    shard_count = shards if shards is not None else workers
+
+    rng = np.random.default_rng(seed)
+    names = list(models)
+    streams = {
+        name: _request_stream(models[name][1], requests // len(names) + 1, rng)
+        for name in names
+    }
+    policy = QueuePolicy(max_batch_size=batch_size, max_queue_delay_s=float("inf"))
+
+    report = BackendBenchReport(
+        models=names,
+        bits=bits,
+        batch_size=batch_size,
+        requests=requests,
+        shards=shard_count,
+    )
+    reference: Optional[List[np.ndarray]] = None
+    for backend, parallelism in (("thread", workers), ("process", shard_count)):
+        best = float("inf")
+        best_mean_batch = 0.0
+        for repeat in range(repeats):
+            # A fresh repository per run: plan caches and schedulers start
+            # cold for both backends alike.
+            repository = ModelRepository()
+            for name, (model, input_shape) in models.items():
+                repository.add_model(name, model, input_shape)
+                if bits is not None:
+                    uniform = {p: bits for p, _ in model.named_parameters()}
+                    repository.add_export(
+                        name, export_quantized_model(model, uniform), bits=bits
+                    )
+            seconds, logits, mean_batch = _serve_stream(
+                repository, names, streams, requests, policy,
+                backend=backend, workers=parallelism, shards=shard_count,
+            )
+            if repeat == 0:
+                if reference is None:
+                    reference = logits
+                else:
+                    report.identical = report.identical and len(logits) == len(
+                        reference
+                    ) and all(
+                        np.array_equal(a, b) for a, b in zip(reference, logits)
+                    )
+            if seconds < best:
+                best = seconds
+                best_mean_batch = mean_batch
+        report.rows.append(
+            BackendBenchRow(
+                backend=backend,
+                workers=parallelism,
+                seconds=best,
+                throughput_rps=requests / best,
+                speedup_vs_thread=0.0,  # filled below
+                mean_batch_size=best_mean_batch,
+            )
+        )
+    baseline = report.row("thread").throughput_rps
+    for row in report.rows:
+        row.speedup_vs_thread = row.throughput_rps / baseline if baseline > 0 else 0.0
     return report

@@ -152,6 +152,18 @@ class Scheduler:
             raise KeyError(f"model {model!r} is not registered with the scheduler")
         return queue
 
+    def _stamp_depth_locked(self, model: str, queue: _ModelQueue) -> None:
+        """Publish the queue's live depth (called with the lock held).
+
+        The gauge is stamped at every enqueue- and dequeue-*commit* -- the
+        instants the pending deque actually changes length under the lock
+        -- and on admission rejection, never early and never tied to the
+        (optional) counters, so a scraped depth always equals what a
+        concurrent :meth:`pending` call would report.
+        """
+        if self._depth_gauge is not None:
+            self._depth_gauge.labels(queue=model).set(len(queue.pending))
+
     def policy(self, model: str) -> QueuePolicy:
         """The batching policy of one queue.
 
@@ -190,6 +202,7 @@ class Scheduler:
             if depth is not None and len(queue.pending) >= depth:
                 if self._full_counter is not None:
                     self._full_counter.labels(queue=model).inc()
+                self._stamp_depth_locked(model, queue)
                 raise QueueFullError(
                     f"queue for model {model!r} is at its bounded depth ({depth}); "
                     f"retry later or route elsewhere"
@@ -197,7 +210,7 @@ class Scheduler:
             queue.pending.append(request)
             if self._submitted_counter is not None:
                 self._submitted_counter.labels(queue=model).inc()
-                self._depth_gauge.labels(queue=model).set(len(queue.pending))
+            self._stamp_depth_locked(model, queue)
             self._cond.notify()
 
     # ------------------------------------------------------------------ #
@@ -224,7 +237,10 @@ class Scheduler:
         batch = [queue.pending.popleft() for _ in range(size)]
         if self._dispatched_counter is not None:
             self._dispatched_counter.labels(queue=model).inc()
-            self._depth_gauge.labels(queue=model).set(len(queue.pending))
+        # Dequeue-commit: the requests have left the pending deque under
+        # the lock, so the published depth drops exactly here -- not when
+        # the batch later finishes dispatch.
+        self._stamp_depth_locked(model, queue)
         return batch
 
     def pop_due(self) -> Optional[Tuple[str, List[InferenceRequest]]]:

@@ -47,7 +47,8 @@ from repro.serve.types import (
     ResultFuture,
     ServeStats,
 )
-from repro.serve.workers import BatchExecutor, WorkerPool
+from repro.serve.shards import ShardRouter
+from repro.serve.workers import BatchExecutor, ProcessWorkerPool, WorkerPool
 
 
 def _queue_key(model: str, bits: int) -> str:
@@ -129,6 +130,18 @@ class InferenceService:
         (default: one on this registry / clock with default windowing).
     trace_capacity:
         Completed traces retained in the :attr:`traces` ring.
+    backend:
+        ``"thread"`` (default) keeps the in-process :class:`WorkerPool`;
+        ``"process"`` shards the repository across spawned worker
+        processes (:class:`~repro.serve.workers.ProcessWorkerPool`) with
+        exports in shared-memory arenas and one scheduler per shard.
+        The process backend serves the variants registered at
+        construction; variants added later raise in the owning worker.
+    shards:
+        Process-backend shard count (defaults to ``workers``).  Each
+        shard is one spawned process owning one scheduler; the
+        consistent-hash router pins every ``(model, bits)`` variant to
+        exactly one shard.
     """
 
     def __init__(
@@ -145,7 +158,11 @@ class InferenceService:
         tracing: bool = True,
         slo_monitor: Optional[SLOMonitor] = None,
         trace_capacity: int = 256,
+        backend: str = "thread",
+        shards: Optional[int] = None,
     ) -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
         self.repository = repository
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.tracing = tracing
@@ -163,7 +180,20 @@ class InferenceService:
         self.modelled_accounting = compute_profile is not None or energy_model is not None
         self.clock = clock
         self.stats = ServeStats(self.metrics)
-        self.scheduler = Scheduler(clock=clock, metrics=self.metrics)
+        self.backend = backend
+        self.shards = (shards if shards is not None else workers) if backend == "process" else 1
+        if self.shards < 1:
+            raise ValueError(f"shards must be at least 1, got {self.shards}")
+        if backend == "process":
+            self.shard_router = ShardRouter(self.shards)
+            self.schedulers = [
+                Scheduler(clock=clock, metrics=self.metrics) for _ in range(self.shards)
+            ]
+            self.scheduler = self.schedulers[0]
+        else:
+            self.shard_router = None
+            self.scheduler = Scheduler(clock=clock, metrics=self.metrics)
+            self.schedulers = [self.scheduler]
         self.traces = TraceLog(trace_capacity)
         self.slo = (
             slo_monitor
@@ -193,20 +223,44 @@ class InferenceService:
         repository.add_swap_listener(self._on_swap)
         for model in repository.models():
             for bits in repository.variants(model):
-                self.scheduler.register(_queue_key(model, bits), self._queue_policy)
-                self._known_queues.add(_queue_key(model, bits))
-        if warm:
-            repository.warm()
-        self.pool = WorkerPool(
-            self.scheduler,
-            _RepositoryExecutor(self),
-            workers=workers,
-            stats=self.stats,
-            clock=clock,
-            metrics=self.metrics,
-            trace_log=self.traces,
-            slo_monitor=self.slo,
-        )
+                key = _queue_key(model, bits)
+                self._scheduler_for(key).register(key, self._queue_policy)
+                self._known_queues.add(key)
+        if backend == "process":
+            # Workers compile (and warm) their own shard's plans; warming
+            # the parent's plan cache would just duplicate the compiles.
+            self.pool = ProcessWorkerPool(
+                self.schedulers,
+                repository,
+                self.shard_router,
+                stats=self.stats,
+                clock=clock,
+                metrics=self.metrics,
+                trace_log=self.traces,
+                slo_monitor=self.slo,
+                accountant_for=self.router.accountant if self.modelled_accounting else None,
+                warm=warm,
+            )
+        else:
+            if warm:
+                repository.warm()
+            self.pool = WorkerPool(
+                self.scheduler,
+                _RepositoryExecutor(self),
+                workers=workers,
+                stats=self.stats,
+                clock=clock,
+                metrics=self.metrics,
+                trace_log=self.traces,
+                slo_monitor=self.slo,
+            )
+
+    def _scheduler_for(self, key: str) -> Scheduler:
+        """The scheduler owning one variant queue (shard-routed under the
+        process backend; the single scheduler otherwise)."""
+        if self.shard_router is None:
+            return self.scheduler
+        return self.schedulers[self.shard_router.shard_for_key(key)]
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -289,7 +343,7 @@ class InferenceService:
         key = _queue_key(model, decision.bits)
         self._ensure_queue(key)
         try:
-            self.scheduler.submit(key, request)
+            self._scheduler_for(key).submit(key, request)
         except QueueFullError:
             self.stats.record_rejected()
             raise
@@ -303,7 +357,7 @@ class InferenceService:
         if key in self._known_queues:
             return
         try:
-            self.scheduler.register(key, self._queue_policy)
+            self._scheduler_for(key).register(key, self._queue_policy)
         except ValueError:
             pass  # another submitter registered it first
         self._known_queues.add(key)
@@ -381,11 +435,12 @@ class InferenceService:
             KeyError: ``model`` is not registered.
         """
         if model is None:
-            return self.scheduler.pending()
-        return sum(
-            self.scheduler.pending(_queue_key(model, bits))
-            for bits in self.repository.variants(model)
-        )
+            return sum(scheduler.pending() for scheduler in self.schedulers)
+        total = 0
+        for bits in self.repository.variants(model):
+            key = _queue_key(model, bits)
+            total += self._scheduler_for(key).pending(key)
+        return total
 
     @property
     def batch_records(self) -> List:
@@ -395,6 +450,15 @@ class InferenceService:
     def metrics_snapshot(self) -> MetricsSnapshot:
         """A point-in-time, immutable snapshot of every service metric."""
         return self.metrics.snapshot()
+
+    def worker_metrics(self) -> Dict[str, dict]:
+        """Per-shard worker metric dumps, keyed by shard index (process
+        backend; the thread backend publishes straight into
+        :attr:`metrics` and returns ``{}``).  Merge into one view with
+        :func:`repro.obs.aggregate.merge_registry_dumps`."""
+        if isinstance(self.pool, ProcessWorkerPool):
+            return self.pool.worker_metrics()
+        return {}
 
     def evaluate_slo(self) -> List:
         """Run one SLO burn evaluation now; returns the alerts raised

@@ -1,0 +1,137 @@
+"""Pickle-safety of plan specs and arena-backed export views.
+
+The process-sharded serving backend ships a
+:class:`~repro.runtime.plan.PlanSpec` plus a pickled module to every
+spawned worker and rebuilds the heavyweight export tensors from a
+shared-memory arena; these tests pin down the contract that crossing the
+process boundary changes *nothing* about the numbers.
+"""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.quant import export_quantized_model
+from repro.runtime import PlanSpec
+from repro.serve.shards import attach_exports, attach_segment, pack_exports
+
+SHAPE = (16,)
+
+
+def _model(seed=0):
+    return build_model(
+        "mlp", num_classes=5, in_channels=SHAPE[0], rng=np.random.default_rng(seed)
+    )
+
+
+def _export(model, bits=8):
+    return export_quantized_model(model, {n: bits for n, _ in model.named_parameters()})
+
+
+def _compile_and_run(connection, model, export, spec, x):
+    """Spawn target: compile the shipped spec and return raw logits bytes."""
+    try:
+        plan = spec.compile(model, export)
+        out = plan.run(x)
+        connection.send(("ok", out.shape, out.tobytes()))
+    except BaseException as error:  # noqa: BLE001 - report to the parent
+        connection.send(("error", repr(error), b""))
+    finally:
+        connection.close()
+
+
+class TestPlanSpecPickle:
+    def test_round_trip_preserves_fields(self):
+        spec = PlanSpec((1, 8, 8), fold_affine=False, passes=("dce",), optimize=False)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.input_shape == (1, 8, 8)
+        assert clone.passes == ("dce",)
+
+    def test_normalises_list_inputs_to_tuples(self):
+        spec = PlanSpec([4, 4], passes=["dce"])
+        assert spec.input_shape == (4, 4)
+        assert spec.passes == ("dce",)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_compiled_outputs_identical_after_pickle(self):
+        model = _model()
+        export = _export(model)
+        spec = PlanSpec(SHAPE)
+        clone = pickle.loads(pickle.dumps(spec))
+        x = np.random.default_rng(0).normal(size=(3,) + SHAPE)
+        expected = spec.compile(model, export).run(x)
+        actual = clone.compile(model, export).run(x)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_spawn_round_trip_is_byte_identical(self):
+        model = _model()
+        export = _export(model)
+        spec = PlanSpec(SHAPE)
+        x = np.random.default_rng(1).normal(size=(2,) + SHAPE)
+        expected = spec.compile(model, export).run(x)
+
+        context = multiprocessing.get_context("spawn")
+        parent_end, child_end = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_compile_and_run, args=(child_end, model, export, spec, x)
+        )
+        process.start()
+        child_end.close()
+        assert parent_end.poll(120.0), "spawned compile worker produced nothing"
+        status, payload, raw = parent_end.recv()
+        process.join(30.0)
+        assert status == "ok", payload
+        assert payload == expected.shape
+        assert raw == expected.tobytes()
+
+
+class TestExportPickle:
+    def test_export_round_trip_is_byte_identical(self):
+        export = _export(_model())
+        clone = pickle.loads(pickle.dumps(export))
+        assert clone.content_hash() == export.content_hash()
+        for name, tensor in export.quantized.items():
+            np.testing.assert_array_equal(clone.quantized[name].codes, tensor.codes)
+
+    def test_arena_view_pickle_round_trip_is_byte_identical(self):
+        export = _export(_model())
+        segment, manifest = pack_exports({"tiny@8": export})
+        try:
+            attached = attach_segment(segment.name)
+            view = attach_exports(manifest, attached)["tiny@8"]
+            # Pickling an arena view materialises it (the receiving process
+            # has no segment mapping) without changing a byte.
+            clone = pickle.loads(pickle.dumps(view))
+            assert clone.content_hash() == export.content_hash()
+            for name, tensor in export.quantized.items():
+                np.testing.assert_array_equal(clone.quantized[name].codes, tensor.codes)
+                assert clone.quantized[name].qparams == tensor.qparams
+            for name, array in export.float_parameters.items():
+                np.testing.assert_array_equal(clone.float_parameters[name], array)
+            del view, clone
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_arena_view_plans_match_original_export_plans(self):
+        model = _model()
+        export = _export(model)
+        segment, manifest = pack_exports({"tiny@8": export})
+        try:
+            attached = attach_segment(segment.name)
+            view = attach_exports(manifest, attached)["tiny@8"]
+            spec = PlanSpec(SHAPE)
+            x = np.random.default_rng(2).normal(size=(2,) + SHAPE)
+            expected = spec.compile(model, export).run(x)
+            actual = spec.compile(model, view).run(x)
+            np.testing.assert_array_equal(actual, expected)
+            del view
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()

@@ -71,6 +71,48 @@ class TestTuningCachePersistence:
         assert cache.save() is True
         assert cache.save() is False
 
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deeply" / "nested" / "dirs" / "tuning.json")
+        cache = TuningCache(path)
+        cache.put("sig", TuningRecord("im2col", 1.0, ("im2col", "blocked")))
+        assert cache.save() is True
+        assert len(TuningCache(path)) == 1
+
+    def test_save_tempfile_lands_in_the_cache_directory(self, tmp_path, monkeypatch):
+        # The atomic-rename tempfile must live next to the cache file:
+        # os.replace cannot rename across filesystems, and a shared system
+        # temp dir may be one.  Capture where mkstemp is pointed.
+        import tempfile as tempfile_module
+
+        import repro.runtime.tuning as tuning_module
+
+        seen_dirs = []
+        real_mkstemp = tempfile_module.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            seen_dirs.append(kwargs.get("dir"))
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(tuning_module.tempfile, "mkstemp", spying_mkstemp)
+        cache = TuningCache(str(tmp_path / "tuning.json"))
+        cache.put("sig", TuningRecord("im2col", 1.0, ("im2col", "blocked")))
+        assert cache.save() is True
+        assert seen_dirs == [str(tmp_path)]
+        # No tempfile debris left behind after a successful rename.
+        assert [p.name for p in tmp_path.iterdir()] == ["tuning.json"]
+
+    def test_failed_save_cleans_up_its_tempfile(self, tmp_path, monkeypatch):
+        cache = TuningCache(str(tmp_path / "tuning.json"))
+        cache.put("sig", TuningRecord("im2col", 1.0, ("im2col", "blocked")))
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated cross-device rename failure")
+
+        monkeypatch.setattr("repro.runtime.tuning.os.replace", exploding_replace)
+        with pytest.raises(OSError, match="cross-device"):
+            cache.save()
+        assert list(tmp_path.iterdir()) == []
+
     def test_missing_corrupt_and_stale_files_start_empty(self, tmp_path):
         assert len(TuningCache(str(tmp_path / "absent.json"))) == 0
 

@@ -148,6 +148,49 @@ class TestServiceMetrics:
         assert snap.counter_value("repo_swaps_total", model="tiny", kind="rollback") == 1
 
 
+class TestQueueDepthGauge:
+    def _scheduler(self, max_depth=None):
+        from repro.serve import Scheduler
+
+        registry = MetricRegistry()
+        scheduler = Scheduler(clock=ManualClock(), metrics=registry)
+        scheduler.register("m@8", QueuePolicy(max_batch_size=2, max_depth=max_depth))
+        return scheduler, registry
+
+    def _depth(self, registry):
+        return registry.snapshot().counter_value("serve_queue_depth", queue="m@8")
+
+    def test_gauge_tracks_enqueue_and_dequeue_commit(self):
+        from repro.serve.types import InferenceRequest
+
+        scheduler, registry = self._scheduler()
+        for index in range(3):
+            scheduler.submit("m@8", InferenceRequest(index, np.zeros(SHAPE), 0.0))
+            assert self._depth(registry) == index + 1
+        # Dequeue-commit: popping a full batch drops the gauge by the
+        # batch size the moment the requests leave the pending deque --
+        # the requests are now the worker's, not the queue's.
+        key, batch = scheduler.pop_any()
+        assert key == "m@8"
+        assert len(batch) == 2
+        assert self._depth(registry) == 1
+        assert self._depth(registry) == scheduler.pending("m@8")
+
+    def test_gauge_is_stamped_on_the_rejection_path(self):
+        from repro.serve import QueueFullError
+        from repro.serve.types import InferenceRequest
+
+        scheduler, registry = self._scheduler(max_depth=2)
+        for index in range(2):
+            scheduler.submit("m@8", InferenceRequest(index, np.zeros(SHAPE), 0.0))
+        with pytest.raises(QueueFullError):
+            scheduler.submit("m@8", InferenceRequest(9, np.zeros(SHAPE), 0.0))
+        # The refused request never entered the queue; the gauge still
+        # reflects the true depth (it is re-stamped, not skipped, on
+        # rejection).
+        assert self._depth(registry) == 2
+
+
 class TestServeStatsView:
     def test_stats_are_registry_backed_views(self):
         registry = MetricRegistry()

@@ -1,0 +1,157 @@
+"""Process-sharded serving: backend identity, hot swap, worker metrics.
+
+These tests spawn real worker processes (``multiprocessing`` spawn
+context), so they keep models tiny and request counts small; the
+throughput comparison itself lives in ``benchmarks/test_bench_serve.py``
+(and is skipped on single-core hosts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.obs import merge_registry_dumps, total_counter
+from repro.quant import export_quantized_model
+from repro.serve import (
+    InferenceService,
+    ModelRepository,
+    QueuePolicy,
+)
+from repro.serve.bench import run_backend_bench
+
+SHAPE = (16,)
+
+
+def _model(seed=0):
+    return build_model(
+        "mlp", num_classes=5, in_channels=SHAPE[0], rng=np.random.default_rng(seed)
+    )
+
+
+def _repo(names=("alpha", "beta"), bits=8):
+    repo = ModelRepository()
+    for index, name in enumerate(names):
+        model = _model(index)
+        repo.add_model(name, model, SHAPE)
+        repo.add_export(
+            name,
+            export_quantized_model(model, {n: bits for n, _ in model.named_parameters()}),
+            bits=bits,
+        )
+    return repo
+
+
+def _policy(batch=4):
+    # Infinite delay: batches dispatch exactly when full, so batch
+    # composition (and the BLAS reduction order inside each batch) is a
+    # pure function of submission order -- the identity tests depend on it.
+    return QueuePolicy(max_batch_size=batch, max_queue_delay_s=float("inf"))
+
+
+def _serve(service, names, samples):
+    futures = []
+    with service:
+        for index, sample in enumerate(samples):
+            futures.append(service.submit(names[index % len(names)], sample))
+        service.stop()
+        return [future.result(timeout=120.0) for future in futures]
+
+
+class TestProcessBackend:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            InferenceService(_repo(), backend="fiber")
+
+    def test_serves_and_matches_thread_backend_bitwise(self):
+        names = ["alpha", "beta"]
+        rng = np.random.default_rng(0)
+        samples = [rng.normal(size=SHAPE) for _ in range(16)]
+
+        thread_results = _serve(
+            InferenceService(_repo(), workers=2, queue_policy=_policy()),
+            names,
+            samples,
+        )
+        process_results = _serve(
+            InferenceService(
+                _repo(), queue_policy=_policy(), backend="process", shards=2
+            ),
+            names,
+            samples,
+        )
+        assert len(process_results) == len(thread_results) == 16
+        for thread_result, process_result in zip(thread_results, process_results):
+            np.testing.assert_array_equal(thread_result.logits, process_result.logits)
+            assert thread_result.prediction == process_result.prediction
+
+    def test_pending_and_stats_account_across_shards(self):
+        service = InferenceService(
+            _repo(), queue_policy=_policy(), backend="process", shards=2
+        )
+        rng = np.random.default_rng(1)
+        results = _serve(service, ["alpha", "beta"], [rng.normal(size=SHAPE) for _ in range(12)])
+        assert len(results) == 12
+        assert service.stats.requests == 12
+        assert service.pending() == 0
+
+    def test_worker_metrics_merge_with_shard_label(self):
+        service = InferenceService(
+            _repo(), queue_policy=_policy(), backend="process", shards=2
+        )
+        rng = np.random.default_rng(2)
+        _serve(service, ["alpha", "beta"], [rng.normal(size=SHAPE) for _ in range(8)])
+        dumps = service.worker_metrics()
+        assert sorted(dumps) == ["0", "1"]
+        merged = merge_registry_dumps(dumps)
+        assert "shard" in merged["shard_requests_total"]["labels"]
+        assert total_counter(merged, "shard_requests_total") == 8.0
+        assert total_counter(merged, "shard_batches_total") == 2.0
+
+
+class TestProcessHotSwap:
+    def test_swap_drops_nothing_and_takes_effect(self):
+        repo = _repo(names=("tiny",))
+        service = InferenceService(
+            repo, queue_policy=_policy(), backend="process", shards=1
+        )
+        rng = np.random.default_rng(3)
+        sample = rng.normal(size=SHAPE)
+        futures = []
+        with service:
+            for index in range(40):
+                futures.append(service.submit("tiny", np.array(sample)))
+                if index == 19:
+                    retrained = _model(9)
+                    repo.swap(
+                        "tiny",
+                        export_quantized_model(
+                            retrained,
+                            {n: 8 for n, _ in retrained.named_parameters()},
+                        ),
+                        bits=8,
+                    )
+            service.stop()
+            results = [future.result(timeout=120.0) for future in futures]
+        # Zero drops: every admitted request came back.
+        assert len(results) == 40
+        assert service.stats.requests == 40
+        # The swap took effect: the same sample yields different logits
+        # once the worker remapped to the new export's arena.
+        assert not np.array_equal(results[0].logits, results[-1].logits)
+        assert repo.generation("tiny") == 1
+
+
+class TestBackendBench:
+    def test_backend_bench_reports_identity(self):
+        models = {
+            "alpha": (_model(0), SHAPE),
+            "beta": (_model(1), SHAPE),
+        }
+        report = run_backend_bench(
+            models, bits=8, workers=2, shards=2, batch_size=4, requests=16
+        )
+        assert report.identical
+        assert {row.backend for row in report.rows} == {"thread", "process"}
+        assert report.row("thread").throughput_rps > 0
+        assert report.row("process").throughput_rps > 0
+        assert any("bitwise-identical" in line for line in report.format_rows())
