@@ -86,6 +86,18 @@ Two entry points (also exposed as console scripts in ``pyproject.toml``):
             --bits 8,4 --budget 5.0 --verify
         python -m repro.cli plan-inspect model.npz --passes fold_constants,dce
 
+``codegen`` (``python -m repro.cli codegen``)
+    Inspect the native codegen backend (``repro.runtime.codegen``):
+    compiler and BLAS-bridge availability, the on-disk compiled-artifact
+    cache, and a ``--verify`` probe that emits, compiles and
+    bitwise-verifies one kernel per family.
+
+    .. code-block:: bash
+
+        python -m repro.cli codegen --status
+        python -m repro.cli codegen --verify --cache-dir /tmp/repro-cg
+        python -m repro.cli codegen --clear-cache
+
 ``adapt-bench`` (``python -m repro.cli adapt-bench``)
     Serve a model while an APT fine-tuning job retrains it on drifted data
     and hot-swaps the refreshed export into the live service.  Reports the
@@ -287,6 +299,15 @@ def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if not parsed > 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {value}"
+        )
     return parsed
 
 
@@ -778,7 +799,7 @@ def build_plan_inspect_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--tune",
-        type=float,
+        type=_positive_float,
         default=None,
         metavar="BUDGET_S",
         help=(
@@ -895,9 +916,9 @@ def build_autotune_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--budget",
-        type=float,
+        type=_positive_float,
         default=2.0,
-        help="total measurement budget in seconds (default: 2.0)",
+        help="total measurement budget in seconds (default: 2.0, must be > 0)",
     )
     parser.add_argument(
         "--bits",
@@ -1231,8 +1252,95 @@ def run_metrics(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# repro codegen
+# --------------------------------------------------------------------------- #
+def build_codegen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-codegen",
+        description=(
+            "Inspect and exercise the native codegen backend: compiler / "
+            "BLAS-bridge availability, the on-disk artifact cache, and a "
+            "build-and-bitwise-verify probe of every kernel family."
+        ),
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help="print the backend status (the default action)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete every compiled artifact from the cache directory",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "emit, compile and bitwise-verify one kernel per family "
+            "(conv2d, linear, elementwise); exit 1 if any family fails "
+            "on a host with a working compiler"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="pin the artifact cache directory for this invocation",
+    )
+    parser.add_argument("--json", action="store_true", help="print results as JSON")
+    return parser
+
+
+def run_codegen(argv: Optional[Sequence[str]] = None) -> int:
+    import json
+
+    from repro.runtime import codegen
+
+    args = build_codegen_parser().parse_args(argv)
+    if args.cache_dir is not None:
+        codegen.configure(cache_dir_path=args.cache_dir)
+
+    if args.clear_cache:
+        removed = codegen.clear_cache()
+        print(f"codegen: removed {removed} cached artifacts from {codegen.cache_dir()}")
+
+    exit_code = 0
+    if args.verify:
+        report = codegen.verify_backend()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"codegen verify: compiler={report['compiler']} blas={report['blas']}")
+            print(f"  cache_dir: {report['cache_dir']}")
+            for family in ("conv2d", "linear", "elementwise"):
+                verdict = "ok" if report[family] else "FAILED"
+                print(f"  {family}: {verdict}")
+            print(
+                f"  builds: {report['built']} compiled, {report['cached']} "
+                f"from warm cache, {report['failed']} failed"
+            )
+        if report["compiler"] is not None and not all(
+            report[family] for family in ("conv2d", "linear", "elementwise")
+        ):
+            exit_code = 1
+    elif args.status or not args.clear_cache:
+        status = codegen.status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(f"codegen: enabled={status['enabled']}")
+            print(f"  compiler: {status['compiler'] or 'none found'}")
+            print(f"  blas: {status['blas']}")
+            print(f"  cache_dir: {status['cache_dir']} ({status['artifacts']} artifacts)")
+            print(f"  builds: {status['builds']}")
+            print(f"  dispatches: {status['dispatches']}")
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench,plan-inspect,autotune,metrics} ...``."""
+    """Dispatch ``python -m repro.cli {train,experiment,serve-bench,adapt-bench,plan-inspect,autotune,codegen,metrics} ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -1250,11 +1358,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_plan_inspect(rest)
     if command == "autotune":
         return run_autotune(rest)
+    if command == "codegen":
+        return run_codegen(rest)
     if command == "metrics":
         return run_metrics(rest)
     print(
         f"unknown command {command!r}; expected 'train', 'experiment', "
-        f"'serve-bench', 'adapt-bench', 'plan-inspect', 'autotune' or 'metrics'",
+        f"'serve-bench', 'adapt-bench', 'plan-inspect', 'autotune', "
+        f"'codegen' or 'metrics'",
         file=sys.stderr,
     )
     return 2

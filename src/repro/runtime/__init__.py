@@ -32,6 +32,7 @@ under concurrent lookups, with optional LRU bounding.  The serving layer in
 :mod:`repro.serve` runs these plans.
 """
 
+from repro.runtime import codegen
 from repro.runtime.cache import PlanCache, architecture_fingerprint
 from repro.runtime.executor import ExecutionContext, ExecutionPlan
 from repro.runtime.ir import Graph, Node, PlanCompileError, Value
@@ -78,6 +79,7 @@ __all__ = [
     "Value",
     "architecture_fingerprint",
     "available_passes",
+    "codegen",
     "available_variants",
     "compile_lock",
     "compile_plan",

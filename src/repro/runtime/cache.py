@@ -42,7 +42,7 @@ from repro.runtime.passes import resolve_passes
 from repro.runtime.plan import ExecutionPlan, compile_quantized_plan
 from repro.runtime.tuning import tuning_fingerprint
 
-PlanKey = Tuple[str, str, Tuple[int, ...], Tuple[str, ...], str]
+PlanKey = Tuple[str, str, Tuple[int, ...], Tuple[str, ...], str, str]
 
 #: Geometry attributes that change how a module lowers without changing its
 #: parameter values (two convs with identical weights but different strides
@@ -164,13 +164,18 @@ class PlanCache:
         combo.  The tuning component is the *setup's* fingerprint
         (``"heuristic"``, or the tuning cache's path-derived identity):
         heuristic and autotuned compilations of one export select different
-        kernel variants and must cache separately.
+        kernel variants and must cache separately.  The codegen component
+        does the same for the native backend: a plan compiled with native
+        kernels admissible is not the plan compiled without them.
         """
+        from repro.runtime import codegen
+
         return (
             architecture_fingerprint(model),
             export.content_hash(),
             tuple(input_shape),
             resolve_passes(optimize, passes, fold_affine),
+            codegen.fingerprint(),
             tuning_fingerprint(tuning),
         )
 

@@ -1,0 +1,188 @@
+"""Bridge to numpy's own vendored BLAS, for bitwise-identical native GEMMs.
+
+A naive C matmul loop can never be admitted by the variant registry's
+bitwise rule: float addition is not associative, and any summation order
+other than the one ``np.matmul`` uses drifts in the last ulp.  The fix is
+to not reimplement the GEMM at all -- this module ``dlopen``\\ s the exact
+OpenBLAS shared library that numpy itself links (the ``numpy.libs``
+wheel-vendored copy), resolves its ILP64 ``cblas_dgemm`` symbol, and hands
+the raw function pointer to the generated C kernels.  Same library, same
+code path, same instruction stream => the native conv/linear kernels
+produce the same bits as ``np.matmul``.
+
+Discovery is defensive at every step (no ``numpy.libs`` directory, no
+known symbol name, a probe mismatch) and memoised: on any failure the
+handle reports unavailable and the GEMM-backed kernel families simply do
+not register, leaving the elementwise family (which needs no BLAS) and the
+numpy reference variants intact.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import glob
+import os
+import threading
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DgemmHandle", "dgemm_handle"]
+
+#: Symbol candidates, most-specific first: scipy-openblas wheels export the
+#: suffixed ILP64 name; older vendored copies use the plain cblas one.
+_SYMBOLS = ("scipy_cblas_dgemm64_", "cblas_dgemm64_", "cblas_dgemm")
+
+_ROW_MAJOR = 101
+_NO_TRANS = 111
+_TRANS = 112
+
+_ARGTYPES = [
+    ctypes.c_int, ctypes.c_int, ctypes.c_int,          # order, transA, transB
+    ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,    # m, n, k
+    ctypes.c_double, ctypes.c_void_p, ctypes.c_int64,  # alpha, A, lda
+    ctypes.c_void_p, ctypes.c_int64,                   # B, ldb
+    ctypes.c_double, ctypes.c_void_p, ctypes.c_int64,  # beta, C, ldc
+]
+
+_GEMV_ARGTYPES = [
+    ctypes.c_int, ctypes.c_int,                        # order, trans
+    ctypes.c_int64, ctypes.c_int64,                    # m, n
+    ctypes.c_double, ctypes.c_void_p, ctypes.c_int64,  # alpha, A, lda
+    ctypes.c_void_p, ctypes.c_int64,                   # x, incx
+    ctypes.c_double, ctypes.c_void_p, ctypes.c_int64,  # beta, y, incy
+]
+
+_LOCK = threading.Lock()
+_CACHED: Optional["DgemmHandle"] = None
+
+
+@dataclass(frozen=True)
+class DgemmHandle:
+    """Resolved ``cblas_dgemm`` / ``cblas_dgemv`` pointers plus provenance.
+
+    ``np.matmul`` routes ``(1, k) @ (k, n)`` through a gemv-shaped path,
+    not dgemm, so the generated linear kernels need both entry points to
+    stay bitwise-identical at every batch size; ``gemv_address`` is 0 when
+    only dgemm resolved (the linear family then stays unregistered).
+    """
+
+    address: int
+    library: str
+    symbol: str
+    ok: bool
+    reason: str
+    gemv_address: int = 0
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.symbol} @ {os.path.basename(self.library)}"
+        return f"unavailable ({self.reason})"
+
+
+def _candidate_libraries() -> Tuple[str, ...]:
+    numpy_dir = os.path.dirname(os.path.abspath(np.__file__))
+    patterns = (
+        os.path.join(numpy_dir, ".libs", "libscipy_openblas*"),
+        os.path.join(os.path.dirname(numpy_dir), "numpy.libs",
+                     "libscipy_openblas*"),
+        os.path.join(numpy_dir, ".libs", "libopenblas*"),
+        os.path.join(os.path.dirname(numpy_dir), "numpy.libs",
+                     "libopenblas*"),
+    )
+    found = []
+    for pattern in patterns:
+        found.extend(sorted(glob.glob(pattern)))
+    return tuple(found)
+
+
+def _probe(fn) -> bool:
+    """One seeded GEMM compared byte-for-byte against ``np.matmul``."""
+    rng = np.random.default_rng(20260807)
+    a = rng.standard_normal((7, 13))
+    b = rng.standard_normal((13, 11))
+    expected = np.matmul(a, b)
+    actual = np.empty_like(expected)
+    fn(
+        _ROW_MAJOR, _NO_TRANS, _NO_TRANS,
+        7, 11, 13,
+        1.0, a.ctypes.data, 13,
+        b.ctypes.data, 11,
+        0.0, actual.ctypes.data, 11,
+    )
+    return actual.tobytes() == expected.tobytes()
+
+
+def _probe_gemv(fn) -> bool:
+    """One seeded row-vector product vs numpy's batch-1 matmul path."""
+    rng = np.random.default_rng(20260808)
+    a = rng.standard_normal((1, 13))
+    b = rng.standard_normal((13, 11))
+    expected = np.matmul(a, b)
+    actual = np.empty_like(expected)
+    fn(
+        _ROW_MAJOR, _TRANS,
+        13, 11,
+        1.0, b.ctypes.data, 11,
+        a.ctypes.data, 1,
+        0.0, actual.ctypes.data, 1,
+    )
+    return actual.tobytes() == expected.tobytes()
+
+
+def _resolve_gemv(handle, dgemm_symbol: str) -> int:
+    """The matching gemv entry point's address, or 0."""
+    symbol = dgemm_symbol.replace("dgemm", "dgemv")
+    fn = getattr(handle, symbol, None)
+    if fn is None:
+        return 0
+    fn.argtypes = _GEMV_ARGTYPES
+    fn.restype = None
+    try:
+        if not _probe_gemv(fn):
+            return 0
+    except Exception:
+        return 0
+    return ctypes.cast(fn, ctypes.c_void_p).value or 0
+
+
+def _resolve() -> DgemmHandle:
+    libraries = _candidate_libraries()
+    if not libraries:
+        return DgemmHandle(0, "", "", False, "no vendored BLAS library found")
+    last_reason = "no cblas_dgemm symbol found"
+    for library in libraries:
+        try:
+            handle = ctypes.CDLL(library)
+        except OSError as exc:
+            last_reason = f"dlopen failed: {exc}"
+            continue
+        for symbol in _SYMBOLS:
+            fn = getattr(handle, symbol, None)
+            if fn is None:
+                continue
+            fn.argtypes = _ARGTYPES
+            fn.restype = None
+            try:
+                if not _probe(fn):
+                    last_reason = f"{symbol} probe not bitwise vs np.matmul"
+                    continue
+            except Exception as exc:  # ABI mismatch can fault in odd ways
+                last_reason = f"{symbol} probe raised: {exc}"
+                continue
+            address = ctypes.cast(fn, ctypes.c_void_p).value or 0
+            return DgemmHandle(
+                address, library, symbol, True, "",
+                gemv_address=_resolve_gemv(handle, symbol),
+            )
+    return DgemmHandle(0, "", "", False, last_reason)
+
+
+def dgemm_handle() -> DgemmHandle:
+    """The memoised process-wide dgemm handle (resolved at most once)."""
+    global _CACHED
+    with _LOCK:
+        if _CACHED is None:
+            _CACHED = _resolve()
+        return _CACHED

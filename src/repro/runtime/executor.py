@@ -93,6 +93,57 @@ def _apply_elem(
     raise PlanCompileError(f"unknown elementwise op {op!r}")  # pragma: no cover
 
 
+def _native_epilogue_plan(out_channels, out_scale, out_shift, post, sample_shape):
+    """Fused-epilogue plan of a native conv/linear step.
+
+    Returns ``(EpilogueSpec, flat shift vector, extern arrays)`` when every
+    post op can be baked into the generated kernel -- only constant
+    operands qualify; a runtime slot in the epilogue keeps the epilogue in
+    numpy (the GEMM can still go native).  ``(None, None, ())`` otherwise,
+    or when there is no epilogue at all.
+    """
+    from repro.runtime import codegen
+
+    nothing = (None, None, ())
+    operations = []
+    extern_arrays = []
+    for op, refs, op_ctx in post:
+        operands = []
+        for kind, value in refs:
+            if kind == "chain":
+                operands.append(("chain",))
+            elif kind == "const":
+                data = np.asarray(value)
+                if data.size == 1:
+                    item = data.ravel()[0]
+                    baked = float(item)
+                    if baked != item:
+                        return nothing
+                    operands.append(("scalar", baked))
+                else:
+                    if data.dtype not in (np.float64, np.float32):
+                        return nothing
+                    operands.append(("extern", tuple(data.shape), False))
+                    extern_arrays.append(
+                        np.ascontiguousarray(data, dtype=np.float64)
+                    )
+            else:
+                return nothing  # runtime operand: epilogue stays in numpy
+        operations.append((op, operands, op_ctx))
+    spec = codegen.epilogue_spec(
+        sample_shape, out_scale is not None, out_shift is not None, operations
+    )
+    if spec is None or spec.is_empty():
+        return nothing
+    shift = None
+    if out_shift is not None:
+        flat = np.ascontiguousarray(out_shift, dtype=np.float64).reshape(-1)
+        if flat.size != out_channels:
+            return nothing
+        shift = flat
+    return spec, shift, tuple(extern_arrays)
+
+
 # --------------------------------------------------------------------------- #
 # Execution state
 # --------------------------------------------------------------------------- #
@@ -255,6 +306,9 @@ class ConvStep(Step, _EpilogueMixin):
         "variant",
         "provenance",
         "_weight_exec",
+        "_native_epi",
+        "_native_shift",
+        "_native_externs",
     )
 
     def __init__(
@@ -288,6 +342,18 @@ class ConvStep(Step, _EpilogueMixin):
         self.variant = variant
         self.provenance = provenance
         self._weight_exec = kernel_variants.prepare_conv_weight(variant, weight_matrix)
+        self._native_epi = self._native_shift = None
+        self._native_externs = ()
+        if variant == "native":
+            self._native_epi, self._native_shift, self._native_externs = (
+                _native_epilogue_plan(
+                    self.out_channels, out_scale, out_shift, self.post,
+                    # Sentinel sample shape: only per-channel / scalar
+                    # epilogue operands are bakeable for convs (spatial
+                    # dims aren't known until run time).
+                    sample_shape=(self.out_channels, 0, 0),
+                )
+            )
 
     def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         x = env[self.x]
@@ -295,12 +361,49 @@ class ConvStep(Step, _EpilogueMixin):
             x.shape[2], x.shape[3], self.kernel_size, self.stride, self.padding
         )
         shape = (x.shape[0], self.out_channels, out_h * out_w)
+        if self._native_epi is not None:
+            fused = self._run_native_fused(x, out_h, out_w, shape, ctx)
+            if fused is not None:
+                env[self.out] = fused
+                return
         raw = kernel_variants.run_conv(
             self.variant, x, self._weight_exec, self.kernel_size, self.stride,
             self.padding, out=ctx.scratch(self, shape),
         )
         out = raw.reshape(x.shape[0], self.out_channels, out_h, out_w)
         env[self.out] = self._apply_epilogue(out, env)
+
+    def _run_native_fused(self, x, out_h, out_w, shape, ctx):
+        """GEMM + epilogue in one generated kernel; ``None`` = fall back."""
+        from repro.runtime import codegen
+
+        weight = self._weight_exec
+        if (
+            x.ndim != 4
+            or x.dtype != np.float64 or not x.flags.c_contiguous
+            or weight.dtype != np.float64 or not weight.flags.c_contiguous
+        ):
+            return None
+        geom = codegen.ConvGeom(
+            c_in=int(x.shape[1]), h=int(x.shape[2]), w=int(x.shape[3]),
+            kh=self.kernel_size[0], kw=self.kernel_size[1],
+            sh=self.stride[0], sw=self.stride[1],
+            ph=self.padding[0], pw=self.padding[1],
+            c_out=self.out_channels,
+        )
+        kernel = codegen.native_conv_kernel(geom, self._native_epi)
+        if kernel is None:
+            return None
+        raw = ctx.scratch(self, shape)
+        if raw.dtype != np.float64 or not raw.flags.c_contiguous:
+            return None
+        scale = 0.0 if self.out_scale is None else float(self.out_scale)
+        if not kernel.run(
+            x, weight, raw, scale=scale, shift=self._native_shift,
+            externs=self._native_externs,
+        ):
+            return None
+        return raw.reshape(x.shape[0], self.out_channels, out_h, out_w)
 
     def describe(self) -> str:
         tag = f"int{self.weight_matrix.dtype.itemsize * 8}" if self.bits < 32 else "fp"
@@ -322,6 +425,7 @@ class LinearStep(Step, _EpilogueMixin):
     __slots__ = (
         "x", "weight", "out_scale", "out_shift", "post", "bits", "param_name",
         "variant", "provenance", "_weight_exec",
+        "_native_epi", "_native_shift", "_native_externs",
     )
 
     def __init__(
@@ -348,14 +452,53 @@ class LinearStep(Step, _EpilogueMixin):
         self.variant = variant
         self.provenance = provenance
         self._weight_exec = kernel_variants.prepare_linear_weight(variant, weight)
+        self._native_epi = self._native_shift = None
+        self._native_externs = ()
+        if variant == "native":
+            self._native_epi, self._native_shift, self._native_externs = (
+                _native_epilogue_plan(
+                    int(self._weight_exec.shape[1]), out_scale, out_shift,
+                    self.post, sample_shape=(int(self._weight_exec.shape[1]),),
+                )
+            )
 
     def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
         x = env[self.x]
         out = None
         if x.ndim == 2 and np.result_type(x, self._weight_exec) == np.float64:
             out = ctx.scratch(self, (x.shape[0], self._weight_exec.shape[1]))
+        if self._native_epi is not None and out is not None:
+            fused = self._run_native_fused(x, out)
+            if fused is not None:
+                env[self.out] = fused
+                return
         raw = kernel_variants.run_linear(self.variant, x, self._weight_exec, out=out)
         env[self.out] = self._apply_epilogue(raw, env)
+
+    def _run_native_fused(self, x, out):
+        """GEMM + epilogue in one generated kernel; ``None`` = fall back."""
+        from repro.runtime import codegen
+
+        weight = self._weight_exec
+        if (
+            x.dtype != np.float64 or not x.flags.c_contiguous
+            or weight.dtype != np.float64 or not weight.flags.c_contiguous
+            or out.dtype != np.float64 or not out.flags.c_contiguous
+        ):
+            return None
+        geom = codegen.LinearGeom(
+            in_features=int(weight.shape[0]), out_features=int(weight.shape[1])
+        )
+        kernel = codegen.native_linear_kernel(geom, self._native_epi)
+        if kernel is None:
+            return None
+        scale = 0.0 if self.out_scale is None else float(self.out_scale)
+        if not kernel.run(
+            x, weight, out, scale=scale, shift=self._native_shift,
+            externs=self._native_externs,
+        ):
+            return None
+        return out
 
     def describe(self) -> str:
         tag = f"int{self.weight.dtype.itemsize * 8}" if self.bits < 32 else "fp"
@@ -417,13 +560,104 @@ class FusedElementwiseStep(Step):
     unfused steps would run, minus the per-op buffers and slot traffic.
     """
 
-    __slots__ = ("ops",)
+    __slots__ = ("ops", "variant", "provenance", "_native", "_extern_refs",
+                 "_x_shape")
 
-    def __init__(self, out: int, ops: Sequence[LoweredElemOp]) -> None:
+    def __init__(
+        self,
+        out: int,
+        ops: Sequence[LoweredElemOp],
+        variant: str = "ufunc",
+        provenance: str = "heuristic",
+        chain_spec=None,
+    ) -> None:
         super().__init__(out)
         self.ops = tuple(ops)
+        self.variant = variant
+        self.provenance = provenance
+        self._native = None
+        self._extern_refs = ()
+        self._x_shape = ()
+        if variant == "native" and chain_spec is not None:
+            plan = self._native_plan(chain_spec)
+            if plan is not None:
+                self._native, self._extern_refs, self._x_shape = plan
+
+    def _native_plan(self, spec):
+        """Map the spec's extern slots back onto lowered refs, or ``None``.
+
+        The spec was derived from the same IR node this step was lowered
+        from, so the op lists line up positionally; each extern slot must
+        resolve to exactly one lowered const/slot operand.
+        """
+        if len(self.ops) != len(spec.ops):
+            return None
+        externs = {}
+        for (op, refs, _), op_spec in zip(self.ops, spec.ops):
+            if op != op_spec.op or len(refs) != len(op_spec.refs):
+                return None
+            for (kind, value), ref in zip(refs, op_spec.refs):
+                if ref.kind != "extern":
+                    continue
+                if kind == "const":
+                    arr = np.ascontiguousarray(value, dtype=np.float64)
+                    externs[ref.index] = ("const", arr)
+                elif kind == "slot":
+                    externs[ref.index] = ("slot", value)
+                else:
+                    return None
+        modes = tuple(spec.extern_modes)
+        if sorted(externs) != list(range(len(modes))):
+            return None
+        plan = tuple(
+            (externs[i][0], externs[i][1], modes[i])
+            for i in range(len(modes))
+        )
+        if not any(mode == "full" for _, _, mode in plan):
+            return None  # no batched operand to size the output from
+        return spec, plan, tuple(spec.x_shape)
+
+    def _run_native(
+        self, env: List[Optional[np.ndarray]], ctx: ExecutionContext
+    ) -> Optional[np.ndarray]:
+        from repro.runtime import codegen
+
+        kernel = codegen.native_elementwise_kernel(self._native)
+        if kernel is None:
+            return None
+        sample = self._x_shape
+        arrays = []
+        batch = None
+        for kind, value, mode in self._extern_refs:
+            arr = value if kind == "const" else env[value]
+            if (
+                arr is None or arr.dtype != np.float64
+                or not arr.flags.c_contiguous
+            ):
+                return None
+            if mode == "full":
+                if arr.shape[1:] != sample or arr.ndim != len(sample) + 1:
+                    return None
+                if batch is None:
+                    batch = arr.shape[0]
+                elif arr.shape[0] != batch:
+                    return None
+            arrays.append(arr)
+        if batch is None:
+            return None
+        buf = ctx.scratch(self, (batch,) + sample)
+        if buf.dtype != np.float64 or not buf.flags.c_contiguous:
+            return None
+        if not kernel.run(buf, arrays, batch):
+            return None
+        return buf
 
     def run(self, env: List[Optional[np.ndarray]], ctx: ExecutionContext) -> None:
+        if self._native is not None:
+            out = self._run_native(env, ctx)
+            if out is not None:
+                env[self.out] = out
+                return
         buf: Optional[np.ndarray] = None
         for op, refs, op_ctx in self.ops:
             arrays = [buf if kind == "chain" else _resolve((kind, value), env)
@@ -438,7 +672,8 @@ class FusedElementwiseStep(Step):
         env[self.out] = buf
 
     def describe(self) -> str:
-        return "fused[" + "->".join(op for op, _, _ in self.ops) + "]"
+        chain = "->".join(op for op, _, _ in self.ops)
+        return f"fused[{chain}] variant={self.variant}({self.provenance})"
 
 
 class _PoolStep(Step):
@@ -824,7 +1059,21 @@ def lower_graph(
                 _lower_matmul(node, refs, out_slot, producers, export, lower_elem(node.post))
             )
         elif op == "fused_elementwise":
-            steps.append(FusedElementwiseStep(out_slot, lower_elem(node.elem_ops)))
+            elem_variant = node.attrs.get("kernel_variant", "ufunc")
+            chain_spec = None
+            if elem_variant == "native":
+                from repro.runtime import codegen
+
+                chain_spec = codegen.chain_spec_for_node(node)
+            steps.append(FusedElementwiseStep(
+                out_slot,
+                lower_elem(node.elem_ops),
+                variant=elem_variant,
+                provenance=node.attrs.get(
+                    "kernel_variant_provenance", "heuristic"
+                ),
+                chain_spec=chain_spec,
+            ))
         elif op in ("max_pool2d", "avg_pool2d"):
             cls = MaxPoolStep if op == "max_pool2d" else AvgPoolStep
             steps.append(

@@ -377,8 +377,27 @@ def _pool_site(node: Node):
     )
 
 
+_RACE_BATCH = 16
+"""Batch size candidate races are measured at.
+
+Plans are traced at a tiny probe batch, but variants are ranked by how they
+serve: per-call overheads (Python dispatch, ctypes marshalling in the native
+kernels) that dominate at batch 2 amortise away at realistic batches, and a
+winner picked at the probe batch can lose where it matters.  Races therefore
+tile the traced activations up to this batch before timing.
+"""
+
+
+def _race_input(x: np.ndarray) -> np.ndarray:
+    """The traced probe activations, tiled up to :data:`_RACE_BATCH`."""
+    if x.shape[0] >= _RACE_BATCH:
+        return x
+    reps = -(-_RACE_BATCH // x.shape[0])
+    return np.concatenate([x] * reps, axis=0)[:_RACE_BATCH]
+
+
 def _conv_runner_factory(node: Node, desc: KernelDesc, matrix: np.ndarray):
-    x = node.inputs[0].traced
+    x = _race_input(node.inputs[0].traced)
     out_h, out_w = _conv_output_hw(desc)
     scratch = np.empty(
         (x.shape[0], desc.out_channels, out_h * out_w), dtype=np.float64
@@ -403,7 +422,7 @@ def _conv_output_hw(desc: KernelDesc):
 
 
 def _linear_runner_factory(node: Node, desc: KernelDesc, weight: np.ndarray):
-    x = node.inputs[0].traced
+    x = _race_input(node.inputs[0].traced)
     scratch = np.empty((x.shape[0], weight.shape[1]), dtype=np.float64) \
         if x.ndim == 2 else None
 
@@ -414,8 +433,79 @@ def _linear_runner_factory(node: Node, desc: KernelDesc, weight: np.ndarray):
     return make_runner
 
 
+def _elem_site(node: Node):
+    """(desc, native chain spec) of a fused-elementwise node, or ``None``.
+
+    Only materialises when the codegen backend is enabled: with it off the
+    ufunc chain is the sole variant, so there is nothing to select (and no
+    reason to grow the tuning cache with single-candidate signatures).
+    """
+    from repro.runtime import codegen
+
+    if not codegen.enabled():
+        return None
+    spec = codegen.chain_spec_for_node(node)
+    if spec is None:
+        return None
+    kernel_variants.register_chain_spec(spec)
+    desc = KernelDesc(
+        op="fused_elementwise",
+        x_shape=tuple(spec.x_shape),
+        detail=spec.detail(),
+    )
+    return desc, spec
+
+
+def _elem_runner_factory(node: Node, desc: KernelDesc, spec):
+    from repro.runtime import codegen
+    from repro.runtime.executor import _apply_elem
+    from repro.runtime.ir import CHAIN
+
+    batch = max(int(node.output.shape[0]), _RACE_BATCH)
+    buf = np.empty((batch,) + tuple(spec.x_shape), dtype=np.float64)
+
+    replay_ops = []
+    extern_arrays = []
+    for elem in node.elem_ops:
+        operands = []
+        for operand in elem.inputs:
+            if operand is CHAIN:
+                operands.append(None)
+                continue
+            if operand.kind == "const":
+                data = np.asarray(operand.data)
+                operands.append(data)
+                if data.size == 1:
+                    continue  # baked into the source as a scalar
+            else:
+                data = operand.traced
+                if data.ndim == len(spec.x_shape) + 1:
+                    data = _race_input(data)  # batched extern: match the race batch
+                operands.append(data)
+            extern_arrays.append(np.ascontiguousarray(data, dtype=np.float64))
+        replay_ops.append((elem.op, operands, dict(elem.ctx)))
+
+    def make_runner(name: str):
+        if name == "native":
+            kernel = codegen.native_elementwise_kernel(spec)
+            if kernel is None:  # admission passed, so only races end up here
+                return lambda: None
+            return lambda: kernel.run(buf, extern_arrays, batch)
+
+        def reference():
+            chain = None
+            for op, operands, ctx in replay_ops:
+                arrays = [chain if a is None else a for a in operands]
+                chain = _apply_elem(op, arrays, ctx, buf if chain is None else chain)
+            return chain
+
+        return reference
+
+    return make_runner
+
+
 def _pool_runner_factory(node: Node, desc: KernelDesc):
-    x = node.inputs[0].traced
+    x = _race_input(node.inputs[0].traced)
 
     def make_runner(name: str):
         return lambda: kernel_variants.run_pool(
@@ -432,7 +522,9 @@ def select_kernels(graph: Graph) -> str:
     admission rule of :mod:`repro.runtime.variants`), so this pass -- like
     every other -- changes plan *speed*, never plan *output*.  With a
     tuner in scope (see :func:`repro.runtime.tuning.tuning_scope`) choices
-    are micro-benchmarked on the traced probe activations and persisted;
+    are micro-benchmarked on the traced probe activations (tiled up to
+    :data:`_RACE_BATCH` so per-call overheads are weighed as they amortise
+    in serving, not at the tiny trace batch) and persisted;
     without one, the ranked heuristic costs only a predicate sweep.
     """
     tuner, export = active_tuning()
@@ -455,6 +547,11 @@ def select_kernels(graph: Graph) -> str:
             desc = _pool_site(node)
             if desc is not None:
                 site = (desc, lambda: _pool_runner_factory(node, desc))
+        elif node.op == "fused_elementwise":
+            elem = _elem_site(node)
+            if elem is not None:
+                desc, spec = elem
+                site = (desc, lambda: _elem_runner_factory(node, desc, spec))
         if site is None:
             continue
         desc, factory = site

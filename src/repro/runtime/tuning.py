@@ -30,7 +30,9 @@ exactly like the plan cache's instrumentation.
 
 The tuner itself is deliberately dumb and honest: ``min`` over a few
 timed repeats per candidate, wall-clock budgeted, deterministic input (the
-traced probe batch).  Every timed kernel invocation increments
+traced probe activations, tiled to a serving-representative batch by the
+runner factories in :mod:`repro.runtime.passes`).  Every timed kernel
+invocation increments
 ``Autotuner.measurements`` so tests and the CI smoke job can assert that a
 warm cache performs *zero* re-tuning measurements.
 """
@@ -123,34 +125,49 @@ class TuningCache:
             self.bind_metrics(metrics)
 
     # -- persistence ------------------------------------------------------ #
-    def _load(self) -> None:
+    def _read_disk(self) -> Dict[str, TuningRecord]:
+        """Parse whatever currently backs ``path`` (empty on any damage)."""
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return
+            return {}
         if not isinstance(payload, dict) or payload.get("version") != TUNING_CACHE_VERSION:
-            return
+            return {}
         entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return {}
+        parsed: Dict[str, TuningRecord] = {}
         for signature, record in entries.items():
             try:
-                self._entries[signature] = TuningRecord.from_dict(record)
+                parsed[signature] = TuningRecord.from_dict(record)
             except (KeyError, TypeError, ValueError):
                 continue
+        return parsed
+
+    def _load(self) -> None:
+        self._entries.update(self._read_disk())
 
     def save(self) -> bool:
-        """Atomically write the cache to disk; returns ``False`` if clean.
+        """Merge with the on-disk state, then atomically rename; ``False`` if clean.
 
+        Concurrent savers over one path -- e.g. several shard worker
+        processes each tuning a different subset of signatures -- must not
+        lose each other's winners to a last-writer-wins rename.  Before
+        writing, the file is re-read and any signature this instance does
+        not hold is adopted (a *union*; this instance's own records win on
+        conflicts, since they are at least as fresh as what it loaded).
         The tempfile is created *in the cache's own directory* (never the
         system temp dir, which may live on another filesystem where
         ``os.replace`` cannot rename atomically) with a per-call unique
-        name, so concurrent savers -- e.g. several shard worker processes
-        sharing one cache path -- cannot trample each other's half-written
-        tempfile; last rename wins, and each renamed file is complete.
+        name, so concurrent savers cannot trample each other's
+        half-written tempfile; every renamed file is complete.
         """
         with self._lock:
             if not self._dirty:
                 return False
+            for signature, record in self._read_disk().items():
+                self._entries.setdefault(signature, record)
             payload = {
                 "version": TUNING_CACHE_VERSION,
                 "entries": {
@@ -331,7 +348,7 @@ class Autotuner:
         if self.budget_left <= 0.0:
             self.outcomes["heuristic"] += 1
             return heuristic_choice(desc), "heuristic"
-        winner, best_s = self._measure(names, make_runner)
+        winner, best_s = self._measure(names, make_runner, heuristic_choice(desc))
         if self.config.cache is not None:
             self.config.cache.put(
                 signature,
@@ -344,14 +361,23 @@ class Autotuner:
         self.outcomes["tuned"] += 1
         return winner, "tuned"
 
+    #: Relative speedup a challenger must show over the heuristically
+    #: ranked incumbent to displace it.  Races are a handful of timed
+    #: repeats, so near-ties are noise: without a margin, a variant that
+    #: "wins" by a sliver at compile time can lose at serving time, and
+    #: the selection flips from run to run.  Within the margin the
+    #: incumbent is kept -- stable plans, and a measurably-better-only
+    #: bar for low-ranked candidates like the native codegen kernels.
+    DISPLACE_MARGIN = 0.05
+
     def _measure(
         self,
         names: Sequence[str],
         make_runner: Callable[[str], Callable[[], object]],
+        incumbent: Optional[str] = None,
     ) -> Tuple[str, float]:
         started = time.perf_counter()
-        best_name: Optional[str] = None
-        best_s = float("inf")
+        timings: Dict[str, float] = {}
         for name in names:
             runner = make_runner(name)
             for _ in range(self.config.warmup):
@@ -362,11 +388,16 @@ class Autotuner:
                 runner()
                 candidate_best = min(candidate_best, time.perf_counter() - t0)
                 self.measurements += 1
-            if candidate_best < best_s:
-                best_s = candidate_best
-                best_name = name
+            timings[name] = candidate_best
         self.spent_s += time.perf_counter() - started
-        return best_name or names[0], best_s
+        best_name = min(timings, key=timings.get)
+        if (
+            incumbent in timings
+            and best_name != incumbent
+            and timings[best_name] >= timings[incumbent] * (1.0 - self.DISPLACE_MARGIN)
+        ):
+            best_name = incumbent
+        return best_name, timings[best_name]
 
     def describe(self) -> str:
         """One-line account: outcome counts, measurements, budget spent."""

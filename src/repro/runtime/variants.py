@@ -31,6 +31,15 @@ between:
     * ``auto`` -- the reference kernel's own dispatch;
     * ``tiled`` -- force the non-overlapping strided-slice reduction;
     * ``gather`` -- force the general im2col gather path.
+``conv2d`` / ``linear`` / ``fused_elementwise`` (opt-in)
+    * ``native`` -- a shape-specialized C kernel emitted, compiled and
+      bitwise-verified by :mod:`repro.runtime.codegen`.  Only registered
+      as *applicable* when the backend is enabled, a compiler exists, the
+      artifact builds, and its output matched the reference byte-for-byte
+      on a seeded probe -- the same admission rule as every other variant,
+      enforced empirically per signature.  Ranked below the reference so
+      the zero-cost heuristic never picks it: only a tuner measurement
+      (or a persisted tuned record) selects native kernels.
 
 **Byte-exactness is the admission rule**: a variant's ``applies``
 predicate may only accept geometries where its output is bitwise-identical
@@ -70,7 +79,9 @@ __all__ = [
 ]
 
 #: Ops that have registered variants (everything else lowers one way).
-VARIED_OPS = ("conv2d", "linear", "max_pool2d", "avg_pool2d")
+VARIED_OPS = (
+    "conv2d", "linear", "max_pool2d", "avg_pool2d", "fused_elementwise"
+)
 
 #: Live column-matrix target for the blocked conv (bytes per gathered
 #: batch chunk); the full-batch column matrix is never materialised.
@@ -101,6 +112,10 @@ class KernelDesc:
     out_channels: int = 0
     weight_dtype: str = ""
     bits: int = 32
+    #: Op-specific refinement of the signature (the fused-elementwise
+    #: chain encoding); empty for ops that don't need one, which keeps
+    #: every pre-existing cache signature byte-identical.
+    detail: str = ""
 
     def signature(self) -> str:
         """Stable string key for the persistent tuning cache."""
@@ -117,6 +132,8 @@ class KernelDesc:
             parts.append(f"co={self.out_channels}")
             parts.append(f"w={self.weight_dtype}")
             parts.append(f"b={self.bits}")
+        if self.detail:
+            parts.append(f"d={self.detail}")
         return "|".join(parts)
 
 
@@ -256,7 +273,41 @@ def run_conv(
         return _run_conv_slices(x, weight_exec, kernel_size, stride, padding, out)
     if variant == "blocked":
         return _run_conv_blocked(x, weight_exec, kernel_size, stride, padding, out)
+    if variant == "native":
+        return _run_conv_native(x, weight_exec, kernel_size, stride, padding, out)
     raise ValueError(f"unknown conv2d variant {variant!r}")
+
+
+def _run_conv_native(
+    x: np.ndarray,
+    weight_exec: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """The generated C gather+GEMM; falls back to the bitwise-identical
+    reference path whenever the artifact or the operands are ineligible."""
+    from repro.runtime import codegen
+
+    if (
+        out is not None
+        and x.ndim == 4
+        and x.dtype == np.float64 and x.flags.c_contiguous
+        and weight_exec.dtype == np.float64 and weight_exec.flags.c_contiguous
+        and out.dtype == np.float64 and out.flags.c_contiguous
+    ):
+        geom = codegen.ConvGeom(
+            c_in=int(x.shape[1]), h=int(x.shape[2]), w=int(x.shape[3]),
+            kh=kernel_size[0], kw=kernel_size[1],
+            sh=stride[0], sw=stride[1], ph=padding[0], pw=padding[1],
+            c_out=int(weight_exec.shape[0]),
+        )
+        kernel = codegen.native_conv_kernel(geom)
+        if kernel is not None and kernel.run(x, weight_exec, out):
+            return out
+    cols, _, _, _ = kernels.im2col(x, kernel_size, stride, padding)
+    return kernels.matmul_cols(weight_exec, cols, out=out)
 
 
 def _run_conv_slices(
@@ -405,8 +456,12 @@ def run_linear(
     out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Run one dense-matmul variant against a baked ``(in, out)`` weight."""
-    if variant not in ("matmul", "packed"):
+    if variant not in ("matmul", "packed", "native"):
         raise ValueError(f"unknown linear variant {variant!r}")
+    if variant == "native":
+        result = _run_linear_native(x, weight_exec, out)
+        if result is not None:
+            return result
     if (
         x.ndim == 2
         and np.result_type(x, weight_exec) == np.float64
@@ -414,6 +469,31 @@ def run_linear(
     ):
         return np.matmul(x, weight_exec, out=out)
     return x @ weight_exec
+
+
+def _run_linear_native(
+    x: np.ndarray, weight_exec: np.ndarray, out: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    """The generated C GEMM, or ``None`` to fall back to the reference."""
+    from repro.runtime import codegen
+
+    if (
+        out is None
+        or x.ndim != 2
+        or x.dtype != np.float64 or not x.flags.c_contiguous
+        or weight_exec.dtype != np.float64
+        or not weight_exec.flags.c_contiguous
+        or out.dtype != np.float64 or not out.flags.c_contiguous
+    ):
+        return None
+    geom = codegen.LinearGeom(
+        in_features=int(weight_exec.shape[0]),
+        out_features=int(weight_exec.shape[1]),
+    )
+    kernel = codegen.native_linear_kernel(geom)
+    if kernel is None or not kernel.run(x, weight_exec, out):
+        return None
+    return out
 
 
 register_variant(KernelVariant(
@@ -511,4 +591,105 @@ register_variant(KernelVariant(
     applies=lambda desc: not _pool_tiled_ok(desc),
     rank=1,
     description="im2col gather mean (overlapping / ragged geometry)",
+))
+
+
+# --------------------------------------------------------------------------- #
+# Fused-elementwise variants + native codegen admission
+# --------------------------------------------------------------------------- #
+# The fused-elementwise op joins the registry so chains become tunable call
+# sites like convs are.  Its descriptor carries the chain encoding in
+# ``detail``; the matching ChainSpec (which ``detail`` deliberately cannot
+# be parsed back into) is registered here by the select_kernels pass.
+_CHAIN_SPECS: Dict[Tuple[Tuple[int, ...], str], object] = {}
+
+
+def register_chain_spec(spec) -> None:
+    """Record a fused chain's native spec under its descriptor identity."""
+    _CHAIN_SPECS[(tuple(spec.x_shape), spec.detail())] = spec
+
+
+def chain_spec_for(desc: KernelDesc):
+    """The registered ChainSpec matching ``desc``, or ``None``."""
+    return _CHAIN_SPECS.get((tuple(desc.x_shape), desc.detail))
+
+
+def _conv_geom(desc: KernelDesc):
+    from repro.runtime import codegen
+
+    if len(desc.x_shape) != 3:
+        return None
+    return codegen.ConvGeom(
+        c_in=int(desc.x_shape[0]), h=int(desc.x_shape[1]),
+        w=int(desc.x_shape[2]),
+        kh=desc.kernel_size[0], kw=desc.kernel_size[1],
+        sh=desc.stride[0], sw=desc.stride[1],
+        ph=desc.padding[0], pw=desc.padding[1],
+        c_out=desc.out_channels,
+    )
+
+
+def _native_conv_applies(desc: KernelDesc) -> bool:
+    # Build + bitwise-verify happens here, in the admission predicate, so
+    # the autotuner's measurement budget is never charged for compilation.
+    from repro.runtime import codegen
+
+    if not codegen.enabled():
+        return False
+    geom = _conv_geom(desc)
+    if geom is None:
+        return False
+    return codegen.native_conv_kernel(geom) is not None
+
+
+def _native_linear_applies(desc: KernelDesc) -> bool:
+    from repro.runtime import codegen
+
+    if not codegen.enabled() or len(desc.x_shape) != 1:
+        return False
+    geom = codegen.LinearGeom(
+        in_features=int(desc.x_shape[0]), out_features=desc.out_channels
+    )
+    return codegen.native_linear_kernel(geom) is not None
+
+
+def _native_elementwise_applies(desc: KernelDesc) -> bool:
+    from repro.runtime import codegen
+
+    if not codegen.enabled() or not desc.detail:
+        return False
+    spec = chain_spec_for(desc)
+    if spec is None:
+        return False
+    return codegen.native_elementwise_kernel(spec) is not None
+
+
+register_variant(KernelVariant(
+    op="fused_elementwise",
+    name="ufunc",
+    applies=lambda desc: True,
+    rank=0,
+    description="reference in-place ufunc chain replay",
+))
+register_variant(KernelVariant(
+    op="fused_elementwise",
+    name="native",
+    applies=_native_elementwise_applies,
+    rank=-10,
+    description="generated C single-loop chain (bitwise-verified)",
+))
+register_variant(KernelVariant(
+    op="conv2d",
+    name="native",
+    applies=_native_conv_applies,
+    rank=-10,
+    description="generated C im2col+GEMM via numpy's own BLAS "
+                "(bitwise-verified)",
+))
+register_variant(KernelVariant(
+    op="linear",
+    name="native",
+    applies=_native_linear_applies,
+    rank=-10,
+    description="generated C GEMM via numpy's own BLAS (bitwise-verified)",
 ))

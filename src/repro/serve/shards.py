@@ -449,6 +449,12 @@ class ShardWorkerConfig:
     max_batch_size: int
     #: ``(cache_path, budget_s, repeats, warmup)`` or ``None``.
     tuning: Optional[Tuple[str, float, int, int]] = None
+    #: ``(enabled, artifact_cache_dir)`` of the parent's native codegen
+    #: backend, or ``None`` (worker keeps its own environment-driven
+    #: default).  The directory is the parent's *resolved* cache dir, so a
+    #: spawned worker loads the same compiled ``.so`` artifacts instead of
+    #: rebuilding them.
+    codegen: Optional[Tuple[bool, str]] = None
     #: Eagerly compile every assigned plan before reporting ready.
     warm: bool = True
 
@@ -464,6 +470,21 @@ def _rebuild_tuning(spec: Optional[Tuple[str, float, int, int]]):
     )
 
 
+def _apply_codegen(spec: Optional[Tuple[str, str]]) -> None:
+    """Mirror the parent's codegen enablement into this worker process.
+
+    ``spawn`` workers inherit the environment but not any explicit
+    :func:`repro.runtime.codegen.configure` call made in the parent, so
+    the picklable spec re-applies it.  ``None`` leaves the worker on its
+    own environment-driven default."""
+    if spec is None:
+        return
+    from repro.runtime import codegen
+
+    enabled, cache_dir_path = spec
+    codegen.configure(enable=enabled, cache_dir_path=cache_dir_path)
+
+
 class _ShardState:
     """Mutable worker-process state: arenas, exports, plans, contexts."""
 
@@ -473,6 +494,7 @@ class _ShardState:
 
         self.config = config
         self.registry = MetricRegistry()
+        _apply_codegen(config.codegen)
         self.tuning = _rebuild_tuning(config.tuning)
         self.plan_cache = PlanCache(metrics=self.registry)
         self.batches = self.registry.counter(

@@ -552,6 +552,7 @@ class ProcessWorkerPool:
                     keys={key: keys[key] for key in shard.keys},
                     max_batch_size=max_batch,
                     tuning=self._tuning_spec(),
+                    codegen=self._codegen_spec(),
                     warm=self.warm,
                 )
                 shard.process = context.Process(
@@ -594,6 +595,17 @@ class ProcessWorkerPool:
         if cache is None:
             return None
         return (cache.path, config.budget_s, config.repeats, config.warmup)
+
+    def _codegen_spec(self) -> Optional[Tuple[bool, str]]:
+        """``(enabled, resolved artifact dir)`` when the native backend is
+        on in this parent, else ``None``.  Passing the *resolved* directory
+        means a spawned worker resolves the identical artifact cache and
+        loads the parent's compiled ``.so`` files without rebuilding."""
+        from repro.runtime import codegen
+
+        if not codegen.enabled():
+            return None
+        return (True, codegen.cache_dir())
 
     def _await_ready(self) -> None:
         deadline = time.monotonic() + self.start_timeout_s

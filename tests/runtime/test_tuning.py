@@ -113,6 +113,36 @@ class TestTuningCachePersistence:
             cache.save()
         assert list(tmp_path.iterdir()) == []
 
+    def test_interleaved_saves_over_one_path_merge_not_clobber(self, tmp_path):
+        # Two caches standing in for two shard worker processes sharing one
+        # path: each tunes a different signature, each saves.  Last-writer-
+        # wins would erase the first worker's record; merge-on-save unions.
+        path = str(tmp_path / "tuning.json")
+        worker_a = TuningCache(path)
+        worker_b = TuningCache(path)
+        worker_a.put("sig-a", TuningRecord("gemm_1x1", 10.0, ("gemm_1x1", "im2col")))
+        worker_b.put("sig-b", TuningRecord("blocked", 20.0, ("blocked", "im2col")))
+        assert worker_a.save() is True
+        assert worker_b.save() is True
+        assert set(TuningCache(path).entries()) == {"sig-a", "sig-b"}
+
+        # Keep interleaving: every save folds in whatever landed meanwhile.
+        worker_a.put("sig-c", TuningRecord("im2col", 5.0, ("im2col",)))
+        assert worker_a.save() is True
+        assert set(TuningCache(path).entries()) == {"sig-a", "sig-b", "sig-c"}
+
+    def test_merge_on_save_keeps_own_record_on_conflict(self, tmp_path):
+        # The saver's in-memory record is at least as fresh as anything it
+        # loaded from disk, so on a signature conflict it wins the union.
+        path = str(tmp_path / "tuning.json")
+        first = TuningCache(path)
+        first.put("sig", TuningRecord("im2col", 30.0, ("im2col", "blocked")))
+        assert first.save() is True
+        second = TuningCache(path)
+        second.put("sig", TuningRecord("blocked", 5.0, ("im2col", "blocked")))
+        assert second.save() is True
+        assert TuningCache(path).entries()["sig"].variant == "blocked"
+
     def test_missing_corrupt_and_stale_files_start_empty(self, tmp_path):
         assert len(TuningCache(str(tmp_path / "absent.json"))) == 0
 
@@ -191,6 +221,41 @@ class TestAutotuner:
         record = cache.entries()[_desc().signature()]
         assert record.variant == "im2col"
         assert record.candidates == ("blocked", "im2col")
+
+    def test_near_tie_keeps_the_ranked_incumbent(self, monkeypatch):
+        """A challenger inside DISPLACE_MARGIN must not unseat the incumbent.
+
+        Races are a handful of repeats, so a sliver-sized win is noise; a
+        selection that flips on it churns plans between identical compiles.
+        Driven by a fake clock so the margin is exercised exactly.
+        """
+        from repro.runtime import tuning as tuning_mod
+        from repro.runtime.variants import heuristic_choice
+
+        incumbent = heuristic_choice(_desc())
+        challenger = "im2col" if incumbent != "im2col" else "im2col_slices"
+        costs = {incumbent: 100e-6, challenger: 97e-6}  # 3% faster: within margin
+
+        clock = {"now": 0.0}
+        monkeypatch.setattr(
+            tuning_mod.time, "perf_counter", lambda: clock["now"]
+        )
+
+        def make_runner(name):
+            def run():
+                clock["now"] += costs[name]
+            return run
+
+        tuner = Autotuner(TuningConfig())
+        variant, provenance = tuner.select(
+            _desc(), [challenger, incumbent], make_runner
+        )
+        assert (variant, provenance) == (incumbent, "tuned")
+
+        costs[challenger] = 80e-6  # 20% faster: a real win displaces it
+        fresh = Autotuner(TuningConfig())
+        variant, _ = fresh.select(_desc(), [challenger, incumbent], make_runner)
+        assert variant == challenger
 
     def test_warm_cache_answers_with_zero_measurements(self, tmp_path):
         path = str(tmp_path / "t.json")

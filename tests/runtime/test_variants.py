@@ -101,7 +101,9 @@ def test_conv_edge_cases_exercise_every_variant():
         for _, weight, bits in _conv_weights(cout, x_shape, kernel):
             desc = _conv_desc(x_shape, cout, kernel, stride, padding, weight, bits)
             admitted.update(v.name for v in applicable_variants(desc))
-    assert admitted == set(available_variants()["conv2d"])
+    # "native" only admits with the codegen backend enabled (plus a
+    # compiler and a verified build), so the numpy sweep excludes it.
+    assert admitted == set(available_variants()["conv2d"]) - {"native"}
 
 
 @pytest.mark.parametrize("op", ["max_pool2d", "avg_pool2d"])
@@ -165,9 +167,14 @@ class TestRegistry:
 
     def test_available_variants_lists_every_op(self):
         listing = available_variants()
-        assert set(listing) == {"conv2d", "linear", "max_pool2d", "avg_pool2d"}
+        assert set(listing) == {
+            "conv2d", "linear", "max_pool2d", "avg_pool2d", "fused_elementwise",
+        }
         assert "gemm_1x1" in listing["conv2d"]
         assert "blocked" in listing["conv2d"]
+        assert "native" in listing["conv2d"]
+        assert "native" in listing["linear"]
+        assert listing["fused_elementwise"] == ("ufunc", "native")
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):

@@ -6,12 +6,16 @@ throughput comparison itself lives in ``benchmarks/test_bench_serve.py``
 (and is skipped on single-core hosts).
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.models import build_model
 from repro.obs import merge_registry_dumps, total_counter
 from repro.quant import export_quantized_model
+from repro.runtime import codegen, compile_quantized_plan
+from repro.runtime.tuning import TuningCache, TuningConfig
 from repro.serve import (
     InferenceService,
     ModelRepository,
@@ -106,6 +110,103 @@ class TestProcessBackend:
         assert "shard" in merged["shard_requests_total"]["labels"]
         assert total_counter(merged, "shard_requests_total") == 8.0
         assert total_counter(merged, "shard_batches_total") == 2.0
+
+
+class TestProcessCodegen:
+    """Native codegen composes with spawned shard workers.
+
+    The worker inherits the parent's enablement and *resolved* artifact
+    directory through :class:`ShardWorkerConfig`, so a plan compiled in
+    the worker loads the parent's cached ``.so`` instead of rebuilding --
+    and a host whose compiler is broken falls back to numpy silently.
+    """
+
+    def _tuned_repo(self, tuning_path, bits=8):
+        repo = ModelRepository(tuning=TuningConfig(
+            cache=TuningCache(tuning_path), budget_s=2.0,
+        ))
+        model = _model(0)
+        repo.add_model("alpha", model, SHAPE)
+        repo.add_export(
+            "alpha",
+            export_quantized_model(model, {n: bits for n, _ in model.named_parameters()}),
+            bits=bits,
+        )
+        return repo
+
+    def test_fresh_spawn_worker_reuses_parent_artifacts_bitwise(self, tmp_path):
+        if codegen.compiler_command() is None:
+            pytest.skip("no C compiler on this host")
+        rng = np.random.default_rng(11)
+        samples = [rng.normal(size=SHAPE) for _ in range(8)]
+        baseline = _serve(
+            InferenceService(self._tuned_repo(str(tmp_path / "base.json")),
+                             workers=1, queue_policy=_policy()),
+            ["alpha"], samples,
+        )
+
+        tuning_path = str(tmp_path / "tuning.json")
+        codegen.reset()
+        codegen.configure(enable=True, cache_dir_path=str(tmp_path / "codegen"))
+        try:
+            # Pre-build in the parent: tune the quantized plan so native
+            # kernels compile into the shared artifact directory and the
+            # winners persist where the workers will look.
+            tuning = TuningConfig(cache=TuningCache(tuning_path), budget_s=2.0)
+            model = _model(0)
+            export = export_quantized_model(
+                model, {n: 8 for n, _ in model.named_parameters()}
+            )
+            compile_quantized_plan(model, export, SHAPE, tuning=tuning)
+            tuning.cache.save()
+            cache_dir = codegen.cache_dir()
+            before = {
+                name: os.stat(os.path.join(cache_dir, name)).st_mtime_ns
+                for name in os.listdir(cache_dir)
+            }
+
+            results = _serve(
+                InferenceService(self._tuned_repo(tuning_path),
+                                 queue_policy=_policy(), backend="process", shards=1),
+                ["alpha"], samples,
+            )
+            after = {
+                name: os.stat(os.path.join(cache_dir, name)).st_mtime_ns
+                for name in os.listdir(cache_dir)
+            }
+        finally:
+            codegen.reset()
+        # The spawned worker resolved the parent's artifact directory and
+        # loaded the cached .so files: nothing was rebuilt or added.
+        assert after == before
+        assert len(results) == 8
+        for base, native in zip(baseline, results):
+            np.testing.assert_array_equal(base.logits, native.logits)
+            assert base.prediction == native.prediction
+
+    def test_broken_compiler_worker_falls_back_to_numpy(self, tmp_path, monkeypatch):
+        rng = np.random.default_rng(12)
+        samples = [rng.normal(size=SHAPE) for _ in range(8)]
+        baseline = _serve(
+            InferenceService(self._tuned_repo(str(tmp_path / "base.json")),
+                             workers=1, queue_policy=_policy()),
+            ["alpha"], samples,
+        )
+
+        monkeypatch.setenv("CC", "/bin/false")
+        codegen.reset()
+        codegen.configure(enable=True, cache_dir_path=str(tmp_path / "codegen"))
+        try:
+            results = _serve(
+                InferenceService(self._tuned_repo(str(tmp_path / "tuning.json")),
+                                 queue_policy=_policy(), backend="process", shards=1),
+                ["alpha"], samples,
+            )
+        finally:
+            codegen.reset()
+        assert len(results) == 8
+        for base, fallback in zip(baseline, results):
+            np.testing.assert_array_equal(base.logits, fallback.logits)
 
 
 class TestProcessHotSwap:

@@ -573,3 +573,72 @@ class TestAutotuneCommand:
                 "--cache", str(tmp_path / "t.json"), "--budget", "1.0"]
         assert cli.main(argv) == 0
         assert "autotune: tiny_convnet" in capsys.readouterr().out
+
+
+class TestBudgetValidation:
+    """Zero / negative measurement budgets are argparse errors, not hangs."""
+
+    @pytest.mark.parametrize("bad", ["0", "-1.5", "nan"])
+    def test_autotune_budget_rejected(self, bad, tmp_path, capsys):
+        argv = ["--cache", str(tmp_path / "t.json"), "--budget", bad]
+        with pytest.raises(SystemExit) as excinfo:
+            cli.run_autotune(argv)
+        assert excinfo.value.code == 2
+        assert "must be a positive number of seconds" in capsys.readouterr().err
+
+    def test_plan_inspect_tune_rejected(self, tmp_path, capsys):
+        argv = [str(tmp_path / "missing.npz"), "--tune", "-2"]
+        with pytest.raises(SystemExit) as excinfo:
+            cli.run_plan_inspect(argv)
+        assert excinfo.value.code == 2
+        assert "must be a positive number of seconds" in capsys.readouterr().err
+
+
+class TestCodegenCommand:
+    @pytest.fixture()
+    def codegen_tmp(self, tmp_path):
+        from repro.runtime import codegen
+
+        codegen.reset()
+        yield str(tmp_path / "codegen")
+        codegen.reset()
+
+    def test_status_reports_backend(self, codegen_tmp, capsys):
+        assert cli.run_codegen(["--status", "--cache-dir", codegen_tmp]) == 0
+        out = capsys.readouterr().out
+        assert "codegen: enabled=" in out
+        assert "compiler:" in out and "cache_dir:" in out
+
+    def test_status_json_is_machine_readable(self, codegen_tmp, capsys):
+        assert cli.run_codegen(["--json", "--cache-dir", codegen_tmp]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert {"enabled", "compiler", "blas", "cache_dir", "builds"} <= set(status)
+
+    def test_verify_cold_then_warm(self, codegen_tmp, capsys):
+        from repro.runtime import codegen
+
+        if codegen.compiler_command() is None:
+            pytest.skip("no C compiler on this host")
+        assert cli.run_codegen(["--verify", "--cache-dir", codegen_tmp]) == 0
+        cold = capsys.readouterr().out
+        assert "conv2d: ok" in cold and "linear: ok" in cold
+        assert "3 compiled" in cold
+
+        codegen.reset()  # drop in-process kernel memos; disk artifacts stay
+        assert cli.run_codegen(["--verify", "--cache-dir", codegen_tmp]) == 0
+        warm = capsys.readouterr().out
+        assert "0 compiled" in warm and "3 from warm cache" in warm
+
+    def test_clear_cache_removes_artifacts(self, codegen_tmp, capsys):
+        from repro.runtime import codegen
+
+        if codegen.compiler_command() is None:
+            pytest.skip("no C compiler on this host")
+        assert cli.run_codegen(["--verify", "--cache-dir", codegen_tmp]) == 0
+        capsys.readouterr()
+        assert cli.run_codegen(["--clear-cache", "--cache-dir", codegen_tmp]) == 0
+        assert "removed 6 cached artifacts" in capsys.readouterr().out
+
+    def test_main_dispatch(self, codegen_tmp, capsys):
+        assert cli.main(["codegen", "--cache-dir", codegen_tmp]) == 0
+        assert "codegen: enabled=" in capsys.readouterr().out
